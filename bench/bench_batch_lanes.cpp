@@ -1,0 +1,80 @@
+// E9: batched lane-parallel throughput mode. Compares 16 RSA private ops
+// run one-at-a-time on the operand-vectorized engine (latency mode)
+// against one 16-lane batched run (throughput mode), plus the raw batched
+// vs single-stream Montgomery exponentiation.
+#include <cstdio>
+
+#include "bench/harness.hpp"
+#include "bigint/bigint.hpp"
+#include "mont/batch.hpp"
+#include "mont/modexp.hpp"
+#include "mont/vector_mont.hpp"
+#include "rsa/batch_engine.hpp"
+#include "rsa/engine.hpp"
+#include "rsa/key.hpp"
+#include "util/random.hpp"
+
+int main() {
+  using namespace phissl;
+  using bigint::BigInt;
+  constexpr std::size_t kB = mont::BatchVectorMontCtx::kBatch;
+
+  bench::print_header("E9 bench_batch_lanes",
+                      "16-lane batched RSA vs one-at-a-time vectorized");
+
+  std::printf("\nmodexp comparison [total ms for 16 exponentiations]\n");
+  std::printf("%8s %16s %16s %12s\n", "bits", "16x single", "1x batched",
+              "batch win");
+  for (const std::size_t bits : {512u, 1024u, 2048u}) {
+    util::Rng rng(bits);
+    const BigInt m = BigInt::random_odd_exact_bits(bits, rng);
+    const mont::VectorMontCtx single(m);
+    const mont::BatchVectorMontCtx batch(m);
+    std::array<BigInt, kB> xs;
+    for (auto& x : xs) x = BigInt::random_below(m, rng);
+    const BigInt exp = BigInt::random_bits(bits, rng);
+
+    const double single_ms =
+        bench::time_op_ms(
+            [&] {
+              for (const auto& x : xs) {
+                (void)mont::fixed_window_exp(single, x, exp);
+              }
+            },
+            3, 0.3, 50)
+            .median;
+    const double batch_ms =
+        bench::time_op_ms([&] { (void)batch.mod_exp(xs, exp); }, 3, 0.3, 50)
+            .median;
+    std::printf("%8zu %16.2f %16.2f %11.2fx\n", bits, single_ms, batch_ms,
+                single_ms / batch_ms);
+  }
+
+  std::printf("\nRSA private op comparison "
+              "[total ms for 16 ops | ops/s]\n");
+  std::printf("%8s %22s %22s %12s\n", "bits", "16x Engine(vector)",
+              "1x BatchEngine", "batch win");
+  for (const std::size_t bits : {1024u, 2048u}) {
+    const rsa::PrivateKey& key = rsa::test_key(bits);
+    const rsa::Engine engine(key, rsa::EngineOptions{});
+    const rsa::BatchEngine batch(key);
+    util::Rng rng(bits);
+    std::array<BigInt, kB> msgs;
+    for (auto& x : msgs) x = BigInt::random_below(key.pub.n, rng);
+
+    const double single_ms =
+        bench::time_op_ms(
+            [&] {
+              for (const auto& x : msgs) (void)engine.private_op(x);
+            },
+            3, 0.3, 50)
+            .median;
+    const double batch_ms =
+        bench::time_op_ms([&] { (void)batch.private_op(msgs); }, 3, 0.3, 50)
+            .median;
+    std::printf("%8zu %12.2f | %7.1f %12.2f | %7.1f %11.2fx\n", bits,
+                single_ms, 16e3 / single_ms, batch_ms, 16e3 / batch_ms,
+                single_ms / batch_ms);
+  }
+  return 0;
+}

@@ -1,0 +1,81 @@
+// E1: big-integer multiplication kernel latency.
+// Schoolbook vs Karatsuba vs the BigInt auto-dispatcher vs squaring,
+// across operand sizes bracketing the Karatsuba threshold.
+#include <benchmark/benchmark.h>
+
+#include "bigint/bigint.hpp"
+#include "util/random.hpp"
+
+namespace {
+
+using phissl::bigint::BigInt;
+namespace kernels = phissl::bigint::kernels;
+
+BigInt make_operand(std::size_t bits, std::uint64_t seed) {
+  phissl::util::Rng rng(seed);
+  return BigInt::random_odd_exact_bits(bits, rng);
+}
+
+void BM_MulSchoolbook(benchmark::State& state) {
+  const auto bits = static_cast<std::size_t>(state.range(0));
+  const BigInt a = make_operand(bits, 1), b = make_operand(bits, 2);
+  std::vector<std::uint32_t> out(a.limb_count() + b.limb_count());
+  for (auto _ : state) {
+    std::fill(out.begin(), out.end(), 0u);
+    kernels::mul_schoolbook(a.limbs(), b.limbs(), out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetLabel(std::to_string(bits) + "-bit");
+}
+BENCHMARK(BM_MulSchoolbook)->Arg(512)->Arg(1024)->Arg(2048)->Arg(4096)->Arg(8192);
+
+void BM_MulKaratsuba(benchmark::State& state) {
+  const auto bits = static_cast<std::size_t>(state.range(0));
+  const BigInt a = make_operand(bits, 1), b = make_operand(bits, 2);
+  for (auto _ : state) {
+    auto out = kernels::mul_karatsuba(a.limbs(), b.limbs());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetLabel(std::to_string(bits) + "-bit");
+}
+BENCHMARK(BM_MulKaratsuba)->Arg(512)->Arg(1024)->Arg(2048)->Arg(4096)->Arg(8192);
+
+void BM_BigIntMulAuto(benchmark::State& state) {
+  const auto bits = static_cast<std::size_t>(state.range(0));
+  const BigInt a = make_operand(bits, 1), b = make_operand(bits, 2);
+  for (auto _ : state) {
+    BigInt c = a * b;
+    benchmark::DoNotOptimize(c);
+  }
+  state.SetLabel(std::to_string(bits) + "-bit");
+}
+BENCHMARK(BM_BigIntMulAuto)->Arg(512)->Arg(1024)->Arg(2048)->Arg(4096)->Arg(8192);
+
+void BM_Squaring(benchmark::State& state) {
+  const auto bits = static_cast<std::size_t>(state.range(0));
+  const BigInt a = make_operand(bits, 1);
+  for (auto _ : state) {
+    BigInt c = a.squared();
+    benchmark::DoNotOptimize(c);
+  }
+  state.SetLabel(std::to_string(bits) + "-bit");
+}
+BENCHMARK(BM_Squaring)->Arg(512)->Arg(1024)->Arg(2048)->Arg(4096);
+
+void BM_DivMod(benchmark::State& state) {
+  const auto bits = static_cast<std::size_t>(state.range(0));
+  const BigInt a = make_operand(bits, 1);
+  const BigInt b = make_operand(bits / 2, 2);
+  for (auto _ : state) {
+    BigInt q, r;
+    BigInt::divmod(a, b, q, r);
+    benchmark::DoNotOptimize(q);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetLabel(std::to_string(bits) + "-bit");
+}
+BENCHMARK(BM_DivMod)->Arg(512)->Arg(1024)->Arg(2048)->Arg(4096);
+
+}  // namespace
+
+BENCHMARK_MAIN();

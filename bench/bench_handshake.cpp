@@ -1,0 +1,134 @@
+// E10: SSL handshake throughput. Full RSA-key-transport handshakes for the
+// three systems across key sizes — the end-to-end workload the paper's
+// introduction motivates (handshake throughput limited by RSA private ops).
+#include <cstdio>
+
+#include "baseline/systems.hpp"
+#include "bench/harness.hpp"
+#include "dh/dh.hpp"
+#include "ssl/dhe_handshake.hpp"
+#include "ssl/handshake.hpp"
+#include "util/random.hpp"
+#include "phisim/core_model.hpp"
+#include "rsa/key.hpp"
+#include "ssl/driver.hpp"
+
+int main() {
+  using namespace phissl;
+
+  bench::print_header("E10 bench_handshake",
+                      "SSL handshake throughput, three systems");
+
+  std::printf("\n(a) measured on this host [handshakes/s | p50 latency us], "
+              "2 worker threads\n");
+  std::printf("%8s", "bits");
+  for (const auto s : baseline::all_systems()) {
+    std::printf(" %24s", baseline::name(s));
+  }
+  std::printf("\n");
+  for (const std::size_t bits : {1024u, 2048u}) {
+    const rsa::PrivateKey& key = rsa::test_key(bits);
+    std::printf("%8zu", bits);
+    for (const auto s : baseline::all_systems()) {
+      const rsa::Engine engine = baseline::make_engine(s, key);
+      ssl::DriverConfig cfg;
+      cfg.num_handshakes = bits >= 2048 ? 12 : 24;
+      cfg.num_threads = 2;
+      const auto r = ssl::run_handshakes(engine, cfg);
+      std::printf(" %12.1f | %9.0f", r.handshakes_per_s, r.latency_us.median);
+      if (r.failed != 0) std::printf("(FAILED %zu)", r.failed);
+    }
+    std::printf("\n");
+  }
+
+  // DHE-RSA (forward secrecy): server cost = RSA sign + 2 DH exps.
+  // Single-threaded latency comparison against plain RSA key transport.
+  std::printf("\n    key-exchange comparison, RSA-2048 cert, host-measured "
+              "[median handshake ms]\n");
+  std::printf("%-18s %14s %20s\n", "system", "RSA transport",
+              "DHE-RSA (1024 grp)");
+  {
+    const rsa::PrivateKey& key = rsa::test_key(2048);
+    for (const auto s : baseline::all_systems()) {
+      const rsa::Engine server_engine = baseline::make_engine(s, key);
+      const rsa::Engine client_engine(key.pub, server_engine.options());
+      const dh::Dh group(dh::rfc2409_group2(),
+                         baseline::options_for(s).kernel);
+      util::Rng rng(9);
+
+      const double rsa_ms =
+          bench::time_op_ms(
+              [&] {
+                ssl::ServerHandshake server(server_engine, rng);
+                ssl::ClientHandshake client(client_engine, rng);
+                const auto flight = server.on_client_hello(client.start());
+                const auto kex = client.on_server_hello(
+                    flight.value().hello, *flight.value().certificate);
+                const auto fin = server.on_key_exchange(kex.value().first,
+                                                        kex.value().second);
+                (void)client.on_server_finished(fin.value());
+              },
+              3, 0.2, 60)
+              .median;
+      const double dhe_ms =
+          bench::time_op_ms(
+              [&] {
+                ssl::DheServerHandshake server(server_engine, group, rng);
+                ssl::DheClientHandshake client(client_engine, rng);
+                const auto flight = server.on_client_hello(client.start());
+                const auto kex = client.on_server_flight(
+                    flight.value().hello, flight.value().certificate,
+                    flight.value().key_exchange);
+                const auto fin = server.on_key_exchange(kex.value().first,
+                                                        kex.value().second);
+                (void)client.on_server_finished(fin.value());
+              },
+              3, 0.2, 60)
+              .median;
+      std::printf("%-18s %14.2f %20.2f\n", baseline::name(s), rsa_ms, dhe_ms);
+    }
+  }
+
+  // Session-resumption sweep: abbreviated handshakes skip the RSA private
+  // op entirely, so throughput rises steeply with the resumption ratio —
+  // and the advantage of a faster private op shrinks, which bounds how
+  // much PhiOpenSSL can help a resumption-heavy terminator.
+  std::printf("\n    resumption-ratio sweep, RSA-2048, PhiOpenSSL, "
+              "host-measured [hs/s | %% resumed]\n");
+  std::printf("%8s %14s %12s\n", "ratio", "hs/s", "resumed");
+  {
+    const rsa::Engine engine = baseline::make_engine(
+        baseline::System::kPhiOpenSSL, rsa::test_key(2048));
+    for (const double ratio : {0.0, 0.5, 0.9, 1.0}) {
+      ssl::DriverConfig cfg;
+      cfg.num_handshakes = 24;
+      cfg.num_threads = 2;
+      cfg.resumption_ratio = ratio;
+      const auto r = ssl::run_handshakes(engine, cfg);
+      std::printf("%8.2f %14.1f %9zu/%zu\n", ratio, r.handshakes_per_s,
+                  r.resumed, r.completed);
+    }
+  }
+
+  // The handshake is one private op plus one public op plus hashing; the
+  // KNC projection uses the private-op profile (dominant term) at full
+  // chip occupancy.
+  std::printf("\n(b) simulated KNC chip at 240 threads "
+              "[handshakes/s, private-op bound]\n");
+  std::printf("%8s", "bits");
+  for (const auto s : baseline::all_systems()) {
+    std::printf(" %18s", baseline::name(s));
+  }
+  std::printf("\n");
+  const phisim::ChipModel chip;
+  for (const std::size_t bits : {1024u, 2048u, 4096u}) {
+    std::printf("%8zu", bits);
+    for (const auto s : baseline::all_systems()) {
+      const auto priv =
+          phisim::profile_rsa_private(bits, baseline::options_for(s));
+      std::printf(" %18.1f", chip.throughput_ops_s(priv, 240));
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,59 @@
+// E2: single Montgomery multiplication latency, all kernels, across
+// modulus sizes — the innermost primitive the paper vectorizes.
+#include <benchmark/benchmark.h>
+
+#include "bigint/bigint.hpp"
+#include "mont/mont32.hpp"
+#include "mont/mont64.hpp"
+#include "mont/vector_mont.hpp"
+#include "util/random.hpp"
+
+namespace {
+
+using phissl::bigint::BigInt;
+namespace mont = phissl::mont;
+
+template <typename Ctx>
+void BM_MontMul(benchmark::State& state) {
+  const auto bits = static_cast<std::size_t>(state.range(0));
+  phissl::util::Rng rng(bits);
+  const BigInt m = BigInt::random_odd_exact_bits(bits, rng);
+  const Ctx ctx(m);
+  const auto a = ctx.to_mont(BigInt::random_below(m, rng));
+  const auto b = ctx.to_mont(BigInt::random_below(m, rng));
+  typename Ctx::Rep out;
+  for (auto _ : state) {
+    ctx.mul(a, b, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetLabel(std::to_string(bits) + "-bit");
+}
+
+BENCHMARK_TEMPLATE(BM_MontMul, mont::MontCtx32)
+    ->Name("BM_MontMul_scalar32")->Arg(512)->Arg(1024)->Arg(2048)->Arg(4096);
+BENCHMARK_TEMPLATE(BM_MontMul, mont::MontCtx64)
+    ->Name("BM_MontMul_scalar64")->Arg(512)->Arg(1024)->Arg(2048)->Arg(4096);
+BENCHMARK_TEMPLATE(BM_MontMul, mont::VectorMontCtx)
+    ->Name("BM_MontMul_vector")->Arg(512)->Arg(1024)->Arg(2048)->Arg(4096);
+
+// Same column algorithm without SIMD: isolates the pure vectorization win
+// on the host (the apples-to-apples ablation for the vector kernel).
+void BM_MontMulVectorScalarRef(benchmark::State& state) {
+  const auto bits = static_cast<std::size_t>(state.range(0));
+  phissl::util::Rng rng(bits);
+  const BigInt m = BigInt::random_odd_exact_bits(bits, rng);
+  const mont::VectorMontCtx ctx(m);
+  const auto a = ctx.to_mont(BigInt::random_below(m, rng));
+  const auto b = ctx.to_mont(BigInt::random_below(m, rng));
+  mont::VectorMontCtx::Rep out;
+  for (auto _ : state) {
+    ctx.mul_scalar_ref(a, b, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetLabel(std::to_string(bits) + "-bit");
+}
+BENCHMARK(BM_MontMulVectorScalarRef)->Arg(512)->Arg(1024)->Arg(2048)->Arg(4096);
+
+}  // namespace
+
+BENCHMARK_MAIN();

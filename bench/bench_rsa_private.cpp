@@ -1,0 +1,74 @@
+// E4 (headline table): RSA private-key operation latency and throughput
+// for the three systems at the paper's key sizes. The paper reports
+// PhiOpenSSL 1.6-5.7x faster than the two reference libcrypto builds.
+//
+// As in E3: (a) measured on this host; (b) simulated on the KNC model,
+// which is the hardware the paper's ratios refer to.
+#include <cstdio>
+
+#include "baseline/systems.hpp"
+#include "bench/harness.hpp"
+#include "bigint/bigint.hpp"
+#include "phisim/core_model.hpp"
+#include "rsa/key.hpp"
+#include "util/random.hpp"
+
+int main() {
+  using namespace phissl;
+  using bigint::BigInt;
+
+  bench::print_header("E4 bench_rsa_private",
+                      "RSA private-key op (CRT sign/decrypt), three systems");
+
+  const std::size_t sizes[] = {1024, 2048, 4096};
+
+  std::printf("\n(a) measured on this host [median ms per op | ops/s]\n");
+  std::printf("%8s", "bits");
+  for (const auto s : baseline::all_systems()) {
+    std::printf(" %22s", baseline::name(s));
+  }
+  std::printf(" %14s %14s\n", "PHI/MPSS spd", "PHI/OSSL spd");
+  for (const std::size_t bits : sizes) {
+    const rsa::PrivateKey& key = rsa::test_key(bits);
+    util::Rng rng(bits);
+    const BigInt msg = BigInt::random_below(key.pub.n, rng);
+    double lat[3] = {};
+    int i = 0;
+    std::printf("%8zu", bits);
+    for (const auto s : baseline::all_systems()) {
+      const rsa::Engine engine = baseline::make_engine(s, key);
+      lat[i] = bench::time_op_ms([&] { (void)engine.private_op(msg); },
+                                 3, 0.3, 200)
+                   .median;
+      std::printf(" %12.3f | %6.1f", lat[i], 1e3 / lat[i]);
+      ++i;
+    }
+    std::printf(" %13.2fx %13.2fx\n", lat[1] / lat[0], lat[2] / lat[0]);
+  }
+
+  std::printf("\n(b) simulated on the KNC cost model "
+              "[ms per op, 4 threads/core | chip ops/s at 240 threads]\n");
+  std::printf("%8s", "bits");
+  for (const auto s : baseline::all_systems()) {
+    std::printf(" %22s", baseline::name(s));
+  }
+  std::printf(" %14s %14s\n", "PHI/MPSS spd", "PHI/OSSL spd");
+  const phisim::ChipModel chip;
+  for (const std::size_t bits : sizes) {
+    double lat[3] = {};
+    int i = 0;
+    std::printf("%8zu", bits);
+    for (const auto s : baseline::all_systems()) {
+      const auto profile =
+          phisim::profile_rsa_private(bits, baseline::options_for(s));
+      lat[i] = 1e3 * chip.op_latency_s(profile, 4);
+      const double chip_ops = chip.throughput_ops_s(profile, 240);
+      std::printf(" %12.3f | %6.0f", lat[i], chip_ops);
+      ++i;
+    }
+    std::printf(" %13.2fx %13.2fx\n", lat[1] / lat[0], lat[2] / lat[0]);
+  }
+  std::printf("\npaper: RSA private-key routines 1.6-5.7x faster than the "
+              "two reference systems\n");
+  return 0;
+}

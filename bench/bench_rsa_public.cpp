@@ -1,0 +1,53 @@
+// E5: RSA public-key operation (verify/encrypt, e = 65537) latency across
+// systems and key sizes. Public ops are ~2 orders cheaper than private
+// ops, which is why the handshake experiments are private-op bound.
+#include <cstdio>
+
+#include "baseline/systems.hpp"
+#include "bench/harness.hpp"
+#include "bigint/bigint.hpp"
+#include "phisim/core_model.hpp"
+#include "rsa/key.hpp"
+#include "util/random.hpp"
+
+int main() {
+  using namespace phissl;
+  using bigint::BigInt;
+
+  bench::print_header("E5 bench_rsa_public",
+                      "RSA public-key op (e=65537), three systems");
+
+  std::printf("\n(a) measured on this host [median us per op]\n");
+  std::printf("%8s %16s %16s %16s\n", "bits", "PhiOpenSSL", "MPSS-libcrypto",
+              "OpenSSL-default");
+  for (const std::size_t bits : {1024u, 2048u, 4096u}) {
+    const rsa::PrivateKey& key = rsa::test_key(bits);
+    util::Rng rng(bits);
+    const BigInt msg = BigInt::random_below(key.pub.n, rng);
+    std::printf("%8zu", bits);
+    for (const auto s : baseline::all_systems()) {
+      const rsa::Engine engine = baseline::make_engine(s, key);
+      const double us =
+          1e3 *
+          bench::time_op_ms([&] { (void)engine.public_op(msg); }, 5, 0.1)
+              .median;
+      std::printf(" %16.1f", us);
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\n(b) simulated KNC [us per op, 4 threads/core]\n");
+  std::printf("%8s %16s %16s %16s\n", "bits", "PhiOpenSSL", "MPSS-libcrypto",
+              "OpenSSL-default");
+  const phisim::ChipModel chip;
+  for (const std::size_t bits : {1024u, 2048u, 4096u}) {
+    std::printf("%8zu", bits);
+    for (const auto s : baseline::all_systems()) {
+      const auto profile =
+          phisim::profile_rsa_public(bits, baseline::options_for(s));
+      std::printf(" %16.1f", 1e6 * chip.op_latency_s(profile, 4));
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

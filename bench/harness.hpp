@@ -1,0 +1,42 @@
+// Shared helpers for the table-style benchmark harnesses: repeat an
+// operation until a time budget is spent and report median latency, the
+// way the paper's tables report per-op times.
+#pragma once
+
+#include <cstdio>
+#include <functional>
+#include <vector>
+
+#include "util/stats.hpp"
+#include "util/timing.hpp"
+
+namespace phissl::bench {
+
+/// Runs `op` repeatedly (at least min_reps times, at least min_seconds of
+/// wall time, capped at max_reps) and returns per-op latency statistics in
+/// milliseconds.
+inline util::Summary time_op_ms(const std::function<void()>& op,
+                                int min_reps = 5, double min_seconds = 0.2,
+                                int max_reps = 1000) {
+  op();  // warm-up
+  std::vector<double> samples;
+  util::Stopwatch total;
+  int reps = 0;
+  while (reps < min_reps ||
+         (total.elapsed_s() < min_seconds && reps < max_reps)) {
+    util::Stopwatch sw;
+    op();
+    samples.push_back(sw.elapsed_s() * 1e3);
+    ++reps;
+  }
+  return util::summarize(std::move(samples));
+}
+
+/// Prints the standard harness header naming the experiment.
+inline void print_header(const char* experiment, const char* description) {
+  std::printf("=============================================================\n");
+  std::printf("%s: %s\n", experiment, description);
+  std::printf("=============================================================\n");
+}
+
+}  // namespace phissl::bench

@@ -1,0 +1,62 @@
+// batch_sign: signs a batch of messages under each of the paper's three
+// systems and prints a throughput comparison — the paper's RSA private-key
+// experiment (E4) as a runnable application.
+//
+//   ./batch_sign [key_bits] [num_messages]    (defaults: 2048, 16)
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "baseline/systems.hpp"
+#include "rsa/key.hpp"
+#include "rsa/pkcs1.hpp"
+#include "util/random.hpp"
+#include "util/timing.hpp"
+
+int main(int argc, char** argv) {
+  using namespace phissl;
+
+  const std::size_t bits = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 2048;
+  const std::size_t count = argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 16;
+
+  std::printf("== batch signing, RSA-%zu, %zu messages ==\n", bits, count);
+  const rsa::PrivateKey& key = rsa::test_key(bits);
+
+  util::Rng rng(7);
+  std::vector<std::vector<std::uint8_t>> messages;
+  messages.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) messages.push_back(rng.bytes(64));
+
+  std::printf("%-18s %12s %14s %10s\n", "system", "total (ms)", "per-sign (ms)",
+              "signs/s");
+  double phi_per_sign = 0;
+  for (const auto system : baseline::all_systems()) {
+    const rsa::Engine engine = baseline::make_engine(system, key);
+    // Warm-up (first op touches cold caches).
+    (void)rsa::sign_sha256(engine, messages[0]);
+
+    util::Stopwatch sw;
+    std::vector<std::vector<std::uint8_t>> sigs;
+    sigs.reserve(count);
+    for (const auto& m : messages) sigs.push_back(rsa::sign_sha256(engine, m));
+    const double total_ms = sw.elapsed_s() * 1e3;
+    const double per = total_ms / static_cast<double>(count);
+    if (system == baseline::System::kPhiOpenSSL) phi_per_sign = per;
+
+    std::printf("%-18s %12.2f %14.3f %10.1f", baseline::name(system), total_ms,
+                per, 1e3 / per);
+    if (system != baseline::System::kPhiOpenSSL && phi_per_sign > 0) {
+      std::printf("   (PhiOpenSSL speedup: %.2fx)", per / phi_per_sign);
+    }
+    std::printf("\n");
+
+    // Verify every signature before trusting the timing.
+    for (std::size_t i = 0; i < count; ++i) {
+      if (!rsa::verify_sha256(engine, messages[i], sigs[i])) {
+        std::printf("!! signature %zu failed verification\n", i);
+        return 1;
+      }
+    }
+  }
+  return 0;
+}

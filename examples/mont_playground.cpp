@@ -1,0 +1,71 @@
+// mont_playground: a tour of the Montgomery layer — shows the redundant-
+// radix digit form, runs one exponentiation on all three kernels, and
+// sweeps the vector kernel's digit width (the design knob DESIGN.md
+// discusses).
+//
+//   ./mont_playground [modulus_bits]    (default 1024)
+#include <cstdio>
+#include <cstdlib>
+
+#include "bigint/bigint.hpp"
+#include "mont/modexp.hpp"
+#include "mont/mont32.hpp"
+#include "mont/mont64.hpp"
+#include "mont/vector_mont.hpp"
+#include "simd/vec.hpp"
+#include "util/random.hpp"
+#include "util/timing.hpp"
+
+int main(int argc, char** argv) {
+  using namespace phissl;
+  using bigint::BigInt;
+
+  const std::size_t bits = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 1024;
+  util::Rng rng(3);
+
+  std::printf("== Montgomery playground (SIMD backend: %s) ==\n",
+              simd::backend_name());
+  const BigInt m = BigInt::random_odd_exact_bits(bits, rng);
+  const BigInt base = BigInt::random_below(m, rng);
+  const BigInt exp = BigInt::random_bits(bits, rng);
+
+  // The redundant-radix representation.
+  const mont::VectorMontCtx vctx(m);
+  std::printf("modulus: %zu bits -> %zu digits of %u bits "
+              "(padded to %zu lanes)\n",
+              bits, vctx.digits(), vctx.digit_bits(), vctx.rep_size());
+
+  const BigInt oracle = base.mod_pow(exp, m);
+  std::printf("\n%-28s %12s %8s\n", "kernel/schedule", "time (ms)", "check");
+
+  const auto run = [&](const char* label, auto&& fn) {
+    util::Stopwatch sw;
+    const BigInt r = fn();
+    std::printf("%-28s %12.3f %8s\n", label, sw.elapsed_s() * 1e3,
+                r == oracle ? "OK" : "WRONG");
+  };
+
+  const mont::MontCtx32 c32(m);
+  const mont::MontCtx64 c64(m);
+  run("scalar32 / sliding-window",
+      [&] { return mont::sliding_window_exp(c32, base, exp); });
+  run("scalar64 / sliding-window",
+      [&] { return mont::sliding_window_exp(c64, base, exp); });
+  run("vector   / fixed-window",
+      [&] { return mont::fixed_window_exp(vctx, base, exp); });
+
+  std::printf("\ndigit-width sweep (vector kernel, fixed window):\n");
+  std::printf("%-12s %8s %12s\n", "digit bits", "digits", "time (ms)");
+  for (unsigned db = 20; db <= 29; ++db) {
+    try {
+      const mont::VectorMontCtx ctx(m, db);
+      util::Stopwatch sw;
+      const BigInt r = mont::fixed_window_exp(ctx, base, exp);
+      std::printf("%-12u %8zu %12.3f%s\n", db, ctx.digits(),
+                  sw.elapsed_s() * 1e3, r == oracle ? "" : "  WRONG");
+    } catch (const std::invalid_argument&) {
+      std::printf("%-12u %8s %12s\n", db, "-", "overflow-guard");
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,44 @@
+// The three systems every experiment in the paper compares:
+//
+//   PhiOpenSSL       — the paper's library: vectorized Montgomery kernel,
+//                      fixed-window exponentiation, CRT.
+//   MPSS libcrypto   — Intel's OpenSSL build for the coprocessor: a scalar
+//                      port, here modeled as 32-bit-word CIOS with
+//                      OpenSSL's sliding-window schedule and CRT.
+//   default OpenSSL  — host libcrypto: 64-bit-word CIOS, sliding window,
+//                      CRT.
+//
+// Each is just a named preset over rsa::EngineOptions, so any experiment
+// can iterate all_systems() and build identical workloads per system.
+#pragma once
+
+#include <array>
+#include <string>
+
+#include "rsa/engine.hpp"
+
+namespace phissl::baseline {
+
+enum class System {
+  kPhiOpenSSL,
+  kMpssLibcrypto,
+  kOpensslDefault,
+};
+
+/// All systems in the paper's comparison order.
+constexpr std::array<System, 3> all_systems() {
+  return {System::kPhiOpenSSL, System::kMpssLibcrypto,
+          System::kOpensslDefault};
+}
+
+/// Human-readable name as used in the experiment tables.
+const char* name(System s);
+
+/// The EngineOptions preset defining the system.
+rsa::EngineOptions options_for(System s);
+
+/// Convenience: an engine over `key` configured as system `s`.
+rsa::Engine make_engine(System s, const rsa::PrivateKey& key);
+rsa::Engine make_public_engine(System s, const rsa::PublicKey& key);
+
+}  // namespace phissl::baseline

@@ -1,0 +1,210 @@
+// Arbitrary-precision integers on 32-bit limbs.
+//
+// This is the reproduction's stand-in for OpenSSL's BIGNUM. Limbs are
+// 32-bit on purpose: the Xeon Phi (KNC) vector unit operates on 16 x 32-bit
+// lanes, so PhiOpenSSL's natural word size is 32 bits, and the Montgomery
+// layer (src/mont) builds its digit schedules directly on these limbs.
+//
+// Representation: sign-magnitude. `limbs_` is little-endian (limbs_[0] is
+// the least-significant 32 bits) and normalized: no trailing zero limbs;
+// the value zero is the empty vector with negative_ == false.
+//
+// The class is value-semantic and thread-compatible (const methods are
+// safe to call concurrently; no shared mutable state).
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace phissl::util {
+class Rng;
+}
+
+namespace phissl::bigint {
+
+class BigInt {
+ public:
+  /// Zero.
+  BigInt() = default;
+
+  /// From a signed 64-bit value.
+  explicit BigInt(std::int64_t v);
+
+  // -- Factories ------------------------------------------------------------
+
+  /// From an unsigned 64-bit value.
+  static BigInt from_u64(std::uint64_t v);
+
+  /// Parses hex, case-insensitive, optional leading '-' and "0x".
+  /// Throws std::invalid_argument on malformed input or empty digits.
+  static BigInt from_hex(std::string_view hex);
+
+  /// Parses decimal, optional leading '-'.
+  /// Throws std::invalid_argument on malformed input or empty digits.
+  static BigInt from_decimal(std::string_view dec);
+
+  /// From big-endian bytes (as in RSA wire format). Always non-negative.
+  static BigInt from_bytes_be(std::span<const std::uint8_t> bytes);
+
+  /// Uniformly random value in [0, 2^bits). The top bit is NOT forced.
+  static BigInt random_bits(std::size_t bits, util::Rng& rng);
+
+  /// Uniformly random value in [0, bound). bound must be positive.
+  static BigInt random_below(const BigInt& bound, util::Rng& rng);
+
+  /// Random odd value with exactly `bits` bits (top bit forced to 1).
+  /// bits must be >= 2.
+  static BigInt random_odd_exact_bits(std::size_t bits, util::Rng& rng);
+
+  // -- Observers -------------------------------------------------------------
+
+  [[nodiscard]] bool is_zero() const { return limbs_.empty(); }
+  [[nodiscard]] bool is_one() const {
+    return !negative_ && limbs_.size() == 1 && limbs_[0] == 1;
+  }
+  [[nodiscard]] bool is_negative() const { return negative_; }
+  [[nodiscard]] bool is_odd() const { return !limbs_.empty() && (limbs_[0] & 1u); }
+  [[nodiscard]] bool is_even() const { return !is_odd(); }
+
+  /// Number of significant bits (0 for zero).
+  [[nodiscard]] std::size_t bit_length() const;
+
+  /// Bit i of the magnitude (i >= bit_length() reads as 0).
+  [[nodiscard]] bool bit(std::size_t i) const;
+
+  /// Value of the w bits of the magnitude starting at bit `lo`
+  /// (bits above bit_length() read as 0). w must be <= 32.
+  [[nodiscard]] std::uint32_t bits_window(std::size_t lo, std::size_t w) const;
+
+  /// Significant limb count (0 for zero).
+  [[nodiscard]] std::size_t limb_count() const { return limbs_.size(); }
+
+  /// Read-only view of the little-endian limbs.
+  [[nodiscard]] std::span<const std::uint32_t> limbs() const { return limbs_; }
+
+  /// Magnitude as u64. Throws std::overflow_error if it does not fit;
+  /// ignores sign.
+  [[nodiscard]] std::uint64_t to_u64() const;
+
+  /// Lowercase hex without "0x"; "-" prefix when negative; "0" for zero.
+  [[nodiscard]] std::string to_hex() const;
+
+  /// Decimal string; "-" prefix when negative.
+  [[nodiscard]] std::string to_decimal() const;
+
+  /// Magnitude as big-endian bytes. If `size` is nonzero the output is
+  /// left-padded with zeros to exactly `size` bytes; throws
+  /// std::length_error if the value needs more than `size` bytes.
+  /// `size == 0` yields the minimal encoding (empty for zero).
+  [[nodiscard]] std::vector<std::uint8_t> to_bytes_be(std::size_t size = 0) const;
+
+  // -- Arithmetic -------------------------------------------------------------
+
+  [[nodiscard]] BigInt operator-() const;
+  BigInt& operator+=(const BigInt& rhs);
+  BigInt& operator-=(const BigInt& rhs);
+  BigInt& operator*=(const BigInt& rhs);
+  BigInt& operator/=(const BigInt& rhs);  // truncated toward zero
+  BigInt& operator%=(const BigInt& rhs);  // sign follows dividend
+  BigInt& operator<<=(std::size_t n);
+  BigInt& operator>>=(std::size_t n);  // arithmetic on magnitude; -1>>1 == 0
+
+  friend BigInt operator+(BigInt a, const BigInt& b) { return a += b; }
+  friend BigInt operator-(BigInt a, const BigInt& b) { return a -= b; }
+  friend BigInt operator*(BigInt a, const BigInt& b) { return a *= b; }
+  friend BigInt operator/(BigInt a, const BigInt& b) { return a /= b; }
+  friend BigInt operator%(BigInt a, const BigInt& b) { return a %= b; }
+  friend BigInt operator<<(BigInt a, std::size_t n) { return a <<= n; }
+  friend BigInt operator>>(BigInt a, std::size_t n) { return a >>= n; }
+
+  /// Quotient and remainder in one pass (truncated division; remainder has
+  /// the dividend's sign). Throws std::domain_error on division by zero.
+  static void divmod(const BigInt& num, const BigInt& den, BigInt& quot,
+                     BigInt& rem);
+
+  /// this * this — dispatches to the squaring kernel.
+  [[nodiscard]] BigInt squared() const;
+
+  // -- Comparison --------------------------------------------------------------
+
+  friend bool operator==(const BigInt& a, const BigInt& b) = default;
+  friend std::strong_ordering operator<=>(const BigInt& a, const BigInt& b);
+
+  // -- Modular / number-theoretic ------------------------------------------------
+
+  /// Non-negative residue in [0, m). m must be positive.
+  [[nodiscard]] BigInt mod(const BigInt& m) const;
+
+  /// (this ^ exp) mod m via left-to-right square-and-multiply. Reference
+  /// implementation (word-serial, division-based reduction) used as the
+  /// correctness oracle for the Montgomery paths. exp must be >= 0,
+  /// m must be positive.
+  [[nodiscard]] BigInt mod_pow(const BigInt& exp, const BigInt& m) const;
+
+  /// Greatest common divisor of magnitudes (always >= 0).
+  static BigInt gcd(BigInt a, BigInt b);
+
+  /// Extended gcd: returns g = gcd(a, b) and sets x, y with a*x + b*y == g.
+  static BigInt extended_gcd(const BigInt& a, const BigInt& b, BigInt& x,
+                             BigInt& y);
+
+  /// Modular inverse in [0, m). Throws std::domain_error if gcd(this, m) != 1
+  /// or m <= 1.
+  [[nodiscard]] BigInt mod_inverse(const BigInt& m) const;
+
+  /// Miller–Rabin with `rounds` random bases (plus base-2). For the sizes
+  /// used here (>= 512-bit RSA primes), 32 rounds gives error < 2^-64.
+  [[nodiscard]] bool is_probable_prime(int rounds, util::Rng& rng) const;
+
+  /// Random probable prime with exactly `bits` bits (top two bits set, odd),
+  /// suitable for RSA prime generation. bits must be >= 16.
+  static BigInt random_prime(std::size_t bits, util::Rng& rng,
+                             int mr_rounds = 32);
+
+ private:
+  friend struct BigIntTestPeer;  // white-box access for kernel-level tests
+
+  // Magnitude |this| op |rhs|, ignoring both signs.
+  void add_mag(const BigInt& rhs);
+  // Requires |this| >= |rhs|.
+  void sub_mag(const BigInt& rhs);
+  static int cmp_mag(const BigInt& a, const BigInt& b);
+
+  void normalize();
+
+  std::vector<std::uint32_t> limbs_;
+  bool negative_ = false;
+};
+
+// Kernel entry points exposed for the mont/ layer and white-box tests.
+// All operate on normalized little-endian u32 magnitudes.
+namespace kernels {
+
+/// out = a * b, schoolbook. out must have size a.size()+b.size(), zeroed.
+void mul_schoolbook(std::span<const std::uint32_t> a,
+                    std::span<const std::uint32_t> b,
+                    std::span<std::uint32_t> out);
+
+/// out = a * a, schoolbook squaring (~half the multiplies).
+/// out must have size 2*a.size(), zeroed.
+void sqr_schoolbook(std::span<const std::uint32_t> a,
+                    std::span<std::uint32_t> out);
+
+/// Karatsuba threshold in limbs; multiplications at or above it recurse.
+inline constexpr std::size_t kKaratsubaThreshold = 24;
+
+/// Product of two magnitudes choosing schoolbook vs Karatsuba.
+std::vector<std::uint32_t> mul_auto(std::span<const std::uint32_t> a,
+                                    std::span<const std::uint32_t> b);
+
+/// Karatsuba product (recursive; falls back to schoolbook below threshold).
+std::vector<std::uint32_t> mul_karatsuba(std::span<const std::uint32_t> a,
+                                         std::span<const std::uint32_t> b);
+
+}  // namespace kernels
+
+}  // namespace phissl::bigint

@@ -1,0 +1,194 @@
+// Construction, normalization, addition/subtraction, shifts, bit access.
+#include "bigint/bigint.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <stdexcept>
+
+namespace phissl::bigint {
+
+BigInt::BigInt(std::int64_t v) {
+  negative_ = v < 0;
+  // Negate via unsigned arithmetic so INT64_MIN is handled without UB.
+  std::uint64_t mag = negative_ ? 0u - static_cast<std::uint64_t>(v)
+                                : static_cast<std::uint64_t>(v);
+  while (mag != 0) {
+    limbs_.push_back(static_cast<std::uint32_t>(mag));
+    mag >>= 32;
+  }
+  if (limbs_.empty()) negative_ = false;
+}
+
+BigInt BigInt::from_u64(std::uint64_t v) {
+  BigInt r;
+  while (v != 0) {
+    r.limbs_.push_back(static_cast<std::uint32_t>(v));
+    v >>= 32;
+  }
+  return r;
+}
+
+void BigInt::normalize() {
+  while (!limbs_.empty() && limbs_.back() == 0) limbs_.pop_back();
+  if (limbs_.empty()) negative_ = false;
+}
+
+std::size_t BigInt::bit_length() const {
+  if (limbs_.empty()) return 0;
+  return 32 * (limbs_.size() - 1) +
+         (32 - static_cast<std::size_t>(std::countl_zero(limbs_.back())));
+}
+
+bool BigInt::bit(std::size_t i) const {
+  const std::size_t limb = i / 32;
+  if (limb >= limbs_.size()) return false;
+  return (limbs_[limb] >> (i % 32)) & 1u;
+}
+
+std::uint32_t BigInt::bits_window(std::size_t lo, std::size_t w) const {
+  if (w == 0) return 0;
+  if (w > 32) throw std::invalid_argument("bits_window: w > 32");
+  const std::size_t limb = lo / 32;
+  const std::size_t off = lo % 32;
+  std::uint64_t chunk = 0;
+  if (limb < limbs_.size()) chunk = limbs_[limb];
+  if (limb + 1 < limbs_.size()) {
+    chunk |= static_cast<std::uint64_t>(limbs_[limb + 1]) << 32;
+  }
+  chunk >>= off;
+  const std::uint64_t mask = (w == 64) ? ~0ULL : ((1ULL << w) - 1);
+  return static_cast<std::uint32_t>(chunk & mask);
+}
+
+std::uint64_t BigInt::to_u64() const {
+  if (limbs_.size() > 2) throw std::overflow_error("BigInt::to_u64: too large");
+  std::uint64_t v = 0;
+  if (limbs_.size() >= 1) v = limbs_[0];
+  if (limbs_.size() == 2) v |= static_cast<std::uint64_t>(limbs_[1]) << 32;
+  return v;
+}
+
+int BigInt::cmp_mag(const BigInt& a, const BigInt& b) {
+  if (a.limbs_.size() != b.limbs_.size()) {
+    return a.limbs_.size() < b.limbs_.size() ? -1 : 1;
+  }
+  for (std::size_t i = a.limbs_.size(); i-- > 0;) {
+    if (a.limbs_[i] != b.limbs_[i]) return a.limbs_[i] < b.limbs_[i] ? -1 : 1;
+  }
+  return 0;
+}
+
+std::strong_ordering operator<=>(const BigInt& a, const BigInt& b) {
+  if (a.negative_ != b.negative_) {
+    return a.negative_ ? std::strong_ordering::less
+                       : std::strong_ordering::greater;
+  }
+  const int m = BigInt::cmp_mag(a, b);
+  const int signed_cmp = a.negative_ ? -m : m;
+  if (signed_cmp < 0) return std::strong_ordering::less;
+  if (signed_cmp > 0) return std::strong_ordering::greater;
+  return std::strong_ordering::equal;
+}
+
+void BigInt::add_mag(const BigInt& rhs) {
+  const std::size_t n = std::max(limbs_.size(), rhs.limbs_.size());
+  limbs_.resize(n, 0);
+  std::uint64_t carry = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::uint64_t sum = carry + limbs_[i];
+    if (i < rhs.limbs_.size()) sum += rhs.limbs_[i];
+    limbs_[i] = static_cast<std::uint32_t>(sum);
+    carry = sum >> 32;
+  }
+  if (carry) limbs_.push_back(static_cast<std::uint32_t>(carry));
+}
+
+void BigInt::sub_mag(const BigInt& rhs) {
+  // Precondition: |this| >= |rhs|.
+  std::int64_t borrow = 0;
+  for (std::size_t i = 0; i < limbs_.size(); ++i) {
+    std::int64_t diff = static_cast<std::int64_t>(limbs_[i]) - borrow;
+    if (i < rhs.limbs_.size()) diff -= rhs.limbs_[i];
+    borrow = diff < 0 ? 1 : 0;
+    limbs_[i] = static_cast<std::uint32_t>(diff);  // wraps mod 2^32 as needed
+  }
+  normalize();
+}
+
+BigInt BigInt::operator-() const {
+  BigInt r = *this;
+  if (!r.is_zero()) r.negative_ = !r.negative_;
+  return r;
+}
+
+BigInt& BigInt::operator+=(const BigInt& rhs) {
+  if (negative_ == rhs.negative_) {
+    add_mag(rhs);
+  } else if (cmp_mag(*this, rhs) >= 0) {
+    sub_mag(rhs);
+  } else {
+    BigInt tmp = rhs;
+    tmp.sub_mag(*this);
+    *this = std::move(tmp);
+  }
+  normalize();
+  return *this;
+}
+
+BigInt& BigInt::operator-=(const BigInt& rhs) {
+  if (negative_ != rhs.negative_) {
+    add_mag(rhs);
+  } else if (cmp_mag(*this, rhs) >= 0) {
+    sub_mag(rhs);
+  } else {
+    BigInt tmp = rhs;
+    tmp.sub_mag(*this);
+    tmp.negative_ = !negative_;
+    *this = std::move(tmp);
+  }
+  normalize();
+  return *this;
+}
+
+BigInt& BigInt::operator<<=(std::size_t n) {
+  if (is_zero() || n == 0) return *this;
+  const std::size_t limb_shift = n / 32;
+  const std::size_t bit_shift = n % 32;
+  const std::size_t old_size = limbs_.size();
+  limbs_.resize(old_size + limb_shift + (bit_shift ? 1 : 0), 0);
+  for (std::size_t i = old_size; i-- > 0;) {
+    const std::uint64_t v = static_cast<std::uint64_t>(limbs_[i]) << bit_shift;
+    if (bit_shift) {
+      limbs_[i + limb_shift + 1] |= static_cast<std::uint32_t>(v >> 32);
+    }
+    limbs_[i + limb_shift] = static_cast<std::uint32_t>(v);
+  }
+  for (std::size_t i = 0; i < limb_shift; ++i) limbs_[i] = 0;
+  normalize();
+  return *this;
+}
+
+BigInt& BigInt::operator>>=(std::size_t n) {
+  if (is_zero() || n == 0) return *this;
+  const std::size_t limb_shift = n / 32;
+  const std::size_t bit_shift = n % 32;
+  if (limb_shift >= limbs_.size()) {
+    limbs_.clear();
+    negative_ = false;
+    return *this;
+  }
+  const std::size_t new_size = limbs_.size() - limb_shift;
+  for (std::size_t i = 0; i < new_size; ++i) {
+    std::uint64_t v = limbs_[i + limb_shift] >> bit_shift;
+    if (bit_shift && i + limb_shift + 1 < limbs_.size()) {
+      v |= static_cast<std::uint64_t>(limbs_[i + limb_shift + 1])
+           << (32 - bit_shift);
+    }
+    limbs_[i] = static_cast<std::uint32_t>(v);
+  }
+  limbs_.resize(new_size);
+  normalize();
+  return *this;
+}
+
+}  // namespace phissl::bigint

@@ -1,0 +1,160 @@
+// Division: Knuth Algorithm D (TAOCP vol. 2, 4.3.1) on 32-bit digits,
+// with a single-limb fast path. Truncated division; remainder takes the
+// dividend's sign; mod() returns the canonical non-negative residue.
+#include "bigint/bigint.hpp"
+
+#include <bit>
+#include <cassert>
+#include <stdexcept>
+
+namespace phissl::bigint {
+
+namespace {
+
+// q, r = u / v where v is a single nonzero limb. u is normalized.
+void div_by_limb(const std::vector<std::uint32_t>& u, std::uint32_t v,
+                 std::vector<std::uint32_t>& q, std::uint32_t& r) {
+  q.assign(u.size(), 0);
+  std::uint64_t rem = 0;
+  for (std::size_t i = u.size(); i-- > 0;) {
+    const std::uint64_t cur = (rem << 32) | u[i];
+    q[i] = static_cast<std::uint32_t>(cur / v);
+    rem = cur % v;
+  }
+  r = static_cast<std::uint32_t>(rem);
+}
+
+// Knuth D on magnitudes. u and v normalized, v.size() >= 2, u >= v.
+void div_knuth(const std::vector<std::uint32_t>& u_in,
+               const std::vector<std::uint32_t>& v_in,
+               std::vector<std::uint32_t>& q, std::vector<std::uint32_t>& r) {
+  const std::size_t n = v_in.size();
+  const std::size_t m = u_in.size() - n;
+
+  // D1: normalize so the divisor's top bit is set.
+  const int s = std::countl_zero(v_in.back());
+  std::vector<std::uint32_t> v(n);
+  for (std::size_t i = n; i-- > 0;) {
+    v[i] = v_in[i] << s;
+    if (s && i > 0) v[i] |= v_in[i - 1] >> (32 - s);
+  }
+  std::vector<std::uint32_t> u(u_in.size() + 1, 0);
+  for (std::size_t i = u_in.size(); i-- > 0;) {
+    const std::uint64_t w = static_cast<std::uint64_t>(u_in[i]) << s;
+    u[i + 1] |= static_cast<std::uint32_t>(w >> 32);
+    u[i] = static_cast<std::uint32_t>(w);
+  }
+
+  q.assign(m + 1, 0);
+  const std::uint64_t b = 1ULL << 32;
+
+  // D2-D7: main loop over quotient digits, most significant first.
+  for (std::size_t j = m + 1; j-- > 0;) {
+    // D3: estimate qhat from the top two dividend digits and top divisor digit.
+    const std::uint64_t top = (static_cast<std::uint64_t>(u[j + n]) << 32) | u[j + n - 1];
+    std::uint64_t qhat = top / v[n - 1];
+    std::uint64_t rhat = top % v[n - 1];
+    while (qhat >= b ||
+           qhat * v[n - 2] > ((rhat << 32) | u[j + n - 2])) {
+      --qhat;
+      rhat += v[n - 1];
+      if (rhat >= b) break;
+    }
+
+    // D4: multiply-and-subtract u[j..j+n] -= qhat * v.
+    std::int64_t borrow = 0;
+    std::uint64_t carry = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint64_t p = qhat * v[i] + carry;
+      carry = p >> 32;
+      const std::int64_t t = static_cast<std::int64_t>(u[i + j]) -
+                             static_cast<std::int64_t>(p & 0xffffffffULL) -
+                             borrow;
+      u[i + j] = static_cast<std::uint32_t>(t);
+      borrow = t < 0 ? 1 : 0;
+    }
+    const std::int64_t t = static_cast<std::int64_t>(u[j + n]) -
+                           static_cast<std::int64_t>(carry) - borrow;
+    u[j + n] = static_cast<std::uint32_t>(t);
+
+    // D5/D6: if the subtraction went negative, qhat was one too big.
+    if (t < 0) {
+      --qhat;
+      std::uint64_t c = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        const std::uint64_t sum =
+            static_cast<std::uint64_t>(u[i + j]) + v[i] + c;
+        u[i + j] = static_cast<std::uint32_t>(sum);
+        c = sum >> 32;
+      }
+      u[j + n] = static_cast<std::uint32_t>(u[j + n] + c);
+    }
+    q[j] = static_cast<std::uint32_t>(qhat);
+  }
+
+  // D8: denormalize the remainder.
+  r.assign(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    r[i] = u[i] >> s;
+    if (s && i + 1 < u.size()) {
+      r[i] |= static_cast<std::uint32_t>(
+          (static_cast<std::uint64_t>(u[i + 1]) << (32 - s)));
+    }
+  }
+}
+
+void trim(std::vector<std::uint32_t>& v) {
+  while (!v.empty() && v.back() == 0) v.pop_back();
+}
+
+}  // namespace
+
+void BigInt::divmod(const BigInt& num, const BigInt& den, BigInt& quot,
+                    BigInt& rem) {
+  if (den.is_zero()) throw std::domain_error("BigInt: division by zero");
+  if (cmp_mag(num, den) < 0) {
+    rem = num;
+    quot = BigInt{};
+    return;
+  }
+
+  BigInt q, r;
+  if (den.limbs_.size() == 1) {
+    std::uint32_t r_limb = 0;
+    div_by_limb(num.limbs_, den.limbs_[0], q.limbs_, r_limb);
+    if (r_limb) r.limbs_.push_back(r_limb);
+  } else {
+    div_knuth(num.limbs_, den.limbs_, q.limbs_, r.limbs_);
+  }
+  trim(q.limbs_);
+  trim(r.limbs_);
+  q.negative_ = !q.limbs_.empty() && (num.negative_ != den.negative_);
+  r.negative_ = !r.limbs_.empty() && num.negative_;
+  quot = std::move(q);
+  rem = std::move(r);
+}
+
+BigInt& BigInt::operator/=(const BigInt& rhs) {
+  BigInt q, r;
+  divmod(*this, rhs, q, r);
+  *this = std::move(q);
+  return *this;
+}
+
+BigInt& BigInt::operator%=(const BigInt& rhs) {
+  BigInt q, r;
+  divmod(*this, rhs, q, r);
+  *this = std::move(r);
+  return *this;
+}
+
+BigInt BigInt::mod(const BigInt& m) const {
+  if (m.is_zero() || m.is_negative()) {
+    throw std::domain_error("BigInt::mod: modulus must be positive");
+  }
+  BigInt r = *this % m;
+  if (r.is_negative()) r += m;
+  return r;
+}
+
+}  // namespace phissl::bigint

@@ -1,0 +1,123 @@
+// String and byte conversions.
+#include "bigint/bigint.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/hex.hpp"
+
+namespace phissl::bigint {
+
+BigInt BigInt::from_hex(std::string_view hex) {
+  bool neg = false;
+  if (!hex.empty() && (hex[0] == '-' || hex[0] == '+')) {
+    neg = hex[0] == '-';
+    hex.remove_prefix(1);
+  }
+  if (hex.size() >= 2 && hex[0] == '0' && (hex[1] == 'x' || hex[1] == 'X')) {
+    hex.remove_prefix(2);
+  }
+  if (hex.empty()) throw std::invalid_argument("BigInt::from_hex: empty");
+  BigInt r;
+  r.limbs_.assign(hex.size() / 8 + 1, 0);
+  std::size_t bit = 0;
+  for (std::size_t i = hex.size(); i-- > 0; bit += 4) {
+    const int v = util::hex_digit_value(hex[i]);
+    if (v < 0) throw std::invalid_argument("BigInt::from_hex: bad digit");
+    r.limbs_[bit / 32] |= static_cast<std::uint32_t>(v) << (bit % 32);
+  }
+  r.normalize();
+  r.negative_ = neg && !r.limbs_.empty();
+  return r;
+}
+
+BigInt BigInt::from_decimal(std::string_view dec) {
+  bool neg = false;
+  if (!dec.empty() && (dec[0] == '-' || dec[0] == '+')) {
+    neg = dec[0] == '-';
+    dec.remove_prefix(1);
+  }
+  if (dec.empty()) throw std::invalid_argument("BigInt::from_decimal: empty");
+  BigInt r;
+  const BigInt ten{10};
+  for (const char c : dec) {
+    if (c < '0' || c > '9') {
+      throw std::invalid_argument("BigInt::from_decimal: bad digit");
+    }
+    r *= ten;
+    r += BigInt{c - '0'};
+  }
+  r.negative_ = neg && !r.limbs_.empty();
+  return r;
+}
+
+BigInt BigInt::from_bytes_be(std::span<const std::uint8_t> bytes) {
+  BigInt r;
+  r.limbs_.assign(bytes.size() / 4 + 1, 0);
+  std::size_t bit = 0;
+  for (std::size_t i = bytes.size(); i-- > 0; bit += 8) {
+    r.limbs_[bit / 32] |= static_cast<std::uint32_t>(bytes[i]) << (bit % 32);
+  }
+  r.normalize();
+  return r;
+}
+
+std::string BigInt::to_hex() const {
+  if (is_zero()) return "0";
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out;
+  if (negative_) out.push_back('-');
+  bool leading = true;
+  for (std::size_t i = limbs_.size(); i-- > 0;) {
+    for (int nib = 28; nib >= 0; nib -= 4) {
+      const unsigned d = (limbs_[i] >> nib) & 0xf;
+      if (leading && d == 0) continue;
+      leading = false;
+      out.push_back(kDigits[d]);
+    }
+  }
+  return out;
+}
+
+std::string BigInt::to_decimal() const {
+  if (is_zero()) return "0";
+  // Repeated division by 10^9 (largest power of ten in a u32).
+  std::vector<std::uint32_t> work = limbs_;
+  std::string out;
+  constexpr std::uint32_t kChunk = 1000000000u;
+  while (!work.empty()) {
+    std::uint64_t rem = 0;
+    for (std::size_t i = work.size(); i-- > 0;) {
+      const std::uint64_t cur = (rem << 32) | work[i];
+      work[i] = static_cast<std::uint32_t>(cur / kChunk);
+      rem = cur % kChunk;
+    }
+    while (!work.empty() && work.back() == 0) work.pop_back();
+    for (int d = 0; d < 9; ++d) {
+      out.push_back(static_cast<char>('0' + rem % 10));
+      rem /= 10;
+      if (work.empty() && rem == 0) break;
+    }
+  }
+  while (out.size() > 1 && out.back() == '0') out.pop_back();
+  if (negative_) out.push_back('-');
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+std::vector<std::uint8_t> BigInt::to_bytes_be(std::size_t size) const {
+  const std::size_t needed = (bit_length() + 7) / 8;
+  if (size == 0) size = needed;
+  if (needed > size) {
+    throw std::length_error("BigInt::to_bytes_be: value does not fit");
+  }
+  std::vector<std::uint8_t> out(size, 0);
+  for (std::size_t i = 0; i < needed; ++i) {
+    // Byte i (from the least-significant end) goes at out[size-1-i].
+    out[size - 1 - i] =
+        static_cast<std::uint8_t>(limbs_[i / 4] >> (8 * (i % 4)));
+  }
+  return out;
+}
+
+}  // namespace phissl::bigint

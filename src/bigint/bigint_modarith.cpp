@@ -1,0 +1,77 @@
+// Reference modular arithmetic: square-and-multiply modexp (the oracle the
+// Montgomery paths are tested against), gcd, extended gcd, modular inverse.
+#include "bigint/bigint.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace phissl::bigint {
+
+BigInt BigInt::mod_pow(const BigInt& exp, const BigInt& m) const {
+  if (m.is_zero() || m.is_negative()) {
+    throw std::domain_error("BigInt::mod_pow: modulus must be positive");
+  }
+  if (exp.is_negative()) {
+    throw std::domain_error("BigInt::mod_pow: negative exponent");
+  }
+  if (m.is_one()) return {};
+  BigInt base = this->mod(m);
+  BigInt result{1};
+  // Left-to-right binary: deterministic shape, easy to cross-check.
+  for (std::size_t i = exp.bit_length(); i-- > 0;) {
+    result = result.squared() % m;
+    if (exp.bit(i)) result = (result * base) % m;
+  }
+  return result;
+}
+
+BigInt BigInt::gcd(BigInt a, BigInt b) {
+  a.negative_ = false;
+  b.negative_ = false;
+  while (!b.is_zero()) {
+    BigInt r = a % b;
+    a = std::move(b);
+    b = std::move(r);
+  }
+  return a;
+}
+
+BigInt BigInt::extended_gcd(const BigInt& a, const BigInt& b, BigInt& x,
+                            BigInt& y) {
+  // Iterative extended Euclid on signed BigInts.
+  BigInt old_r = a, r = b;
+  BigInt old_s{1}, s{};
+  BigInt old_t{}, t{1};
+  while (!r.is_zero()) {
+    BigInt q, rem;
+    divmod(old_r, r, q, rem);
+    old_r = std::exchange(r, std::move(rem));
+    BigInt tmp_s = old_s - q * s;
+    old_s = std::exchange(s, std::move(tmp_s));
+    BigInt tmp_t = old_t - q * t;
+    old_t = std::exchange(t, std::move(tmp_t));
+  }
+  // Make gcd non-negative (flip all three if needed).
+  if (old_r.is_negative()) {
+    old_r = -old_r;
+    old_s = -old_s;
+    old_t = -old_t;
+  }
+  x = std::move(old_s);
+  y = std::move(old_t);
+  return old_r;
+}
+
+BigInt BigInt::mod_inverse(const BigInt& m) const {
+  if (m <= BigInt{1}) {
+    throw std::domain_error("BigInt::mod_inverse: modulus must be > 1");
+  }
+  BigInt x, y;
+  const BigInt g = extended_gcd(this->mod(m), m, x, y);
+  if (!g.is_one()) {
+    throw std::domain_error("BigInt::mod_inverse: not invertible");
+  }
+  return x.mod(m);
+}
+
+}  // namespace phissl::bigint

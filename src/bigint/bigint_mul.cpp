@@ -1,0 +1,202 @@
+// Multiplication kernels: schoolbook, schoolbook squaring, Karatsuba.
+//
+// These are the word-serial reference kernels. The vectorized product the
+// paper describes lives in src/mont (it operates on the redundant-radix
+// digit form, not directly on packed limbs).
+#include "bigint/bigint.hpp"
+
+#include <cassert>
+
+namespace phissl::bigint {
+
+namespace kernels {
+
+void mul_schoolbook(std::span<const std::uint32_t> a,
+                    std::span<const std::uint32_t> b,
+                    std::span<std::uint32_t> out) {
+  assert(out.size() >= a.size() + b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    std::uint64_t carry = 0;
+    const std::uint64_t ai = a[i];
+    for (std::size_t j = 0; j < b.size(); ++j) {
+      // ai*bj <= (2^32-1)^2; + out + carry still fits in 64 bits.
+      const std::uint64_t t = ai * b[j] + out[i + j] + carry;
+      out[i + j] = static_cast<std::uint32_t>(t);
+      carry = t >> 32;
+    }
+    out[i + b.size()] = static_cast<std::uint32_t>(carry);
+  }
+}
+
+void sqr_schoolbook(std::span<const std::uint32_t> a,
+                    std::span<std::uint32_t> out) {
+  assert(out.size() >= 2 * a.size());
+  const std::size_t n = a.size();
+  // Off-diagonal products a_i*a_j (i<j), summed once then doubled.
+  for (std::size_t i = 0; i < n; ++i) {
+    std::uint64_t carry = 0;
+    const std::uint64_t ai = a[i];
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const std::uint64_t t = ai * a[j] + out[i + j] + carry;
+      out[i + j] = static_cast<std::uint32_t>(t);
+      carry = t >> 32;
+    }
+    out[i + n] = static_cast<std::uint32_t>(carry);
+  }
+  // Double, then add the diagonal a_i^2.
+  std::uint64_t carry = 0;
+  for (std::size_t i = 0; i < 2 * n; ++i) {
+    const std::uint64_t t = (static_cast<std::uint64_t>(out[i]) << 1) + carry;
+    out[i] = static_cast<std::uint32_t>(t);
+    carry = t >> 32;
+  }
+  assert(carry == 0);  // top product word was < 2^31 before doubling
+  carry = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t sq = static_cast<std::uint64_t>(a[i]) * a[i];
+    std::uint64_t t = static_cast<std::uint64_t>(out[2 * i]) +
+                      static_cast<std::uint32_t>(sq) + carry;
+    out[2 * i] = static_cast<std::uint32_t>(t);
+    carry = t >> 32;
+    t = static_cast<std::uint64_t>(out[2 * i + 1]) + (sq >> 32) + carry;
+    out[2 * i + 1] = static_cast<std::uint32_t>(t);
+    carry = t >> 32;
+  }
+  assert(carry == 0);
+}
+
+namespace {
+
+// Magnitude helpers on raw limb vectors (little-endian, may be unnormalized).
+
+void trim(std::vector<std::uint32_t>& v) {
+  while (!v.empty() && v.back() == 0) v.pop_back();
+}
+
+std::vector<std::uint32_t> add_vec(std::span<const std::uint32_t> a,
+                                   std::span<const std::uint32_t> b) {
+  const std::size_t n = std::max(a.size(), b.size());
+  std::vector<std::uint32_t> out(n + 1, 0);
+  std::uint64_t carry = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::uint64_t sum = carry;
+    if (i < a.size()) sum += a[i];
+    if (i < b.size()) sum += b[i];
+    out[i] = static_cast<std::uint32_t>(sum);
+    carry = sum >> 32;
+  }
+  out[n] = static_cast<std::uint32_t>(carry);
+  trim(out);
+  return out;
+}
+
+// a -= b in place; requires a >= b. a stays sized, caller trims.
+void sub_vec_inplace(std::vector<std::uint32_t>& a,
+                     std::span<const std::uint32_t> b) {
+  std::int64_t borrow = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    std::int64_t diff = static_cast<std::int64_t>(a[i]) - borrow;
+    if (i < b.size()) diff -= b[i];
+    borrow = diff < 0 ? 1 : 0;
+    a[i] = static_cast<std::uint32_t>(diff);
+  }
+  assert(borrow == 0);
+}
+
+// out += src << (32*limb_offset); out must be large enough.
+void add_shifted_inplace(std::vector<std::uint32_t>& out,
+                         std::span<const std::uint32_t> src,
+                         std::size_t limb_offset) {
+  std::uint64_t carry = 0;
+  std::size_t i = 0;
+  for (; i < src.size(); ++i) {
+    const std::uint64_t sum =
+        static_cast<std::uint64_t>(out[limb_offset + i]) + src[i] + carry;
+    out[limb_offset + i] = static_cast<std::uint32_t>(sum);
+    carry = sum >> 32;
+  }
+  while (carry) {
+    assert(limb_offset + i < out.size());
+    const std::uint64_t sum =
+        static_cast<std::uint64_t>(out[limb_offset + i]) + carry;
+    out[limb_offset + i] = static_cast<std::uint32_t>(sum);
+    carry = sum >> 32;
+    ++i;
+  }
+}
+
+}  // namespace
+
+std::vector<std::uint32_t> mul_karatsuba(std::span<const std::uint32_t> a,
+                                         std::span<const std::uint32_t> b) {
+  if (a.empty() || b.empty()) return {};
+  if (std::min(a.size(), b.size()) < kKaratsubaThreshold) {
+    std::vector<std::uint32_t> out(a.size() + b.size(), 0);
+    mul_schoolbook(a, b, out);
+    trim(out);
+    return out;
+  }
+  const std::size_t half = std::max(a.size(), b.size()) / 2;
+  const auto a_lo = a.subspan(0, std::min(half, a.size()));
+  const auto a_hi = half < a.size() ? a.subspan(half) : std::span<const std::uint32_t>{};
+  const auto b_lo = b.subspan(0, std::min(half, b.size()));
+  const auto b_hi = half < b.size() ? b.subspan(half) : std::span<const std::uint32_t>{};
+
+  std::vector<std::uint32_t> z0 = mul_karatsuba(a_lo, b_lo);
+  std::vector<std::uint32_t> z2 = mul_karatsuba(a_hi, b_hi);
+  const std::vector<std::uint32_t> a_sum = add_vec(a_lo, a_hi);
+  const std::vector<std::uint32_t> b_sum = add_vec(b_lo, b_hi);
+  std::vector<std::uint32_t> z1 = mul_karatsuba(a_sum, b_sum);
+  // z1 = (a_lo+a_hi)(b_lo+b_hi) - z0 - z2 >= 0.
+  sub_vec_inplace(z1, z0);
+  sub_vec_inplace(z1, z2);
+  trim(z1);
+
+  std::vector<std::uint32_t> out(a.size() + b.size() + 1, 0);
+  add_shifted_inplace(out, z0, 0);
+  add_shifted_inplace(out, z1, half);
+  add_shifted_inplace(out, z2, 2 * half);
+  trim(out);
+  return out;
+}
+
+std::vector<std::uint32_t> mul_auto(std::span<const std::uint32_t> a,
+                                    std::span<const std::uint32_t> b) {
+  if (a.empty() || b.empty()) return {};
+  if (std::min(a.size(), b.size()) >= kKaratsubaThreshold) {
+    return mul_karatsuba(a, b);
+  }
+  std::vector<std::uint32_t> out(a.size() + b.size(), 0);
+  mul_schoolbook(a, b, out);
+  trim(out);
+  return out;
+}
+
+}  // namespace kernels
+
+BigInt& BigInt::operator*=(const BigInt& rhs) {
+  if (is_zero() || rhs.is_zero()) {
+    limbs_.clear();
+    negative_ = false;
+    return *this;
+  }
+  limbs_ = kernels::mul_auto(limbs_, rhs.limbs_);
+  negative_ = negative_ != rhs.negative_;
+  normalize();
+  return *this;
+}
+
+BigInt BigInt::squared() const {
+  if (is_zero()) return {};
+  BigInt r;
+  if (limbs_.size() >= kernels::kKaratsubaThreshold) {
+    r.limbs_ = kernels::mul_karatsuba(limbs_, limbs_);
+  } else {
+    r.limbs_.assign(2 * limbs_.size(), 0);
+    kernels::sqr_schoolbook(limbs_, r.limbs_);
+  }
+  r.normalize();
+  return r;
+}
+
+}  // namespace phissl::bigint

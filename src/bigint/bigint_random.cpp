@@ -1,0 +1,53 @@
+// Random value generation on BigInt.
+#include "bigint/bigint.hpp"
+
+#include <stdexcept>
+
+#include "util/random.hpp"
+
+namespace phissl::bigint {
+
+BigInt BigInt::random_bits(std::size_t bits, util::Rng& rng) {
+  BigInt r;
+  if (bits == 0) return r;
+  const std::size_t limbs = (bits + 31) / 32;
+  r.limbs_.resize(limbs);
+  for (auto& limb : r.limbs_) limb = rng.next_u32();
+  const std::size_t top_bits = bits % 32;
+  if (top_bits != 0) {
+    r.limbs_.back() &= (1u << top_bits) - 1;
+  }
+  r.normalize();
+  return r;
+}
+
+BigInt BigInt::random_below(const BigInt& bound, util::Rng& rng) {
+  if (bound.is_zero() || bound.is_negative()) {
+    throw std::invalid_argument("random_below: bound must be positive");
+  }
+  const std::size_t bits = bound.bit_length();
+  // Rejection sampling: expected < 2 draws.
+  for (;;) {
+    BigInt candidate = random_bits(bits, rng);
+    if (candidate < bound) return candidate;
+  }
+}
+
+BigInt BigInt::random_odd_exact_bits(std::size_t bits, util::Rng& rng) {
+  if (bits < 2) {
+    throw std::invalid_argument("random_odd_exact_bits: bits must be >= 2");
+  }
+  BigInt r = random_bits(bits, rng);
+  // Force exact bit length and oddness.
+  const std::size_t top = bits - 1;
+  if (!r.bit(top)) {
+    const std::size_t limb = top / 32;
+    if (r.limbs_.size() <= limb) r.limbs_.resize(limb + 1, 0);
+    r.limbs_[limb] |= 1u << (top % 32);
+  }
+  r.limbs_[0] |= 1u;
+  r.normalize();
+  return r;
+}
+
+}  // namespace phissl::bigint

@@ -1,0 +1,99 @@
+// Miller–Rabin probable-primality testing and RSA-style prime generation.
+#include "bigint/bigint.hpp"
+
+#include <array>
+#include <stdexcept>
+
+#include "util/random.hpp"
+
+namespace phissl::bigint {
+
+namespace {
+
+// Small primes for fast trial-division rejection before Miller–Rabin.
+constexpr std::array<std::uint32_t, 54> kSmallPrimes = {
+    2,   3,   5,   7,   11,  13,  17,  19,  23,  29,  31,  37,  41,  43,
+    47,  53,  59,  61,  67,  71,  73,  79,  83,  89,  97,  101, 103, 107,
+    109, 113, 127, 131, 137, 139, 149, 151, 157, 163, 167, 173, 179, 181,
+    191, 193, 197, 199, 211, 223, 227, 229, 233, 239, 241, 251};
+
+// n mod p for small prime p without allocating.
+std::uint32_t mod_small(const BigInt& n, std::uint32_t p) {
+  std::uint64_t rem = 0;
+  const auto limbs = n.limbs();
+  for (std::size_t i = limbs.size(); i-- > 0;) {
+    rem = ((rem << 32) | limbs[i]) % p;
+  }
+  return static_cast<std::uint32_t>(rem);
+}
+
+// One Miller–Rabin round: true if n passes for base a (a in [2, n-2]).
+bool mr_round(const BigInt& n, const BigInt& n_minus_1, const BigInt& d,
+              std::size_t r, const BigInt& a) {
+  BigInt x = a.mod_pow(d, n);
+  if (x.is_one() || x == n_minus_1) return true;
+  for (std::size_t i = 1; i < r; ++i) {
+    x = x.squared() % n;
+    if (x == n_minus_1) return true;
+    if (x.is_one()) return false;  // nontrivial sqrt of 1 => composite
+  }
+  return false;
+}
+
+}  // namespace
+
+bool BigInt::is_probable_prime(int rounds, util::Rng& rng) const {
+  if (is_negative()) return false;
+  if (limb_count() == 1) {
+    const std::uint32_t v = limbs()[0];
+    for (const std::uint32_t p : kSmallPrimes) {
+      if (v == p) return true;
+    }
+    if (v < 2) return false;
+  }
+  if (is_even()) return false;
+  for (const std::uint32_t p : kSmallPrimes) {
+    if (mod_small(*this, p) == 0) {
+      return *this == BigInt{static_cast<std::int64_t>(p)};
+    }
+  }
+
+  // Write n-1 = d * 2^r with d odd.
+  const BigInt n_minus_1 = *this - BigInt{1};
+  BigInt d = n_minus_1;
+  std::size_t r = 0;
+  while (d.is_even()) {
+    d >>= 1;
+    ++r;
+  }
+
+  // Base 2 first (cheap, catches most composites), then random bases.
+  if (!mr_round(*this, n_minus_1, d, r, BigInt{2})) return false;
+  const BigInt two{2};
+  const BigInt span = *this - BigInt{4};  // bases drawn from [2, n-2]
+  for (int i = 0; i < rounds; ++i) {
+    const BigInt a = BigInt::random_below(span, rng) + two;
+    if (!mr_round(*this, n_minus_1, d, r, a)) return false;
+  }
+  return true;
+}
+
+BigInt BigInt::random_prime(std::size_t bits, util::Rng& rng, int mr_rounds) {
+  if (bits < 16) {
+    throw std::invalid_argument("random_prime: bits must be >= 16");
+  }
+  for (;;) {
+    BigInt candidate = random_odd_exact_bits(bits, rng);
+    // Force the second-highest bit too, so p*q has exactly 2*bits bits —
+    // the convention RSA keygen relies on.
+    const std::size_t second = bits - 2;
+    if (!candidate.bit(second)) {
+      BigInt top_bit{1};
+      top_bit <<= second;
+      candidate += top_bit;
+    }
+    if (candidate.is_probable_prime(mr_rounds, rng)) return candidate;
+  }
+}
+
+}  // namespace phissl::bigint

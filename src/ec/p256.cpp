@@ -1,0 +1,206 @@
+#include "ec/p256.hpp"
+
+#include <array>
+#include <stdexcept>
+
+#include "util/random.hpp"
+#include "util/sha256.hpp"
+
+namespace phissl::ec {
+
+using bigint::BigInt;
+
+P256::P256() {
+  p_ = BigInt::from_hex(
+      "ffffffff00000001000000000000000000000000ffffffffffffffffffffffff");
+  n_ = BigInt::from_hex(
+      "ffffffff00000000ffffffffffffffffbce6faada7179e84f3b9cac2fc632551");
+  b_ = BigInt::from_hex(
+      "5ac635d8aa3a93e7b3ebbd55769886bc651d06b0cc53b0f63bce3c3e27d2604b");
+  g_.x = BigInt::from_hex(
+      "6b17d1f2e12c4247f8bce6e563a440f277037d812deb33a0f4a13945d898c296");
+  g_.y = BigInt::from_hex(
+      "4fe342e2fe1a7f9b8ee7eb4a7c0f9e162bce33576b315ececbb6406837bf51f5");
+  g_.infinity = false;
+}
+
+BigInt P256::mod_p(const BigInt& v) const { return v.mod(p_); }
+
+bool P256::on_curve(const Point& pt) const {
+  if (pt.is_infinity()) return true;
+  if (pt.x.is_negative() || pt.x >= p_ || pt.y.is_negative() || pt.y >= p_) {
+    return false;
+  }
+  // y^2 == x^3 - 3x + b (mod p)
+  const BigInt lhs = (pt.y * pt.y).mod(p_);
+  const BigInt rhs =
+      (pt.x * pt.x * pt.x - BigInt{3} * pt.x + b_).mod(p_);
+  return lhs == rhs;
+}
+
+P256::Jac P256::to_jac(const Point& pt) const {
+  if (pt.is_infinity()) return Jac{BigInt{1}, BigInt{1}, BigInt{}};
+  return Jac{pt.x, pt.y, BigInt{1}};
+}
+
+Point P256::to_affine(const Jac& pt) const {
+  if (pt.z.is_zero()) return Point::at_infinity();
+  const BigInt z_inv = pt.z.mod_inverse(p_);
+  const BigInt z2 = (z_inv * z_inv).mod(p_);
+  Point out;
+  out.x = (pt.x * z2).mod(p_);
+  out.y = (pt.y * z2 * z_inv).mod(p_);
+  out.infinity = false;
+  return out;
+}
+
+P256::Jac P256::jac_dbl(const Jac& a) const {
+  // dbl-2001-b (a = -3): delta, gamma, beta, alpha schedule.
+  if (a.z.is_zero() || a.y.is_zero()) {
+    return Jac{BigInt{1}, BigInt{1}, BigInt{}};
+  }
+  const BigInt delta = (a.z * a.z).mod(p_);
+  const BigInt gamma = (a.y * a.y).mod(p_);
+  const BigInt beta = (a.x * gamma).mod(p_);
+  const BigInt alpha =
+      (BigInt{3} * (a.x - delta) * (a.x + delta)).mod(p_);
+  Jac out;
+  out.x = (alpha * alpha - BigInt{8} * beta).mod(p_);
+  out.z = ((a.y + a.z).squared() - gamma - delta).mod(p_);
+  out.y = (alpha * (BigInt{4} * beta - out.x) -
+           BigInt{8} * gamma * gamma)
+              .mod(p_);
+  return out;
+}
+
+P256::Jac P256::jac_add(const Jac& a, const Jac& b) const {
+  // add-2007-bl, with doubling and infinity special cases.
+  if (a.z.is_zero()) return b;
+  if (b.z.is_zero()) return a;
+  const BigInt z1z1 = (a.z * a.z).mod(p_);
+  const BigInt z2z2 = (b.z * b.z).mod(p_);
+  const BigInt u1 = (a.x * z2z2).mod(p_);
+  const BigInt u2 = (b.x * z1z1).mod(p_);
+  const BigInt s1 = (a.y * b.z * z2z2).mod(p_);
+  const BigInt s2 = (b.y * a.z * z1z1).mod(p_);
+  if (u1 == u2) {
+    if (s1 == s2) return jac_dbl(a);
+    return Jac{BigInt{1}, BigInt{1}, BigInt{}};  // P + (-P) = O
+  }
+  const BigInt h = (u2 - u1).mod(p_);
+  const BigInt i = ((h + h).squared()).mod(p_);
+  const BigInt j = (h * i).mod(p_);
+  const BigInt r = (BigInt{2} * (s2 - s1)).mod(p_);
+  const BigInt v = (u1 * i).mod(p_);
+  Jac out;
+  out.x = (r * r - j - BigInt{2} * v).mod(p_);
+  out.y = (r * (v - out.x) - BigInt{2} * s1 * j).mod(p_);
+  out.z = (((a.z + b.z).squared() - z1z1 - z2z2) * h).mod(p_);
+  return out;
+}
+
+Point P256::add(const Point& a, const Point& b) const {
+  return to_affine(jac_add(to_jac(a), to_jac(b)));
+}
+
+Point P256::dbl(const Point& a) const { return to_affine(jac_dbl(to_jac(a))); }
+
+Point P256::mul(const BigInt& k, const Point& pt) const {
+  const BigInt scalar = k.mod(n_);
+  if (scalar.is_zero() || pt.is_infinity()) return Point::at_infinity();
+
+  // 4-bit fixed window over Jacobian accumulators.
+  constexpr std::size_t kW = 4;
+  const Jac base = to_jac(pt);
+  std::array<Jac, 1u << kW> table;
+  table[0] = Jac{BigInt{1}, BigInt{1}, BigInt{}};
+  table[1] = base;
+  for (std::size_t e = 2; e < table.size(); ++e) {
+    table[e] = jac_add(table[e - 1], base);
+  }
+
+  const std::size_t bits = scalar.bit_length();
+  const std::size_t nwin = (bits + kW - 1) / kW;
+  Jac acc = table[scalar.bits_window((nwin - 1) * kW, kW)];
+  for (std::size_t win = nwin - 1; win-- > 0;) {
+    for (std::size_t s = 0; s < kW; ++s) acc = jac_dbl(acc);
+    const std::uint32_t digit = scalar.bits_window(win * kW, kW);
+    if (digit != 0) acc = jac_add(acc, table[digit]);
+  }
+  return to_affine(acc);
+}
+
+Point P256::mul_base(const BigInt& k) const { return mul(k, g_); }
+
+// --- ECDH ---------------------------------------------------------------
+
+EcKeyPair ecdh_generate(const P256& curve, util::Rng& rng) {
+  EcKeyPair kp;
+  kp.d = BigInt::random_below(curve.n() - BigInt{1}, rng) + BigInt{1};
+  kp.q = curve.mul_base(kp.d);
+  return kp;
+}
+
+BigInt ecdh_shared(const P256& curve, const BigInt& d, const Point& peer_q) {
+  if (peer_q.is_infinity() || !curve.on_curve(peer_q)) {
+    throw std::invalid_argument("ecdh_shared: peer point not on curve");
+  }
+  const Point s = curve.mul(d, peer_q);
+  if (s.is_infinity()) {
+    throw std::invalid_argument("ecdh_shared: degenerate shared point");
+  }
+  return s.x;
+}
+
+// --- ECDSA ---------------------------------------------------------------
+
+namespace {
+
+BigInt hash_to_z(const P256& curve, std::span<const std::uint8_t> message) {
+  const auto digest = util::Sha256::hash(message);
+  BigInt z = BigInt::from_bytes_be(digest);
+  // n is 256 bits, digest is 256 bits: no truncation needed for P-256.
+  (void)curve;
+  return z;
+}
+
+}  // namespace
+
+EcdsaSignature ecdsa_sign(const P256& curve,
+                          std::span<const std::uint8_t> message,
+                          const BigInt& d, util::Rng& rng) {
+  const BigInt z = hash_to_z(curve, message);
+  for (;;) {
+    const BigInt k = BigInt::random_below(curve.n() - BigInt{1}, rng) + BigInt{1};
+    const Point kg = curve.mul_base(k);
+    const BigInt r = kg.x.mod(curve.n());
+    if (r.is_zero()) continue;
+    const BigInt s =
+        (k.mod_inverse(curve.n()) * (z + r * d)).mod(curve.n());
+    if (s.is_zero()) continue;
+    return EcdsaSignature{r, s};
+  }
+}
+
+bool ecdsa_verify(const P256& curve, std::span<const std::uint8_t> message,
+                  const EcdsaSignature& sig, const Point& q) {
+  if (sig.r <= BigInt{} || sig.r >= curve.n() || sig.s <= BigInt{} ||
+      sig.s >= curve.n()) {
+    return false;
+  }
+  if (q.is_infinity() || !curve.on_curve(q)) return false;
+  const BigInt z = hash_to_z(curve, message);
+  BigInt w;
+  try {
+    w = sig.s.mod_inverse(curve.n());
+  } catch (const std::domain_error&) {
+    return false;
+  }
+  const BigInt u1 = (z * w).mod(curve.n());
+  const BigInt u2 = (sig.r * w).mod(curve.n());
+  const Point pt = curve.add(curve.mul_base(u1), curve.mul(u2, q));
+  if (pt.is_infinity()) return false;
+  return pt.x.mod(curve.n()) == sig.r;
+}
+
+}  // namespace phissl::ec

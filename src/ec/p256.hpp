@@ -1,0 +1,98 @@
+// NIST P-256 (secp256r1) elliptic-curve arithmetic, ECDH, and ECDSA —
+// the curve-based half of libcrypto's public-key suite. Built directly on
+// the BigInt substrate (Jacobian coordinates, windowed scalar multiply);
+// performance is secondary to completeness here, since the paper's
+// contribution is the RSA/Montgomery path, but the module rounds out the
+// library a downstream user would expect.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+
+#include "bigint/bigint.hpp"
+
+namespace phissl::util {
+class Rng;
+}
+
+namespace phissl::ec {
+
+/// An affine point; infinity is represented by is_infinity().
+struct Point {
+  bigint::BigInt x;
+  bigint::BigInt y;
+  bool infinity = true;
+
+  static Point at_infinity() { return {}; }
+  [[nodiscard]] bool is_infinity() const { return infinity; }
+  friend bool operator==(const Point& a, const Point& b) = default;
+};
+
+/// The P-256 group: curve constants, point arithmetic, scalar multiply.
+class P256 {
+ public:
+  P256();
+
+  [[nodiscard]] const bigint::BigInt& p() const { return p_; }
+  [[nodiscard]] const bigint::BigInt& n() const { return n_; }  ///< group order
+  [[nodiscard]] const Point& generator() const { return g_; }
+
+  /// True when the point satisfies the curve equation (or is infinity).
+  [[nodiscard]] bool on_curve(const Point& pt) const;
+
+  [[nodiscard]] Point add(const Point& a, const Point& b) const;
+  [[nodiscard]] Point dbl(const Point& a) const;
+
+  /// k * pt via 4-bit windowed double-and-add. k is reduced mod n.
+  [[nodiscard]] Point mul(const bigint::BigInt& k, const Point& pt) const;
+
+  /// k * G.
+  [[nodiscard]] Point mul_base(const bigint::BigInt& k) const;
+
+ private:
+  // Jacobian internals.
+  struct Jac {
+    bigint::BigInt x, y, z;  // z == 0 -> infinity
+  };
+  [[nodiscard]] Jac to_jac(const Point& pt) const;
+  [[nodiscard]] Point to_affine(const Jac& pt) const;
+  [[nodiscard]] Jac jac_dbl(const Jac& a) const;
+  [[nodiscard]] Jac jac_add(const Jac& a, const Jac& b) const;
+
+  [[nodiscard]] bigint::BigInt mod_p(const bigint::BigInt& v) const;
+
+  bigint::BigInt p_, n_, b_;
+  Point g_;
+};
+
+// --- ECDH ---------------------------------------------------------------
+
+struct EcKeyPair {
+  bigint::BigInt d;  ///< private scalar in [1, n-1]
+  Point q;           ///< public point d*G
+};
+
+EcKeyPair ecdh_generate(const P256& curve, util::Rng& rng);
+
+/// Shared secret: x-coordinate of d * peer_q. Throws std::invalid_argument
+/// if peer_q is not a valid curve point.
+bigint::BigInt ecdh_shared(const P256& curve, const bigint::BigInt& d,
+                           const Point& peer_q);
+
+// --- ECDSA ---------------------------------------------------------------
+
+struct EcdsaSignature {
+  bigint::BigInt r;
+  bigint::BigInt s;
+};
+
+/// ECDSA-SHA256 signature over `message`.
+EcdsaSignature ecdsa_sign(const P256& curve, std::span<const std::uint8_t> message,
+                          const bigint::BigInt& d, util::Rng& rng);
+
+/// ECDSA-SHA256 verification.
+bool ecdsa_verify(const P256& curve, std::span<const std::uint8_t> message,
+                  const EcdsaSignature& sig, const Point& q);
+
+}  // namespace phissl::ec

@@ -1,0 +1,242 @@
+#include "mont/batch.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "mont/modexp.hpp"
+#include "mont/mont32.hpp"  // neg_inv_u32
+#include "simd/vec.hpp"
+
+namespace phissl::mont {
+
+using simd::Mask16;
+using simd::VecU32x16;
+
+namespace {
+constexpr std::size_t kB = BatchVectorMontCtx::kBatch;
+}
+
+BatchVectorMontCtx::BatchVectorMontCtx(const bigint::BigInt& m,
+                                       unsigned digit_bits)
+    : m_(m), digit_bits_(digit_bits) {
+  if (m.is_negative() || m <= bigint::BigInt{1} || m.is_even()) {
+    throw std::invalid_argument(
+        "BatchVectorMontCtx: modulus must be odd and > 1");
+  }
+  if (digit_bits < 8 || digit_bits > 29) {
+    throw std::invalid_argument(
+        "BatchVectorMontCtx: digit_bits must be in [8, 29]");
+  }
+  digit_mask_ = (1u << digit_bits) - 1u;
+  d_ = (m.bit_length() + digit_bits - 1) / digit_bits;
+  // Same 64-bit column bound as VectorMontCtx (per lane).
+  const unsigned product_bits = 2 * digit_bits;
+  if (product_bits >= 63 ||
+      (static_cast<std::uint64_t>(2 * d_) >
+       (std::uint64_t{1} << (63 - product_bits)))) {
+    throw std::invalid_argument(
+        "BatchVectorMontCtx: digit_bits too large for this modulus size");
+  }
+  n_.assign(d_, 0);
+  for (std::size_t j = 0; j < d_; ++j) {
+    n_[j] = m.bits_window(j * digit_bits_, digit_bits_);
+  }
+  assert((n_[0] & 1u) == 1u);
+  n0_ = neg_inv_u32(n_[0]) & digit_mask_;
+  bigint::BigInt r{1};
+  r <<= digit_bits_ * d_;
+  rr_ = (r * r).mod(m_);
+}
+
+BatchVectorMontCtx::Rep BatchVectorMontCtx::to_mont(
+    std::span<const bigint::BigInt> xs) const {
+  if (xs.size() != kB) {
+    throw std::invalid_argument("BatchVectorMontCtx::to_mont: need 16 values");
+  }
+  Rep packed(d_ * kB, 0);
+  for (std::size_t l = 0; l < kB; ++l) {
+    if (xs[l].is_negative() || xs[l] >= m_) {
+      throw std::invalid_argument(
+          "BatchVectorMontCtx::to_mont: values must be in [0, m)");
+    }
+    for (std::size_t j = 0; j < d_; ++j) {
+      packed[j * kB + l] = xs[l].bits_window(j * digit_bits_, digit_bits_);
+    }
+  }
+  // rr in every lane.
+  Rep rr(d_ * kB, 0);
+  for (std::size_t j = 0; j < d_; ++j) {
+    const std::uint32_t digit = rr_.bits_window(j * digit_bits_, digit_bits_);
+    for (std::size_t l = 0; l < kB; ++l) rr[j * kB + l] = digit;
+  }
+  Rep out;
+  mul(packed, rr, out);
+  return out;
+}
+
+std::array<bigint::BigInt, BatchVectorMontCtx::kBatch>
+BatchVectorMontCtx::from_mont(const Rep& a) const {
+  // Multiply by 1 (per lane) to leave Montgomery form.
+  Rep one(d_ * kB, 0);
+  for (std::size_t l = 0; l < kB; ++l) one[l] = 1;
+  Rep plain;
+  mul(a, one, plain);
+  std::array<bigint::BigInt, kB> out;
+  for (std::size_t l = 0; l < kB; ++l) {
+    bigint::BigInt v;
+    for (std::size_t j = d_; j-- > 0;) {
+      v <<= digit_bits_;
+      v += bigint::BigInt::from_u64(plain[j * kB + l]);
+    }
+    out[l] = std::move(v);
+  }
+  return out;
+}
+
+BatchVectorMontCtx::Rep BatchVectorMontCtx::one_mont() const {
+  bigint::BigInt r{1};
+  r <<= digit_bits_ * d_;
+  r = r.mod(m_);
+  Rep out(d_ * kB, 0);
+  for (std::size_t j = 0; j < d_; ++j) {
+    const std::uint32_t digit = r.bits_window(j * digit_bits_, digit_bits_);
+    for (std::size_t l = 0; l < kB; ++l) out[j * kB + l] = digit;
+  }
+  return out;
+}
+
+void BatchVectorMontCtx::mul(const Rep& a, const Rep& b, Rep& out) const {
+  assert(a.size() == d_ * kB && b.size() == d_ * kB);
+
+  static thread_local std::vector<std::uint32_t> acc_lo_buf, acc_hi_buf;
+  const std::size_t cols = 2 * d_ + 1;
+  acc_lo_buf.assign(cols * kB, 0);
+  acc_hi_buf.assign(cols * kB, 0);
+  std::uint32_t* acc_lo = acc_lo_buf.data();
+  std::uint32_t* acc_hi = acc_hi_buf.data();
+
+  const VecU32x16 vmask = VecU32x16::broadcast(digit_mask_);
+  const VecU32x16 vn0 = VecU32x16::broadcast(n0_);
+  const VecU32x16 vone = VecU32x16::broadcast(1);
+  const unsigned db = digit_bits_;
+
+  for (std::size_t i = 0; i < d_; ++i) {
+    const VecU32x16 va = VecU32x16::load(&a[i * kB]);
+
+    // Per-lane quotient digit from column i plus the a_i*b_0 contribution.
+    const VecU32x16 vb0 = VecU32x16::load(&b[0]);
+    const VecU32x16 t0 = bit_and(
+        add(VecU32x16::load(&acc_lo[i * kB]), mul_lo(va, vb0)), vmask);
+    const VecU32x16 vq = bit_and(mul_lo(t0, vn0), vmask);
+
+    // Fused sweep: acc[i+j] += a_i*b_j + q*n_j, lane-wise.
+    for (std::size_t j = 0; j < d_; ++j) {
+      const VecU32x16 vb = VecU32x16::load(&b[j * kB]);
+      const VecU32x16 vn = VecU32x16::broadcast(n_[j]);
+      VecU32x16 lo = VecU32x16::load(&acc_lo[(i + j) * kB]);
+      VecU32x16 hi = VecU32x16::load(&acc_hi[(i + j) * kB]);
+      simd::add_wide_product(lo, hi, mul_lo(va, vb), mul_hi(va, vb));
+      simd::add_wide_product(lo, hi, mul_lo(vq, vn), mul_hi(vq, vn));
+      lo.store(&acc_lo[(i + j) * kB]);
+      hi.store(&acc_hi[(i + j) * kB]);
+    }
+
+    // Ripple carry out of column i into column i+1, lane-wise.
+    // carry = col_i >> db, a value up to ~2^(64-db): carried as a
+    // (lo, hi) pair and wide-added into the next column.
+    const VecU32x16 lo_i = VecU32x16::load(&acc_lo[i * kB]);
+    const VecU32x16 hi_i = VecU32x16::load(&acc_hi[i * kB]);
+    const VecU32x16 carry_lo = bit_or(shr(lo_i, db), shl(hi_i, 32 - db));
+    const VecU32x16 carry_hi = shr(hi_i, db);
+
+    VecU32x16 lo_n = VecU32x16::load(&acc_lo[(i + 1) * kB]);
+    VecU32x16 hi_n = VecU32x16::load(&acc_hi[(i + 1) * kB]);
+    const VecU32x16 sum = add(lo_n, carry_lo);
+    const Mask16 cmask = cmp_lt_u32(sum, lo_n);
+    lo_n = sum;
+    hi_n = add(hi_n, carry_hi);
+    hi_n = masked_add(cmask, hi_n, vone);
+    lo_n.store(&acc_lo[(i + 1) * kB]);
+    hi_n.store(&acc_hi[(i + 1) * kB]);
+  }
+
+  // Per-lane normalization and conditional subtract (scalar; O(d) per
+  // lane, negligible next to the O(d^2) sweeps).
+  out.assign(d_ * kB, 0);
+  for (std::size_t l = 0; l < kB; ++l) {
+    std::uint64_t carry = 0;
+    for (std::size_t j = 0; j < d_; ++j) {
+      const std::size_t idx = (d_ + j) * kB + l;
+      const std::uint64_t v =
+          (acc_lo[idx] | (static_cast<std::uint64_t>(acc_hi[idx]) << 32)) +
+          carry;
+      out[j * kB + l] = static_cast<std::uint32_t>(v) & digit_mask_;
+      carry = v >> digit_bits_;
+    }
+    assert(carry <= 1);
+    bool ge = carry != 0;
+    if (!ge) {
+      ge = true;
+      for (std::size_t j = d_; j-- > 0;) {
+        if (out[j * kB + l] != n_[j]) {
+          ge = out[j * kB + l] > n_[j];
+          break;
+        }
+      }
+    }
+    if (ge) {
+      std::int64_t borrow = 0;
+      for (std::size_t j = 0; j < d_; ++j) {
+        std::int64_t diff = static_cast<std::int64_t>(out[j * kB + l]) -
+                            static_cast<std::int64_t>(n_[j]) - borrow;
+        borrow = diff < 0 ? 1 : 0;
+        if (diff < 0) diff += std::int64_t{1} << digit_bits_;
+        out[j * kB + l] = static_cast<std::uint32_t>(diff);
+      }
+      assert(static_cast<std::uint64_t>(borrow) == carry);
+    }
+  }
+}
+
+BatchVectorMontCtx::Rep BatchVectorMontCtx::fixed_window_exp(
+    const Rep& base, const bigint::BigInt& exp, int window) const {
+  if (window <= 0) window = choose_window(exp.bit_length());
+  if (window < 1 || window > 10) {
+    throw std::invalid_argument("batch fixed_window_exp: bad window");
+  }
+  if (exp.is_negative()) {
+    throw std::invalid_argument("batch fixed_window_exp: negative exponent");
+  }
+  if (exp.is_zero()) return one_mont();
+  const std::size_t w = static_cast<std::size_t>(window);
+
+  std::vector<Rep> table(std::size_t{1} << w);
+  table[0] = one_mont();
+  table[1] = base;
+  for (std::size_t e = 2; e < table.size(); ++e) {
+    mul(table[e - 1], base, table[e]);
+  }
+
+  const std::size_t bits = exp.bit_length();
+  const std::size_t nwin = (bits + w - 1) / w;
+  Rep acc, tmp, factor;
+  ct_table_select(table, exp.bits_window((nwin - 1) * w, w), acc);
+  for (std::size_t win = nwin - 1; win-- > 0;) {
+    for (std::size_t s = 0; s < w; ++s) {
+      sqr(acc, tmp);
+      acc.swap(tmp);
+    }
+    ct_table_select(table, exp.bits_window(win * w, w), factor);
+    mul(acc, factor, tmp);
+    acc.swap(tmp);
+  }
+  return acc;
+}
+
+std::array<bigint::BigInt, BatchVectorMontCtx::kBatch>
+BatchVectorMontCtx::mod_exp(std::span<const bigint::BigInt> bases,
+                            const bigint::BigInt& exp, int window) const {
+  return from_mont(fixed_window_exp(to_mont(bases), exp, window));
+}
+
+}  // namespace phissl::mont

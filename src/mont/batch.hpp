@@ -1,0 +1,78 @@
+// Batched lane-parallel Montgomery arithmetic: 16 INDEPENDENT operand
+// sets, one per SIMD lane, advancing in lockstep.
+//
+// The kernel in vector_mont.hpp vectorizes WITHIN one multiplication
+// (latency mode). This one vectorizes ACROSS multiplications (throughput
+// mode): lane l carries the l-th base/accumulator, all lanes share the
+// modulus and — crucially for RSA — the exponent, which is the server
+// signing workload (same key, 16 messages). Every step of the column
+// algorithm, including the per-lane quotient digit and the per-iteration
+// ripple carry, is a lane-wise vector op; only the final normalization is
+// scalar per lane.
+//
+// Layout: digit j of lane l lives at rep[j*16 + l] (digit-major,
+// transposed), so one vector load fetches digit j of all 16 lanes.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "bigint/bigint.hpp"
+
+namespace phissl::mont {
+
+class BatchVectorMontCtx {
+ public:
+  static constexpr std::size_t kBatch = 16;
+
+  /// Transposed batch residue: digits() * kBatch entries, digit-major.
+  using Rep = std::vector<std::uint32_t>;
+
+  /// Builds the context for an odd modulus m > 1 shared by all lanes.
+  /// Same digit-width constraints as VectorMontCtx.
+  explicit BatchVectorMontCtx(const bigint::BigInt& m,
+                              unsigned digit_bits = 27);
+
+  [[nodiscard]] unsigned digit_bits() const { return digit_bits_; }
+  [[nodiscard]] std::size_t digits() const { return d_; }
+  [[nodiscard]] const bigint::BigInt& modulus() const { return m_; }
+
+  /// Packs 16 values (each in [0, m)) into Montgomery form, one per lane.
+  [[nodiscard]] Rep to_mont(std::span<const bigint::BigInt> xs) const;
+
+  /// Unpacks all 16 lanes out of Montgomery form.
+  [[nodiscard]] std::array<bigint::BigInt, kBatch> from_mont(
+      const Rep& a) const;
+
+  /// Montgomery form of 1 in every lane.
+  [[nodiscard]] Rep one_mont() const;
+
+  /// Lane-wise out[l] = a[l]*b[l]*R^-1 mod m. out may alias a or b.
+  void mul(const Rep& a, const Rep& b, Rep& out) const;
+
+  void sqr(const Rep& a, Rep& out) const { mul(a, a, out); }
+
+  /// Lane-wise fixed-window exponentiation with a SHARED exponent:
+  /// out[l] = base[l]^exp mod m. window <= 0 selects choose_window().
+  [[nodiscard]] Rep fixed_window_exp(const Rep& base,
+                                     const bigint::BigInt& exp,
+                                     int window = 0) const;
+
+  /// Convenience: full-domain batch modexp over 16 bases.
+  [[nodiscard]] std::array<bigint::BigInt, kBatch> mod_exp(
+      std::span<const bigint::BigInt> bases, const bigint::BigInt& exp,
+      int window = 0) const;
+
+ private:
+  bigint::BigInt m_;
+  unsigned digit_bits_;
+  std::uint32_t digit_mask_;
+  std::size_t d_;
+  std::vector<std::uint32_t> n_;  // modulus digits (NOT transposed; shared)
+  std::uint32_t n0_ = 0;
+  bigint::BigInt rr_;
+};
+
+}  // namespace phissl::mont

@@ -1,0 +1,186 @@
+// Modular exponentiation over any Montgomery context.
+//
+// Generic over the context type so the same windowed schedules run on
+// MontCtx32 (MPSS-like), MontCtx64 (OpenSSL-like) and VectorMontCtx
+// (PhiOpenSSL). Two schedules:
+//
+//  - fixed_window_exp: the paper's method. Precomputes g^0..g^(2^w - 1),
+//    consumes the exponent in fixed w-bit windows MSB-first, and multiplies
+//    on EVERY window (including zero windows), with a constant-time table
+//    gather — the uniform schedule PhiOpenSSL uses both for SIMD-friendliness
+//    and side-channel hygiene.
+//  - sliding_window_exp: the classic OpenSSL BN_mod_exp schedule used by
+//    both reference engines; precomputes odd powers only and skips runs of
+//    zero bits.
+//
+// A Montgomery context Ctx must provide:
+//   using Rep = <vector-like of unsigned words>;
+//   std::size_t rep_size() const;
+//   Rep to_mont(const BigInt&) const;     BigInt from_mont(const Rep&) const;
+//   Rep one_mont() const;                 void mul(a, b, out) const;
+//   void sqr(a, out) const;               const BigInt& modulus() const;
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+#include "bigint/bigint.hpp"
+
+namespace phissl::mont {
+
+/// Window width PhiOpenSSL picks for a given exponent size (in bits).
+/// Table memory is 2^w residues; the optimum grows slowly with the
+/// exponent length (see bench_window_sweep / experiment E6).
+inline int choose_window(std::size_t exp_bits) {
+  if (exp_bits <= 96) return 3;
+  if (exp_bits <= 512) return 4;
+  if (exp_bits <= 1536) return 5;
+  return 6;
+}
+
+/// Constant-time table gather: out = table[idx] scanned with arithmetic
+/// masks so the memory access pattern is independent of idx.
+template <typename Rep>
+void ct_table_select(const std::vector<Rep>& table, std::uint32_t idx,
+                     Rep& out) {
+  using Word = typename Rep::value_type;
+  out.assign(table[0].size(), Word{0});
+  for (std::uint32_t e = 0; e < table.size(); ++e) {
+    // mask = all-ones when e == idx, else 0, without branching on idx.
+    const Word diff = static_cast<Word>(e ^ idx);
+    const Word nonzero = static_cast<Word>((diff | (Word{0} - diff)) >>
+                                           (8 * sizeof(Word) - 1));
+    const Word mask = static_cast<Word>(nonzero - Word{1});  // ~0 iff e==idx
+    const Rep& entry = table[e];
+    for (std::size_t w = 0; w < out.size(); ++w) {
+      out[w] = static_cast<Word>(out[w] | (entry[w] & mask));
+    }
+  }
+}
+
+/// (base^exp) mod m in Montgomery domain, fixed w-bit windows.
+/// base is a Montgomery residue; result is a Montgomery residue.
+template <typename Ctx>
+typename Ctx::Rep fixed_window_exp_rep(const Ctx& ctx,
+                                       const typename Ctx::Rep& base,
+                                       const bigint::BigInt& exp, int window) {
+  if (window < 1 || window > 10) {
+    throw std::invalid_argument("fixed_window_exp: window must be in [1,10]");
+  }
+  if (exp.is_negative()) {
+    throw std::invalid_argument("fixed_window_exp: negative exponent");
+  }
+  const std::size_t w = static_cast<std::size_t>(window);
+  if (exp.is_zero()) return ctx.one_mont();
+
+  // Table of g^0 .. g^(2^w - 1) in Montgomery form.
+  std::vector<typename Ctx::Rep> table(std::size_t{1} << w);
+  table[0] = ctx.one_mont();
+  table[1] = base;
+  for (std::size_t e = 2; e < table.size(); ++e) {
+    ctx.mul(table[e - 1], base, table[e]);
+  }
+
+  const std::size_t bits = exp.bit_length();
+  const std::size_t nwin = (bits + w - 1) / w;
+
+  typename Ctx::Rep acc;
+  typename Ctx::Rep tmp;
+  // Top (possibly partial) window seeds the accumulator.
+  ct_table_select(table, exp.bits_window((nwin - 1) * w, w), acc);
+  for (std::size_t win = nwin - 1; win-- > 0;) {
+    for (std::size_t s = 0; s < w; ++s) {
+      ctx.sqr(acc, tmp);
+      acc.swap(tmp);
+    }
+    typename Ctx::Rep factor;
+    ct_table_select(table, exp.bits_window(win * w, w), factor);
+    ctx.mul(acc, factor, tmp);  // multiply every window, even zeros
+    acc.swap(tmp);
+  }
+  return acc;
+}
+
+/// Full-domain convenience: converts in/out of Montgomery form.
+/// base must be in [0, m). window <= 0 selects choose_window().
+template <typename Ctx>
+bigint::BigInt fixed_window_exp(const Ctx& ctx, const bigint::BigInt& base,
+                                const bigint::BigInt& exp, int window = 0) {
+  if (window <= 0) window = choose_window(exp.bit_length());
+  const auto base_m = ctx.to_mont(base);
+  return ctx.from_mont(fixed_window_exp_rep(ctx, base_m, exp, window));
+}
+
+/// Sliding-window exponentiation (odd-powers table), Montgomery domain.
+template <typename Ctx>
+typename Ctx::Rep sliding_window_exp_rep(const Ctx& ctx,
+                                         const typename Ctx::Rep& base,
+                                         const bigint::BigInt& exp,
+                                         int window) {
+  if (window < 1 || window > 10) {
+    throw std::invalid_argument("sliding_window_exp: window must be in [1,10]");
+  }
+  if (exp.is_negative()) {
+    throw std::invalid_argument("sliding_window_exp: negative exponent");
+  }
+  if (exp.is_zero()) return ctx.one_mont();
+  const std::size_t w = static_cast<std::size_t>(window);
+
+  // Odd powers g^1, g^3, ..., g^(2^w - 1).
+  std::vector<typename Ctx::Rep> table(std::size_t{1} << (w - 1));
+  table[0] = base;
+  typename Ctx::Rep g2;
+  ctx.sqr(base, g2);
+  for (std::size_t e = 1; e < table.size(); ++e) {
+    ctx.mul(table[e - 1], g2, table[e]);
+  }
+
+  typename Ctx::Rep acc = ctx.one_mont();
+  typename Ctx::Rep tmp;
+  bool started = false;
+  std::size_t i = exp.bit_length();
+  while (i > 0) {
+    if (!exp.bit(i - 1)) {
+      if (started) {
+        ctx.sqr(acc, tmp);
+        acc.swap(tmp);
+      }
+      --i;
+      continue;
+    }
+    // Greedy window [i-1 .. i-len], len <= w, ending in a set bit.
+    std::size_t len = std::min(w, i);
+    while (!exp.bit(i - len)) --len;  // terminates: bit(i-1) is set
+    std::uint32_t val = 0;
+    for (std::size_t k = 0; k < len; ++k) {
+      val = (val << 1) | (exp.bit(i - 1 - k) ? 1u : 0u);
+    }
+    for (std::size_t k = 0; k < len; ++k) {
+      if (started) {
+        ctx.sqr(acc, tmp);
+        acc.swap(tmp);
+      }
+    }
+    if (started) {
+      ctx.mul(acc, table[(val - 1) / 2], tmp);
+      acc.swap(tmp);
+    } else {
+      acc = table[(val - 1) / 2];
+      started = true;
+    }
+    i -= len;
+  }
+  return acc;
+}
+
+/// Full-domain sliding-window convenience.
+template <typename Ctx>
+bigint::BigInt sliding_window_exp(const Ctx& ctx, const bigint::BigInt& base,
+                                  const bigint::BigInt& exp, int window = 0) {
+  if (window <= 0) window = choose_window(exp.bit_length());
+  const auto base_m = ctx.to_mont(base);
+  return ctx.from_mont(sliding_window_exp_rep(ctx, base_m, exp, window));
+}
+
+}  // namespace phissl::mont

@@ -1,0 +1,141 @@
+#include "mont/mont32.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace phissl::mont {
+
+std::uint32_t neg_inv_u32(std::uint32_t x) {
+  assert(x & 1u);
+  // Newton–Hensel: inv doubles correct bits each step; 5 steps reach 32.
+  std::uint32_t inv = x;  // correct to 3 bits for odd x (x*x ≡ 1 mod 8)
+  for (int i = 0; i < 4; ++i) inv *= 2u - x * inv;
+  return 0u - inv;
+}
+
+namespace {
+
+std::vector<std::uint32_t> limbs_of(const bigint::BigInt& x, std::size_t n) {
+  std::vector<std::uint32_t> out(n, 0);
+  const auto src = x.limbs();
+  assert(src.size() <= n);
+  for (std::size_t i = 0; i < src.size(); ++i) out[i] = src[i];
+  return out;
+}
+
+bigint::BigInt bigint_of(const std::vector<std::uint32_t>& limbs) {
+  // Assemble via bytes to stay on the public BigInt API.
+  std::vector<std::uint8_t> be(limbs.size() * 4);
+  for (std::size_t i = 0; i < limbs.size(); ++i) {
+    const std::uint32_t limb = limbs[i];
+    const std::size_t base = be.size() - 4 * (i + 1);
+    be[base + 0] = static_cast<std::uint8_t>(limb >> 24);
+    be[base + 1] = static_cast<std::uint8_t>(limb >> 16);
+    be[base + 2] = static_cast<std::uint8_t>(limb >> 8);
+    be[base + 3] = static_cast<std::uint8_t>(limb);
+  }
+  return bigint::BigInt::from_bytes_be(be);
+}
+
+}  // namespace
+
+MontCtx32::MontCtx32(const bigint::BigInt& m) : m_(m) {
+  if (m.is_negative() || m <= bigint::BigInt{1} || m.is_even()) {
+    throw std::invalid_argument("MontCtx32: modulus must be odd and > 1");
+  }
+  n_.assign(m.limbs().begin(), m.limbs().end());
+  n0_ = neg_inv_u32(n_[0]);
+  // R = 2^(32*n), rr = R^2 mod m.
+  bigint::BigInt r{1};
+  r <<= 32 * n_.size();
+  rr_ = (r * r).mod(m_);
+}
+
+MontCtx32::Rep MontCtx32::to_mont(const bigint::BigInt& x) const {
+  if (x.is_negative() || x >= m_) {
+    throw std::invalid_argument("MontCtx32::to_mont: x must be in [0, m)");
+  }
+  const Rep xr = limbs_of(x, n_.size());
+  const Rep rr = limbs_of(rr_, n_.size());
+  Rep out;
+  mul(xr, rr, out);
+  return out;
+}
+
+bigint::BigInt MontCtx32::from_mont(const Rep& a) const {
+  Rep one(n_.size(), 0);
+  one[0] = 1;
+  Rep out;
+  mul(a, one, out);
+  return bigint_of(out);
+}
+
+MontCtx32::Rep MontCtx32::one_mont() const {
+  bigint::BigInt r{1};
+  r <<= 32 * n_.size();
+  return limbs_of(r.mod(m_), n_.size());
+}
+
+void MontCtx32::mul(const Rep& a, const Rep& b, Rep& out) const {
+  const std::size_t n = n_.size();
+  assert(a.size() == n && b.size() == n);
+  // CIOS (coarsely integrated operand scanning), Koc et al. 1996.
+  // t has n+2 words: t[n] and t[n+1] hold the running top.
+  std::vector<std::uint32_t> t(n + 2, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    // t += a[i] * b
+    std::uint64_t carry = 0;
+    const std::uint64_t ai = a[i];
+    for (std::size_t j = 0; j < n; ++j) {
+      const std::uint64_t s = ai * b[j] + t[j] + carry;
+      t[j] = static_cast<std::uint32_t>(s);
+      carry = s >> 32;
+    }
+    std::uint64_t s = static_cast<std::uint64_t>(t[n]) + carry;
+    t[n] = static_cast<std::uint32_t>(s);
+    t[n + 1] = static_cast<std::uint32_t>(s >> 32);
+
+    // q = t[0] * n0 mod 2^32; t += q * m; t >>= 32
+    const std::uint64_t q = static_cast<std::uint32_t>(t[0] * n0_);
+    carry = 0;
+    {
+      const std::uint64_t s0 = q * n_[0] + t[0];
+      carry = s0 >> 32;  // low word becomes 0 by construction
+    }
+    for (std::size_t j = 1; j < n; ++j) {
+      const std::uint64_t sj = q * n_[j] + t[j] + carry;
+      t[j - 1] = static_cast<std::uint32_t>(sj);
+      carry = sj >> 32;
+    }
+    s = static_cast<std::uint64_t>(t[n]) + carry;
+    t[n - 1] = static_cast<std::uint32_t>(s);
+    t[n] = static_cast<std::uint32_t>((s >> 32) + t[n + 1]);
+    t[n + 1] = 0;
+  }
+
+  // Conditional subtract: t in [0, 2m) here.
+  bool ge = t[n] != 0;
+  if (!ge) {
+    ge = true;
+    for (std::size_t i = n; i-- > 0;) {
+      if (t[i] != n_[i]) {
+        ge = t[i] > n_[i];
+        break;
+      }
+    }
+  }
+  out.assign(n, 0);
+  if (ge) {
+    std::int64_t borrow = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::int64_t d =
+          static_cast<std::int64_t>(t[i]) - n_[i] - borrow;
+      out[i] = static_cast<std::uint32_t>(d);
+      borrow = d < 0 ? 1 : 0;
+    }
+  } else {
+    for (std::size_t i = 0; i < n; ++i) out[i] = t[i];
+  }
+}
+
+}  // namespace phissl::mont

@@ -1,0 +1,54 @@
+// Scalar word-serial Montgomery context on 32-bit limbs (CIOS).
+//
+// This is the kernel a straight port of OpenSSL to the KNC's scalar core
+// would run — i.e. the algorithmic shape of the Intel MPSS libcrypto
+// baseline in the paper. See mont64.hpp for the 64-bit host-OpenSSL shape
+// and vector_mont.hpp for PhiOpenSSL's vectorized kernel.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bigint/bigint.hpp"
+
+namespace phissl::mont {
+
+class MontCtx32 {
+ public:
+  /// Montgomery residue: little-endian u32 limbs, exactly rep_size() long,
+  /// value < modulus.
+  using Rep = std::vector<std::uint32_t>;
+
+  /// Builds the context for an odd modulus m > 1.
+  /// Throws std::invalid_argument otherwise.
+  explicit MontCtx32(const bigint::BigInt& m);
+
+  [[nodiscard]] std::size_t rep_size() const { return n_.size(); }
+  [[nodiscard]] const bigint::BigInt& modulus() const { return m_; }
+
+  /// x -> x*R mod m. x must be in [0, m).
+  [[nodiscard]] Rep to_mont(const bigint::BigInt& x) const;
+
+  /// x*R mod m -> x.
+  [[nodiscard]] bigint::BigInt from_mont(const Rep& a) const;
+
+  /// Montgomery form of 1 (= R mod m).
+  [[nodiscard]] Rep one_mont() const;
+
+  /// out = a*b*R^-1 mod m (CIOS). out may alias a or b.
+  void mul(const Rep& a, const Rep& b, Rep& out) const;
+
+  /// out = a*a*R^-1 mod m. (Same kernel; hook point for a squaring path.)
+  void sqr(const Rep& a, Rep& out) const { mul(a, a, out); }
+
+ private:
+  bigint::BigInt m_;
+  std::vector<std::uint32_t> n_;  // modulus limbs
+  std::uint32_t n0_ = 0;          // -m^-1 mod 2^32
+  bigint::BigInt rr_;             // R^2 mod m
+};
+
+/// -x^-1 mod 2^32 for odd x (Newton–Hensel lifting).
+std::uint32_t neg_inv_u32(std::uint32_t x);
+
+}  // namespace phissl::mont

@@ -1,0 +1,137 @@
+#include "mont/mont64.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace phissl::mont {
+
+using u128 = unsigned __int128;
+
+std::uint64_t neg_inv_u64(std::uint64_t x) {
+  assert(x & 1u);
+  std::uint64_t inv = x;
+  for (int i = 0; i < 5; ++i) inv *= 2u - x * inv;
+  return 0u - inv;
+}
+
+namespace {
+
+std::vector<std::uint64_t> limbs64_of(const bigint::BigInt& x, std::size_t n) {
+  std::vector<std::uint64_t> out(n, 0);
+  const auto src = x.limbs();  // u32 little-endian
+  assert(src.size() <= 2 * n);
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    out[i / 2] |= static_cast<std::uint64_t>(src[i]) << (32 * (i % 2));
+  }
+  return out;
+}
+
+bigint::BigInt bigint_of64(const std::vector<std::uint64_t>& limbs) {
+  std::vector<std::uint8_t> be(limbs.size() * 8);
+  for (std::size_t i = 0; i < limbs.size(); ++i) {
+    const std::uint64_t limb = limbs[i];
+    const std::size_t base = be.size() - 8 * (i + 1);
+    for (int b = 0; b < 8; ++b) {
+      be[base + static_cast<std::size_t>(b)] =
+          static_cast<std::uint8_t>(limb >> (56 - 8 * b));
+    }
+  }
+  return bigint::BigInt::from_bytes_be(be);
+}
+
+}  // namespace
+
+MontCtx64::MontCtx64(const bigint::BigInt& m) : m_(m) {
+  if (m.is_negative() || m <= bigint::BigInt{1} || m.is_even()) {
+    throw std::invalid_argument("MontCtx64: modulus must be odd and > 1");
+  }
+  const std::size_t n64 = (m.limb_count() + 1) / 2;
+  n_ = limbs64_of(m, n64);
+  n0_ = neg_inv_u64(n_[0]);
+  bigint::BigInt r{1};
+  r <<= 64 * n_.size();
+  rr_ = (r * r).mod(m_);
+}
+
+MontCtx64::Rep MontCtx64::to_mont(const bigint::BigInt& x) const {
+  if (x.is_negative() || x >= m_) {
+    throw std::invalid_argument("MontCtx64::to_mont: x must be in [0, m)");
+  }
+  const Rep xr = limbs64_of(x, n_.size());
+  const Rep rr = limbs64_of(rr_, n_.size());
+  Rep out;
+  mul(xr, rr, out);
+  return out;
+}
+
+bigint::BigInt MontCtx64::from_mont(const Rep& a) const {
+  Rep one(n_.size(), 0);
+  one[0] = 1;
+  Rep out;
+  mul(a, one, out);
+  return bigint_of64(out);
+}
+
+MontCtx64::Rep MontCtx64::one_mont() const {
+  bigint::BigInt r{1};
+  r <<= 64 * n_.size();
+  return limbs64_of(r.mod(m_), n_.size());
+}
+
+void MontCtx64::mul(const Rep& a, const Rep& b, Rep& out) const {
+  const std::size_t n = n_.size();
+  assert(a.size() == n && b.size() == n);
+  std::vector<std::uint64_t> t(n + 2, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::uint64_t carry = 0;
+    const std::uint64_t ai = a[i];
+    for (std::size_t j = 0; j < n; ++j) {
+      const u128 s = static_cast<u128>(ai) * b[j] + t[j] + carry;
+      t[j] = static_cast<std::uint64_t>(s);
+      carry = static_cast<std::uint64_t>(s >> 64);
+    }
+    u128 s = static_cast<u128>(t[n]) + carry;
+    t[n] = static_cast<std::uint64_t>(s);
+    t[n + 1] = static_cast<std::uint64_t>(s >> 64);
+
+    const std::uint64_t q = t[0] * n0_;
+    {
+      const u128 s0 = static_cast<u128>(q) * n_[0] + t[0];
+      carry = static_cast<std::uint64_t>(s0 >> 64);
+    }
+    for (std::size_t j = 1; j < n; ++j) {
+      const u128 sj = static_cast<u128>(q) * n_[j] + t[j] + carry;
+      t[j - 1] = static_cast<std::uint64_t>(sj);
+      carry = static_cast<std::uint64_t>(sj >> 64);
+    }
+    s = static_cast<u128>(t[n]) + carry;
+    t[n - 1] = static_cast<std::uint64_t>(s);
+    t[n] = static_cast<std::uint64_t>(s >> 64) + t[n + 1];
+    t[n + 1] = 0;
+  }
+
+  bool ge = t[n] != 0;
+  if (!ge) {
+    ge = true;
+    for (std::size_t i = n; i-- > 0;) {
+      if (t[i] != n_[i]) {
+        ge = t[i] > n_[i];
+        break;
+      }
+    }
+  }
+  out.assign(n, 0);
+  if (ge) {
+    std::uint64_t borrow = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint64_t d = t[i] - n_[i] - borrow;
+      // Borrow occurred iff the true difference was negative.
+      borrow = (t[i] < n_[i] || (t[i] == n_[i] && borrow)) ? 1 : 0;
+      out[i] = d;
+    }
+  } else {
+    for (std::size_t i = 0; i < n; ++i) out[i] = t[i];
+  }
+}
+
+}  // namespace phissl::mont

@@ -1,0 +1,52 @@
+// Scalar word-serial Montgomery context on 64-bit limbs (CIOS).
+//
+// The algorithmic shape of host OpenSSL's generic bn_mul_mont: 64-bit
+// words, 128-bit intermediate products, word-serial carry chain. Used as
+// the "default OpenSSL" reference engine in every experiment.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bigint/bigint.hpp"
+
+namespace phissl::mont {
+
+class MontCtx64 {
+ public:
+  /// Montgomery residue: little-endian u64 limbs, exactly rep_size() long,
+  /// value < modulus.
+  using Rep = std::vector<std::uint64_t>;
+
+  /// Builds the context for an odd modulus m > 1.
+  /// Throws std::invalid_argument otherwise.
+  explicit MontCtx64(const bigint::BigInt& m);
+
+  [[nodiscard]] std::size_t rep_size() const { return n_.size(); }
+  [[nodiscard]] const bigint::BigInt& modulus() const { return m_; }
+
+  /// x -> x*R mod m. x must be in [0, m).
+  [[nodiscard]] Rep to_mont(const bigint::BigInt& x) const;
+
+  /// x*R mod m -> x.
+  [[nodiscard]] bigint::BigInt from_mont(const Rep& a) const;
+
+  /// Montgomery form of 1 (= R mod m).
+  [[nodiscard]] Rep one_mont() const;
+
+  /// out = a*b*R^-1 mod m (CIOS). out may alias a or b.
+  void mul(const Rep& a, const Rep& b, Rep& out) const;
+
+  void sqr(const Rep& a, Rep& out) const { mul(a, a, out); }
+
+ private:
+  bigint::BigInt m_;
+  std::vector<std::uint64_t> n_;
+  std::uint64_t n0_ = 0;  // -m^-1 mod 2^64
+  bigint::BigInt rr_;     // R^2 mod m
+};
+
+/// -x^-1 mod 2^64 for odd x.
+std::uint64_t neg_inv_u64(std::uint64_t x);
+
+}  // namespace phissl::mont

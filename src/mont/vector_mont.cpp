@@ -1,0 +1,205 @@
+#include "mont/vector_mont.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "mont/mont32.hpp"  // neg_inv_u32
+#include "simd/vec.hpp"
+
+namespace phissl::mont {
+
+using simd::VecU32x16;
+
+namespace {
+constexpr std::size_t kLanes = VecU32x16::kLanes;
+
+std::size_t round_up(std::size_t x, std::size_t to) {
+  return (x + to - 1) / to * to;
+}
+}  // namespace
+
+VectorMontCtx::VectorMontCtx(const bigint::BigInt& m, unsigned digit_bits)
+    : m_(m), digit_bits_(digit_bits) {
+  if (m.is_negative() || m <= bigint::BigInt{1} || m.is_even()) {
+    throw std::invalid_argument("VectorMontCtx: modulus must be odd and > 1");
+  }
+  if (digit_bits < 8 || digit_bits > 29) {
+    throw std::invalid_argument("VectorMontCtx: digit_bits must be in [8, 29]");
+  }
+  digit_mask_ = (1u << digit_bits) - 1u;
+  d_ = (m.bit_length() + digit_bits - 1) / digit_bits;
+  pd_ = round_up(d_, kLanes);
+
+  // Column-overflow guard: every 64-bit column absorbs at most 2*d_
+  // products < 2^(2*digit_bits) plus one ripple carry < 2^(64-digit_bits).
+  // Require 2*d_ * 2^(2*digit_bits) + 2^38 < 2^64, conservatively.
+  const unsigned product_bits = 2 * digit_bits;
+  if (product_bits >= 63 ||
+      (static_cast<std::uint64_t>(2 * d_) >
+       (std::uint64_t{1} << (63 - product_bits)))) {
+    throw std::invalid_argument(
+        "VectorMontCtx: digit_bits too large for this modulus size "
+        "(64-bit column accumulators would overflow)");
+  }
+
+  n_ = pack(m_);
+  assert((n_[0] & 1u) == 1u);  // digit 0 = m mod beta, odd because m is odd
+  n0_ = neg_inv_u32(n_[0]) & digit_mask_;
+  bigint::BigInt r{1};
+  r <<= digit_bits_ * d_;
+  rr_ = (r * r).mod(m_);
+}
+
+VectorMontCtx::Rep VectorMontCtx::pack(const bigint::BigInt& x) const {
+  Rep out(pd_, 0);
+  for (std::size_t j = 0; j < d_; ++j) {
+    out[j] = x.bits_window(j * digit_bits_, digit_bits_);
+  }
+  return out;
+}
+
+bigint::BigInt VectorMontCtx::unpack(const Rep& a) const {
+  bigint::BigInt r;
+  for (std::size_t j = a.size(); j-- > 0;) {
+    r <<= digit_bits_;
+    r += bigint::BigInt::from_u64(a[j]);
+  }
+  return r;
+}
+
+VectorMontCtx::Rep VectorMontCtx::to_mont(const bigint::BigInt& x) const {
+  if (x.is_negative() || x >= m_) {
+    throw std::invalid_argument("VectorMontCtx::to_mont: x must be in [0, m)");
+  }
+  const Rep xd = pack(x);
+  const Rep rr = pack(rr_);
+  Rep out;
+  mul(xd, rr, out);
+  return out;
+}
+
+bigint::BigInt VectorMontCtx::from_mont(const Rep& a) const {
+  Rep one(pd_, 0);
+  one[0] = 1;
+  Rep out;
+  mul(a, one, out);
+  return unpack(out);
+}
+
+VectorMontCtx::Rep VectorMontCtx::one_mont() const {
+  bigint::BigInt r{1};
+  r <<= digit_bits_ * d_;
+  return pack(r.mod(m_));
+}
+
+void VectorMontCtx::finalize(const std::uint64_t* cols, Rep& out) const {
+  out.assign(pd_, 0);
+  std::uint64_t carry = 0;
+  for (std::size_t j = 0; j < d_; ++j) {
+    const std::uint64_t v = cols[j] + carry;
+    out[j] = static_cast<std::uint32_t>(v) & digit_mask_;
+    carry = v >> digit_bits_;
+  }
+  // Result < 2m < 2^(digit_bits*d + 1), so the overflow digit is 0 or 1.
+  assert(carry <= 1);
+
+  bool ge = carry != 0;
+  if (!ge) {
+    ge = true;
+    for (std::size_t j = d_; j-- > 0;) {
+      if (out[j] != n_[j]) {
+        ge = out[j] > n_[j];
+        break;
+      }
+    }
+  }
+  if (ge) {
+    std::int64_t borrow = 0;
+    for (std::size_t j = 0; j < d_; ++j) {
+      std::int64_t diff = static_cast<std::int64_t>(out[j]) -
+                          static_cast<std::int64_t>(n_[j]) - borrow;
+      borrow = diff < 0 ? 1 : 0;
+      if (diff < 0) diff += std::int64_t{1} << digit_bits_;
+      out[j] = static_cast<std::uint32_t>(diff);
+    }
+    // The final borrow is absorbed by the overflow digit.
+    assert(static_cast<std::uint64_t>(borrow) == carry);
+  }
+}
+
+void VectorMontCtx::mul(const Rep& a, const Rep& b, Rep& out) const {
+  assert(a.size() == pd_ && b.size() == pd_);
+
+  // Column accumulators as u32 (lo, hi) pairs. Indexed physically: outer
+  // iteration i writes columns [i, i + pd_); max index d_-1 + pd_-1.
+  static thread_local std::vector<std::uint32_t> acc_lo_buf, acc_hi_buf;
+  const std::size_t acc_len = d_ + pd_ + kLanes;
+  acc_lo_buf.assign(acc_len, 0);
+  acc_hi_buf.assign(acc_len, 0);
+  std::uint32_t* acc_lo = acc_lo_buf.data();
+  std::uint32_t* acc_hi = acc_hi_buf.data();
+
+  for (std::size_t i = 0; i < d_; ++i) {
+    const std::uint32_t ai = a[i];
+    // The quotient digit only depends on column i after the a_i*b[0]
+    // contribution, so it can be computed up front (mod beta) and both
+    // product rows added in ONE fused sweep over the accumulator —
+    // halving the acc load/store traffic (FIOS-style scheduling).
+    const std::uint32_t t0 = (acc_lo[i] + ai * b[0]) & digit_mask_;
+    const std::uint32_t q = (t0 * n0_) & digit_mask_;
+
+    // acc[i + j] += a_i * b[j] + q * n[j], 16 columns per vector step.
+    const VecU32x16 va = VecU32x16::broadcast(ai);
+    const VecU32x16 vq = VecU32x16::broadcast(q);
+    for (std::size_t j = 0; j < pd_; j += kLanes) {
+      const VecU32x16 vb = VecU32x16::load(&b[j]);
+      const VecU32x16 vn = VecU32x16::load(&n_[j]);
+      VecU32x16 lo = VecU32x16::load(&acc_lo[i + j]);
+      VecU32x16 hi = VecU32x16::load(&acc_hi[i + j]);
+      simd::add_wide_product(lo, hi, mul_lo(va, vb), mul_hi(va, vb));
+      simd::add_wide_product(lo, hi, mul_lo(vq, vn), mul_hi(vq, vn));
+      lo.store(&acc_lo[i + j]);
+      hi.store(&acc_hi[i + j]);
+    }
+
+    // Column i is now ≡ 0 (mod β); push its upper part into column i+1.
+    const std::uint64_t col =
+        acc_lo[i] | (static_cast<std::uint64_t>(acc_hi[i]) << 32);
+    assert((col & digit_mask_) == 0);
+    const std::uint64_t next =
+        (acc_lo[i + 1] | (static_cast<std::uint64_t>(acc_hi[i + 1]) << 32)) +
+        (col >> digit_bits_);
+    acc_lo[i + 1] = static_cast<std::uint32_t>(next);
+    acc_hi[i + 1] = static_cast<std::uint32_t>(next >> 32);
+  }
+
+  // Columns d_ .. 2d_-1 hold the result; normalize + conditional subtract.
+  static thread_local std::vector<std::uint64_t> cols_buf;
+  cols_buf.assign(d_, 0);
+  for (std::size_t j = 0; j < d_; ++j) {
+    cols_buf[j] = acc_lo[d_ + j] |
+                  (static_cast<std::uint64_t>(acc_hi[d_ + j]) << 32);
+  }
+  finalize(cols_buf.data(), out);
+}
+
+void VectorMontCtx::mul_scalar_ref(const Rep& a, const Rep& b,
+                                   Rep& out) const {
+  assert(a.size() == pd_ && b.size() == pd_);
+  std::vector<std::uint64_t> acc(d_ + pd_ + 1, 0);
+  for (std::size_t i = 0; i < d_; ++i) {
+    const std::uint64_t ai = a[i];
+    for (std::size_t j = 0; j < d_; ++j) {
+      acc[i + j] += ai * b[j];
+    }
+    const std::uint32_t q =
+        (static_cast<std::uint32_t>(acc[i]) & digit_mask_) * n0_ & digit_mask_;
+    for (std::size_t j = 0; j < d_; ++j) {
+      acc[i + j] += static_cast<std::uint64_t>(q) * n_[j];
+    }
+    acc[i + 1] += acc[i] >> digit_bits_;
+  }
+  finalize(acc.data() + d_, out);
+}
+
+}  // namespace phissl::mont

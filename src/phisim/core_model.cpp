@@ -1,0 +1,124 @@
+#include "phisim/core_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace phissl::phisim {
+
+namespace {
+
+// Applies fn(count, cost) over every instruction class in the profile.
+template <typename Fn>
+void for_each_class(const KernelProfile& p, const CostTable& t, Fn&& fn) {
+  fn(p.vec_alu, t.vec_alu);
+  fn(p.vec_mul, t.vec_mul);
+  fn(p.vec_load, t.vec_load);
+  fn(p.vec_store, t.vec_store);
+  fn(p.scalar_alu, t.scalar_alu);
+  fn(p.scalar_mul32, t.scalar_mul32);
+  fn(p.scalar_mul64, t.scalar_mul64);
+  fn(p.scalar_ldst, t.scalar_ldst);
+}
+
+}  // namespace
+
+double CoreModel::issue_cycles(const KernelProfile& p) const {
+  // Structural dual-issue bound with threads covering each other's gaps:
+  // U-pipe work (all vector ops and hardware multiplies) cannot move to
+  // the V pipe; pairable scalar work can.
+  const double u = p.vec_alu * t_.vec_alu.issue + p.vec_mul * t_.vec_mul.issue +
+                   p.vec_load * t_.vec_load.issue +
+                   p.vec_store * t_.vec_store.issue +
+                   p.scalar_mul32 * t_.scalar_mul32.issue +
+                   p.scalar_mul64 * t_.scalar_mul64.issue;
+  const double v = p.scalar_alu * t_.scalar_alu.issue +
+                   p.scalar_ldst * t_.scalar_ldst.issue;
+  return std::max(u, (u + v) / 2.0);
+}
+
+double CoreModel::stall_cycles(const KernelProfile& p) const {
+  // Latency exposed beyond issue occupancy on the serial fraction of the
+  // stream (informational; the latency/throughput methods below fold the
+  // same effect in per class).
+  double s = 0;
+  for_each_class(p, t_, [&](double count, const OpCost& c) {
+    s += count * std::max(0.0, c.latency - c.issue);
+  });
+  return s * p.serial_fraction;
+}
+
+double CoreModel::single_thread_cycles(const KernelProfile& p) const {
+  // One thread alone, in order. A dependent op cannot start until its
+  // predecessor's result is ready (latency), can never beat the
+  // issue-gap rule, and occupies the pipe for its issue cycles:
+  //   cost_dep   = max(latency, gap, issue)
+  // An independent op is limited by the gap rule and pipe occupancy only:
+  //   cost_indep = max(gap, issue)
+  // The profile's serial_fraction mixes the two. Validated against the
+  // trace-driven simulator (trace_sim.hpp) to within a few percent.
+  const double sf = std::clamp(p.serial_fraction, 0.0, 1.0);
+  const double gap = CostTable::kSingleThreadIssueGap;
+  double cycles = 0;
+  for_each_class(p, t_, [&](double count, const OpCost& c) {
+    const double dep = std::max({c.latency, gap, c.issue});
+    const double indep = std::max(gap, c.issue);
+    cycles += count * (sf * dep + (1.0 - sf) * indep);
+  });
+  return cycles;
+}
+
+double CoreModel::throughput_per_cycle(const KernelProfile& p,
+                                       int threads) const {
+  threads = std::clamp(threads, 1, 4);
+  const double single = single_thread_cycles(p);
+  const double issue = issue_cycles(p);
+  // t threads interleave: each runs at its own dependency-limited pace
+  // until the core's issue bandwidth saturates.
+  return std::min(static_cast<double>(threads) / single, 1.0 / issue);
+}
+
+double CoreModel::latency_cycles(const KernelProfile& p, int threads) const {
+  // With t ops in flight, each op's latency is t / core-throughput.
+  threads = std::clamp(threads, 1, 4);
+  return static_cast<double>(threads) / throughput_per_cycle(p, threads);
+}
+
+double ChipModel::op_latency_s(const KernelProfile& p,
+                               int threads_on_core) const {
+  return core_.latency_cycles(p, threads_on_core) / cfg_.clock_hz;
+}
+
+double ChipModel::throughput_ops_s(const KernelProfile& p, int total_threads,
+                                   Affinity affinity) const {
+  const int capacity = cfg_.cores * cfg_.threads_per_core;
+  total_threads = std::clamp(total_threads, 1, capacity);
+
+  double ops_per_cycle = 0.0;
+  if (affinity == Affinity::kScatter) {
+    // Round-robin: cores get ceil or floor threads.
+    const int per_core = total_threads / cfg_.cores;
+    const int extra = total_threads % cfg_.cores;
+    if (per_core > 0) {
+      ops_per_cycle += (cfg_.cores - extra) *
+                       core_.throughput_per_cycle(p, per_core);
+    }
+    if (extra > 0) {
+      ops_per_cycle += extra * core_.throughput_per_cycle(p, per_core + 1);
+    }
+  } else {
+    const int full_cores = total_threads / cfg_.threads_per_core;
+    const int rem = total_threads % cfg_.threads_per_core;
+    ops_per_cycle += full_cores *
+                     core_.throughput_per_cycle(p, cfg_.threads_per_core);
+    if (rem > 0) ops_per_cycle += core_.throughput_per_cycle(p, rem);
+  }
+
+  double ops_s = ops_per_cycle * cfg_.clock_hz;
+  // GDDR5 bandwidth ceiling.
+  if (p.bytes_touched > 0) {
+    ops_s = std::min(ops_s, cfg_.mem_bw_bytes_per_s / p.bytes_touched);
+  }
+  return ops_s;
+}
+
+}  // namespace phissl::phisim

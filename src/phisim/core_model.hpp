@@ -1,0 +1,88 @@
+// KNC core and chip performance model.
+//
+// Core model: in-order dual-issue (U-pipe + V-pipe). Vector instructions
+// and multiplies issue on the U-pipe only; simple scalar ALU and memory
+// ops can pair on the V-pipe. A single hardware thread cannot issue on
+// consecutive cycles, so one thread reaches at most half the issue rate —
+// the documented reason KNC needs >= 2 threads/core for peak. Dependency
+// stalls (instruction latency exposed by serial chains) are overlapped by
+// multithreading: with t threads resident, each thread's stall cycles are
+// filled by the other threads' issue slots until the issue bandwidth
+// saturates.
+//
+// Chip model: `cores` identical cores; threads are placed scatter (round-
+// robin across cores, what MPSS' KMP_AFFINITY=balanced does) or compact
+// (fill a core's 4 threads before the next). Aggregate throughput is
+// capped by the GDDR5 bandwidth.
+#pragma once
+
+#include <cstddef>
+
+#include "phisim/cost_table.hpp"
+#include "phisim/profile.hpp"
+
+namespace phissl::phisim {
+
+enum class Affinity {
+  kScatter,  ///< round-robin threads across cores (balanced)
+  kCompact,  ///< fill each core's 4 threads before moving on
+};
+
+class CoreModel {
+ public:
+  explicit CoreModel(CostTable table = {}) : t_(table) {}
+
+  /// Pipeline issue slots one invocation occupies on the U-pipe and the
+  /// total over both pipes (for the dual-issue bound).
+  [[nodiscard]] double issue_cycles(const KernelProfile& p) const;
+
+  /// Dependency-stall cycles one invocation exposes when run alone
+  /// (informational decomposition; the latency methods fold this in).
+  [[nodiscard]] double stall_cycles(const KernelProfile& p) const;
+
+  /// Cycles for one invocation on a thread running ALONE on the core:
+  /// per-op max(latency, issue-gap, issue) on the serial fraction of the
+  /// stream, max(issue-gap, issue) on the independent fraction.
+  [[nodiscard]] double single_thread_cycles(const KernelProfile& p) const;
+
+  /// Cycles for one invocation with `threads` hardware threads resident on
+  /// the core, all running this kernel (latency of each thread's op).
+  [[nodiscard]] double latency_cycles(const KernelProfile& p,
+                                      int threads) const;
+
+  /// Core throughput in invocations per cycle with `threads` resident.
+  [[nodiscard]] double throughput_per_cycle(const KernelProfile& p,
+                                            int threads) const;
+
+  [[nodiscard]] const CostTable& table() const { return t_; }
+
+ private:
+  CostTable t_;
+};
+
+class ChipModel {
+ public:
+  explicit ChipModel(ChipConfig config = {}, CostTable table = {})
+      : cfg_(config), core_(table) {}
+
+  /// Single-op latency in seconds with `threads_on_core` co-resident.
+  [[nodiscard]] double op_latency_s(const KernelProfile& p,
+                                    int threads_on_core = 1) const;
+
+  /// Aggregate ops/s with `total_threads` worker threads placed by
+  /// `affinity`, all executing the kernel back-to-back. Includes the
+  /// memory-bandwidth cap. total_threads is clamped to the chip's
+  /// capacity (cores * threads_per_core).
+  [[nodiscard]] double throughput_ops_s(
+      const KernelProfile& p, int total_threads,
+      Affinity affinity = Affinity::kScatter) const;
+
+  [[nodiscard]] const ChipConfig& config() const { return cfg_; }
+  [[nodiscard]] const CoreModel& core() const { return core_; }
+
+ private:
+  ChipConfig cfg_;
+  CoreModel core_;
+};
+
+}  // namespace phissl::phisim

@@ -1,0 +1,52 @@
+// Instruction cost table for the Knights Corner (KNC) core model.
+//
+// KNC's core is a heavily modified in-order P54C pipeline at ~1.1 GHz with
+// a 512-bit VPU bolted on. The table below encodes per-class issue
+// (throughput) and latency costs in core cycles. Values follow the Intel
+// Xeon Phi Coprocessor System Software Developers Guide and the published
+// microbenchmark literature; they are a *cost model*, not a promise of
+// cycle accuracy — the simulator's job is to reproduce relative shapes
+// (vector vs scalar, thread scaling), which are driven by the ratios here.
+#pragma once
+
+namespace phissl::phisim {
+
+/// Per-instruction-class costs in cycles. `issue` is the reciprocal
+/// throughput (pipeline slots occupied); `latency` is result availability,
+/// used to estimate dependency stalls.
+struct OpCost {
+  double issue;
+  double latency;
+};
+
+struct CostTable {
+  // 512-bit vector unit (U-pipe only).
+  OpCost vec_alu{1.0, 4.0};    ///< vpaddd/vpsubd/logic/masked blend
+  OpCost vec_mul{2.0, 6.0};    ///< vpmulld/vpmulhud
+  OpCost vec_load{1.0, 4.0};   ///< L1-resident vector load
+  OpCost vec_store{1.0, 4.0};  ///< vector store
+
+  // Scalar pipes. Simple ALU ops can pair on the V-pipe when the
+  // instruction stream has independent work (see CoreModel::issue_cycles).
+  // The KNC scalar core is P54C-derived: integer multiply is slow, and the
+  // 64-bit widening multiply is microcoded.
+  OpCost scalar_alu{1.0, 1.0};     ///< add/sub/logic/shift/branch
+  OpCost scalar_mul32{4.0, 10.0};  ///< 32x32->64 multiply
+  OpCost scalar_mul64{10.0, 18.0}; ///< 64x64->128 multiply (microcoded)
+  OpCost scalar_ldst{1.0, 3.0};    ///< L1-resident scalar load/store
+
+  /// KNC issue rule: one hardware thread cannot issue on two consecutive
+  /// cycles, so a lone thread reaches at most 1/kSingleThreadIssueGap of
+  /// the core's issue bandwidth.
+  static constexpr double kSingleThreadIssueGap = 2.0;
+};
+
+/// Whole-chip parameters (Xeon Phi 5110P-class card).
+struct ChipConfig {
+  int cores = 60;                ///< 61 physical, one reserved for the uOS
+  int threads_per_core = 4;     ///< round-robin hardware threads
+  double clock_hz = 1.053e9;    ///< core clock
+  double mem_bw_bytes_per_s = 140e9;  ///< achievable GDDR5 stream bandwidth
+};
+
+}  // namespace phissl::phisim

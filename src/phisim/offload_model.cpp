@@ -1,0 +1,58 @@
+#include "phisim/offload_model.hpp"
+
+#include <algorithm>
+
+namespace phissl::phisim {
+
+double OffloadModel::offload_batch_seconds(const KernelProfile& op,
+                                           std::size_t batch,
+                                           std::size_t request_bytes,
+                                           std::size_t response_bytes) const {
+  if (batch == 0) return 0.0;
+  const double n = static_cast<double>(batch);
+  // One DMA each way per batch, payload proportional to batch size.
+  const double transfer =
+      2.0 * pcie_.dispatch_latency_s +
+      n * static_cast<double>(request_bytes + response_bytes) /
+          pcie_.bandwidth_bytes_per_s;
+  // Compute at full occupancy; small batches can't fill 240 threads.
+  const int threads = static_cast<int>(std::min<std::size_t>(
+      batch, static_cast<std::size_t>(chip_.config().cores *
+                                      chip_.config().threads_per_core)));
+  const double ops_s = chip_.throughput_ops_s(op, threads);
+  return transfer + n / ops_s;
+}
+
+double OffloadModel::host_batch_seconds(double host_op_seconds,
+                                        std::size_t batch, int host_cores) {
+  if (batch == 0) return 0.0;
+  const double cores = std::max(1, host_cores);
+  return static_cast<double>(batch) * host_op_seconds / cores;
+}
+
+std::size_t OffloadModel::break_even_batch(const KernelProfile& op,
+                                           double host_op_seconds,
+                                           int host_cores,
+                                           std::size_t request_bytes,
+                                           std::size_t response_bytes,
+                                           std::size_t max_batch) const {
+  for (std::size_t batch = 1; batch <= max_batch; batch *= 2) {
+    const double card =
+        offload_batch_seconds(op, batch, request_bytes, response_bytes);
+    const double host = host_batch_seconds(host_op_seconds, batch, host_cores);
+    if (card < host) {
+      // Refine linearly within the previous octave.
+      std::size_t lo = batch / 2 + 1;
+      for (std::size_t b = lo; b <= batch; ++b) {
+        if (offload_batch_seconds(op, b, request_bytes, response_bytes) <
+            host_batch_seconds(host_op_seconds, b, host_cores)) {
+          return b;
+        }
+      }
+      return batch;
+    }
+  }
+  return 0;
+}
+
+}  // namespace phissl::phisim

@@ -1,0 +1,215 @@
+#include "phisim/trace_sim.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <stdexcept>
+
+namespace phissl::phisim {
+
+namespace {
+
+constexpr std::size_t kNumClasses = 8;
+
+bool is_u_pipe_only(OpClass c) {
+  switch (c) {
+    case OpClass::kVecAlu:
+    case OpClass::kVecMul:
+    case OpClass::kVecLoad:
+    case OpClass::kVecStore:
+    case OpClass::kScalarMul32:
+    case OpClass::kScalarMul64:
+      return true;
+    case OpClass::kScalarAlu:
+    case OpClass::kScalarLdst:
+      return false;
+  }
+  return true;
+}
+
+OpCost cost_of(OpClass c, const CostTable& t) {
+  switch (c) {
+    case OpClass::kVecAlu:
+      return t.vec_alu;
+    case OpClass::kVecMul:
+      return t.vec_mul;
+    case OpClass::kVecLoad:
+      return t.vec_load;
+    case OpClass::kVecStore:
+      return t.vec_store;
+    case OpClass::kScalarAlu:
+      return t.scalar_alu;
+    case OpClass::kScalarMul32:
+      return t.scalar_mul32;
+    case OpClass::kScalarMul64:
+      return t.scalar_mul64;
+    case OpClass::kScalarLdst:
+      return t.scalar_ldst;
+  }
+  return {1.0, 1.0};
+}
+
+}  // namespace
+
+std::vector<TraceOp> synthesize_trace(const KernelProfile& profile,
+                                      std::size_t max_ops) {
+  const std::array<double, kNumClasses> counts = {
+      profile.vec_alu,     profile.vec_mul,      profile.vec_load,
+      profile.vec_store,   profile.scalar_alu,   profile.scalar_mul32,
+      profile.scalar_mul64, profile.scalar_ldst};
+  double total = 0;
+  for (const double c : counts) total += c;
+  if (total <= 0) throw std::invalid_argument("synthesize_trace: empty mix");
+  const double scale = std::min(1.0, static_cast<double>(max_ops) / total);
+
+  std::array<std::size_t, kNumClasses> scaled{};
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < kNumClasses; ++i) {
+    scaled[i] = static_cast<std::size_t>(std::llround(counts[i] * scale));
+    n += scaled[i];
+  }
+  if (n == 0) throw std::invalid_argument("synthesize_trace: trace rounds to 0");
+
+  // Deterministic proportional interleave (largest remainder first):
+  // at each step emit the class most behind its target share.
+  std::vector<TraceOp> trace;
+  trace.reserve(n);
+  std::array<std::size_t, kNumClasses> emitted{};
+  // Dependency pattern: every dep_stride-th op depends on its
+  // predecessor, reproducing serial_fraction deterministically
+  // (sf=1 -> every op dependent; sf=0 -> none).
+  const double sf = std::clamp(profile.serial_fraction, 0.0, 1.0);
+  const std::size_t dep_stride =
+      sf <= 0.0 ? 0 : std::max<std::size_t>(1, static_cast<std::size_t>(
+                                                   std::llround(1.0 / sf)));
+  for (std::size_t step = 0; step < n; ++step) {
+    std::size_t best = kNumClasses;
+    double best_deficit = -1e300;
+    for (std::size_t i = 0; i < kNumClasses; ++i) {
+      if (emitted[i] >= scaled[i]) continue;
+      const double target =
+          static_cast<double>(scaled[i]) * static_cast<double>(step + 1) /
+          static_cast<double>(n);
+      const double deficit = target - static_cast<double>(emitted[i]);
+      if (deficit > best_deficit) {
+        best_deficit = deficit;
+        best = i;
+      }
+    }
+    emitted[best]++;
+    const bool dependent =
+        dep_stride != 0 && (step % dep_stride) == dep_stride - 1;
+    trace.push_back(TraceOp{static_cast<OpClass>(best), step != 0 && dependent});
+  }
+  return trace;
+}
+
+KernelProfile profile_of_trace(const std::vector<TraceOp>& trace,
+                               double serial_fraction) {
+  KernelProfile p;
+  p.label = "trace";
+  p.serial_fraction = serial_fraction;
+  for (const TraceOp& op : trace) {
+    switch (op.cls) {
+      case OpClass::kVecAlu:
+        p.vec_alu += 1;
+        break;
+      case OpClass::kVecMul:
+        p.vec_mul += 1;
+        break;
+      case OpClass::kVecLoad:
+        p.vec_load += 1;
+        break;
+      case OpClass::kVecStore:
+        p.vec_store += 1;
+        break;
+      case OpClass::kScalarAlu:
+        p.scalar_alu += 1;
+        break;
+      case OpClass::kScalarMul32:
+        p.scalar_mul32 += 1;
+        break;
+      case OpClass::kScalarMul64:
+        p.scalar_mul64 += 1;
+        break;
+      case OpClass::kScalarLdst:
+        p.scalar_ldst += 1;
+        break;
+    }
+  }
+  return p;
+}
+
+TraceResult simulate_core(const std::vector<TraceOp>& trace, int threads,
+                          int iterations, CostTable table) {
+  if (threads < 1 || threads > 4) {
+    throw std::invalid_argument("simulate_core: threads must be 1..4");
+  }
+  if (trace.empty() || iterations < 1) {
+    throw std::invalid_argument("simulate_core: empty work");
+  }
+  const std::size_t per_thread_ops = trace.size() * static_cast<std::size_t>(iterations);
+
+  struct Thread {
+    std::size_t next = 0;             // index into the unrolled stream
+    std::uint64_t issue_gate = 0;     // earliest cycle this thread may issue
+    std::uint64_t dep_ready = 0;      // when the previous op's result lands
+  };
+  std::vector<Thread> ts(static_cast<std::size_t>(threads));
+
+  std::uint64_t u_free = 0;  // first cycle the U pipe is free
+  std::uint64_t v_free = 0;
+  std::uint64_t cycle = 0;
+  std::size_t done_threads = 0;
+
+  // Hard cap so a modelling bug cannot hang the test suite.
+  const std::uint64_t max_cycles = per_thread_ops * 64ull + 10000;
+
+  while (done_threads < ts.size() && cycle < max_cycles) {
+    // Round-robin arbitration, rotating priority each cycle.
+    for (int k = 0; k < threads; ++k) {
+      auto& t = ts[static_cast<std::size_t>(
+          (static_cast<int>(cycle) + k) % threads)];
+      if (t.next >= per_thread_ops) continue;
+      if (cycle < t.issue_gate) continue;
+      const TraceOp& op = trace[t.next % trace.size()];
+      const bool dependent = op.depends_on_prev && (t.next % trace.size()) != 0;
+      if (dependent && cycle < t.dep_ready) continue;
+      const OpCost cost = cost_of(op.cls, table);
+      // Pipe selection: U-only classes need the U pipe; pairable scalar
+      // ops take V when free, else U.
+      std::uint64_t* pipe = nullptr;
+      if (is_u_pipe_only(op.cls)) {
+        if (u_free <= cycle) pipe = &u_free;
+      } else {
+        if (v_free <= cycle) {
+          pipe = &v_free;
+        } else if (u_free <= cycle) {
+          pipe = &u_free;
+        }
+      }
+      if (pipe == nullptr) continue;
+
+      *pipe = cycle + static_cast<std::uint64_t>(cost.issue);
+      t.dep_ready = cycle + static_cast<std::uint64_t>(cost.latency);
+      // KNC rule: no issue on the immediately following cycle.
+      t.issue_gate =
+          cycle + static_cast<std::uint64_t>(CostTable::kSingleThreadIssueGap);
+      ++t.next;
+      if (t.next == per_thread_ops) ++done_threads;
+    }
+    ++cycle;
+  }
+
+  TraceResult r;
+  r.cycles = cycle;
+  const double total_ops =
+      static_cast<double>(per_thread_ops) * static_cast<double>(threads);
+  r.ops_per_cycle = total_ops / static_cast<double>(cycle);
+  r.traces_per_kcycle = static_cast<double>(iterations) *
+                        static_cast<double>(threads) * 1000.0 /
+                        static_cast<double>(cycle);
+  return r;
+}
+
+}  // namespace phissl::phisim

@@ -1,0 +1,62 @@
+// Trace-driven KNC core simulator.
+//
+// The closed-form CoreModel (core_model.hpp) predicts throughput from an
+// instruction mix analytically. This module checks that model from below:
+// it synthesizes a concrete instruction trace with the profile's mix and
+// dependency structure, then steps a cycle-accurate-ish core — U/V dual
+// issue, per-class issue occupancy and result latency, the
+// no-consecutive-cycle-issue rule per hardware thread, round-robin thread
+// arbitration — and reports the achieved throughput. The validation test
+// (and bench_model_validation) require the two to agree.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "phisim/cost_table.hpp"
+#include "phisim/profile.hpp"
+
+namespace phissl::phisim {
+
+enum class OpClass : std::uint8_t {
+  kVecAlu,
+  kVecMul,
+  kVecLoad,
+  kVecStore,
+  kScalarAlu,
+  kScalarMul32,
+  kScalarMul64,
+  kScalarLdst,
+};
+
+struct TraceOp {
+  OpClass cls;
+  /// True when this op consumes the previous op's result (must wait for
+  /// its latency, and cannot dual-issue with it).
+  bool depends_on_prev;
+};
+
+/// Synthesizes a trace with the same class mix and serial_fraction as
+/// `profile`, scaled down to at most `max_ops` instructions. The classes
+/// are interleaved deterministically (largest-remainder order) so the
+/// trace is reproducible.
+std::vector<TraceOp> synthesize_trace(const KernelProfile& profile,
+                                      std::size_t max_ops = 4096);
+
+/// A KernelProfile with exactly the counts present in `trace` (for an
+/// apples-to-apples closed-form comparison).
+KernelProfile profile_of_trace(const std::vector<TraceOp>& trace,
+                               double serial_fraction);
+
+struct TraceResult {
+  std::uint64_t cycles = 0;      ///< cycles to drain all threads' traces
+  double ops_per_cycle = 0.0;    ///< total instructions / cycles
+  double traces_per_kcycle = 0;  ///< completed trace-iterations per 1000 cyc
+};
+
+/// Runs `threads` hardware threads (1..4), each executing `trace`
+/// `iterations` times back to back, through the core pipeline model.
+TraceResult simulate_core(const std::vector<TraceOp>& trace, int threads,
+                          int iterations = 4, CostTable table = {});
+
+}  // namespace phissl::phisim

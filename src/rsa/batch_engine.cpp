@@ -1,0 +1,40 @@
+#include "rsa/batch_engine.hpp"
+
+#include <stdexcept>
+
+namespace phissl::rsa {
+
+using bigint::BigInt;
+
+BatchEngine::BatchEngine(PrivateKey key, unsigned digit_bits)
+    : key_(std::move(key)),
+      ctx_p_(key_.p, digit_bits),
+      ctx_q_(key_.q, digit_bits) {}
+
+std::array<BigInt, BatchEngine::kBatch> BatchEngine::private_op(
+    std::span<const BigInt> xs) const {
+  if (xs.size() != kBatch) {
+    throw std::invalid_argument("BatchEngine::private_op: need 16 inputs");
+  }
+  std::array<BigInt, kBatch> xp, xq;
+  for (std::size_t l = 0; l < kBatch; ++l) {
+    if (xs[l].is_negative() || xs[l] >= key_.pub.n) {
+      throw std::invalid_argument(
+          "BatchEngine::private_op: inputs must be in [0, n)");
+    }
+    xp[l] = xs[l].mod(key_.p);
+    xq[l] = xs[l].mod(key_.q);
+  }
+  // Two batched half-size exponentiations (shared exponents dp, dq).
+  const auto m1 = ctx_p_.mod_exp(xp, key_.dp);
+  const auto m2 = ctx_q_.mod_exp(xq, key_.dq);
+  // Garner recombination per lane (scalar; cheap next to the modexps).
+  std::array<BigInt, kBatch> out;
+  for (std::size_t l = 0; l < kBatch; ++l) {
+    const BigInt h = (key_.qinv * (m1[l] - m2[l])).mod(key_.p);
+    out[l] = m2[l] + h * key_.q;
+  }
+  return out;
+}
+
+}  // namespace phissl::rsa

@@ -1,0 +1,35 @@
+// Throughput-mode RSA: 16 private-key operations at a time, one per SIMD
+// lane, sharing the key (and therefore the CRT exponents dp/dq across
+// lanes). This is the batched signing mode of experiment E9 — the natural
+// server workload for a 16-lane vector unit.
+#pragma once
+
+#include <array>
+#include <span>
+
+#include "mont/batch.hpp"
+#include "rsa/key.hpp"
+
+namespace phissl::rsa {
+
+class BatchEngine {
+ public:
+  static constexpr std::size_t kBatch = mont::BatchVectorMontCtx::kBatch;
+
+  /// Precomputes the batched Montgomery contexts for p and q.
+  explicit BatchEngine(PrivateKey key, unsigned digit_bits = 27);
+
+  [[nodiscard]] const PublicKey& pub() const { return key_.pub; }
+
+  /// 16 private ops (x^d mod n via CRT), lane-parallel.
+  /// Every x must be in [0, n).
+  [[nodiscard]] std::array<bigint::BigInt, kBatch> private_op(
+      std::span<const bigint::BigInt> xs) const;
+
+ private:
+  PrivateKey key_;
+  mont::BatchVectorMontCtx ctx_p_;
+  mont::BatchVectorMontCtx ctx_q_;
+};
+
+}  // namespace phissl::rsa

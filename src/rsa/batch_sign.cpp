@@ -1,0 +1,31 @@
+#include "rsa/batch_sign.hpp"
+
+#include "rsa/pkcs1.hpp"
+#include "simd/sha256x16.hpp"
+
+namespace phissl::rsa {
+
+using bigint::BigInt;
+
+std::array<std::vector<std::uint8_t>, BatchEngine::kBatch> batch_sign_sha256(
+    const BatchEngine& engine,
+    const std::array<std::span<const std::uint8_t>, BatchEngine::kBatch>&
+        msgs) {
+  constexpr std::size_t kB = BatchEngine::kBatch;
+  const std::size_t k = engine.pub().byte_size();
+
+  // Lane-parallel digests, then per-lane EMSA encoding (cheap scalar).
+  const auto digests = simd::sha256_x16(msgs);
+  std::array<BigInt, kB> encoded;
+  for (std::size_t l = 0; l < kB; ++l) {
+    encoded[l] =
+        BigInt::from_bytes_be(emsa_pkcs1_v15_from_digest(digests[l], k));
+  }
+
+  const auto sigs = engine.private_op(encoded);
+  std::array<std::vector<std::uint8_t>, kB> out;
+  for (std::size_t l = 0; l < kB; ++l) out[l] = sigs[l].to_bytes_be(k);
+  return out;
+}
+
+}  // namespace phissl::rsa

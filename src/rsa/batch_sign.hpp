@@ -1,0 +1,24 @@
+// Fully-batched PKCS#1 v1.5 signing: 16 messages hashed simultaneously in
+// the SIMD lanes (multi-buffer SHA-256) and signed simultaneously in the
+// SIMD lanes (batched CRT Montgomery exponentiation). The whole signing
+// path runs in throughput mode — the natural composition of
+// simd::sha256_x16 and rsa::BatchEngine.
+#pragma once
+
+#include <array>
+#include <span>
+#include <vector>
+
+#include "rsa/batch_engine.hpp"
+
+namespace phissl::rsa {
+
+/// Signs 16 equal-length messages; out[l] = PKCS#1-v1.5-SHA256 signature
+/// of msgs[l]. Throws std::invalid_argument / std::length_error on bad
+/// shapes (unequal lengths, modulus too small).
+std::array<std::vector<std::uint8_t>, BatchEngine::kBatch> batch_sign_sha256(
+    const BatchEngine& engine,
+    const std::array<std::span<const std::uint8_t>, BatchEngine::kBatch>&
+        msgs);
+
+}  // namespace phissl::rsa

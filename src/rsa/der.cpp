@@ -1,0 +1,234 @@
+#include "rsa/der.hpp"
+
+#include <stdexcept>
+
+#include "util/base64.hpp"
+
+namespace phissl::rsa {
+
+using bigint::BigInt;
+
+namespace {
+
+constexpr std::uint8_t kTagInteger = 0x02;
+constexpr std::uint8_t kTagSequence = 0x30;
+
+// --- encoding ---------------------------------------------------------------
+
+void append_length(std::vector<std::uint8_t>& out, std::size_t len) {
+  if (len < 0x80) {
+    out.push_back(static_cast<std::uint8_t>(len));
+    return;
+  }
+  std::uint8_t tmp[8];
+  int n = 0;
+  while (len != 0) {
+    tmp[n++] = static_cast<std::uint8_t>(len);
+    len >>= 8;
+  }
+  out.push_back(static_cast<std::uint8_t>(0x80 | n));
+  for (int i = n; i-- > 0;) out.push_back(tmp[i]);
+}
+
+// DER INTEGER from a non-negative BigInt: minimal big-endian magnitude,
+// with a leading 0x00 if the top bit would read as a sign bit.
+void append_integer(std::vector<std::uint8_t>& out, const BigInt& v) {
+  if (v.is_negative()) {
+    throw std::invalid_argument("DER encode: negative integer");
+  }
+  std::vector<std::uint8_t> mag = v.to_bytes_be();
+  if (mag.empty()) mag.push_back(0x00);  // INTEGER 0 has one content byte
+  const bool needs_pad = (mag[0] & 0x80) != 0;
+  out.push_back(kTagInteger);
+  append_length(out, mag.size() + (needs_pad ? 1 : 0));
+  if (needs_pad) out.push_back(0x00);
+  out.insert(out.end(), mag.begin(), mag.end());
+}
+
+std::vector<std::uint8_t> wrap_sequence(std::vector<std::uint8_t> body) {
+  std::vector<std::uint8_t> out;
+  out.push_back(kTagSequence);
+  append_length(out, body.size());
+  out.insert(out.end(), body.begin(), body.end());
+  return out;
+}
+
+// --- decoding ---------------------------------------------------------------
+
+class Reader {
+ public:
+  explicit Reader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  [[nodiscard]] bool empty() const { return pos_ >= data_.size(); }
+
+  std::uint8_t read_byte() {
+    if (empty()) throw std::invalid_argument("DER: truncated");
+    return data_[pos_++];
+  }
+
+  std::size_t read_length() {
+    const std::uint8_t first = read_byte();
+    if ((first & 0x80) == 0) return first;
+    const int n = first & 0x7f;
+    if (n == 0 || n > 8) throw std::invalid_argument("DER: bad length form");
+    std::size_t len = 0;
+    for (int i = 0; i < n; ++i) {
+      len = (len << 8) | read_byte();
+    }
+    if (len < 0x80) throw std::invalid_argument("DER: non-minimal length");
+    return len;
+  }
+
+  std::span<const std::uint8_t> read_bytes(std::size_t n) {
+    if (data_.size() - pos_ < n) throw std::invalid_argument("DER: truncated");
+    const auto out = data_.subspan(pos_, n);
+    pos_ += n;
+    return out;
+  }
+
+  /// Reads one INTEGER as a non-negative BigInt.
+  BigInt read_integer() {
+    if (read_byte() != kTagInteger) {
+      throw std::invalid_argument("DER: expected INTEGER");
+    }
+    const std::size_t len = read_length();
+    if (len == 0) throw std::invalid_argument("DER: empty INTEGER");
+    const auto content = read_bytes(len);
+    if (content[0] & 0x80) {
+      throw std::invalid_argument("DER: negative INTEGER in RSA key");
+    }
+    if (len >= 2 && content[0] == 0x00 && (content[1] & 0x80) == 0) {
+      throw std::invalid_argument("DER: non-minimal INTEGER");
+    }
+    return BigInt::from_bytes_be(content);
+  }
+
+  /// Enters a SEQUENCE, returning a reader over its content.
+  Reader read_sequence() {
+    if (read_byte() != kTagSequence) {
+      throw std::invalid_argument("DER: expected SEQUENCE");
+    }
+    const std::size_t len = read_length();
+    return Reader(read_bytes(len));
+  }
+
+ private:
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_private_key_der(const PrivateKey& key) {
+  std::vector<std::uint8_t> body;
+  append_integer(body, BigInt{0});  // version: two-prime
+  append_integer(body, key.pub.n);
+  append_integer(body, key.pub.e);
+  append_integer(body, key.d);
+  append_integer(body, key.p);
+  append_integer(body, key.q);
+  append_integer(body, key.dp);
+  append_integer(body, key.dq);
+  append_integer(body, key.qinv);
+  return wrap_sequence(std::move(body));
+}
+
+std::vector<std::uint8_t> encode_public_key_der(const PublicKey& key) {
+  std::vector<std::uint8_t> body;
+  append_integer(body, key.n);
+  append_integer(body, key.e);
+  return wrap_sequence(std::move(body));
+}
+
+PrivateKey decode_private_key_der(std::span<const std::uint8_t> der) {
+  Reader outer(der);
+  Reader seq = outer.read_sequence();
+  if (!outer.empty()) {
+    throw std::invalid_argument("DER: trailing bytes after RSAPrivateKey");
+  }
+  const BigInt version = seq.read_integer();
+  if (!version.is_zero()) {
+    throw std::invalid_argument("DER: unsupported RSAPrivateKey version");
+  }
+  PrivateKey key;
+  key.pub.n = seq.read_integer();
+  key.pub.e = seq.read_integer();
+  key.d = seq.read_integer();
+  key.p = seq.read_integer();
+  key.q = seq.read_integer();
+  key.dp = seq.read_integer();
+  key.dq = seq.read_integer();
+  key.qinv = seq.read_integer();
+  if (!seq.empty()) {
+    throw std::invalid_argument("DER: trailing fields in RSAPrivateKey");
+  }
+  if (!key.is_consistent()) {
+    throw std::invalid_argument("DER: inconsistent RSA key components");
+  }
+  return key;
+}
+
+PublicKey decode_public_key_der(std::span<const std::uint8_t> der) {
+  Reader outer(der);
+  Reader seq = outer.read_sequence();
+  if (!outer.empty()) {
+    throw std::invalid_argument("DER: trailing bytes after RSAPublicKey");
+  }
+  PublicKey key;
+  key.n = seq.read_integer();
+  key.e = seq.read_integer();
+  if (!seq.empty()) {
+    throw std::invalid_argument("DER: trailing fields in RSAPublicKey");
+  }
+  return key;
+}
+
+std::string pem_encode(std::string_view type,
+                       std::span<const std::uint8_t> der) {
+  std::string out = "-----BEGIN ";
+  out += type;
+  out += "-----\n";
+  const std::string b64 = util::base64_encode(der.data(), der.size());
+  for (std::size_t i = 0; i < b64.size(); i += 64) {
+    out += b64.substr(i, 64);
+    out += '\n';
+  }
+  out += "-----END ";
+  out += type;
+  out += "-----\n";
+  return out;
+}
+
+std::vector<std::uint8_t> pem_decode(std::string_view type,
+                                     std::string_view pem) {
+  const std::string begin = "-----BEGIN " + std::string(type) + "-----";
+  const std::string end = "-----END " + std::string(type) + "-----";
+  const auto begin_pos = pem.find(begin);
+  if (begin_pos == std::string_view::npos) {
+    throw std::invalid_argument("PEM: BEGIN marker not found");
+  }
+  const auto body_start = begin_pos + begin.size();
+  const auto end_pos = pem.find(end, body_start);
+  if (end_pos == std::string_view::npos) {
+    throw std::invalid_argument("PEM: END marker not found");
+  }
+  return util::base64_decode(pem.substr(body_start, end_pos - body_start));
+}
+
+std::string private_key_to_pem(const PrivateKey& key) {
+  return pem_encode("RSA PRIVATE KEY", encode_private_key_der(key));
+}
+
+PrivateKey private_key_from_pem(std::string_view pem) {
+  return decode_private_key_der(pem_decode("RSA PRIVATE KEY", pem));
+}
+
+std::string public_key_to_pem(const PublicKey& key) {
+  return pem_encode("RSA PUBLIC KEY", encode_public_key_der(key));
+}
+
+PublicKey public_key_from_pem(std::string_view pem) {
+  return decode_public_key_der(pem_decode("RSA PUBLIC KEY", pem));
+}
+
+}  // namespace phissl::rsa

@@ -1,0 +1,121 @@
+#include "rsa/engine.hpp"
+
+#include <stdexcept>
+
+#include "mont/modexp.hpp"
+#include "util/random.hpp"
+
+namespace phissl::rsa {
+
+using bigint::BigInt;
+
+const char* to_string(Kernel k) {
+  switch (k) {
+    case Kernel::kScalar32:
+      return "scalar32";
+    case Kernel::kScalar64:
+      return "scalar64";
+    case Kernel::kVector:
+      return "vector";
+  }
+  return "?";
+}
+
+const char* to_string(Schedule s) {
+  switch (s) {
+    case Schedule::kFixedWindow:
+      return "fixed-window";
+    case Schedule::kSlidingWindow:
+      return "sliding-window";
+  }
+  return "?";
+}
+
+Engine::AnyCtx Engine::make_ctx(const BigInt& modulus) const {
+  switch (opts_.kernel) {
+    case Kernel::kScalar32:
+      return AnyCtx{std::in_place_type<mont::MontCtx32>, modulus};
+    case Kernel::kScalar64:
+      return AnyCtx{std::in_place_type<mont::MontCtx64>, modulus};
+    case Kernel::kVector:
+      return AnyCtx{std::in_place_type<mont::VectorMontCtx>, modulus,
+                    opts_.digit_bits};
+  }
+  throw std::logic_error("Engine: unknown kernel");
+}
+
+BigInt Engine::mod_exp(const AnyCtx& ctx, const BigInt& base,
+                       const BigInt& exp) const {
+  return std::visit(
+      [&](const auto& c) {
+        if (opts_.schedule == Schedule::kFixedWindow) {
+          return mont::fixed_window_exp(c, base, exp, opts_.window);
+        }
+        return mont::sliding_window_exp(c, base, exp, opts_.window);
+      },
+      ctx);
+}
+
+Engine::Engine(PrivateKey key, EngineOptions opts)
+    : pub_(key.pub), priv_(std::move(key)), opts_(opts) {
+  ctx_n_ = std::make_unique<AnyCtx>(make_ctx(pub_.n));
+  if (opts_.use_crt) {
+    ctx_p_ = std::make_unique<AnyCtx>(make_ctx(priv_->p));
+    ctx_q_ = std::make_unique<AnyCtx>(make_ctx(priv_->q));
+  }
+}
+
+Engine::Engine(PublicKey key, EngineOptions opts)
+    : pub_(std::move(key)), opts_(opts) {
+  ctx_n_ = std::make_unique<AnyCtx>(make_ctx(pub_.n));
+}
+
+BigInt Engine::public_op(const BigInt& x) const {
+  if (x.is_negative() || x >= pub_.n) {
+    throw std::invalid_argument("Engine::public_op: x must be in [0, n)");
+  }
+  return mod_exp(*ctx_n_, x, pub_.e);
+}
+
+BigInt Engine::private_op_crt(const BigInt& x) const {
+  const PrivateKey& k = *priv_;
+  // Half-size exponentiations mod p and q, then Garner recombination.
+  const BigInt m1 = mod_exp(*ctx_p_, x.mod(k.p), k.dp);
+  const BigInt m2 = mod_exp(*ctx_q_, x.mod(k.q), k.dq);
+  const BigInt h = (k.qinv * (m1 - m2)).mod(k.p);
+  return m2 + h * k.q;
+}
+
+BigInt Engine::private_op(const BigInt& x, util::Rng* rng) const {
+  if (!priv_) {
+    throw std::logic_error("Engine::private_op: no private key");
+  }
+  if (x.is_negative() || x >= pub_.n) {
+    throw std::invalid_argument("Engine::private_op: x must be in [0, n)");
+  }
+  if (!opts_.blinding) {
+    return opts_.use_crt ? private_op_crt(x)
+                         : mod_exp(*ctx_n_, x, priv_->d);
+  }
+
+  if (rng == nullptr) {
+    throw std::invalid_argument(
+        "Engine::private_op: blinding requires an Rng");
+  }
+  // Base blinding: work on x * r^e, unblind with r^-1. Draw r until it is
+  // invertible mod n (always, unless r shares a factor with n).
+  BigInt r, r_inv;
+  for (;;) {
+    r = BigInt::random_below(pub_.n - BigInt{2}, *rng) + BigInt{2};
+    if (BigInt::gcd(r, pub_.n).is_one()) {
+      r_inv = r.mod_inverse(pub_.n);
+      break;
+    }
+  }
+  const BigInt blinded = (x * public_op(r.mod(pub_.n))).mod(pub_.n);
+  const BigInt result =
+      opts_.use_crt ? private_op_crt(blinded) : mod_exp(*ctx_n_, blinded, priv_->d);
+  return (result * r_inv).mod(pub_.n);
+}
+
+}  // namespace phissl::rsa

@@ -1,0 +1,100 @@
+// The RSA computation engine: raw modular-exponentiation operations over a
+// choice of Montgomery kernel, exponentiation schedule, CRT, and blinding.
+//
+// The three systems the paper compares are presets over this one class
+// (see src/baseline/engines.hpp):
+//   PhiOpenSSL    = Vector kernel + fixed window + CRT
+//   MPSS-like     = Scalar32 kernel + sliding window + CRT
+//   OpenSSL-like  = Scalar64 kernel + sliding window + CRT
+//
+// All Montgomery contexts are precomputed at construction, so per-op cost
+// is the exponentiation itself — matching how libcrypto caches BN_MONT_CTX
+// inside the RSA object.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <variant>
+
+#include "bigint/bigint.hpp"
+#include "mont/mont32.hpp"
+#include "mont/mont64.hpp"
+#include "mont/vector_mont.hpp"
+#include "rsa/key.hpp"
+
+namespace phissl::util {
+class Rng;
+}
+
+namespace phissl::rsa {
+
+/// Which Montgomery multiplication kernel performs the inner loops.
+enum class Kernel {
+  kScalar32,  ///< word-serial CIOS, 32-bit limbs (MPSS-like)
+  kScalar64,  ///< word-serial CIOS, 64-bit limbs (OpenSSL-like)
+  kVector,    ///< 16-lane redundant-radix SIMD (PhiOpenSSL)
+};
+
+/// Which exponentiation schedule drives the kernel.
+enum class Schedule {
+  kFixedWindow,    ///< the paper's method (uniform, constant-time gather)
+  kSlidingWindow,  ///< OpenSSL's BN_mod_exp schedule
+};
+
+const char* to_string(Kernel k);
+const char* to_string(Schedule s);
+
+struct EngineOptions {
+  Kernel kernel = Kernel::kVector;
+  Schedule schedule = Schedule::kFixedWindow;
+  /// Window width; <= 0 selects mont::choose_window() per exponent.
+  int window = 0;
+  /// Use CRT for private operations (requires p/q in the key).
+  bool use_crt = true;
+  /// Base blinding for private operations (requires an Rng per op).
+  bool blinding = false;
+  /// Digit width for the vector kernel's redundant radix.
+  unsigned digit_bits = 27;
+};
+
+class Engine {
+ public:
+  /// Engine over a full private key (public + private ops available).
+  Engine(PrivateKey key, EngineOptions opts);
+
+  /// Engine over a public key only (private_op throws).
+  Engine(PublicKey key, EngineOptions opts);
+
+  [[nodiscard]] const PublicKey& pub() const { return pub_; }
+  [[nodiscard]] const EngineOptions& options() const { return opts_; }
+  [[nodiscard]] bool has_private() const { return priv_.has_value(); }
+
+  /// RSA public operation: x^e mod n. x must be in [0, n).
+  [[nodiscard]] bigint::BigInt public_op(const bigint::BigInt& x) const;
+
+  /// RSA private operation: x^d mod n (via CRT when enabled).
+  /// x must be in [0, n). rng is required when blinding is enabled.
+  [[nodiscard]] bigint::BigInt private_op(const bigint::BigInt& x,
+                                          util::Rng* rng = nullptr) const;
+
+ private:
+  using AnyCtx =
+      std::variant<mont::MontCtx32, mont::MontCtx64, mont::VectorMontCtx>;
+
+  AnyCtx make_ctx(const bigint::BigInt& modulus) const;
+  bigint::BigInt mod_exp(const AnyCtx& ctx, const bigint::BigInt& base,
+                         const bigint::BigInt& exp) const;
+
+  bigint::BigInt private_op_crt(const bigint::BigInt& x) const;
+
+  PublicKey pub_;
+  std::optional<PrivateKey> priv_;
+  EngineOptions opts_;
+
+  std::unique_ptr<AnyCtx> ctx_n_;  // modulus n (public op; non-CRT private)
+  std::unique_ptr<AnyCtx> ctx_p_;  // prime p (CRT)
+  std::unique_ptr<AnyCtx> ctx_q_;  // prime q (CRT)
+};
+
+}  // namespace phissl::rsa

@@ -1,0 +1,73 @@
+#include "rsa/key.hpp"
+
+#include <map>
+#include <mutex>
+#include <stdexcept>
+
+#include "util/random.hpp"
+
+namespace phissl::rsa {
+
+using bigint::BigInt;
+
+bool PrivateKey::is_consistent() const {
+  if (p * q != pub.n) return false;
+  const BigInt p1 = p - BigInt{1};
+  const BigInt q1 = q - BigInt{1};
+  const BigInt lambda = (p1 * q1) / BigInt::gcd(p1, q1);
+  if ((pub.e * d).mod(lambda) != BigInt{1}) return false;
+  if (dp != d % p1 || dq != d % q1) return false;
+  if ((q * qinv).mod(p) != BigInt{1}) return false;
+  return true;
+}
+
+PrivateKey generate_key(std::size_t bits, util::Rng& rng, std::uint64_t e) {
+  if (bits < 64 || bits % 2 != 0) {
+    throw std::invalid_argument("generate_key: bits must be even and >= 64");
+  }
+  if (e <= 1 || e % 2 == 0) {
+    throw std::invalid_argument("generate_key: e must be odd and > 1");
+  }
+  const BigInt be = BigInt::from_u64(e);
+  const std::size_t half = bits / 2;
+  for (;;) {
+    const BigInt p = BigInt::random_prime(half, rng);
+    const BigInt q = BigInt::random_prime(half, rng);
+    if (p == q) continue;
+    const BigInt p1 = p - BigInt{1};
+    const BigInt q1 = q - BigInt{1};
+    if (!BigInt::gcd(be, p1).is_one() || !BigInt::gcd(be, q1).is_one()) {
+      continue;
+    }
+    PrivateKey key;
+    key.pub.n = p * q;
+    // random_prime forces the top two bits of each prime, so n has exactly
+    // 2*half bits; keep the check as a guard against future changes.
+    if (key.pub.n.bit_length() != bits) continue;
+    key.pub.e = be;
+    key.p = p;
+    key.q = q;
+    const BigInt lambda = (p1 * q1) / BigInt::gcd(p1, q1);
+    key.d = be.mod_inverse(lambda);
+    key.dp = key.d % p1;
+    key.dq = key.d % q1;
+    key.qinv = q.mod_inverse(p);
+    return key;
+  }
+}
+
+const PrivateKey& test_key(std::size_t bits) {
+  static std::mutex mu;
+  static std::map<std::size_t, PrivateKey> cache;
+  std::lock_guard<std::mutex> lock(mu);
+  auto it = cache.find(bits);
+  if (it == cache.end()) {
+    // Seed depends only on the size, so every run and every benchmark
+    // binary sees identical keys.
+    util::Rng rng(0x9055113355aa77ULL + bits * 2654435761ULL);
+    it = cache.emplace(bits, generate_key(bits, rng)).first;
+  }
+  return it->second;
+}
+
+}  // namespace phissl::rsa

@@ -1,0 +1,50 @@
+// RSA key material and key generation.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "bigint/bigint.hpp"
+
+namespace phissl::util {
+class Rng;
+}
+
+namespace phissl::rsa {
+
+struct PublicKey {
+  bigint::BigInt n;  ///< modulus
+  bigint::BigInt e;  ///< public exponent
+  /// Modulus size in bits.
+  [[nodiscard]] std::size_t bits() const { return n.bit_length(); }
+  /// Modulus size in bytes (the RSA block size k).
+  [[nodiscard]] std::size_t byte_size() const { return (bits() + 7) / 8; }
+};
+
+struct PrivateKey {
+  PublicKey pub;
+  bigint::BigInt d;     ///< private exponent
+  bigint::BigInt p;     ///< first prime
+  bigint::BigInt q;     ///< second prime
+  bigint::BigInt dp;    ///< d mod (p-1)
+  bigint::BigInt dq;    ///< d mod (q-1)
+  bigint::BigInt qinv;  ///< q^-1 mod p
+
+  /// Checks all arithmetic relations between the components
+  /// (n = p*q, e*d ≡ 1 mod lcm(p-1, q-1), CRT parameters consistent).
+  [[nodiscard]] bool is_consistent() const;
+};
+
+/// Generates an RSA key with modulus of exactly `bits` bits (bits must be
+/// even and >= 64) and the given public exponent (odd, > 1). Deterministic
+/// for a given rng state.
+PrivateKey generate_key(std::size_t bits, util::Rng& rng,
+                        std::uint64_t e = 65537);
+
+/// Deterministic test/bench key for a given size: generated once per size
+/// from a fixed seed and cached for the process lifetime. Thread-safe.
+/// Supported sizes: any even size in [64, 8192]; 1024/2048/4096 are the
+/// paper's sizes.
+const PrivateKey& test_key(std::size_t bits);
+
+}  // namespace phissl::rsa

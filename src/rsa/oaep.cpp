@@ -1,0 +1,110 @@
+#include "rsa/oaep.hpp"
+
+#include <stdexcept>
+
+#include "util/random.hpp"
+#include "util/sha256.hpp"
+
+namespace phissl::rsa {
+
+using bigint::BigInt;
+
+namespace {
+constexpr std::size_t kHLen = util::Sha256::kDigestSize;
+}
+
+std::vector<std::uint8_t> mgf1_sha256(std::span<const std::uint8_t> seed,
+                                      std::size_t len) {
+  std::vector<std::uint8_t> out;
+  out.reserve(len + kHLen);
+  for (std::uint32_t counter = 0; out.size() < len; ++counter) {
+    util::Sha256 h;
+    h.update(seed);
+    const std::uint8_t c[4] = {
+        static_cast<std::uint8_t>(counter >> 24),
+        static_cast<std::uint8_t>(counter >> 16),
+        static_cast<std::uint8_t>(counter >> 8),
+        static_cast<std::uint8_t>(counter),
+    };
+    h.update(std::span<const std::uint8_t>(c, 4));
+    const auto block = h.finish();
+    out.insert(out.end(), block.begin(), block.end());
+  }
+  out.resize(len);
+  return out;
+}
+
+std::vector<std::uint8_t> encrypt_oaep(const Engine& engine,
+                                       std::span<const std::uint8_t> message,
+                                       util::Rng& rng,
+                                       std::span<const std::uint8_t> label) {
+  const std::size_t k = engine.pub().byte_size();
+  if (k < 2 * kHLen + 2 || message.size() > k - 2 * kHLen - 2) {
+    throw std::length_error("encrypt_oaep: message too long for modulus");
+  }
+  // DB = lHash || PS(zeros) || 0x01 || M
+  std::vector<std::uint8_t> db(k - kHLen - 1, 0);
+  const auto lhash = util::Sha256::hash(label);
+  std::copy(lhash.begin(), lhash.end(), db.begin());
+  db[db.size() - message.size() - 1] = 0x01;
+  std::copy(message.begin(), message.end(),
+            db.end() - static_cast<std::ptrdiff_t>(message.size()));
+
+  const auto seed = rng.bytes(kHLen);
+  const auto db_mask = mgf1_sha256(seed, db.size());
+  for (std::size_t i = 0; i < db.size(); ++i) db[i] ^= db_mask[i];
+  auto seed_masked = seed;
+  const auto seed_mask = mgf1_sha256(db, kHLen);
+  for (std::size_t i = 0; i < kHLen; ++i) seed_masked[i] ^= seed_mask[i];
+
+  std::vector<std::uint8_t> em(k, 0);
+  std::copy(seed_masked.begin(), seed_masked.end(), em.begin() + 1);
+  std::copy(db.begin(), db.end(),
+            em.begin() + 1 + static_cast<std::ptrdiff_t>(kHLen));
+  return engine.public_op(BigInt::from_bytes_be(em)).to_bytes_be(k);
+}
+
+std::optional<std::vector<std::uint8_t>> decrypt_oaep(
+    const Engine& engine, std::span<const std::uint8_t> ciphertext,
+    std::span<const std::uint8_t> label, util::Rng* rng) {
+  const std::size_t k = engine.pub().byte_size();
+  if (ciphertext.size() != k || k < 2 * kHLen + 2) return std::nullopt;
+  const BigInt c = BigInt::from_bytes_be(ciphertext);
+  if (c >= engine.pub().n) return std::nullopt;
+  std::vector<std::uint8_t> em;
+  try {
+    em = engine.private_op(c, rng).to_bytes_be(k);
+  } catch (const std::length_error&) {
+    return std::nullopt;
+  }
+  if (em[0] != 0x00) return std::nullopt;
+
+  std::vector<std::uint8_t> seed_masked(em.begin() + 1,
+                                        em.begin() + 1 + kHLen);
+  std::vector<std::uint8_t> db(em.begin() + 1 + kHLen, em.end());
+  const auto seed_mask = mgf1_sha256(db, kHLen);
+  for (std::size_t i = 0; i < kHLen; ++i) seed_masked[i] ^= seed_mask[i];
+  const auto db_mask = mgf1_sha256(seed_masked, db.size());
+  for (std::size_t i = 0; i < db.size(); ++i) db[i] ^= db_mask[i];
+
+  const auto lhash = util::Sha256::hash(label);
+  // Validate lHash, then scan for the 0x01 separator past the PS zeros.
+  unsigned bad = 0;
+  for (std::size_t i = 0; i < kHLen; ++i) bad |= db[i] ^ lhash[i];
+  std::size_t sep = 0;
+  for (std::size_t i = kHLen; i < db.size(); ++i) {
+    if (db[i] == 0x01) {
+      sep = i;
+      break;
+    }
+    if (db[i] != 0x00) {
+      bad |= 1;
+      break;
+    }
+  }
+  if (bad != 0 || sep == 0) return std::nullopt;
+  return std::vector<std::uint8_t>(db.begin() + static_cast<std::ptrdiff_t>(sep + 1),
+                                   db.end());
+}
+
+}  // namespace phissl::rsa

@@ -1,0 +1,35 @@
+// RSAES-OAEP (RFC 8017 §7.1) with SHA-256 and MGF1-SHA-256 — the modern
+// padding OpenSSL offers alongside PKCS#1 v1.5; included as the paper's
+// library replaces libcrypto wholesale.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "rsa/engine.hpp"
+
+namespace phissl::util {
+class Rng;
+}
+
+namespace phissl::rsa {
+
+/// MGF1 mask generation (SHA-256): `len` bytes derived from `seed`.
+std::vector<std::uint8_t> mgf1_sha256(std::span<const std::uint8_t> seed,
+                                      std::size_t len);
+
+/// OAEP-encrypts `message` (at most k - 66 bytes for SHA-256) under the
+/// engine's public key with optional label. Throws std::length_error if
+/// the message is too long.
+std::vector<std::uint8_t> encrypt_oaep(
+    const Engine& engine, std::span<const std::uint8_t> message,
+    util::Rng& rng, std::span<const std::uint8_t> label = {});
+
+/// OAEP-decrypts; returns nullopt on any failure (single error signal).
+std::optional<std::vector<std::uint8_t>> decrypt_oaep(
+    const Engine& engine, std::span<const std::uint8_t> ciphertext,
+    std::span<const std::uint8_t> label = {}, util::Rng* rng = nullptr);
+
+}  // namespace phissl::rsa

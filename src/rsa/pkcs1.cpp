@@ -1,0 +1,134 @@
+#include "rsa/pkcs1.hpp"
+
+#include <algorithm>
+#include <array>
+#include <stdexcept>
+
+#include "util/random.hpp"
+#include "util/sha256.hpp"
+
+namespace phissl::rsa {
+
+using bigint::BigInt;
+
+namespace {
+
+// DER DigestInfo prefix for SHA-256 (RFC 8017 §9.2 note 1).
+constexpr std::array<std::uint8_t, 19> kSha256DigestInfo = {
+    0x30, 0x31, 0x30, 0x0d, 0x06, 0x09, 0x60, 0x86, 0x48, 0x01,
+    0x65, 0x03, 0x04, 0x02, 0x01, 0x05, 0x00, 0x04, 0x20};
+
+}  // namespace
+
+std::vector<std::uint8_t> emsa_pkcs1_v15_sha256(
+    std::span<const std::uint8_t> message, std::size_t k) {
+  const auto digest = util::Sha256::hash(message);
+  return emsa_pkcs1_v15_from_digest(digest, k);
+}
+
+std::vector<std::uint8_t> emsa_pkcs1_v15_from_digest(
+    std::span<const std::uint8_t> digest, std::size_t k) {
+  if (digest.size() != util::Sha256::kDigestSize) {
+    throw std::invalid_argument("emsa_pkcs1_v15: digest must be 32 bytes");
+  }
+  const std::size_t t_len = kSha256DigestInfo.size() + digest.size();  // 51
+  if (k < t_len + 11) {
+    throw std::length_error("emsa_pkcs1_v15: modulus too small");
+  }
+  std::vector<std::uint8_t> em(k);
+  em[0] = 0x00;
+  em[1] = 0x01;
+  const std::size_t ps_len = k - t_len - 3;
+  std::fill_n(em.begin() + 2, ps_len, std::uint8_t{0xff});
+  em[2 + ps_len] = 0x00;
+  std::copy(kSha256DigestInfo.begin(), kSha256DigestInfo.end(),
+            em.begin() + static_cast<std::ptrdiff_t>(3 + ps_len));
+  std::copy(digest.begin(), digest.end(),
+            em.begin() + static_cast<std::ptrdiff_t>(3 + ps_len +
+                                                     kSha256DigestInfo.size()));
+  return em;
+}
+
+std::vector<std::uint8_t> sign_sha256(const Engine& engine,
+                                      std::span<const std::uint8_t> message,
+                                      util::Rng* rng) {
+  const std::size_t k = engine.pub().byte_size();
+  const auto em = emsa_pkcs1_v15_sha256(message, k);
+  const BigInt m = BigInt::from_bytes_be(em);
+  const BigInt s = engine.private_op(m, rng);
+  return s.to_bytes_be(k);
+}
+
+bool verify_sha256(const Engine& engine,
+                   std::span<const std::uint8_t> message,
+                   std::span<const std::uint8_t> signature) {
+  const std::size_t k = engine.pub().byte_size();
+  if (signature.size() != k) return false;
+  const BigInt s = BigInt::from_bytes_be(signature);
+  if (s >= engine.pub().n) return false;
+  const BigInt m = engine.public_op(s);
+  std::vector<std::uint8_t> em;
+  try {
+    em = m.to_bytes_be(k);
+  } catch (const std::length_error&) {
+    return false;
+  }
+  const auto expected = emsa_pkcs1_v15_sha256(message, k);
+  return em == expected;
+}
+
+std::vector<std::uint8_t> encrypt_pkcs1(const Engine& engine,
+                                        std::span<const std::uint8_t> message,
+                                        util::Rng& rng) {
+  const std::size_t k = engine.pub().byte_size();
+  if (k < 11 || message.size() > k - 11) {
+    throw std::length_error("encrypt_pkcs1: message too long for modulus");
+  }
+  std::vector<std::uint8_t> em(k);
+  em[0] = 0x00;
+  em[1] = 0x02;
+  const std::size_t ps_len = k - message.size() - 3;
+  for (std::size_t i = 0; i < ps_len; ++i) {
+    // Padding bytes must be nonzero.
+    std::uint8_t b;
+    do {
+      b = static_cast<std::uint8_t>(rng.next_u32());
+    } while (b == 0);
+    em[2 + i] = b;
+  }
+  em[2 + ps_len] = 0x00;
+  std::copy(message.begin(), message.end(),
+            em.begin() + static_cast<std::ptrdiff_t>(3 + ps_len));
+  const BigInt m = BigInt::from_bytes_be(em);
+  return engine.public_op(m).to_bytes_be(k);
+}
+
+std::optional<std::vector<std::uint8_t>> decrypt_pkcs1(
+    const Engine& engine, std::span<const std::uint8_t> ciphertext,
+    util::Rng* rng) {
+  const std::size_t k = engine.pub().byte_size();
+  if (ciphertext.size() != k) return std::nullopt;
+  const BigInt c = BigInt::from_bytes_be(ciphertext);
+  if (c >= engine.pub().n) return std::nullopt;
+  const BigInt m = engine.private_op(c, rng);
+  std::vector<std::uint8_t> em;
+  try {
+    em = m.to_bytes_be(k);
+  } catch (const std::length_error&) {
+    return std::nullopt;
+  }
+  // 0x00 0x02 <at least 8 nonzero bytes> 0x00 <message>
+  if (em.size() < 11 || em[0] != 0x00 || em[1] != 0x02) return std::nullopt;
+  std::size_t sep = 0;
+  for (std::size_t i = 2; i < em.size(); ++i) {
+    if (em[i] == 0x00) {
+      sep = i;
+      break;
+    }
+  }
+  if (sep == 0 || sep < 10) return std::nullopt;  // PS must be >= 8 bytes
+  return std::vector<std::uint8_t>(em.begin() + static_cast<std::ptrdiff_t>(sep + 1),
+                                   em.end());
+}
+
+}  // namespace phissl::rsa

@@ -1,0 +1,53 @@
+// PKCS#1 v1.5 (RFC 8017 §8.2, §7.2): EMSA-PKCS1-v1_5 signatures with
+// SHA-256, and RSAES-PKCS1-v1_5 encryption.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "rsa/engine.hpp"
+
+namespace phissl::util {
+class Rng;
+}
+
+namespace phissl::rsa {
+
+/// EMSA-PKCS1-v1_5 encoding of a SHA-256 digest of `message` into a block
+/// of `k` bytes: 0x00 0x01 0xFF..0xFF 0x00 <DigestInfo(SHA-256) || hash>.
+/// Throws std::length_error if k is too small (k >= 62 required).
+std::vector<std::uint8_t> emsa_pkcs1_v15_sha256(
+    std::span<const std::uint8_t> message, std::size_t k);
+
+/// Same encoding from an already-computed SHA-256 digest (used by the
+/// batched signing path, which hashes 16 messages at once).
+std::vector<std::uint8_t> emsa_pkcs1_v15_from_digest(
+    std::span<const std::uint8_t> digest, std::size_t k);
+
+/// Signs SHA-256(message) with the engine's private key. Returns the
+/// signature as a k-byte big-endian block.
+std::vector<std::uint8_t> sign_sha256(const Engine& engine,
+                                      std::span<const std::uint8_t> message,
+                                      util::Rng* rng = nullptr);
+
+/// Verifies a PKCS#1 v1.5 SHA-256 signature. Strict comparison of the
+/// full encoded block (no BER flexibility — rejects malleable encodings).
+bool verify_sha256(const Engine& engine,
+                   std::span<const std::uint8_t> message,
+                   std::span<const std::uint8_t> signature);
+
+/// RSAES-PKCS1-v1_5 encryption: 0x00 0x02 <nonzero random> 0x00 <message>.
+/// message must be at most k - 11 bytes. Throws std::length_error otherwise.
+std::vector<std::uint8_t> encrypt_pkcs1(const Engine& engine,
+                                        std::span<const std::uint8_t> message,
+                                        util::Rng& rng);
+
+/// RSAES-PKCS1-v1_5 decryption. Returns nullopt on any padding failure
+/// (single error signal, as countermeasure discipline requires).
+std::optional<std::vector<std::uint8_t>> decrypt_pkcs1(
+    const Engine& engine, std::span<const std::uint8_t> ciphertext,
+    util::Rng* rng = nullptr);
+
+}  // namespace phissl::rsa

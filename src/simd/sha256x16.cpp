@@ -1,0 +1,148 @@
+#include "simd/sha256x16.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+#include "simd/vec.hpp"
+
+namespace phissl::simd {
+
+namespace {
+
+constexpr std::uint32_t kK[64] = {
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1,
+    0x923f82a4, 0xab1c5ed5, 0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3,
+    0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174, 0xe49b69c1, 0xefbe4786,
+    0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147,
+    0x06ca6351, 0x14292967, 0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13,
+    0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85, 0xa2bfe8a1, 0xa81a664b,
+    0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a,
+    0x5b9cca4f, 0x682e6ff3, 0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208,
+    0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2};
+
+VecU32x16 rotr(VecU32x16 x, unsigned n) {
+  return bit_or(shr(x, n), shl(x, 32 - n));
+}
+
+// One 64-byte block per lane; blocks[l] points at lane l's block.
+void process_block_x16(std::array<VecU32x16, 8>& state,
+                       const std::array<const std::uint8_t*, 16>& blocks) {
+  VecU32x16 w[64];
+  // Transpose: word t of every lane into one vector.
+  alignas(64) std::uint32_t lane_words[16];
+  for (int t = 0; t < 16; ++t) {
+    for (std::size_t l = 0; l < 16; ++l) {
+      const std::uint8_t* p = blocks[l] + 4 * t;
+      lane_words[l] = (static_cast<std::uint32_t>(p[0]) << 24) |
+                      (static_cast<std::uint32_t>(p[1]) << 16) |
+                      (static_cast<std::uint32_t>(p[2]) << 8) |
+                      static_cast<std::uint32_t>(p[3]);
+    }
+    w[t] = VecU32x16::load(lane_words);
+  }
+  for (int t = 16; t < 64; ++t) {
+    const VecU32x16 s0 = bit_xor(bit_xor(rotr(w[t - 15], 7), rotr(w[t - 15], 18)),
+                                 shr(w[t - 15], 3));
+    const VecU32x16 s1 = bit_xor(bit_xor(rotr(w[t - 2], 17), rotr(w[t - 2], 19)),
+                                 shr(w[t - 2], 10));
+    w[t] = add(add(w[t - 16], s0), add(w[t - 7], s1));
+  }
+
+  VecU32x16 a = state[0], b = state[1], c = state[2], d = state[3];
+  VecU32x16 e = state[4], f = state[5], g = state[6], h = state[7];
+  const VecU32x16 ones = VecU32x16::broadcast(0xffffffffu);
+  for (int t = 0; t < 64; ++t) {
+    const VecU32x16 s1 =
+        bit_xor(bit_xor(rotr(e, 6), rotr(e, 11)), rotr(e, 25));
+    // ch = (e & f) ^ (~e & g)
+    const VecU32x16 ch =
+        bit_xor(bit_and(e, f), bit_and(bit_xor(e, ones), g));
+    const VecU32x16 t1 =
+        add(add(add(h, s1), add(ch, VecU32x16::broadcast(kK[t]))), w[t]);
+    const VecU32x16 s0 =
+        bit_xor(bit_xor(rotr(a, 2), rotr(a, 13)), rotr(a, 22));
+    const VecU32x16 maj =
+        bit_xor(bit_xor(bit_and(a, b), bit_and(a, c)), bit_and(b, c));
+    const VecU32x16 t2 = add(s0, maj);
+    h = g;
+    g = f;
+    f = e;
+    e = add(d, t1);
+    d = c;
+    c = b;
+    b = a;
+    a = add(t1, t2);
+  }
+  state[0] = add(state[0], a);
+  state[1] = add(state[1], b);
+  state[2] = add(state[2], c);
+  state[3] = add(state[3], d);
+  state[4] = add(state[4], e);
+  state[5] = add(state[5], f);
+  state[6] = add(state[6], g);
+  state[7] = add(state[7], h);
+}
+
+}  // namespace
+
+std::array<util::Sha256::Digest, 16> sha256_x16(
+    const std::array<std::span<const std::uint8_t>, 16>& msgs) {
+  const std::size_t len = msgs[0].size();
+  for (const auto& m : msgs) {
+    if (m.size() != len) {
+      throw std::invalid_argument("sha256_x16: messages must be equal length");
+    }
+  }
+
+  std::array<VecU32x16, 8> state = {
+      VecU32x16::broadcast(0x6a09e667), VecU32x16::broadcast(0xbb67ae85),
+      VecU32x16::broadcast(0x3c6ef372), VecU32x16::broadcast(0xa54ff53a),
+      VecU32x16::broadcast(0x510e527f), VecU32x16::broadcast(0x9b05688c),
+      VecU32x16::broadcast(0x1f83d9ab), VecU32x16::broadcast(0x5be0cd19)};
+
+  // Full blocks straight from the message buffers.
+  const std::size_t full_blocks = len / 64;
+  std::array<const std::uint8_t*, 16> ptrs;
+  for (std::size_t blk = 0; blk < full_blocks; ++blk) {
+    for (std::size_t l = 0; l < 16; ++l) ptrs[l] = msgs[l].data() + 64 * blk;
+    process_block_x16(state, ptrs);
+  }
+
+  // Shared padding layout (same length in every lane): tail + 0x80 +
+  // zeros + 64-bit bit length, in one or two final blocks per lane.
+  const std::size_t tail = len % 64;
+  const std::uint64_t bit_len = static_cast<std::uint64_t>(len) * 8;
+  const std::size_t pad_blocks = tail < 56 ? 1 : 2;
+  std::array<std::array<std::uint8_t, 128>, 16> final_buf{};
+  for (std::size_t l = 0; l < 16; ++l) {
+    std::memcpy(final_buf[l].data(), msgs[l].data() + 64 * full_blocks, tail);
+    final_buf[l][tail] = 0x80;
+    for (int i = 0; i < 8; ++i) {
+      final_buf[l][64 * pad_blocks - 8 + static_cast<std::size_t>(i)] =
+          static_cast<std::uint8_t>(bit_len >> (56 - 8 * i));
+    }
+  }
+  for (std::size_t blk = 0; blk < pad_blocks; ++blk) {
+    for (std::size_t l = 0; l < 16; ++l) {
+      ptrs[l] = final_buf[l].data() + 64 * blk;
+    }
+    process_block_x16(state, ptrs);
+  }
+
+  // Untranspose the state into per-lane digests.
+  std::array<util::Sha256::Digest, 16> out;
+  for (std::size_t word = 0; word < 8; ++word) {
+    const auto lanes = state[word].to_array();
+    for (std::size_t l = 0; l < 16; ++l) {
+      out[l][4 * word + 0] = static_cast<std::uint8_t>(lanes[l] >> 24);
+      out[l][4 * word + 1] = static_cast<std::uint8_t>(lanes[l] >> 16);
+      out[l][4 * word + 2] = static_cast<std::uint8_t>(lanes[l] >> 8);
+      out[l][4 * word + 3] = static_cast<std::uint8_t>(lanes[l]);
+    }
+  }
+  return out;
+}
+
+}  // namespace phissl::simd

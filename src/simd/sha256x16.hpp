@@ -1,0 +1,29 @@
+// Multi-buffer SHA-256: 16 independent messages hashed simultaneously,
+// one per 32-bit lane of the KNC-style vector unit.
+//
+// SHA-256's compression function is pure 32-bit ALU work (rotates, adds,
+// bitwise select/majority), which maps 1:1 onto VecU32x16 lanes — the same
+// "vectorize across independent streams" idea as the batched Montgomery
+// context in src/mont/batch.hpp, applied to the hashing side of the
+// PKCS#1 signing path.
+//
+// Restriction: all 16 messages must have the same length, so every lane
+// shares block count and padding layout (the batch-signing workload hashes
+// fixed-size records, so this is the natural contract). Unequal-length
+// batches can be grouped by length by the caller.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+#include "util/sha256.hpp"
+
+namespace phissl::simd {
+
+/// Hashes 16 equal-length messages; digests[l] = SHA256(msgs[l]).
+/// Throws std::invalid_argument if lengths differ.
+std::array<util::Sha256::Digest, 16> sha256_x16(
+    const std::array<std::span<const std::uint8_t>, 16>& msgs);
+
+}  // namespace phissl::simd

@@ -1,0 +1,13 @@
+#include "simd/vec.hpp"
+
+namespace phissl::simd {
+
+const char* backend_name() {
+#if PHISSL_SIMD_AVX512
+  return "avx512";
+#else
+  return "scalar";
+#endif
+}
+
+}  // namespace phissl::simd

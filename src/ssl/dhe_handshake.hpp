@@ -1,0 +1,123 @@
+// DHE-RSA handshake (TLS_DHE_RSA_WITH_AES_128_CBC_SHA256 shape): the
+// forward-secrecy variant. The server's expensive operations become one
+// RSA SIGNATURE (over the ephemeral DH parameters) plus two DH
+// exponentiations; the client replaces the RSA encryption with one RSA
+// VERIFY and two DH exponentiations. All of it runs on the configurable
+// Montgomery kernels, so this path measures the paper's vectorization on
+// a second real handshake shape.
+//
+//   client -> ClientHello
+//   server -> ServerHello, Certificate,
+//             ServerKeyExchange{p, g, Ys, SIGN(randoms || params)}
+//   client -> ClientKeyExchange{Yc}, Finished
+//   server -> Finished
+#pragma once
+
+#include <optional>
+#include <utility>
+
+#include "dh/dh.hpp"
+#include "rsa/engine.hpp"
+#include "ssl/handshake.hpp"
+#include "ssl/messages.hpp"
+#include "ssl/result.hpp"
+#include "util/random.hpp"
+
+namespace phissl::ssl {
+
+constexpr std::uint16_t kCipherDheRsaWithSha256 = 0x0067;
+
+/// Ephemeral DH parameters + server public value, signed by the server's
+/// RSA key over both hello randoms and the parameters.
+struct ServerKeyExchange {
+  bigint::BigInt dh_p;
+  bigint::BigInt dh_g;
+  bigint::BigInt dh_ys;
+  std::vector<std::uint8_t> signature;
+};
+
+struct DheClientKeyExchange {
+  bigint::BigInt dh_yc;
+};
+
+/// Byte string the ServerKeyExchange signature covers.
+std::vector<std::uint8_t> skx_signed_content(const Random& client_random,
+                                             const Random& server_random,
+                                             const bigint::BigInt& p,
+                                             const bigint::BigInt& g,
+                                             const bigint::BigInt& ys);
+
+class DheServerHandshake {
+ public:
+  /// engine must hold the server's private key (used to SIGN).
+  /// The DH group is fixed per server (as real deployments configure).
+  DheServerHandshake(const rsa::Engine& engine, const dh::Dh& group,
+                     util::Rng& rng);
+
+  struct Flight1 {
+    ServerHello hello;
+    Certificate certificate;
+    ServerKeyExchange key_exchange;
+  };
+
+  /// Step 1: ClientHello in; hello + certificate + signed ephemeral out.
+  /// Runs one RSA sign and one DH exponentiation.
+  Result<Flight1> on_client_hello(const ClientHello& hello);
+
+  /// Step 2: client's DH value + Finished in; server Finished out.
+  /// Runs one DH exponentiation.
+  Result<Finished> on_key_exchange(const DheClientKeyExchange& kex,
+                                   const Finished& client_fin);
+
+  [[nodiscard]] const std::optional<MasterSecret>& master() const {
+    return master_;
+  }
+  [[nodiscard]] SessionKeys session_keys() const;
+
+ private:
+  enum class State { kExpectHello, kExpectKeyExchange, kEstablished };
+
+  const rsa::Engine& engine_;
+  const dh::Dh& group_;
+  util::Rng& rng_;
+  State state_ = State::kExpectHello;
+  dh::KeyPair ephemeral_{};
+  Random client_random_{};
+  Random server_random_{};
+  util::Sha256 transcript_;
+  std::optional<MasterSecret> master_;
+};
+
+class DheClientHandshake {
+ public:
+  /// engine needs only the server's public key (used to VERIFY).
+  DheClientHandshake(const rsa::Engine& engine, util::Rng& rng);
+
+  ClientHello start();
+
+  /// Consumes the server's first flight; verifies the signature, runs two
+  /// DH exponentiations, emits the client's DH value + Finished.
+  Result<std::pair<DheClientKeyExchange, Finished>> on_server_flight(
+      const ServerHello& hello, const Certificate& cert,
+      const ServerKeyExchange& skx);
+
+  Result<Unit> on_server_finished(const Finished& fin);
+
+  [[nodiscard]] const std::optional<MasterSecret>& master() const {
+    return master_;
+  }
+  [[nodiscard]] SessionKeys session_keys() const;
+
+ private:
+  enum class State { kStart, kSentHello, kSentKeyExchange, kEstablished };
+
+  const rsa::Engine& engine_;
+  util::Rng& rng_;
+  State state_ = State::kStart;
+  Random client_random_{};
+  Random server_random_{};
+  util::Sha256 transcript_;
+  std::optional<MasterSecret> master_;
+};
+
+}  // namespace phissl::ssl

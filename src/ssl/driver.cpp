@@ -1,0 +1,149 @@
+#include "ssl/driver.hpp"
+
+#include <atomic>
+#include <mutex>
+#include <optional>
+#include <stdexcept>
+#include <vector>
+
+#include "ssl/handshake.hpp"
+#include "ssl/record.hpp"
+#include "ssl/session_cache.hpp"
+#include "util/random.hpp"
+#include "util/thread_pool.hpp"
+#include "util/timing.hpp"
+
+namespace phissl::ssl {
+
+namespace {
+
+// One handshake (full or resumed) plus a protected echo; returns whether
+// a session was established and whether it was resumed. `last_session` is
+// updated so subsequent calls can resume.
+struct HandshakeOutcome {
+  bool ok = false;
+  bool resumed = false;
+};
+
+HandshakeOutcome one_handshake(const rsa::Engine& server_engine,
+                               const rsa::Engine& client_engine,
+                               SessionCache& cache, util::Rng& rng,
+                               std::optional<ResumableSession>& last_session,
+                               bool try_resume) {
+  ServerHandshake server(server_engine, rng, &cache);
+  ClientHandshake client(client_engine, rng);
+
+  const ClientHello ch =
+      client.start(try_resume ? last_session : std::nullopt);
+  const auto flight = server.on_client_hello(ch);
+  if (!flight) return {};
+
+  HandshakeOutcome outcome;
+  if (flight.value().hello.resumed) {
+    // Abbreviated flow.
+    if (!flight.value().finished.has_value()) return {};
+    const auto client_fin =
+        client.on_resumed_hello(flight.value().hello, *flight.value().finished);
+    if (!client_fin) return {};
+    if (!server.on_resumed_client_finished(client_fin.value())) return {};
+    outcome.resumed = true;
+  } else {
+    if (!flight.value().certificate.has_value()) return {};
+    const auto kex = client.on_server_hello(flight.value().hello,
+                                            *flight.value().certificate);
+    if (!kex) return {};
+    const auto fin =
+        server.on_key_exchange(kex.value().first, kex.value().second);
+    if (!fin) return {};
+    if (!client.on_server_finished(fin.value())) return {};
+  }
+  if (client.master() != server.master()) return {};
+  last_session = client.resumable();
+
+  // Prove the derived traffic keys work: one request/response exchange.
+  Session client_session(client.session_keys(), /*is_server=*/false);
+  Session server_session(server.session_keys(), /*is_server=*/true);
+  const std::vector<std::uint8_t> ping = {'p', 'i', 'n', 'g'};
+  const auto at_server = server_session.receive(client_session.send(ping, rng));
+  if (!at_server || *at_server != ping) return {};
+  const auto at_client =
+      client_session.receive(server_session.send(*at_server, rng));
+  if (!at_client || *at_client != ping) return {};
+  outcome.ok = true;
+  return outcome;
+}
+
+}  // namespace
+
+DriverReport run_handshakes(const rsa::Engine& server_engine,
+                            const DriverConfig& cfg) {
+  if (!server_engine.has_private()) {
+    throw std::invalid_argument("run_handshakes: server engine needs a key");
+  }
+  if (cfg.resumption_ratio < 0.0 || cfg.resumption_ratio > 1.0) {
+    throw std::invalid_argument("run_handshakes: bad resumption_ratio");
+  }
+  // Client-side public engine built once (clients pin the server key).
+  const rsa::Engine client_engine(server_engine.pub(),
+                                  server_engine.options());
+  SessionCache cache(4096);
+
+  std::atomic<std::size_t> completed{0};
+  std::atomic<std::size_t> failed{0};
+  std::atomic<std::size_t> resumed{0};
+  std::mutex lat_mu;
+  std::vector<double> latencies_us;
+  latencies_us.reserve(cfg.num_handshakes);
+
+  util::ThreadPool pool(cfg.num_threads);
+  util::Stopwatch wall;
+
+  // Each worker slot gets an independent RNG stream and its own resumable
+  // session handle.
+  const std::size_t slots = pool.size();
+  std::vector<util::Rng> rngs;
+  rngs.reserve(slots);
+  for (std::size_t s = 0; s < slots; ++s) {
+    rngs.emplace_back(cfg.seed * 0x9e3779b97f4a7c15ULL + s + 1);
+  }
+  std::vector<std::optional<ResumableSession>> sessions(slots);
+  std::atomic<std::size_t> next_slot{0};
+
+  const std::uint64_t resume_threshold =
+      static_cast<std::uint64_t>(cfg.resumption_ratio * 4294967296.0);
+
+  pool.parallel_for(cfg.num_handshakes, [&](std::size_t) {
+    thread_local std::size_t slot = SIZE_MAX;
+    if (slot == SIZE_MAX) slot = next_slot++ % slots;
+    util::Rng& rng = rngs[slot];
+
+    const bool try_resume = sessions[slot].has_value() &&
+                            rng.next_u32() < resume_threshold;
+    util::Stopwatch sw;
+    const HandshakeOutcome outcome = one_handshake(
+        server_engine, client_engine, cache, rng, sessions[slot], try_resume);
+    const double us = static_cast<double>(sw.elapsed_ns()) * 1e-3;
+    if (outcome.ok) {
+      completed++;
+      if (outcome.resumed) resumed++;
+    } else {
+      failed++;
+    }
+    std::lock_guard<std::mutex> lock(lat_mu);
+    latencies_us.push_back(us);
+  });
+
+  DriverReport report;
+  report.wall_seconds = wall.elapsed_s();
+  report.completed = completed.load();
+  report.failed = failed.load();
+  report.resumed = resumed.load();
+  report.handshakes_per_s =
+      report.wall_seconds > 0
+          ? static_cast<double>(report.completed) / report.wall_seconds
+          : 0.0;
+  report.latency_us = util::summarize(std::move(latencies_us));
+  return report;
+}
+
+}  // namespace phissl::ssl

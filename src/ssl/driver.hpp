@@ -1,0 +1,40 @@
+// Handshake throughput driver: runs complete client/server handshakes
+// (with optional session resumption) across a thread pool and reports
+// handshakes/s — the workload behind the paper's motivation (SSL
+// termination throughput limited by RSA).
+#pragma once
+
+#include <cstddef>
+
+#include "rsa/engine.hpp"
+#include "util/stats.hpp"
+
+namespace phissl::ssl {
+
+struct DriverConfig {
+  std::size_t num_handshakes = 64;  ///< total handshakes to run
+  std::size_t num_threads = 1;      ///< worker threads (connections in flight)
+  std::uint64_t seed = 1;           ///< base RNG seed (per-thread derived)
+  /// Fraction of handshakes that attempt session resumption (each worker
+  /// reuses its most recent full session). 0.0 = all full handshakes.
+  double resumption_ratio = 0.0;
+};
+
+struct DriverReport {
+  std::size_t completed = 0;    ///< handshakes that established a session
+  std::size_t failed = 0;       ///< handshakes that alerted (should be 0)
+  std::size_t resumed = 0;      ///< of completed, how many were abbreviated
+  double wall_seconds = 0.0;    ///< total wall-clock time
+  double handshakes_per_s = 0.0;
+  util::Summary latency_us;     ///< per-handshake latency distribution
+};
+
+/// Runs cfg.num_handshakes full (or resumed) handshakes, each ending with
+/// one protected application-data echo, against a server using
+/// `server_engine` (must hold a private key). Each worker thread owns its
+/// own RNG and client state; the server engine and session cache are
+/// shared, matching a real TLS terminator.
+DriverReport run_handshakes(const rsa::Engine& server_engine,
+                            const DriverConfig& cfg);
+
+}  // namespace phissl::ssl

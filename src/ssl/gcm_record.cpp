@@ -1,0 +1,75 @@
+#include "ssl/gcm_record.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace phissl::ssl {
+
+namespace {
+constexpr std::size_t kExplicitNonce = 8;
+}
+
+GcmRecordChannel::GcmRecordChannel(std::span<const std::uint8_t> key,
+                                   std::span<const std::uint8_t> salt)
+    : gcm_(key) {
+  if (key.size() != kKeySize || salt.size() != kSaltSize) {
+    throw std::invalid_argument("GcmRecordChannel: bad key/salt size");
+  }
+  std::memcpy(salt_.data(), salt.data(), kSaltSize);
+}
+
+std::array<std::uint8_t, 13> GcmRecordChannel::aad(std::uint64_t seq,
+                                                   std::uint8_t type,
+                                                   std::size_t len) const {
+  std::array<std::uint8_t, 13> out{};
+  for (int i = 0; i < 8; ++i) {
+    out[static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(seq >> (56 - 8 * i));
+  }
+  out[8] = type;
+  out[9] = 3;  // TLS 1.2
+  out[10] = 3;
+  out[11] = static_cast<std::uint8_t>(len >> 8);
+  out[12] = static_cast<std::uint8_t>(len);
+  return out;
+}
+
+std::vector<std::uint8_t> GcmRecordChannel::seal(
+    std::uint8_t content_type, std::span<const std::uint8_t> plaintext) {
+  const std::uint64_t seq = seal_seq_++;
+  // Nonce = salt(4) || explicit(8); the explicit part is the sequence
+  // number (the standard deterministic choice).
+  std::array<std::uint8_t, 12> nonce{};
+  std::memcpy(nonce.data(), salt_.data(), kSaltSize);
+  for (int i = 0; i < 8; ++i) {
+    nonce[kSaltSize + static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(seq >> (56 - 8 * i));
+  }
+  const auto a = aad(seq, content_type, plaintext.size());
+  const auto sealed = gcm_.seal(nonce, plaintext, a);
+
+  std::vector<std::uint8_t> record(kExplicitNonce + sealed.size());
+  std::memcpy(record.data(), nonce.data() + kSaltSize, kExplicitNonce);
+  std::memcpy(record.data() + kExplicitNonce, sealed.data(), sealed.size());
+  return record;
+}
+
+std::optional<std::vector<std::uint8_t>> GcmRecordChannel::open(
+    std::uint8_t content_type, std::span<const std::uint8_t> record) {
+  if (record.size() < kExplicitNonce + util::AesGcm::kTagSize) {
+    return std::nullopt;
+  }
+  std::array<std::uint8_t, 12> nonce{};
+  std::memcpy(nonce.data(), salt_.data(), kSaltSize);
+  std::memcpy(nonce.data() + kSaltSize, record.data(), kExplicitNonce);
+
+  const auto body = record.subspan(kExplicitNonce);
+  const std::size_t pt_len = body.size() - util::AesGcm::kTagSize;
+  const auto a = aad(open_seq_, content_type, pt_len);
+  auto opened = gcm_.open(nonce, body, a);
+  if (!opened.has_value()) return std::nullopt;
+  ++open_seq_;
+  return opened;
+}
+
+}  // namespace phissl::ssl

@@ -1,0 +1,44 @@
+// AEAD (AES-128-GCM) record protection — the TLS 1.2 GCM suite shape
+// (RFC 5288): nonce = 4-byte salt || 8-byte explicit counter, AAD =
+// seq_num || type || version || length. Alternative to the CBC+HMAC
+// channel in record.hpp.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "ssl/messages.hpp"
+#include "util/gcm.hpp"
+
+namespace phissl::ssl {
+
+class GcmRecordChannel {
+ public:
+  static constexpr std::size_t kKeySize = 16;
+  static constexpr std::size_t kSaltSize = 4;
+
+  GcmRecordChannel(std::span<const std::uint8_t> key,
+                   std::span<const std::uint8_t> salt);
+
+  /// Protects one record: returns explicit_nonce(8) || ct || tag.
+  std::vector<std::uint8_t> seal(std::uint8_t content_type,
+                                 std::span<const std::uint8_t> plaintext);
+
+  /// Unprotects; nullopt on any failure. Records must arrive in order.
+  std::optional<std::vector<std::uint8_t>> open(
+      std::uint8_t content_type, std::span<const std::uint8_t> record);
+
+ private:
+  std::array<std::uint8_t, 13> aad(std::uint64_t seq, std::uint8_t type,
+                                   std::size_t len) const;
+
+  util::AesGcm gcm_;
+  std::array<std::uint8_t, kSaltSize> salt_{};
+  std::uint64_t seal_seq_ = 0;
+  std::uint64_t open_seq_ = 0;
+};
+
+}  // namespace phissl::ssl

@@ -1,0 +1,36 @@
+#include "ssl/prf.hpp"
+
+#include "util/hmac.hpp"
+
+namespace phissl::ssl {
+
+std::vector<std::uint8_t> prf_sha256(std::span<const std::uint8_t> secret,
+                                     std::string_view label,
+                                     std::span<const std::uint8_t> seed,
+                                     std::size_t len) {
+  // label_seed = label || seed
+  std::vector<std::uint8_t> label_seed;
+  label_seed.reserve(label.size() + seed.size());
+  label_seed.insert(label_seed.end(), label.begin(), label.end());
+  label_seed.insert(label_seed.end(), seed.begin(), seed.end());
+
+  // P_SHA256: A(0) = label_seed; A(i) = HMAC(secret, A(i-1));
+  // output = HMAC(secret, A(1) || label_seed) || HMAC(secret, A(2) || ...)
+  std::vector<std::uint8_t> out;
+  out.reserve(len + 32);
+  std::vector<std::uint8_t> a(label_seed);
+  while (out.size() < len) {
+    const auto a_digest = util::HmacSha256::mac(secret, a);
+    a.assign(a_digest.begin(), a_digest.end());
+
+    util::HmacSha256 h(secret);
+    h.update(a);
+    h.update(label_seed);
+    const auto block = h.finish();
+    out.insert(out.end(), block.begin(), block.end());
+  }
+  out.resize(len);
+  return out;
+}
+
+}  // namespace phissl::ssl

@@ -1,0 +1,18 @@
+// The TLS 1.2 pseudo-random function (RFC 5246 §5): P_SHA256 expansion,
+// used for the master secret, the key block, and Finished verify_data.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+namespace phissl::ssl {
+
+/// PRF(secret, label, seed)[0..len) via P_SHA256 (HMAC-based expansion).
+std::vector<std::uint8_t> prf_sha256(std::span<const std::uint8_t> secret,
+                                     std::string_view label,
+                                     std::span<const std::uint8_t> seed,
+                                     std::size_t len);
+
+}  // namespace phissl::ssl

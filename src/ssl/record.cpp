@@ -1,0 +1,122 @@
+#include "ssl/record.hpp"
+
+#include <cstring>
+
+#include "ssl/prf.hpp"
+#include "util/hmac.hpp"
+
+namespace phissl::ssl {
+
+namespace {
+constexpr std::uint8_t kVersionMajor = 3;  // TLS 1.2
+constexpr std::uint8_t kVersionMinor = 3;
+}  // namespace
+
+RecordChannel::RecordChannel(std::span<const std::uint8_t> enc_key,
+                             std::span<const std::uint8_t> mac_key)
+    : cipher_(enc_key), mac_key_(mac_key.begin(), mac_key.end()) {}
+
+std::array<std::uint8_t, 32> RecordChannel::mac_header(
+    std::uint64_t seq, std::uint8_t type, std::size_t len,
+    const std::uint8_t* data, std::size_t n) const {
+  // MAC(seq_num || type || version || length || fragment), RFC 5246 §6.2.3.1.
+  util::HmacSha256 h(mac_key_);
+  std::uint8_t header[13];
+  for (int i = 0; i < 8; ++i) {
+    header[i] = static_cast<std::uint8_t>(seq >> (56 - 8 * i));
+  }
+  header[8] = type;
+  header[9] = kVersionMajor;
+  header[10] = kVersionMinor;
+  header[11] = static_cast<std::uint8_t>(len >> 8);
+  header[12] = static_cast<std::uint8_t>(len);
+  h.update(std::span<const std::uint8_t>(header, 13));
+  h.update(std::span<const std::uint8_t>(data, n));
+  return h.finish();
+}
+
+std::vector<std::uint8_t> RecordChannel::seal(
+    std::uint8_t content_type, std::span<const std::uint8_t> plaintext,
+    util::Rng& rng) {
+  const auto mac = mac_header(seal_seq_++, content_type, plaintext.size(),
+                              plaintext.data(), plaintext.size());
+  std::vector<std::uint8_t> payload(plaintext.begin(), plaintext.end());
+  payload.insert(payload.end(), mac.begin(), mac.end());
+
+  std::vector<std::uint8_t> iv(kIvSize);
+  rng.fill_bytes(iv.data(), iv.size());
+  const auto ct = util::aes_cbc_encrypt(cipher_, iv, payload);
+
+  std::vector<std::uint8_t> record = std::move(iv);
+  record.insert(record.end(), ct.begin(), ct.end());
+  return record;
+}
+
+std::optional<std::vector<std::uint8_t>> RecordChannel::open(
+    std::uint8_t content_type, std::span<const std::uint8_t> record) {
+  if (record.size() < kIvSize + util::Aes::kBlockSize ||
+      (record.size() - kIvSize) % util::Aes::kBlockSize != 0) {
+    return std::nullopt;
+  }
+  const auto iv = record.subspan(0, kIvSize);
+  const auto ct = record.subspan(kIvSize);
+  std::vector<std::uint8_t> payload;
+  if (!util::aes_cbc_decrypt(cipher_, iv, ct, payload)) return std::nullopt;
+  if (payload.size() < util::Sha256::kDigestSize) return std::nullopt;
+
+  const std::size_t pt_len = payload.size() - util::Sha256::kDigestSize;
+  const auto expected =
+      mac_header(open_seq_, content_type, pt_len, payload.data(), pt_len);
+  // Constant-time MAC comparison.
+  unsigned diff = 0;
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    diff |= expected[i] ^ payload[pt_len + i];
+  }
+  if (diff != 0) return std::nullopt;
+
+  ++open_seq_;
+  payload.resize(pt_len);
+  return payload;
+}
+
+SessionKeys derive_session_keys(const MasterSecret& master,
+                                const Random& client_random,
+                                const Random& server_random) {
+  // Note the reversed random order vs. the master-secret derivation
+  // (RFC 5246 §6.3 uses server_random || client_random here).
+  std::vector<std::uint8_t> seed;
+  seed.reserve(2 * kRandomSize);
+  seed.insert(seed.end(), server_random.begin(), server_random.end());
+  seed.insert(seed.end(), client_random.begin(), client_random.end());
+  const std::size_t block_len = 2 * kMacKeySize + 2 * kEncKeySize;
+  const auto block = prf_sha256(master, "key expansion", seed, block_len);
+
+  SessionKeys keys;
+  std::size_t off = 0;
+  std::memcpy(keys.client_mac_key.data(), &block[off], kMacKeySize);
+  off += kMacKeySize;
+  std::memcpy(keys.server_mac_key.data(), &block[off], kMacKeySize);
+  off += kMacKeySize;
+  std::memcpy(keys.client_enc_key.data(), &block[off], kEncKeySize);
+  off += kEncKeySize;
+  std::memcpy(keys.server_enc_key.data(), &block[off], kEncKeySize);
+  return keys;
+}
+
+Session::Session(const SessionKeys& keys, bool is_server)
+    : out_(is_server ? keys.server_enc_key : keys.client_enc_key,
+           is_server ? keys.server_mac_key : keys.client_mac_key),
+      in_(is_server ? keys.client_enc_key : keys.server_enc_key,
+          is_server ? keys.client_mac_key : keys.server_mac_key) {}
+
+std::vector<std::uint8_t> Session::send(std::span<const std::uint8_t> data,
+                                        util::Rng& rng) {
+  return out_.seal(kContentApplicationData, data, rng);
+}
+
+std::optional<std::vector<std::uint8_t>> Session::receive(
+    std::span<const std::uint8_t> record) {
+  return in_.open(kContentApplicationData, record);
+}
+
+}  // namespace phissl::ssl

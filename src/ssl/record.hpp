@@ -1,0 +1,90 @@
+// TLS 1.2 record protection for AES-128-CBC + HMAC-SHA256
+// (TLS_RSA_WITH_AES_128_CBC_SHA256, the suite the handshake negotiates):
+// key-block derivation from the master secret, and the MAC-then-encrypt
+// record transform with explicit IVs and sequence numbers.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "ssl/messages.hpp"
+#include "util/aes.hpp"
+#include "util/random.hpp"
+
+namespace phissl::ssl {
+
+constexpr std::uint8_t kContentApplicationData = 23;
+constexpr std::size_t kMacKeySize = 32;  // HMAC-SHA256
+constexpr std::size_t kEncKeySize = 16;  // AES-128
+constexpr std::size_t kIvSize = 16;
+
+/// One direction of a protected connection. Sequence numbers are
+/// maintained internally; records must be opened in the order sealed.
+class RecordChannel {
+ public:
+  RecordChannel(std::span<const std::uint8_t> enc_key,
+                std::span<const std::uint8_t> mac_key);
+
+  /// Protects one record: returns explicit_iv || CBC(plaintext || MAC).
+  /// `rng` supplies the per-record IV.
+  std::vector<std::uint8_t> seal(std::uint8_t content_type,
+                                 std::span<const std::uint8_t> plaintext,
+                                 util::Rng& rng);
+
+  /// Unprotects one record; returns nullopt on any authentication or
+  /// format failure (single error signal).
+  std::optional<std::vector<std::uint8_t>> open(
+      std::uint8_t content_type, std::span<const std::uint8_t> record);
+
+  [[nodiscard]] std::uint64_t seal_seq() const { return seal_seq_; }
+  [[nodiscard]] std::uint64_t open_seq() const { return open_seq_; }
+
+ private:
+  std::array<std::uint8_t, 32> mac_header(std::uint64_t seq,
+                                          std::uint8_t type,
+                                          std::size_t len,
+                                          const std::uint8_t* data,
+                                          std::size_t n) const;
+
+  util::Aes cipher_;
+  std::vector<std::uint8_t> mac_key_;
+  std::uint64_t seal_seq_ = 0;
+  std::uint64_t open_seq_ = 0;
+};
+
+/// The four traffic keys derived from the master secret (RFC 5246 §6.3):
+/// key_block = PRF(master, "key expansion", server_random || client_random).
+struct SessionKeys {
+  std::array<std::uint8_t, kMacKeySize> client_mac_key;
+  std::array<std::uint8_t, kMacKeySize> server_mac_key;
+  std::array<std::uint8_t, kEncKeySize> client_enc_key;
+  std::array<std::uint8_t, kEncKeySize> server_enc_key;
+};
+
+SessionKeys derive_session_keys(const MasterSecret& master,
+                                const Random& client_random,
+                                const Random& server_random);
+
+/// A fully-keyed duplex session as one side sees it.
+class Session {
+ public:
+  /// is_server selects which key set seals outgoing records.
+  Session(const SessionKeys& keys, bool is_server);
+
+  /// Protects application data for the peer.
+  std::vector<std::uint8_t> send(std::span<const std::uint8_t> data,
+                                 util::Rng& rng);
+
+  /// Unprotects application data from the peer.
+  std::optional<std::vector<std::uint8_t>> receive(
+      std::span<const std::uint8_t> record);
+
+ private:
+  RecordChannel out_;
+  RecordChannel in_;
+};
+
+}  // namespace phissl::ssl

@@ -1,0 +1,43 @@
+// Minimal ok-or-Alert result type (std::expected is C++23; this library
+// targets C++20).
+#pragma once
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "ssl/messages.hpp"
+
+namespace phissl::ssl {
+
+/// Empty success payload for operations that only succeed or alert.
+struct Unit {};
+
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : v_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Alert alert) : v_(alert) {}         // NOLINT(google-explicit-constructor)
+
+  [[nodiscard]] bool ok() const { return std::holds_alternative<T>(v_); }
+  explicit operator bool() const { return ok(); }
+
+  [[nodiscard]] const T& value() const {
+    assert(ok());
+    return std::get<T>(v_);
+  }
+  [[nodiscard]] T& value() {
+    assert(ok());
+    return std::get<T>(v_);
+  }
+
+  [[nodiscard]] Alert alert() const {
+    assert(!ok());
+    return std::get<Alert>(v_);
+  }
+
+ private:
+  std::variant<T, Alert> v_;
+};
+
+}  // namespace phissl::ssl

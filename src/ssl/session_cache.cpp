@@ -1,0 +1,35 @@
+#include "ssl/session_cache.hpp"
+
+#include <algorithm>
+
+namespace phissl::ssl {
+
+SessionCache::SessionCache(std::size_t capacity)
+    : capacity_(std::max<std::size_t>(1, capacity)) {}
+
+void SessionCache::put(const SessionId& id, const MasterSecret& master) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (entries_.size() >= capacity_ && !entries_.contains(id)) {
+    // Evict the oldest ticket.
+    auto oldest = entries_.begin();
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+      if (it->second.second < oldest->second.second) oldest = it;
+    }
+    entries_.erase(oldest);
+  }
+  entries_[id] = {master, next_ticket_++};
+}
+
+std::optional<MasterSecret> SessionCache::get(const SessionId& id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = entries_.find(id);
+  if (it == entries_.end()) return std::nullopt;
+  return it->second.first;
+}
+
+std::size_t SessionCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+}  // namespace phissl::ssl

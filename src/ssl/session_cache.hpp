@@ -1,0 +1,56 @@
+// Server-side session cache for abbreviated handshakes (RFC 5246 §7.3).
+//
+// A resumed handshake reuses the cached master secret and skips the
+// ClientKeyExchange — and with it the RSA private-key operation that
+// dominates handshake cost. Real SSL terminators rely on this heavily,
+// which is why the resumption-ratio sweep is part of the handshake
+// throughput experiment.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+
+#include "ssl/messages.hpp"
+
+namespace phissl::ssl {
+
+constexpr std::size_t kSessionIdSize = 32;
+using SessionId = std::array<std::uint8_t, kSessionIdSize>;
+
+/// Thread-safe bounded map from session id to master secret. Eviction is
+/// FIFO by insertion order (good enough for a benchmark server).
+class SessionCache {
+ public:
+  explicit SessionCache(std::size_t capacity = 1024);
+
+  /// Stores a session; evicts the oldest entry when full.
+  void put(const SessionId& id, const MasterSecret& master);
+
+  /// Looks up a session; nullopt if unknown (or evicted).
+  [[nodiscard]] std::optional<MasterSecret> get(const SessionId& id) const;
+
+  [[nodiscard]] std::size_t size() const;
+
+ private:
+  struct Hash {
+    std::size_t operator()(const SessionId& id) const {
+      // Session ids are uniformly random; fold the first bytes.
+      std::size_t h = 0;
+      for (std::size_t i = 0; i < sizeof(std::size_t); ++i) {
+        h = (h << 8) | id[i];
+      }
+      return h;
+    }
+  };
+
+  mutable std::mutex mu_;
+  std::size_t capacity_;
+  std::uint64_t next_ticket_ = 0;
+  std::unordered_map<SessionId, std::pair<MasterSecret, std::uint64_t>, Hash>
+      entries_;
+};
+
+}  // namespace phissl::ssl

@@ -1,0 +1,48 @@
+// AES-128/192/256 block cipher (FIPS 197) and CBC mode with PKCS#7
+// padding — the symmetric half of the TLS record layer. Implemented from
+// scratch (S-box + xtime MixColumns) like every other substrate here.
+//
+// Note on side channels: this is a table-lookup implementation (as the
+// KNC-era OpenSSL's C fallback was); it is not cache-timing hardened.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace phissl::util {
+
+class Aes {
+ public:
+  static constexpr std::size_t kBlockSize = 16;
+
+  /// Key must be 16, 24 or 32 bytes (AES-128/192/256).
+  /// Throws std::invalid_argument otherwise.
+  explicit Aes(std::span<const std::uint8_t> key);
+
+  /// Encrypts/decrypts exactly one 16-byte block, out may alias in.
+  void encrypt_block(const std::uint8_t* in, std::uint8_t* out) const;
+  void decrypt_block(const std::uint8_t* in, std::uint8_t* out) const;
+
+  [[nodiscard]] int rounds() const { return rounds_; }
+
+ private:
+  int rounds_;
+  // Round keys: 4*(rounds+1) 32-bit words.
+  std::array<std::uint32_t, 60> round_keys_{};
+};
+
+/// CBC encryption with PKCS#7 padding. iv must be 16 bytes.
+/// Output length = (plaintext length / 16 + 1) * 16.
+std::vector<std::uint8_t> aes_cbc_encrypt(const Aes& cipher,
+                                          std::span<const std::uint8_t> iv,
+                                          std::span<const std::uint8_t> plaintext);
+
+/// CBC decryption; returns empty optional-like: throws std::invalid_argument
+/// on bad length; returns false + leaves out empty on bad padding.
+bool aes_cbc_decrypt(const Aes& cipher, std::span<const std::uint8_t> iv,
+                     std::span<const std::uint8_t> ciphertext,
+                     std::vector<std::uint8_t>& out);
+
+}  // namespace phissl::util

@@ -1,0 +1,95 @@
+#include "util/base64.hpp"
+
+#include <array>
+#include <stdexcept>
+
+namespace phissl::util {
+
+namespace {
+
+constexpr char kAlphabet[] =
+    "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+
+constexpr std::array<std::int8_t, 256> make_reverse() {
+  std::array<std::int8_t, 256> rev{};
+  for (auto& v : rev) v = -1;
+  for (int i = 0; i < 64; ++i) {
+    rev[static_cast<unsigned char>(kAlphabet[i])] = static_cast<std::int8_t>(i);
+  }
+  return rev;
+}
+
+constexpr auto kReverse = make_reverse();
+
+bool is_space(char c) {
+  return c == ' ' || c == '\n' || c == '\r' || c == '\t';
+}
+
+}  // namespace
+
+std::string base64_encode(const std::uint8_t* data, std::size_t n) {
+  std::string out;
+  out.reserve((n + 2) / 3 * 4);
+  std::size_t i = 0;
+  for (; i + 3 <= n; i += 3) {
+    const std::uint32_t v = (static_cast<std::uint32_t>(data[i]) << 16) |
+                            (static_cast<std::uint32_t>(data[i + 1]) << 8) |
+                            data[i + 2];
+    out.push_back(kAlphabet[(v >> 18) & 63]);
+    out.push_back(kAlphabet[(v >> 12) & 63]);
+    out.push_back(kAlphabet[(v >> 6) & 63]);
+    out.push_back(kAlphabet[v & 63]);
+  }
+  const std::size_t rem = n - i;
+  if (rem == 1) {
+    const std::uint32_t v = static_cast<std::uint32_t>(data[i]) << 16;
+    out.push_back(kAlphabet[(v >> 18) & 63]);
+    out.push_back(kAlphabet[(v >> 12) & 63]);
+    out.push_back('=');
+    out.push_back('=');
+  } else if (rem == 2) {
+    const std::uint32_t v = (static_cast<std::uint32_t>(data[i]) << 16) |
+                            (static_cast<std::uint32_t>(data[i + 1]) << 8);
+    out.push_back(kAlphabet[(v >> 18) & 63]);
+    out.push_back(kAlphabet[(v >> 12) & 63]);
+    out.push_back(kAlphabet[(v >> 6) & 63]);
+    out.push_back('=');
+  }
+  return out;
+}
+
+std::string base64_encode(const std::vector<std::uint8_t>& data) {
+  return base64_encode(data.data(), data.size());
+}
+
+std::vector<std::uint8_t> base64_decode(std::string_view text) {
+  std::vector<std::uint8_t> out;
+  out.reserve(text.size() / 4 * 3);
+  std::uint32_t acc = 0;
+  int bits = 0;
+  std::size_t pad = 0;
+  for (const char c : text) {
+    if (is_space(c)) continue;
+    if (c == '=') {
+      ++pad;
+      continue;
+    }
+    if (pad != 0) {
+      throw std::invalid_argument("base64_decode: data after padding");
+    }
+    const std::int8_t v = kReverse[static_cast<unsigned char>(c)];
+    if (v < 0) throw std::invalid_argument("base64_decode: bad character");
+    acc = (acc << 6) | static_cast<std::uint32_t>(v);
+    bits += 6;
+    if (bits >= 8) {
+      bits -= 8;
+      out.push_back(static_cast<std::uint8_t>(acc >> bits));
+    }
+  }
+  if (pad > 2 || (bits >= 6)) {
+    throw std::invalid_argument("base64_decode: malformed length/padding");
+  }
+  return out;
+}
+
+}  // namespace phissl::util

@@ -1,0 +1,20 @@
+// Base64 (RFC 4648) encode/decode, used by the PEM armor.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace phissl::util {
+
+/// Standard-alphabet base64 with '=' padding.
+std::string base64_encode(const std::uint8_t* data, std::size_t n);
+std::string base64_encode(const std::vector<std::uint8_t>& data);
+
+/// Decodes base64; whitespace (spaces, newlines, tabs, CR) is skipped.
+/// Throws std::invalid_argument on any other non-alphabet character or a
+/// malformed padding/length.
+std::vector<std::uint8_t> base64_decode(std::string_view text);
+
+}  // namespace phissl::util

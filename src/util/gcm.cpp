@@ -1,0 +1,146 @@
+#include "util/gcm.hpp"
+
+#include <cassert>
+#include <cstring>
+#include <stdexcept>
+
+namespace phissl::util {
+
+namespace {
+
+// GF(2^128) multiply, bit-serial (SP 800-38D algorithm 1). Correctness
+// over speed: GHASH is not on this reproduction's hot path.
+Block128 gf_mul(const Block128& x, const Block128& y) {
+  Block128 z{};
+  Block128 v = y;
+  for (int i = 0; i < 128; ++i) {
+    const int byte = i / 8;
+    const int bit = 7 - (i % 8);
+    if ((x[static_cast<std::size_t>(byte)] >> bit) & 1) {
+      for (int b = 0; b < 16; ++b) z[static_cast<std::size_t>(b)] ^= v[static_cast<std::size_t>(b)];
+    }
+    // v = v >> 1, with reduction by the GCM polynomial R = 0xe1...
+    const bool lsb = v[15] & 1;
+    for (int b = 15; b > 0; --b) {
+      v[static_cast<std::size_t>(b)] = static_cast<std::uint8_t>(
+          (v[static_cast<std::size_t>(b)] >> 1) |
+          (v[static_cast<std::size_t>(b - 1)] << 7));
+    }
+    v[0] >>= 1;
+    if (lsb) v[0] ^= 0xe1;
+  }
+  return z;
+}
+
+void inc32(Block128& block) {
+  for (int i = 15; i >= 12; --i) {
+    if (++block[static_cast<std::size_t>(i)] != 0) break;
+  }
+}
+
+void put_u64_be(std::uint8_t* out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out[i] = static_cast<std::uint8_t>(v >> (56 - 8 * i));
+  }
+}
+
+}  // namespace
+
+Block128 ghash(const Block128& h, std::span<const std::uint8_t> data) {
+  if (data.size() % 16 != 0) {
+    throw std::invalid_argument("ghash: data must be block-aligned");
+  }
+  Block128 y{};
+  for (std::size_t off = 0; off < data.size(); off += 16) {
+    for (std::size_t b = 0; b < 16; ++b) y[b] ^= data[off + b];
+    y = gf_mul(y, h);
+  }
+  return y;
+}
+
+AesGcm::AesGcm(std::span<const std::uint8_t> key) : aes_(key) {
+  Block128 zero{};
+  aes_.encrypt_block(zero.data(), h_.data());
+}
+
+void AesGcm::ctr_xor(const Block128& j0, std::span<const std::uint8_t> in,
+                     std::uint8_t* out) const {
+  Block128 counter = j0;
+  Block128 keystream;
+  for (std::size_t off = 0; off < in.size(); off += 16) {
+    inc32(counter);
+    aes_.encrypt_block(counter.data(), keystream.data());
+    const std::size_t n = std::min<std::size_t>(16, in.size() - off);
+    for (std::size_t b = 0; b < n; ++b) {
+      out[off + b] = static_cast<std::uint8_t>(in[off + b] ^ keystream[b]);
+    }
+  }
+}
+
+Block128 AesGcm::tag_for(const Block128& j0,
+                         std::span<const std::uint8_t> aad,
+                         std::span<const std::uint8_t> ciphertext) const {
+  // S = GHASH_H(pad(A) || pad(C) || len64(A) || len64(C)); T = S ^ E(J0).
+  std::vector<std::uint8_t> hash_input;
+  const auto pad_len = [](std::size_t n) { return (n + 15) / 16 * 16; };
+  hash_input.reserve(pad_len(aad.size()) + pad_len(ciphertext.size()) + 16);
+  hash_input.insert(hash_input.end(), aad.begin(), aad.end());
+  hash_input.resize(pad_len(aad.size()), 0);
+  hash_input.insert(hash_input.end(), ciphertext.begin(), ciphertext.end());
+  hash_input.resize(pad_len(aad.size()) + pad_len(ciphertext.size()), 0);
+  std::uint8_t lens[16];
+  put_u64_be(lens, static_cast<std::uint64_t>(aad.size()) * 8);
+  put_u64_be(lens + 8, static_cast<std::uint64_t>(ciphertext.size()) * 8);
+  hash_input.insert(hash_input.end(), lens, lens + 16);
+
+  Block128 s = ghash(h_, hash_input);
+  Block128 ej0;
+  aes_.encrypt_block(j0.data(), ej0.data());
+  for (std::size_t b = 0; b < 16; ++b) s[b] ^= ej0[b];
+  return s;
+}
+
+std::vector<std::uint8_t> AesGcm::seal(std::span<const std::uint8_t> nonce,
+                                       std::span<const std::uint8_t> plaintext,
+                                       std::span<const std::uint8_t> aad) const {
+  if (nonce.size() != kNonceSize) {
+    throw std::invalid_argument("AesGcm::seal: nonce must be 12 bytes");
+  }
+  Block128 j0{};
+  std::memcpy(j0.data(), nonce.data(), kNonceSize);
+  j0[15] = 1;
+
+  std::vector<std::uint8_t> out(plaintext.size() + kTagSize);
+  ctr_xor(j0, plaintext, out.data());
+  const Block128 tag =
+      tag_for(j0, aad, std::span<const std::uint8_t>(out.data(), plaintext.size()));
+  std::memcpy(out.data() + plaintext.size(), tag.data(), kTagSize);
+  return out;
+}
+
+std::optional<std::vector<std::uint8_t>> AesGcm::open(
+    std::span<const std::uint8_t> nonce,
+    std::span<const std::uint8_t> ciphertext_and_tag,
+    std::span<const std::uint8_t> aad) const {
+  if (nonce.size() != kNonceSize ||
+      ciphertext_and_tag.size() < kTagSize) {
+    return std::nullopt;
+  }
+  const auto ct = ciphertext_and_tag.first(ciphertext_and_tag.size() - kTagSize);
+  const auto tag = ciphertext_and_tag.last(kTagSize);
+
+  Block128 j0{};
+  std::memcpy(j0.data(), nonce.data(), kNonceSize);
+  j0[15] = 1;
+
+  const Block128 expected = tag_for(j0, aad, ct);
+  unsigned diff = 0;
+  for (std::size_t b = 0; b < kTagSize; ++b) diff |= expected[b] ^ tag[b];
+  if (diff != 0) return std::nullopt;
+
+  std::vector<std::uint8_t> pt(ct.size());
+  ctr_xor(j0, ct, pt.data());
+  return pt;
+}
+
+}  // namespace phissl::util

@@ -1,0 +1,55 @@
+// AES-GCM authenticated encryption (NIST SP 800-38D): GHASH over
+// GF(2^128) plus AES in counter mode. The AEAD used by the modern record
+// layer; built from scratch on the Aes block cipher like everything else.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "util/aes.hpp"
+
+namespace phissl::util {
+
+/// GF(2^128) element for GHASH (big-endian bit order, GCM's convention).
+using Block128 = std::array<std::uint8_t, 16>;
+
+/// GHASH_H(data): the GCM universal hash over 16-byte blocks (data is
+/// zero-padded to a block boundary by the caller contract in GCM; this
+/// primitive requires data.size() % 16 == 0).
+Block128 ghash(const Block128& h, std::span<const std::uint8_t> data);
+
+class AesGcm {
+ public:
+  static constexpr std::size_t kTagSize = 16;
+  static constexpr std::size_t kNonceSize = 12;  // the 96-bit fast path
+
+  /// Key must be 16, 24 or 32 bytes.
+  explicit AesGcm(std::span<const std::uint8_t> key);
+
+  /// Encrypts and authenticates: returns ciphertext || 16-byte tag.
+  /// nonce must be 12 bytes; aad may be empty.
+  [[nodiscard]] std::vector<std::uint8_t> seal(
+      std::span<const std::uint8_t> nonce,
+      std::span<const std::uint8_t> plaintext,
+      std::span<const std::uint8_t> aad = {}) const;
+
+  /// Verifies and decrypts ciphertext || tag; nullopt on any failure.
+  [[nodiscard]] std::optional<std::vector<std::uint8_t>> open(
+      std::span<const std::uint8_t> nonce,
+      std::span<const std::uint8_t> ciphertext_and_tag,
+      std::span<const std::uint8_t> aad = {}) const;
+
+ private:
+  void ctr_xor(const Block128& j0, std::span<const std::uint8_t> in,
+               std::uint8_t* out) const;
+  Block128 tag_for(const Block128& j0, std::span<const std::uint8_t> aad,
+                   std::span<const std::uint8_t> ciphertext) const;
+
+  Aes aes_;
+  Block128 h_{};  // E_K(0^128)
+};
+
+}  // namespace phissl::util

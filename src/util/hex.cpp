@@ -1,0 +1,54 @@
+#include "util/hex.hpp"
+
+#include <stdexcept>
+
+namespace phissl::util {
+
+namespace {
+constexpr char kDigits[] = "0123456789abcdef";
+}
+
+int hex_digit_value(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+std::string hex_encode(const std::uint8_t* data, std::size_t n) {
+  std::string out;
+  out.reserve(2 * n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(kDigits[data[i] >> 4]);
+    out.push_back(kDigits[data[i] & 0xf]);
+  }
+  return out;
+}
+
+std::string hex_encode(const std::vector<std::uint8_t>& data) {
+  return hex_encode(data.data(), data.size());
+}
+
+std::vector<std::uint8_t> hex_decode(std::string_view hex) {
+  if (hex.size() >= 2 && hex[0] == '0' && (hex[1] == 'x' || hex[1] == 'X')) {
+    hex.remove_prefix(2);
+  }
+  std::vector<std::uint8_t> out;
+  out.reserve((hex.size() + 1) / 2);
+  std::size_t i = 0;
+  if (hex.size() % 2 == 1) {
+    const int v = hex_digit_value(hex[0]);
+    if (v < 0) throw std::invalid_argument("hex_decode: bad digit");
+    out.push_back(static_cast<std::uint8_t>(v));
+    i = 1;
+  }
+  for (; i + 1 < hex.size() + 1 && i < hex.size(); i += 2) {
+    const int hi = hex_digit_value(hex[i]);
+    const int lo = hex_digit_value(hex[i + 1]);
+    if (hi < 0 || lo < 0) throw std::invalid_argument("hex_decode: bad digit");
+    out.push_back(static_cast<std::uint8_t>((hi << 4) | lo));
+  }
+  return out;
+}
+
+}  // namespace phissl::util

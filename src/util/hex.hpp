@@ -1,0 +1,23 @@
+// Hex encoding/decoding helpers shared by bigint I/O and tests.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace phissl::util {
+
+/// Lowercase hex encoding of `data` (big-endian byte order preserved).
+std::string hex_encode(const std::uint8_t* data, std::size_t n);
+std::string hex_encode(const std::vector<std::uint8_t>& data);
+
+/// Decodes a hex string (case-insensitive, optional "0x" prefix).
+/// Throws std::invalid_argument on malformed input (odd length handled by
+/// an implicit leading zero nibble).
+std::vector<std::uint8_t> hex_decode(std::string_view hex);
+
+/// Value of one hex digit, or -1 if not a hex digit.
+int hex_digit_value(char c);
+
+}  // namespace phissl::util

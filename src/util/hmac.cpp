@@ -1,0 +1,40 @@
+#include "util/hmac.hpp"
+
+namespace phissl::util {
+
+HmacSha256::HmacSha256(std::span<const std::uint8_t> key) {
+  std::array<std::uint8_t, 64> block{};
+  if (key.size() > block.size()) {
+    const auto digest = Sha256::hash(key);
+    std::copy(digest.begin(), digest.end(), block.begin());
+  } else {
+    std::copy(key.begin(), key.end(), block.begin());
+  }
+  std::array<std::uint8_t, 64> ipad_key;
+  for (std::size_t i = 0; i < block.size(); ++i) {
+    ipad_key[i] = static_cast<std::uint8_t>(block[i] ^ 0x36);
+    opad_key_[i] = static_cast<std::uint8_t>(block[i] ^ 0x5c);
+  }
+  inner_.update(ipad_key);
+}
+
+void HmacSha256::update(std::span<const std::uint8_t> data) {
+  inner_.update(data);
+}
+
+Sha256::Digest HmacSha256::finish() {
+  const auto inner_digest = inner_.finish();
+  Sha256 outer;
+  outer.update(opad_key_);
+  outer.update(inner_digest);
+  return outer.finish();
+}
+
+Sha256::Digest HmacSha256::mac(std::span<const std::uint8_t> key,
+                               std::span<const std::uint8_t> data) {
+  HmacSha256 h(key);
+  h.update(data);
+  return h.finish();
+}
+
+}  // namespace phissl::util

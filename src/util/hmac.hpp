@@ -1,0 +1,28 @@
+// HMAC-SHA-256 (RFC 2104 / FIPS 198-1).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "util/sha256.hpp"
+
+namespace phissl::util {
+
+class HmacSha256 {
+ public:
+  /// Keys longer than the 64-byte block are hashed first, per the spec.
+  explicit HmacSha256(std::span<const std::uint8_t> key);
+
+  void update(std::span<const std::uint8_t> data);
+  Sha256::Digest finish();
+
+  /// One-shot convenience.
+  static Sha256::Digest mac(std::span<const std::uint8_t> key,
+                            std::span<const std::uint8_t> data);
+
+ private:
+  std::array<std::uint8_t, 64> opad_key_{};
+  Sha256 inner_;
+};
+
+}  // namespace phissl::util

@@ -1,0 +1,39 @@
+// Deterministic, seedable PRNG used across the library.
+//
+// Crypto disclaimer: this reproduction uses xoshiro256** everywhere,
+// including key generation, so that experiments and tests are fully
+// reproducible from a seed. A production library would draw key material
+// from an OS CSPRNG; swapping the source is a one-line change in Rng.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace phissl::util {
+
+/// xoshiro256** 1.0 (Blackman & Vigna), seeded via splitmix64.
+class Rng {
+ public:
+  /// Seeds the four 64-bit state words from `seed` via splitmix64.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Next 64 uniformly random bits.
+  std::uint64_t next_u64();
+
+  /// Next 32 uniformly random bits.
+  std::uint32_t next_u32() { return static_cast<std::uint32_t>(next_u64() >> 32); }
+
+  /// Uniform value in [0, bound). bound must be > 0.
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Fills `out` with `n` random bytes.
+  void fill_bytes(std::uint8_t* out, std::size_t n);
+
+  /// Convenience: `n` random bytes as a vector.
+  std::vector<std::uint8_t> bytes(std::size_t n);
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace phissl::util

@@ -1,0 +1,42 @@
+// SHA-256 (FIPS 180-4). Needed by the RSA layer for PKCS#1 v1.5
+// signatures and OAEP/MGF1; implemented from scratch like every other
+// substrate in this reproduction.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace phissl::util {
+
+class Sha256 {
+ public:
+  static constexpr std::size_t kDigestSize = 32;
+  using Digest = std::array<std::uint8_t, kDigestSize>;
+
+  Sha256();
+
+  /// Absorbs `data`; may be called repeatedly.
+  void update(std::span<const std::uint8_t> data);
+
+  /// Finalizes and returns the digest. The object must not be reused
+  /// afterwards without reset().
+  Digest finish();
+
+  /// Returns the object to its initial state.
+  void reset();
+
+  /// One-shot convenience.
+  static Digest hash(std::span<const std::uint8_t> data);
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 8> state_;
+  std::array<std::uint8_t, 64> buffer_;
+  std::size_t buffer_len_ = 0;
+  std::uint64_t total_len_ = 0;
+};
+
+}  // namespace phissl::util

@@ -1,0 +1,38 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace phissl::util {
+
+Summary summarize(std::vector<double> samples) {
+  Summary s;
+  s.count = samples.size();
+  if (samples.empty()) return s;
+
+  std::sort(samples.begin(), samples.end());
+  s.min = samples.front();
+  s.max = samples.back();
+
+  double sum = 0.0;
+  for (double v : samples) sum += v;
+  s.mean = sum / static_cast<double>(samples.size());
+
+  const std::size_t n = samples.size();
+  s.median = (n % 2 == 1) ? samples[n / 2]
+                          : 0.5 * (samples[n / 2 - 1] + samples[n / 2]);
+
+  if (n >= 2) {
+    double ss = 0.0;
+    for (double v : samples) ss += (v - s.mean) * (v - s.mean);
+    s.stddev = std::sqrt(ss / static_cast<double>(n - 1));
+  }
+
+  // Nearest-rank percentile: ceil(p*n)-th smallest.
+  const std::size_t rank =
+      static_cast<std::size_t>(std::ceil(0.95 * static_cast<double>(n)));
+  s.p95 = samples[std::min(n - 1, rank == 0 ? 0 : rank - 1)];
+  return s;
+}
+
+}  // namespace phissl::util

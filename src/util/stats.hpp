@@ -1,0 +1,24 @@
+// Small sample-statistics helper used by bench harnesses to report
+// mean/median/percentile rows the way the paper's tables do.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace phissl::util {
+
+/// Summary statistics over a sample of doubles.
+struct Summary {
+  std::size_t count = 0;
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double median = 0.0;
+  double stddev = 0.0;  // sample stddev (n-1 denominator; 0 for n<2)
+  double p95 = 0.0;     // 95th percentile (nearest-rank)
+};
+
+/// Computes Summary over `samples`. Empty input yields a zeroed Summary.
+Summary summarize(std::vector<double> samples);
+
+}  // namespace phissl::util

@@ -1,0 +1,51 @@
+// Fixed-size thread pool with a work queue and a parallel_for helper.
+//
+// On the real Xeon Phi, PhiOpenSSL pinned one worker per hardware thread
+// (up to 244). Here the pool is the functional equivalent: it provides the
+// same submit/drain semantics on however many host threads are requested;
+// the phisim module supplies the *performance* model for 244-thread runs.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace phissl::util {
+
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (>= 1; 0 is clamped to 1).
+  explicit ThreadPool(std::size_t num_threads);
+
+  /// Drains outstanding work, then joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of worker threads.
+  [[nodiscard]] std::size_t size() const { return workers_.size(); }
+
+  /// Enqueues `fn`; returns a future for its completion.
+  std::future<void> submit(std::function<void()> fn);
+
+  /// Runs fn(i) for i in [0, n) across the pool and blocks until done.
+  /// Work is divided into contiguous chunks, one per worker.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::packaged_task<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+}  // namespace phissl::util

@@ -1,0 +1,38 @@
+// Lightweight wall-clock timing helpers used by benches and the SSL driver.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace phissl::util {
+
+/// Monotonic timestamp in nanoseconds.
+inline std::uint64_t now_ns() {
+  using clock = std::chrono::steady_clock;
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          clock::now().time_since_epoch())
+          .count());
+}
+
+/// RAII-free stopwatch: start on construction, query elapsed at any time.
+class Stopwatch {
+ public:
+  Stopwatch() : start_ns_(now_ns()) {}
+
+  /// Restart the measurement window.
+  void reset() { start_ns_ = now_ns(); }
+
+  /// Nanoseconds since construction or the last reset().
+  [[nodiscard]] std::uint64_t elapsed_ns() const { return now_ns() - start_ns_; }
+
+  /// Seconds since construction or the last reset().
+  [[nodiscard]] double elapsed_s() const {
+    return static_cast<double>(elapsed_ns()) * 1e-9;
+  }
+
+ private:
+  std::uint64_t start_ns_;
+};
+
+}  // namespace phissl::util

@@ -1,0 +1,157 @@
+// AES against FIPS-197 / NIST SP 800-38A known-answer vectors, plus CBC
+// round-trips and padding failure injection.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/aes.hpp"
+#include "util/hex.hpp"
+#include "util/random.hpp"
+
+namespace phissl::util {
+namespace {
+
+std::vector<std::uint8_t> H(const char* hex) { return hex_decode(hex); }
+
+std::string encrypt_hex(const char* key_hex, const char* pt_hex) {
+  const Aes aes(H(key_hex));
+  const auto pt = H(pt_hex);
+  std::vector<std::uint8_t> ct(16);
+  aes.encrypt_block(pt.data(), ct.data());
+  return hex_encode(ct);
+}
+
+TEST(Aes, Fips197Aes128) {
+  // FIPS 197 Appendix C.1
+  EXPECT_EQ(encrypt_hex("000102030405060708090a0b0c0d0e0f",
+                        "00112233445566778899aabbccddeeff"),
+            "69c4e0d86a7b0430d8cdb78070b4c55a");
+}
+
+TEST(Aes, Fips197Aes192) {
+  // FIPS 197 Appendix C.2
+  EXPECT_EQ(encrypt_hex("000102030405060708090a0b0c0d0e0f1011121314151617",
+                        "00112233445566778899aabbccddeeff"),
+            "dda97ca4864cdfe06eaf70a0ec0d7191");
+}
+
+TEST(Aes, Fips197Aes256) {
+  // FIPS 197 Appendix C.3
+  EXPECT_EQ(
+      encrypt_hex(
+          "000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f",
+          "00112233445566778899aabbccddeeff"),
+      "8ea2b7ca516745bfeafc49904b496089");
+}
+
+TEST(Aes, Sp80038aEcbVector) {
+  // SP 800-38A F.1.1 ECB-AES128 block #1
+  EXPECT_EQ(encrypt_hex("2b7e151628aed2a6abf7158809cf4f3c",
+                        "6bc1bee22e409f96e93d7e117393172a"),
+            "3ad77bb40d7a3660a89ecaf32466ef97");
+}
+
+TEST(Aes, DecryptInvertsEncrypt) {
+  Rng rng(1);
+  for (std::size_t key_len : {16u, 24u, 32u}) {
+    const auto key = rng.bytes(key_len);
+    const Aes aes(key);
+    for (int i = 0; i < 20; ++i) {
+      const auto pt = rng.bytes(16);
+      std::uint8_t ct[16], back[16];
+      aes.encrypt_block(pt.data(), ct);
+      aes.decrypt_block(ct, back);
+      EXPECT_TRUE(std::equal(pt.begin(), pt.end(), back));
+    }
+  }
+}
+
+TEST(Aes, InPlaceBlockOps) {
+  Rng rng(2);
+  const auto key = rng.bytes(16);
+  const Aes aes(key);
+  auto buf = rng.bytes(16);
+  const auto orig = buf;
+  aes.encrypt_block(buf.data(), buf.data());
+  EXPECT_NE(buf, orig);
+  aes.decrypt_block(buf.data(), buf.data());
+  EXPECT_EQ(buf, orig);
+}
+
+TEST(Aes, RejectsBadKeySize) {
+  const std::vector<std::uint8_t> bad(15, 0);
+  EXPECT_THROW(Aes{bad}, std::invalid_argument);
+  const std::vector<std::uint8_t> bad2(33, 0);
+  EXPECT_THROW(Aes{bad2}, std::invalid_argument);
+}
+
+TEST(AesCbc, Sp80038aCbcVector) {
+  // SP 800-38A F.2.1 CBC-AES128, first block (PKCS#7 adds a pad block,
+  // so compare the first 16 ciphertext bytes only).
+  const Aes aes(H("2b7e151628aed2a6abf7158809cf4f3c"));
+  const auto iv = H("000102030405060708090a0b0c0d0e0f");
+  const auto pt = H("6bc1bee22e409f96e93d7e117393172a");
+  const auto ct = aes_cbc_encrypt(aes, iv, pt);
+  ASSERT_EQ(ct.size(), 32u);  // 1 data block + 1 pad block
+  EXPECT_EQ(hex_encode(std::vector<std::uint8_t>(ct.begin(), ct.begin() + 16)),
+            "7649abac8119b246cee98e9b12e9197d");
+}
+
+TEST(AesCbc, RoundTripVariousLengths) {
+  Rng rng(3);
+  const auto key = rng.bytes(16);
+  const Aes aes(key);
+  for (std::size_t len : {0u, 1u, 15u, 16u, 17u, 31u, 32u, 100u}) {
+    const auto iv = rng.bytes(16);
+    const auto pt = rng.bytes(len);
+    const auto ct = aes_cbc_encrypt(aes, iv, pt);
+    EXPECT_EQ(ct.size() % 16, 0u);
+    EXPECT_GT(ct.size(), pt.size());  // always at least one pad byte
+    std::vector<std::uint8_t> back;
+    ASSERT_TRUE(aes_cbc_decrypt(aes, iv, ct, back)) << len;
+    EXPECT_EQ(back, pt) << len;
+  }
+}
+
+TEST(AesCbc, PaddingCorruptionDetected) {
+  Rng rng(4);
+  const Aes aes(rng.bytes(16));
+  const auto iv = rng.bytes(16);
+  const auto pt = rng.bytes(20);
+  auto ct = aes_cbc_encrypt(aes, iv, pt);
+  // Corrupt the last block (holds the padding).
+  ct.back() ^= 0xff;
+  std::vector<std::uint8_t> out;
+  const bool ok = aes_cbc_decrypt(aes, iv, ct, out);
+  if (ok) {
+    EXPECT_NE(out, pt);  // if padding survived by luck, data must differ
+  }
+}
+
+TEST(AesCbc, BadLengthsThrow) {
+  Rng rng(5);
+  const Aes aes(rng.bytes(16));
+  const auto iv = rng.bytes(16);
+  std::vector<std::uint8_t> out;
+  EXPECT_THROW(aes_cbc_decrypt(aes, iv, rng.bytes(15), out),
+               std::invalid_argument);
+  EXPECT_THROW(aes_cbc_decrypt(aes, iv, {}, out), std::invalid_argument);
+  EXPECT_THROW(aes_cbc_encrypt(aes, rng.bytes(8), rng.bytes(16)),
+               std::invalid_argument);
+}
+
+TEST(AesCbc, WrongIvFailsOrGarbles) {
+  Rng rng(6);
+  const Aes aes(rng.bytes(16));
+  const auto iv = rng.bytes(16);
+  const auto pt = rng.bytes(32);
+  const auto ct = aes_cbc_encrypt(aes, iv, pt);
+  const auto wrong_iv = rng.bytes(16);
+  std::vector<std::uint8_t> out;
+  // Wrong IV garbles only the first block; padding may still validate,
+  // but the plaintext cannot match.
+  if (aes_cbc_decrypt(aes, wrong_iv, ct, out)) EXPECT_NE(out, pt);
+}
+
+}  // namespace
+}  // namespace phissl::util

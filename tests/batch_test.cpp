@@ -1,0 +1,222 @@
+// Tests for the batched lane-parallel Montgomery context and BatchEngine:
+// lane-wise differential against the single-stream contexts, edge lanes,
+// and the batched CRT private op against the scalar engine.
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "bigint/bigint.hpp"
+#include "mont/batch.hpp"
+#include "mont/modexp.hpp"
+#include "mont/vector_mont.hpp"
+#include "rsa/batch_engine.hpp"
+#include "rsa/batch_sign.hpp"
+#include "rsa/pkcs1.hpp"
+#include "rsa/engine.hpp"
+#include "rsa/key.hpp"
+#include "util/random.hpp"
+
+namespace phissl::mont {
+namespace {
+
+using bigint::BigInt;
+constexpr std::size_t kB = BatchVectorMontCtx::kBatch;
+
+std::array<BigInt, kB> random_lanes(const BigInt& m, util::Rng& rng) {
+  std::array<BigInt, kB> xs;
+  for (auto& x : xs) x = BigInt::random_below(m, rng);
+  return xs;
+}
+
+TEST(BatchMont, RejectsBadConfigs) {
+  util::Rng rng(1);
+  const BigInt m = BigInt::random_odd_exact_bits(2048, rng);
+  EXPECT_THROW(BatchVectorMontCtx(BigInt{4}), std::invalid_argument);
+  EXPECT_THROW(BatchVectorMontCtx(m, 29), std::invalid_argument);
+  EXPECT_THROW(BatchVectorMontCtx(m, 7), std::invalid_argument);
+  EXPECT_NO_THROW(BatchVectorMontCtx(m, 27));
+}
+
+TEST(BatchMont, ToFromMontRoundTrip) {
+  util::Rng rng(2);
+  for (std::size_t bits : {64u, 511u, 1024u}) {
+    const BigInt m = BigInt::random_odd_exact_bits(bits, rng);
+    const BatchVectorMontCtx ctx(m);
+    const auto xs = random_lanes(m, rng);
+    const auto back = ctx.from_mont(ctx.to_mont(xs));
+    for (std::size_t l = 0; l < kB; ++l) {
+      EXPECT_EQ(back[l], xs[l]) << "lane " << l;
+    }
+  }
+}
+
+TEST(BatchMont, MulMatchesOraclePerLane) {
+  util::Rng rng(3);
+  for (std::size_t bits : {128u, 1024u, 2048u}) {
+    const BigInt m = BigInt::random_odd_exact_bits(bits, rng);
+    const BatchVectorMontCtx ctx(m);
+    const auto xs = random_lanes(m, rng);
+    const auto ys = random_lanes(m, rng);
+    BatchVectorMontCtx::Rep out;
+    ctx.mul(ctx.to_mont(xs), ctx.to_mont(ys), out);
+    const auto got = ctx.from_mont(out);
+    for (std::size_t l = 0; l < kB; ++l) {
+      EXPECT_EQ(got[l], (xs[l] * ys[l]).mod(m)) << "bits=" << bits
+                                                << " lane=" << l;
+    }
+  }
+}
+
+TEST(BatchMont, EdgeLaneValues) {
+  // Zero, one, and m-1 in specific lanes alongside random ones.
+  util::Rng rng(4);
+  const BigInt m = BigInt::random_odd_exact_bits(512, rng);
+  auto xs = random_lanes(m, rng);
+  auto ys = random_lanes(m, rng);
+  xs[0] = BigInt{};
+  xs[1] = BigInt{1};
+  xs[15] = m - BigInt{1};
+  ys[15] = m - BigInt{1};
+  const BatchVectorMontCtx ctx(m);
+  BatchVectorMontCtx::Rep out;
+  ctx.mul(ctx.to_mont(xs), ctx.to_mont(ys), out);
+  const auto got = ctx.from_mont(out);
+  for (std::size_t l = 0; l < kB; ++l) {
+    EXPECT_EQ(got[l], (xs[l] * ys[l]).mod(m)) << l;
+  }
+}
+
+TEST(BatchMont, SharedExponentExpMatchesSingleStream) {
+  util::Rng rng(5);
+  const BigInt m = BigInt::random_odd_exact_bits(512, rng);
+  const BatchVectorMontCtx batch(m);
+  const VectorMontCtx single(m);
+  const auto xs = random_lanes(m, rng);
+  const BigInt exp = BigInt::random_bits(512, rng);
+  const auto got = batch.mod_exp(xs, exp);
+  for (std::size_t l = 0; l < kB; ++l) {
+    EXPECT_EQ(got[l], fixed_window_exp(single, xs[l], exp)) << l;
+  }
+}
+
+TEST(BatchMont, ExpEdgeExponents) {
+  util::Rng rng(6);
+  const BigInt m = BigInt::random_odd_exact_bits(256, rng);
+  const BatchVectorMontCtx ctx(m);
+  const auto xs = random_lanes(m, rng);
+  const auto r0 = ctx.mod_exp(xs, BigInt{});
+  const auto r1 = ctx.mod_exp(xs, BigInt{1});
+  for (std::size_t l = 0; l < kB; ++l) {
+    EXPECT_EQ(r0[l], BigInt{1});
+    EXPECT_EQ(r1[l], xs[l]);
+  }
+  EXPECT_THROW(ctx.mod_exp(xs, BigInt{-1}), std::invalid_argument);
+}
+
+TEST(BatchMont, RejectsWrongLaneCountOrRange) {
+  util::Rng rng(7);
+  const BigInt m = BigInt::random_odd_exact_bits(128, rng);
+  const BatchVectorMontCtx ctx(m);
+  std::vector<BigInt> too_few(3, BigInt{1});
+  EXPECT_THROW(ctx.to_mont(too_few), std::invalid_argument);
+  auto xs = random_lanes(m, rng);
+  xs[5] = m;  // out of range
+  EXPECT_THROW(ctx.to_mont(xs), std::invalid_argument);
+}
+
+TEST(BatchMont, DifferentDigitWidthsAgree) {
+  util::Rng rng(8);
+  const BigInt m = BigInt::random_odd_exact_bits(384, rng);
+  const auto xs = random_lanes(m, rng);
+  const BigInt exp = BigInt::random_bits(100, rng);
+  const auto r27 = BatchVectorMontCtx(m, 27).mod_exp(xs, exp);
+  const auto r20 = BatchVectorMontCtx(m, 20).mod_exp(xs, exp);
+  for (std::size_t l = 0; l < kB; ++l) EXPECT_EQ(r27[l], r20[l]) << l;
+}
+
+}  // namespace
+}  // namespace phissl::mont
+
+namespace phissl::rsa {
+namespace {
+
+using bigint::BigInt;
+constexpr std::size_t kB = BatchEngine::kBatch;
+
+TEST(BatchEngine, MatchesScalarEnginePerLane) {
+  const PrivateKey& key = test_key(1024);
+  const BatchEngine batch(key);
+  const Engine scalar(key, EngineOptions{});
+  util::Rng rng(9);
+  std::array<BigInt, kB> msgs;
+  for (auto& m : msgs) m = BigInt::random_below(key.pub.n, rng);
+  const auto sigs = batch.private_op(msgs);
+  for (std::size_t l = 0; l < kB; ++l) {
+    EXPECT_EQ(sigs[l], scalar.private_op(msgs[l])) << l;
+    EXPECT_EQ(scalar.public_op(sigs[l]), msgs[l]) << l;
+  }
+}
+
+TEST(BatchEngine, RejectsBadInputs) {
+  const PrivateKey& key = test_key(512);
+  const BatchEngine batch(key);
+  std::vector<BigInt> too_few(2, BigInt{1});
+  EXPECT_THROW(batch.private_op(too_few), std::invalid_argument);
+  std::array<BigInt, kB> msgs{};
+  msgs[3] = key.pub.n;
+  EXPECT_THROW(batch.private_op(msgs), std::invalid_argument);
+}
+
+TEST(BatchEngine, ZeroAndSmallLanes) {
+  const PrivateKey& key = test_key(512);
+  const BatchEngine batch(key);
+  std::array<BigInt, kB> msgs{};
+  msgs[1] = BigInt{1};
+  msgs[2] = BigInt{2};
+  const auto sigs = batch.private_op(msgs);
+  const Engine scalar(key, EngineOptions{});
+  for (std::size_t l = 0; l < kB; ++l) {
+    EXPECT_EQ(scalar.public_op(sigs[l]), msgs[l]) << l;
+  }
+}
+
+}  // namespace
+}  // namespace phissl::rsa
+
+namespace phissl::rsa {
+namespace {
+
+TEST(BatchSign, MatchesScalarSignPerLane) {
+  const PrivateKey& key = test_key(1024);
+  const BatchEngine batch(key);
+  const Engine scalar(key, EngineOptions{});
+  util::Rng rng(17);
+  std::array<std::vector<std::uint8_t>, BatchEngine::kBatch> bufs;
+  std::array<std::span<const std::uint8_t>, BatchEngine::kBatch> msgs;
+  for (std::size_t l = 0; l < BatchEngine::kBatch; ++l) {
+    bufs[l] = rng.bytes(100);
+    msgs[l] = bufs[l];
+  }
+  const auto sigs = batch_sign_sha256(batch, msgs);
+  for (std::size_t l = 0; l < BatchEngine::kBatch; ++l) {
+    EXPECT_EQ(sigs[l], sign_sha256(scalar, msgs[l])) << l;
+    EXPECT_TRUE(verify_sha256(scalar, msgs[l], sigs[l])) << l;
+    // Cross-lane: a signature must not verify another lane's message.
+    EXPECT_FALSE(verify_sha256(scalar, msgs[(l + 1) % 16], sigs[l])) << l;
+  }
+}
+
+TEST(BatchSign, RejectsUnequalLengths) {
+  const BatchEngine batch(test_key(512));
+  util::Rng rng(18);
+  std::array<std::vector<std::uint8_t>, BatchEngine::kBatch> bufs;
+  std::array<std::span<const std::uint8_t>, BatchEngine::kBatch> msgs;
+  for (std::size_t l = 0; l < BatchEngine::kBatch; ++l) {
+    bufs[l] = rng.bytes(l == 9 ? 11u : 10u);
+    msgs[l] = bufs[l];
+  }
+  EXPECT_THROW(batch_sign_sha256(batch, msgs), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace phissl::rsa

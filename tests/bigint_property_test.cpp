@@ -1,0 +1,176 @@
+// Property-based tests on BigInt: algebraic identities over randomized
+// inputs, parameterized across operand sizes so the same invariants are
+// exercised below, at, and above the Karatsuba threshold and across limb
+// boundaries.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <tuple>
+
+#include "bigint/bigint.hpp"
+#include "util/random.hpp"
+
+namespace phissl::bigint {
+namespace {
+
+class BigIntProperty : public ::testing::TestWithParam<std::size_t> {
+ protected:
+  util::Rng rng_{GetParam() * 1000003 + 17};
+
+  BigInt rand_bits(std::size_t bits) { return BigInt::random_bits(bits, rng_); }
+};
+
+TEST_P(BigIntProperty, AddSubInverse) {
+  const std::size_t bits = GetParam();
+  for (int i = 0; i < 20; ++i) {
+    const BigInt a = rand_bits(bits), b = rand_bits(bits);
+    EXPECT_EQ((a + b) - b, a);
+    EXPECT_EQ((a - b) + b, a);
+  }
+}
+
+TEST_P(BigIntProperty, AddCommutativeAssociative) {
+  const std::size_t bits = GetParam();
+  for (int i = 0; i < 20; ++i) {
+    const BigInt a = rand_bits(bits), b = rand_bits(bits), c = rand_bits(bits);
+    EXPECT_EQ(a + b, b + a);
+    EXPECT_EQ((a + b) + c, a + (b + c));
+  }
+}
+
+TEST_P(BigIntProperty, MulCommutativeDistributive) {
+  const std::size_t bits = GetParam();
+  for (int i = 0; i < 10; ++i) {
+    const BigInt a = rand_bits(bits), b = rand_bits(bits), c = rand_bits(bits);
+    EXPECT_EQ(a * b, b * a);
+    EXPECT_EQ(a * (b + c), a * b + a * c);
+  }
+}
+
+TEST_P(BigIntProperty, KaratsubaMatchesSchoolbook) {
+  const std::size_t bits = GetParam();
+  for (int i = 0; i < 10; ++i) {
+    const BigInt a = rand_bits(bits), b = rand_bits(bits / 2 + 1);
+    const auto karatsuba = kernels::mul_karatsuba(a.limbs(), b.limbs());
+    std::vector<std::uint32_t> school(a.limb_count() + b.limb_count(), 0);
+    kernels::mul_schoolbook(a.limbs(), b.limbs(), school);
+    while (!school.empty() && school.back() == 0) school.pop_back();
+    EXPECT_EQ(karatsuba, school);
+  }
+}
+
+TEST_P(BigIntProperty, SquaringMatchesMul) {
+  const std::size_t bits = GetParam();
+  for (int i = 0; i < 10; ++i) {
+    const BigInt a = rand_bits(bits);
+    EXPECT_EQ(a.squared(), a * a);
+  }
+}
+
+TEST_P(BigIntProperty, DivModReconstruction) {
+  const std::size_t bits = GetParam();
+  for (int i = 0; i < 20; ++i) {
+    const BigInt a = rand_bits(bits);
+    BigInt b = rand_bits(bits / 2 + 1);
+    if (b.is_zero()) b = BigInt{1};
+    BigInt q, r;
+    BigInt::divmod(a, b, q, r);
+    EXPECT_EQ(q * b + r, a);
+    EXPECT_LT(r, b);
+    EXPECT_FALSE(r.is_negative());
+  }
+}
+
+TEST_P(BigIntProperty, DivModAgainstShiftedDivisor) {
+  // Stress Knuth D's qhat-correction path: divisors with many high bits set.
+  const std::size_t bits = GetParam();
+  for (int i = 0; i < 20; ++i) {
+    const BigInt a = rand_bits(bits);
+    BigInt b = (BigInt{1} << (bits / 2 + 1)) - BigInt{1} - rand_bits(8);
+    if (b <= BigInt{}) b = BigInt{1};
+    BigInt q, r;
+    BigInt::divmod(a, b, q, r);
+    EXPECT_EQ(q * b + r, a);
+    EXPECT_LT(r, b);
+  }
+}
+
+TEST_P(BigIntProperty, ShiftRoundTrip) {
+  const std::size_t bits = GetParam();
+  for (std::size_t s : {1u, 31u, 32u, 33u, 64u, 95u}) {
+    const BigInt a = rand_bits(bits);
+    EXPECT_EQ((a << s) >> s, a);
+    EXPECT_EQ(a << s, a * (BigInt{1} << s));
+  }
+}
+
+TEST_P(BigIntProperty, HexDecimalBytesRoundTrip) {
+  const std::size_t bits = GetParam();
+  for (int i = 0; i < 5; ++i) {
+    const BigInt a = rand_bits(bits);
+    EXPECT_EQ(BigInt::from_hex(a.to_hex()), a);
+    EXPECT_EQ(BigInt::from_decimal(a.to_decimal()), a);
+    EXPECT_EQ(BigInt::from_bytes_be(a.to_bytes_be()), a);
+  }
+}
+
+TEST_P(BigIntProperty, ModPowMatchesIteratedMul) {
+  const std::size_t bits = std::min<std::size_t>(GetParam(), 256);
+  for (int i = 0; i < 3; ++i) {
+    BigInt m = rand_bits(bits);
+    if (m <= BigInt{1}) m = BigInt{7};
+    const BigInt base = rand_bits(bits);
+    const std::uint64_t e = rng_.next_below(40) + 1;
+    BigInt expected{1};
+    for (std::uint64_t k = 0; k < e; ++k) expected = (expected * base).mod(m);
+    EXPECT_EQ(base.mod_pow(BigInt::from_u64(e), m), expected);
+  }
+}
+
+TEST_P(BigIntProperty, FermatLittleTheorem) {
+  // For prime p and gcd(a, p) == 1: a^(p-1) == 1 (mod p).
+  const BigInt p = BigInt::random_prime(std::max<std::size_t>(GetParam() / 4, 32), rng_, 16);
+  for (int i = 0; i < 3; ++i) {
+    BigInt a = BigInt::random_below(p - BigInt{1}, rng_) + BigInt{1};
+    EXPECT_EQ(a.mod_pow(p - BigInt{1}, p), BigInt{1});
+  }
+}
+
+TEST_P(BigIntProperty, ModInverseRoundTrip) {
+  const BigInt p = BigInt::random_prime(std::max<std::size_t>(GetParam() / 4, 32), rng_, 16);
+  for (int i = 0; i < 5; ++i) {
+    const BigInt a = BigInt::random_below(p - BigInt{1}, rng_) + BigInt{1};
+    const BigInt inv = a.mod_inverse(p);
+    EXPECT_EQ((a * inv).mod(p), BigInt{1});
+    EXPECT_LT(inv, p);
+  }
+}
+
+TEST_P(BigIntProperty, GcdLinearity) {
+  const std::size_t bits = GetParam();
+  for (int i = 0; i < 5; ++i) {
+    const BigInt a = rand_bits(bits), b = rand_bits(bits);
+    const BigInt g = BigInt::gcd(a, b);
+    if (!g.is_zero()) {
+      EXPECT_EQ(a % g, BigInt{});
+      EXPECT_EQ(b % g, BigInt{});
+    }
+    BigInt x, y;
+    const BigInt g2 = BigInt::extended_gcd(a, b, x, y);
+    EXPECT_EQ(g2, g);
+    EXPECT_EQ(a * x + b * y, g);
+  }
+}
+
+// Sizes: below / around / above limb boundaries and Karatsuba threshold
+// (threshold is 24 limbs = 768 bits).
+INSTANTIATE_TEST_SUITE_P(Sizes, BigIntProperty,
+                         ::testing::Values<std::size_t>(16, 31, 32, 33, 64,
+                                                        127, 256, 512, 767,
+                                                        768, 1024, 2048, 4096),
+                         [](const auto& param_info) {
+                           return "bits" + std::to_string(param_info.param);
+                         });
+
+}  // namespace
+}  // namespace phissl::bigint

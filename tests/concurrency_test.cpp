@@ -1,0 +1,125 @@
+// Concurrency tests: the engines are documented as safe for concurrent
+// use after construction (immutable state + thread_local scratch in the
+// vector kernels). These tests hammer shared objects from many threads
+// and check every result against the single-threaded oracle — including
+// the tricky case of one thread alternating between contexts of different
+// sizes (which stresses the thread_local buffer resizing).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "baseline/systems.hpp"
+#include "mont/modexp.hpp"
+#include "mont/vector_mont.hpp"
+#include "rsa/engine.hpp"
+#include "rsa/key.hpp"
+#include "rsa/pkcs1.hpp"
+#include "util/random.hpp"
+
+namespace phissl {
+namespace {
+
+using bigint::BigInt;
+
+TEST(Concurrency, SharedEngineManyThreads) {
+  const rsa::PrivateKey& key = rsa::test_key(512);
+  const rsa::Engine engine(key, rsa::EngineOptions{});
+
+  // Precompute oracle answers single-threaded.
+  util::Rng rng(1);
+  constexpr int kOps = 24;
+  std::vector<BigInt> inputs, expected;
+  for (int i = 0; i < kOps; ++i) {
+    inputs.push_back(BigInt::random_below(key.pub.n, rng));
+    expected.push_back(engine.private_op(inputs.back()));
+  }
+
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = t; i < kOps; i += 4) {
+        if (engine.private_op(inputs[static_cast<std::size_t>(i)]) !=
+            expected[static_cast<std::size_t>(i)]) {
+          mismatches++;
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+TEST(Concurrency, OneThreadAlternatingContextSizes) {
+  // The vector kernel's thread_local accumulators are resized per call;
+  // alternating between two moduli of very different size in one thread
+  // must not corrupt either computation.
+  util::Rng rng(2);
+  const BigInt m_small = BigInt::random_odd_exact_bits(128, rng);
+  const BigInt m_large = BigInt::random_odd_exact_bits(2048, rng);
+  const mont::VectorMontCtx small(m_small);
+  const mont::VectorMontCtx large(m_large);
+
+  for (int i = 0; i < 10; ++i) {
+    const BigInt a = BigInt::random_below(m_small, rng);
+    const BigInt b = BigInt::random_below(m_small, rng);
+    const BigInt c = BigInt::random_below(m_large, rng);
+    const BigInt d = BigInt::random_below(m_large, rng);
+    mont::VectorMontCtx::Rep out_s, out_l;
+    small.mul(small.to_mont(a), small.to_mont(b), out_s);
+    large.mul(large.to_mont(c), large.to_mont(d), out_l);
+    EXPECT_EQ(small.from_mont(out_s), (a * b).mod(m_small));
+    EXPECT_EQ(large.from_mont(out_l), (c * d).mod(m_large));
+  }
+}
+
+TEST(Concurrency, ParallelSignaturesAllVerify) {
+  const rsa::PrivateKey& key = rsa::test_key(512);
+  const rsa::Engine engine =
+      baseline::make_engine(baseline::System::kPhiOpenSSL, key);
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < 6; ++i) {
+        const std::string msg =
+            "thread " + std::to_string(t) + " msg " + std::to_string(i);
+        const std::span<const std::uint8_t> bytes{
+            reinterpret_cast<const std::uint8_t*>(msg.data()), msg.size()};
+        const auto sig = rsa::sign_sha256(engine, bytes);
+        if (!rsa::verify_sha256(engine, bytes, sig)) failures++;
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+TEST(Concurrency, DistinctEnginesDistinctKernelsInParallel) {
+  // Three threads, three kernels, one key: all must agree.
+  const rsa::PrivateKey& key = rsa::test_key(512);
+  util::Rng rng(3);
+  const BigInt m = BigInt::random_below(key.pub.n, rng);
+  const BigInt expected = m.mod_pow(key.d, key.pub.n);
+
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  for (const rsa::Kernel k :
+       {rsa::Kernel::kScalar32, rsa::Kernel::kScalar64, rsa::Kernel::kVector}) {
+    threads.emplace_back([&, k] {
+      rsa::EngineOptions opts;
+      opts.kernel = k;
+      const rsa::Engine engine(key, opts);
+      for (int i = 0; i < 5; ++i) {
+        if (engine.private_op(m) != expected) mismatches++;
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+}  // namespace
+}  // namespace phissl

@@ -1,0 +1,142 @@
+// DHE-RSA handshake tests: full flow, signature authentication, parameter
+// tampering (the attack DHE signing exists to stop), degenerate DH values,
+// and cross-suite state discipline.
+#include <gtest/gtest.h>
+
+#include "dh/dh.hpp"
+#include "rsa/key.hpp"
+#include "ssl/dhe_handshake.hpp"
+#include "ssl/record.hpp"
+#include "util/random.hpp"
+
+namespace phissl::ssl {
+namespace {
+
+using bigint::BigInt;
+
+class DheHandshakeTest : public ::testing::Test {
+ protected:
+  DheHandshakeTest()
+      : server_engine_(rsa::test_key(1024), rsa::EngineOptions{}),
+        client_engine_(rsa::test_key(1024).pub, rsa::EngineOptions{}),
+        group_(dh::rfc2409_group2()) {}
+
+  rsa::Engine server_engine_;
+  rsa::Engine client_engine_;
+  dh::Dh group_;
+  util::Rng rng_{314};
+};
+
+TEST_F(DheHandshakeTest, FullFlowEstablishesSharedMaster) {
+  DheServerHandshake server(server_engine_, group_, rng_);
+  DheClientHandshake client(client_engine_, rng_);
+
+  const auto flight = server.on_client_hello(client.start());
+  ASSERT_TRUE(flight.ok());
+  EXPECT_EQ(flight.value().hello.chosen_suite, kCipherDheRsaWithSha256);
+  EXPECT_EQ(flight.value().key_exchange.dh_p, group_.params().p);
+
+  const auto kex = client.on_server_flight(flight.value().hello,
+                                           flight.value().certificate,
+                                           flight.value().key_exchange);
+  ASSERT_TRUE(kex.ok());
+  const auto fin = server.on_key_exchange(kex.value().first, kex.value().second);
+  ASSERT_TRUE(fin.ok());
+  ASSERT_TRUE(client.on_server_finished(fin.value()).ok());
+  EXPECT_EQ(*client.master(), *server.master());
+
+  // Traffic keys agree and carry data.
+  Session cs(client.session_keys(), false);
+  Session ss(server.session_keys(), true);
+  const std::vector<std::uint8_t> msg = {0xde, 0xad};
+  const auto got = ss.receive(cs.send(msg, rng_));
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, msg);
+}
+
+TEST_F(DheHandshakeTest, FreshEphemeralPerConnection) {
+  DheClientHandshake c1(client_engine_, rng_), c2(client_engine_, rng_);
+  DheServerHandshake s1(server_engine_, group_, rng_);
+  DheServerHandshake s2(server_engine_, group_, rng_);
+  const auto f1 = s1.on_client_hello(c1.start());
+  const auto f2 = s2.on_client_hello(c2.start());
+  ASSERT_TRUE(f1.ok() && f2.ok());
+  EXPECT_NE(f1.value().key_exchange.dh_ys, f2.value().key_exchange.dh_ys);
+}
+
+TEST_F(DheHandshakeTest, TamperedParametersRejected) {
+  // A MITM swapping the DH parameters must be caught by the signature.
+  DheServerHandshake server(server_engine_, group_, rng_);
+  DheClientHandshake client(client_engine_, rng_);
+  auto flight = server.on_client_hello(client.start());
+  ASSERT_TRUE(flight.ok());
+  auto skx = flight.value().key_exchange;
+  skx.dh_ys += BigInt{1};  // attacker-substituted ephemeral
+  const auto kex = client.on_server_flight(flight.value().hello,
+                                           flight.value().certificate, skx);
+  ASSERT_FALSE(kex.ok());
+}
+
+TEST_F(DheHandshakeTest, TamperedSignatureRejected) {
+  DheServerHandshake server(server_engine_, group_, rng_);
+  DheClientHandshake client(client_engine_, rng_);
+  auto flight = server.on_client_hello(client.start());
+  ASSERT_TRUE(flight.ok());
+  auto skx = flight.value().key_exchange;
+  skx.signature[0] ^= 1;
+  EXPECT_FALSE(client
+                   .on_server_flight(flight.value().hello,
+                                     flight.value().certificate, skx)
+                   .ok());
+}
+
+TEST_F(DheHandshakeTest, WrongCertificateRejected) {
+  DheServerHandshake server(server_engine_, group_, rng_);
+  DheClientHandshake client(client_engine_, rng_);
+  const auto flight = server.on_client_hello(client.start());
+  Certificate bad;
+  bad.server_key = rsa::test_key(2048).pub;
+  EXPECT_FALSE(client
+                   .on_server_flight(flight.value().hello, bad,
+                                     flight.value().key_exchange)
+                   .ok());
+}
+
+TEST_F(DheHandshakeTest, DegenerateClientValueRejected) {
+  DheServerHandshake server(server_engine_, group_, rng_);
+  DheClientHandshake client(client_engine_, rng_);
+  const auto flight = server.on_client_hello(client.start());
+  const auto kex = client.on_server_flight(flight.value().hello,
+                                           flight.value().certificate,
+                                           flight.value().key_exchange);
+  ASSERT_TRUE(kex.ok());
+  DheClientKeyExchange bad;
+  bad.dh_yc = BigInt{1};  // forces shared secret = 1
+  const auto fin = server.on_key_exchange(bad, kex.value().second);
+  ASSERT_FALSE(fin.ok());
+  EXPECT_EQ(fin.alert(), Alert::kDecryptError);
+}
+
+TEST_F(DheHandshakeTest, SuiteMismatchRejected) {
+  DheServerHandshake server(server_engine_, group_, rng_);
+  ClientHello hello;
+  hello.cipher_suites = {kCipherRsaWithSha256};  // no DHE offered
+  const auto flight = server.on_client_hello(hello);
+  ASSERT_FALSE(flight.ok());
+  EXPECT_EQ(flight.alert(), Alert::kHandshakeFailure);
+}
+
+TEST_F(DheHandshakeTest, OutOfOrderRejected) {
+  DheServerHandshake server(server_engine_, group_, rng_);
+  EXPECT_FALSE(
+      server.on_key_exchange(DheClientKeyExchange{}, Finished{}).ok());
+  DheClientHandshake client(client_engine_, rng_);
+  DheServerHandshake server2(server_engine_, group_, rng_);
+  const auto flight = server2.on_client_hello(client.start());
+  // Server finished before key exchange on the client.
+  EXPECT_FALSE(client.on_server_finished(Finished{}).ok());
+  (void)flight;
+}
+
+}  // namespace
+}  // namespace phissl::ssl

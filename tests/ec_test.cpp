@@ -1,0 +1,160 @@
+// NIST P-256 tests: known scalar multiples (independently computed),
+// group laws, ECDH agreement, ECDSA round trips and rejection paths.
+#include <gtest/gtest.h>
+
+#include <string_view>
+
+#include "ec/p256.hpp"
+#include "util/random.hpp"
+
+namespace phissl::ec {
+namespace {
+
+using bigint::BigInt;
+
+std::span<const std::uint8_t> bytes_of(std::string_view s) {
+  return {reinterpret_cast<const std::uint8_t*>(s.data()), s.size()};
+}
+
+class P256Test : public ::testing::Test {
+ protected:
+  P256 curve_;
+  util::Rng rng_{2718};
+};
+
+TEST_F(P256Test, GeneratorOnCurve) {
+  EXPECT_TRUE(curve_.on_curve(curve_.generator()));
+  EXPECT_TRUE(curve_.on_curve(Point::at_infinity()));
+  Point off = curve_.generator();
+  off.y += BigInt{1};
+  EXPECT_FALSE(curve_.on_curve(off));
+}
+
+TEST_F(P256Test, KnownScalarMultiples) {
+  // Independently computed reference multiples of G.
+  const struct {
+    std::int64_t k;
+    const char* x;
+    const char* y;
+  } vectors[] = {
+      {2, "7cf27b188d034f7e8a52380304b51ac3c08969e277f21b35a60b48fc47669978",
+       "7775510db8ed040293d9ac69f7430dbba7dade63ce982299e04b79d227873d1"},
+      {3, "5ecbe4d1a6330a44c8f7ef951d4bf165e6c6b721efada985fb41661bc6e7fd6c",
+       "8734640c4998ff7e374b06ce1a64a2ecd82ab036384fb83d9a79b127a27d5032"},
+      {5, "51590b7a515140d2d784c85608668fdfef8c82fd1f5be52421554a0dc3d033ed",
+       "e0c17da8904a727d8ae1bf36bf8a79260d012f00d4d80888d1d0bb44fda16da4"},
+  };
+  for (const auto& v : vectors) {
+    const Point got = curve_.mul_base(BigInt{v.k});
+    EXPECT_EQ(got.x, BigInt::from_hex(v.x)) << v.k;
+    EXPECT_EQ(got.y, BigInt::from_hex(v.y)) << v.k;
+    EXPECT_TRUE(curve_.on_curve(got));
+  }
+  // Large scalar.
+  const Point big = curve_.mul_base(BigInt::from_u64(112233445566778899ULL));
+  EXPECT_EQ(big.x,
+            BigInt::from_hex("339150844ec15234807fe862a86be779"
+                             "77dbfb3ae3d96f4c22795513aeaab82f"));
+}
+
+TEST_F(P256Test, GroupLaws) {
+  const Point g = curve_.generator();
+  // 2G = G + G, computed two ways.
+  EXPECT_EQ(curve_.dbl(g), curve_.add(g, g));
+  // 3G = 2G + G = G + 2G.
+  const Point g2 = curve_.dbl(g);
+  EXPECT_EQ(curve_.add(g2, g), curve_.add(g, g2));
+  // G + O = G.
+  EXPECT_EQ(curve_.add(g, Point::at_infinity()), g);
+  // G + (-G) = O.
+  Point neg = g;
+  neg.y = (curve_.p() - g.y);
+  EXPECT_TRUE(curve_.add(g, neg).is_infinity());
+  // n*G = O (generator order).
+  EXPECT_TRUE(curve_.mul(curve_.n(), g).is_infinity());
+  // 0*G = O.
+  EXPECT_TRUE(curve_.mul(BigInt{}, g).is_infinity());
+}
+
+TEST_F(P256Test, ScalarMulDistributes) {
+  // (a+b)G == aG + bG for random scalars.
+  for (int i = 0; i < 3; ++i) {
+    const BigInt a = BigInt::random_below(curve_.n(), rng_);
+    const BigInt b = BigInt::random_below(curve_.n(), rng_);
+    const Point lhs = curve_.mul_base((a + b).mod(curve_.n()));
+    const Point rhs = curve_.add(curve_.mul_base(a), curve_.mul_base(b));
+    EXPECT_EQ(lhs, rhs) << i;
+  }
+}
+
+TEST_F(P256Test, EcdhAgreementAndKnownVector) {
+  const EcKeyPair alice = ecdh_generate(curve_, rng_);
+  const EcKeyPair bob = ecdh_generate(curve_, rng_);
+  EXPECT_EQ(ecdh_shared(curve_, alice.d, bob.q),
+            ecdh_shared(curve_, bob.d, alice.q));
+
+  // Independently computed pair: d1*G and d1*(d2*G) x-coordinate.
+  const BigInt d1 = BigInt::from_hex(
+      "c9afa9d845ba75166b5c215767b1d6934e50c3db36e89b127b8a622b120f6721");
+  const Point q1 = curve_.mul_base(d1);
+  EXPECT_EQ(q1.x,
+            BigInt::from_hex("60fed4ba255a9d31c961eb74c6356d68"
+                             "c049b8923b61fa6ce669622e60f29fb6"));
+  const BigInt d2 =
+      BigInt::from_hex("0123456789abcdef0123456789abcdef"
+                       "0123456789abcdef0123456789abcdef")
+          .mod(curve_.n());
+  const Point q2 = curve_.mul_base(d2);
+  EXPECT_EQ(ecdh_shared(curve_, d1, q2),
+            BigInt::from_hex("8c339726b1d968756182352fc1501810"
+                             "9527f618c7ee1de136728624edd2afe3"));
+}
+
+TEST_F(P256Test, EcdhRejectsBadPeerPoints) {
+  const EcKeyPair kp = ecdh_generate(curve_, rng_);
+  EXPECT_THROW(ecdh_shared(curve_, kp.d, Point::at_infinity()),
+               std::invalid_argument);
+  Point off = curve_.generator();
+  off.x += BigInt{1};
+  EXPECT_THROW(ecdh_shared(curve_, kp.d, off), std::invalid_argument);
+}
+
+TEST_F(P256Test, EcdsaSignVerifyRoundTrip) {
+  const EcKeyPair kp = ecdh_generate(curve_, rng_);
+  const auto sig = ecdsa_sign(curve_, bytes_of("sample"), kp.d, rng_);
+  EXPECT_TRUE(ecdsa_verify(curve_, bytes_of("sample"), sig, kp.q));
+  EXPECT_FALSE(ecdsa_verify(curve_, bytes_of("samplf"), sig, kp.q));
+}
+
+TEST_F(P256Test, EcdsaRejectsTamperingAndBadInputs) {
+  const EcKeyPair kp = ecdh_generate(curve_, rng_);
+  const auto sig = ecdsa_sign(curve_, bytes_of("msg"), kp.d, rng_);
+  EcdsaSignature bad = sig;
+  bad.r += BigInt{1};
+  EXPECT_FALSE(ecdsa_verify(curve_, bytes_of("msg"), bad, kp.q));
+  bad = sig;
+  bad.s = BigInt{};
+  EXPECT_FALSE(ecdsa_verify(curve_, bytes_of("msg"), bad, kp.q));
+  bad = sig;
+  bad.r = curve_.n();
+  EXPECT_FALSE(ecdsa_verify(curve_, bytes_of("msg"), bad, kp.q));
+  // Wrong key.
+  const EcKeyPair other = ecdh_generate(curve_, rng_);
+  EXPECT_FALSE(ecdsa_verify(curve_, bytes_of("msg"), sig, other.q));
+  // Off-curve public key.
+  Point off = kp.q;
+  off.y += BigInt{1};
+  EXPECT_FALSE(ecdsa_verify(curve_, bytes_of("msg"), sig, off));
+}
+
+TEST_F(P256Test, EcdsaSignaturesRandomized) {
+  const EcKeyPair kp = ecdh_generate(curve_, rng_);
+  const auto s1 = ecdsa_sign(curve_, bytes_of("m"), kp.d, rng_);
+  const auto s2 = ecdsa_sign(curve_, bytes_of("m"), kp.d, rng_);
+  EXPECT_NE(s1.r, s2.r);
+  EXPECT_TRUE(ecdsa_verify(curve_, bytes_of("m"), s1, kp.q));
+  EXPECT_TRUE(ecdsa_verify(curve_, bytes_of("m"), s2, kp.q));
+}
+
+}  // namespace
+}  // namespace phissl::ec

@@ -1,0 +1,112 @@
+// AES-GCM tests against NIST / cryptography-library vectors, round trips,
+// and authentication failure injection.
+#include <gtest/gtest.h>
+
+#include "util/gcm.hpp"
+#include "util/hex.hpp"
+#include "util/random.hpp"
+
+namespace phissl::util {
+namespace {
+
+std::vector<std::uint8_t> H(const char* hex) { return hex_decode(hex); }
+
+TEST(AesGcm, NistCase1EmptyEverything) {
+  // Zero key, zero nonce, empty pt/aad: tag only.
+  const AesGcm gcm(std::vector<std::uint8_t>(16, 0));
+  const auto out = gcm.seal(std::vector<std::uint8_t>(12, 0), {}, {});
+  EXPECT_EQ(hex_encode(out), "58e2fccefa7e3061367f1d57a4e7455a");
+}
+
+TEST(AesGcm, NistCase4WithAad) {
+  const AesGcm gcm(H("feffe9928665731c6d6a8f9467308308"));
+  const auto nonce = H("cafebabefacedbaddecaf888");
+  const auto pt = H(
+      "d9313225f88406e5a55909c5aff5269a86a7a9531534f7da2e4c303d8a318a72"
+      "1c3c0c95956809532fcf0e2449a6b525b16aedf5aa0de657ba637b39");
+  const auto aad = H("feedfacedeadbeeffeedfacedeadbeefabaddad2");
+  const auto out = gcm.seal(nonce, pt, aad);
+  EXPECT_EQ(hex_encode(out),
+            "42831ec2217774244b7221b784d0d49ce3aa212f2c02a4e035c17e2329aca12e"
+            "21d514b25466931c7d8f6a5aac84aa051ba30b396a0aac973d58e091"
+            "5bc94fbc3221a5db94fae95ae7121a47");
+}
+
+TEST(AesGcm, KnownVectorSmall) {
+  // Cross-checked with the Python `cryptography` library.
+  std::vector<std::uint8_t> key(16);
+  for (std::size_t i = 0; i < 16; ++i) key[i] = static_cast<std::uint8_t>(i);
+  const AesGcm gcm(key);
+  const std::string pt = "hello gcm world!";
+  const std::string aad = "header";
+  const auto out = gcm.seal(
+      std::vector<std::uint8_t>(12, 0),
+      {reinterpret_cast<const std::uint8_t*>(pt.data()), pt.size()},
+      {reinterpret_cast<const std::uint8_t*>(aad.data()), aad.size()});
+  EXPECT_EQ(hex_encode(out),
+            "21b3eb3ff6bbc1ef8ea90d0712edd4bcecc30a62e920d749f70e4cded744cee5");
+}
+
+TEST(AesGcm, RoundTripVariousLengths) {
+  Rng rng(1);
+  const AesGcm gcm(rng.bytes(32));  // AES-256 path
+  for (std::size_t len : {0u, 1u, 15u, 16u, 17u, 100u, 256u}) {
+    const auto nonce = rng.bytes(12);
+    const auto pt = rng.bytes(len);
+    const auto aad = rng.bytes(len % 7);
+    const auto sealed = gcm.seal(nonce, pt, aad);
+    EXPECT_EQ(sealed.size(), len + AesGcm::kTagSize);
+    const auto opened = gcm.open(nonce, sealed, aad);
+    ASSERT_TRUE(opened.has_value()) << len;
+    EXPECT_EQ(*opened, pt) << len;
+  }
+}
+
+TEST(AesGcm, TamperingRejected) {
+  Rng rng(2);
+  const AesGcm gcm(rng.bytes(16));
+  const auto nonce = rng.bytes(12);
+  const auto pt = rng.bytes(48);
+  auto sealed = gcm.seal(nonce, pt);
+  for (std::size_t pos : {std::size_t{0}, sealed.size() / 2,
+                          sealed.size() - 1}) {
+    auto bad = sealed;
+    bad[pos] ^= 1;
+    EXPECT_FALSE(gcm.open(nonce, bad).has_value()) << pos;
+  }
+}
+
+TEST(AesGcm, WrongAadOrNonceRejected) {
+  Rng rng(3);
+  const AesGcm gcm(rng.bytes(16));
+  const auto nonce = rng.bytes(12);
+  const auto pt = rng.bytes(20);
+  const auto aad = rng.bytes(10);
+  const auto sealed = gcm.seal(nonce, pt, aad);
+  EXPECT_FALSE(gcm.open(nonce, sealed, rng.bytes(10)).has_value());
+  EXPECT_FALSE(gcm.open(rng.bytes(12), sealed, aad).has_value());
+  EXPECT_TRUE(gcm.open(nonce, sealed, aad).has_value());
+}
+
+TEST(AesGcm, TruncatedInputRejected) {
+  Rng rng(4);
+  const AesGcm gcm(rng.bytes(16));
+  const auto nonce = rng.bytes(12);
+  auto sealed = gcm.seal(nonce, rng.bytes(5));
+  sealed.resize(AesGcm::kTagSize - 1);  // shorter than a tag
+  EXPECT_FALSE(gcm.open(nonce, sealed).has_value());
+  EXPECT_THROW(gcm.seal(rng.bytes(11), {}), std::invalid_argument);
+}
+
+TEST(Ghash, LinearInBlocks) {
+  // GHASH over all-zero data is zero regardless of H.
+  Block128 h{};
+  h[0] = 0x42;
+  std::vector<std::uint8_t> zeros(32, 0);
+  const Block128 y = ghash(h, zeros);
+  for (const auto b : y) EXPECT_EQ(b, 0);
+  EXPECT_THROW(ghash(h, std::vector<std::uint8_t>(5)), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace phissl::util

@@ -1,0 +1,260 @@
+// Unit + differential tests for the Montgomery contexts.
+//
+// Every context (32-bit scalar, 64-bit scalar, vectorized redundant-radix)
+// is checked against the BigInt division-based oracle, and against each
+// other, on randomized inputs across modulus sizes.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "bigint/bigint.hpp"
+#include "mont/mont32.hpp"
+#include "mont/mont64.hpp"
+#include "mont/vector_mont.hpp"
+#include "util/random.hpp"
+
+namespace phissl::mont {
+namespace {
+
+using bigint::BigInt;
+
+BigInt random_odd_modulus(std::size_t bits, util::Rng& rng) {
+  return BigInt::random_odd_exact_bits(bits, rng);
+}
+
+TEST(NegInv, U32KnownValues) {
+  for (std::uint32_t x : {1u, 3u, 5u, 0xffffffffu, 0x12345679u}) {
+    const std::uint32_t inv = neg_inv_u32(x);
+    EXPECT_EQ(static_cast<std::uint32_t>(x * (0u - inv)), 1u) << x;
+  }
+}
+
+TEST(NegInv, U64KnownValues) {
+  for (std::uint64_t x :
+       {1ull, 3ull, 0xffffffffffffffffull, 0x123456789abcdef1ull}) {
+    const std::uint64_t inv = neg_inv_u64(x);
+    EXPECT_EQ(x * (0u - inv), 1ull) << x;
+  }
+}
+
+TEST(MontCtx32, RejectsBadModulus) {
+  EXPECT_THROW(MontCtx32(BigInt{4}), std::invalid_argument);   // even
+  EXPECT_THROW(MontCtx32(BigInt{1}), std::invalid_argument);   // too small
+  EXPECT_THROW(MontCtx32(BigInt{-7}), std::invalid_argument);  // negative
+  EXPECT_THROW(MontCtx32(BigInt{}), std::invalid_argument);    // zero
+}
+
+TEST(MontCtx64, RejectsBadModulus) {
+  EXPECT_THROW(MontCtx64(BigInt{4}), std::invalid_argument);
+  EXPECT_THROW(MontCtx64(BigInt{1}), std::invalid_argument);
+}
+
+TEST(VectorMontCtx, RejectsBadModulus) {
+  EXPECT_THROW(VectorMontCtx(BigInt{4}), std::invalid_argument);
+  EXPECT_THROW(VectorMontCtx(BigInt{1}), std::invalid_argument);
+}
+
+TEST(VectorMontCtx, RejectsBadDigitBits) {
+  util::Rng rng(1);
+  const BigInt m = random_odd_modulus(256, rng);
+  EXPECT_THROW(VectorMontCtx(m, 7), std::invalid_argument);
+  EXPECT_THROW(VectorMontCtx(m, 30), std::invalid_argument);
+  EXPECT_NO_THROW(VectorMontCtx(m, 29));  // fine at 256 bits (d=9)
+}
+
+TEST(VectorMontCtx, RejectsOverflowingDigitConfig) {
+  util::Rng rng(2);
+  // At 29-bit digits, 2048-bit modulus gives d=71: 142 * 2^58 > 2^63.
+  const BigInt m = random_odd_modulus(2048, rng);
+  EXPECT_THROW(VectorMontCtx(m, 29), std::invalid_argument);
+  EXPECT_NO_THROW(VectorMontCtx(m, 27));
+}
+
+TEST(VectorMontCtx, PackUnpackRoundTrip) {
+  util::Rng rng(3);
+  const BigInt m = random_odd_modulus(521, rng);
+  const VectorMontCtx ctx(m);
+  for (int i = 0; i < 20; ++i) {
+    const BigInt x = BigInt::random_below(m, rng);
+    EXPECT_EQ(ctx.unpack(ctx.pack(x)), x);
+  }
+  EXPECT_EQ(ctx.rep_size() % 16, 0u);
+  for (const auto digit : ctx.pack(m)) {
+    EXPECT_LT(digit, 1u << ctx.digit_bits());
+  }
+}
+
+TEST(MontCtx32, SmallModulusExactValues) {
+  // m = 97: hand-checkable Montgomery arithmetic.
+  const BigInt m{97};
+  const MontCtx32 ctx(m);
+  const auto a = ctx.to_mont(BigInt{5});
+  const auto b = ctx.to_mont(BigInt{7});
+  MontCtx32::Rep out;
+  ctx.mul(a, b, out);
+  EXPECT_EQ(ctx.from_mont(out), BigInt{35});
+  EXPECT_EQ(ctx.from_mont(ctx.one_mont()), BigInt{1});
+  EXPECT_EQ(ctx.from_mont(ctx.to_mont(BigInt{96})), BigInt{96});
+  EXPECT_EQ(ctx.from_mont(ctx.to_mont(BigInt{})), BigInt{});
+}
+
+TEST(MontCtx32, ToMontRejectsOutOfRange) {
+  const MontCtx32 ctx(BigInt{97});
+  EXPECT_THROW(ctx.to_mont(BigInt{97}), std::invalid_argument);
+  EXPECT_THROW(ctx.to_mont(BigInt{-1}), std::invalid_argument);
+}
+
+template <typename Ctx>
+class MontDifferential : public ::testing::Test {};
+
+using CtxTypes = ::testing::Types<MontCtx32, MontCtx64, VectorMontCtx>;
+TYPED_TEST_SUITE(MontDifferential, CtxTypes);
+
+TYPED_TEST(MontDifferential, MulMatchesOracleAcrossSizes) {
+  util::Rng rng(7);
+  for (std::size_t bits : {33u, 64u, 128u, 512u, 1024u, 2048u}) {
+    const BigInt m = random_odd_modulus(bits, rng);
+    const TypeParam ctx(m);
+    for (int i = 0; i < 8; ++i) {
+      const BigInt x = BigInt::random_below(m, rng);
+      const BigInt y = BigInt::random_below(m, rng);
+      const auto xm = ctx.to_mont(x);
+      const auto ym = ctx.to_mont(y);
+      typename TypeParam::Rep out;
+      ctx.mul(xm, ym, out);
+      EXPECT_EQ(ctx.from_mont(out), (x * y).mod(m))
+          << "bits=" << bits << " i=" << i;
+    }
+  }
+}
+
+TYPED_TEST(MontDifferential, RoundTripIdentity) {
+  util::Rng rng(8);
+  for (std::size_t bits : {65u, 1025u}) {  // off-by-one-from-limb sizes
+    const BigInt m = random_odd_modulus(bits, rng);
+    const TypeParam ctx(m);
+    for (int i = 0; i < 10; ++i) {
+      const BigInt x = BigInt::random_below(m, rng);
+      EXPECT_EQ(ctx.from_mont(ctx.to_mont(x)), x);
+    }
+  }
+}
+
+TYPED_TEST(MontDifferential, MulByOneAndZero) {
+  util::Rng rng(9);
+  const BigInt m = random_odd_modulus(512, rng);
+  const TypeParam ctx(m);
+  const BigInt x = BigInt::random_below(m, rng);
+  const auto xm = ctx.to_mont(x);
+  typename TypeParam::Rep out;
+  ctx.mul(xm, ctx.one_mont(), out);
+  EXPECT_EQ(ctx.from_mont(out), x);
+  const auto zero = ctx.to_mont(BigInt{});
+  ctx.mul(xm, zero, out);
+  EXPECT_EQ(ctx.from_mont(out), BigInt{});
+}
+
+TYPED_TEST(MontDifferential, SqrMatchesMul) {
+  util::Rng rng(10);
+  const BigInt m = random_odd_modulus(768, rng);
+  const TypeParam ctx(m);
+  for (int i = 0; i < 10; ++i) {
+    const BigInt x = BigInt::random_below(m, rng);
+    const auto xm = ctx.to_mont(x);
+    typename TypeParam::Rep s, p;
+    ctx.sqr(xm, s);
+    ctx.mul(xm, xm, p);
+    EXPECT_EQ(ctx.from_mont(s), ctx.from_mont(p));
+    EXPECT_EQ(ctx.from_mont(s), (x * x).mod(m));
+  }
+}
+
+TYPED_TEST(MontDifferential, WorstCaseOperands) {
+  // m-1 (all-ones-ish) operands push the conditional-subtract path.
+  util::Rng rng(11);
+  for (std::size_t bits : {64u, 512u, 2048u}) {
+    const BigInt m = random_odd_modulus(bits, rng);
+    const TypeParam ctx(m);
+    const BigInt top = m - BigInt{1};
+    const auto tm = ctx.to_mont(top);
+    typename TypeParam::Rep out;
+    ctx.mul(tm, tm, out);
+    EXPECT_EQ(ctx.from_mont(out), (top * top).mod(m));
+  }
+}
+
+TYPED_TEST(MontDifferential, DenseModulus) {
+  // Moduli close to 2^bits (many high bits set) stress the final subtract.
+  for (std::size_t bits : {96u, 416u, 1056u}) {
+    const BigInt m = (BigInt{1} << bits) - BigInt{189};  // odd, dense
+    ASSERT_TRUE(m.is_odd());
+    const TypeParam ctx(m);
+    util::Rng rng(bits);
+    for (int i = 0; i < 5; ++i) {
+      const BigInt x = BigInt::random_below(m, rng);
+      const BigInt y = BigInt::random_below(m, rng);
+      const auto xm = ctx.to_mont(x), ym = ctx.to_mont(y);
+      typename TypeParam::Rep out;
+      ctx.mul(xm, ym, out);
+      EXPECT_EQ(ctx.from_mont(out), (x * y).mod(m));
+    }
+  }
+}
+
+TEST(VectorMont, VectorMatchesScalarRefAcrossDigitWidths) {
+  util::Rng rng(12);
+  for (unsigned db : {8u, 13u, 20u, 24u, 26u, 27u}) {
+    const BigInt m = random_odd_modulus(512, rng);
+    const VectorMontCtx ctx(m, db);
+    for (int i = 0; i < 6; ++i) {
+      const BigInt x = BigInt::random_below(m, rng);
+      const BigInt y = BigInt::random_below(m, rng);
+      const auto xm = ctx.to_mont(x), ym = ctx.to_mont(y);
+      VectorMontCtx::Rep v, s;
+      ctx.mul(xm, ym, v);
+      ctx.mul_scalar_ref(xm, ym, s);
+      EXPECT_EQ(v, s) << "digit_bits=" << db;
+      EXPECT_EQ(ctx.from_mont(v), (x * y).mod(m)) << "digit_bits=" << db;
+    }
+  }
+}
+
+TEST(VectorMont, CrossContextAgreement) {
+  util::Rng rng(13);
+  for (std::size_t bits : {128u, 1024u, 3072u}) {
+    const BigInt m = random_odd_modulus(bits, rng);
+    const MontCtx32 c32(m);
+    const MontCtx64 c64(m);
+    const VectorMontCtx cv(m);
+    for (int i = 0; i < 5; ++i) {
+      const BigInt x = BigInt::random_below(m, rng);
+      const BigInt y = BigInt::random_below(m, rng);
+      MontCtx32::Rep o32;
+      MontCtx64::Rep o64;
+      VectorMontCtx::Rep ov;
+      c32.mul(c32.to_mont(x), c32.to_mont(y), o32);
+      c64.mul(c64.to_mont(x), c64.to_mont(y), o64);
+      cv.mul(cv.to_mont(x), cv.to_mont(y), ov);
+      const BigInt expected = (x * y).mod(m);
+      EXPECT_EQ(c32.from_mont(o32), expected);
+      EXPECT_EQ(c64.from_mont(o64), expected);
+      EXPECT_EQ(cv.from_mont(ov), expected);
+    }
+  }
+}
+
+TEST(VectorMont, MulAllowsAliasedOutput) {
+  util::Rng rng(14);
+  const BigInt m = random_odd_modulus(256, rng);
+  const VectorMontCtx ctx(m);
+  const BigInt x = BigInt::random_below(m, rng);
+  const BigInt y = BigInt::random_below(m, rng);
+  auto xm = ctx.to_mont(x);
+  const auto ym = ctx.to_mont(y);
+  const BigInt expected = (x * y).mod(m);
+  ctx.mul(xm, ym, xm);  // out aliases a
+  EXPECT_EQ(ctx.from_mont(xm), expected);
+}
+
+}  // namespace
+}  // namespace phissl::mont

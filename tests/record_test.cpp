@@ -1,0 +1,207 @@
+// TLS 1.2 record layer tests: key derivation, duplex sessions, sequence
+// discipline, tampering, truncation, and cross-side key agreement.
+#include <gtest/gtest.h>
+
+#include "ssl/gcm_record.hpp"
+#include "ssl/record.hpp"
+#include "util/random.hpp"
+
+namespace phissl::ssl {
+namespace {
+
+class RecordTest : public ::testing::Test {
+ protected:
+  RecordTest() {
+    rng_.fill_bytes(master_.data(), master_.size());
+    rng_.fill_bytes(client_random_.data(), client_random_.size());
+    rng_.fill_bytes(server_random_.data(), server_random_.size());
+    keys_ = derive_session_keys(master_, client_random_, server_random_);
+  }
+
+  util::Rng rng_{77};
+  MasterSecret master_{};
+  Random client_random_{};
+  Random server_random_{};
+  SessionKeys keys_{};
+};
+
+TEST_F(RecordTest, KeyDerivationDeterministicAndDistinct) {
+  const auto again = derive_session_keys(master_, client_random_, server_random_);
+  EXPECT_EQ(again.client_mac_key, keys_.client_mac_key);
+  EXPECT_EQ(again.server_enc_key, keys_.server_enc_key);
+  EXPECT_NE(keys_.client_mac_key, keys_.server_mac_key);
+  EXPECT_NE(keys_.client_enc_key, keys_.server_enc_key);
+  // Different randoms -> different keys.
+  Random other = client_random_;
+  other[0] ^= 1;
+  const auto diff = derive_session_keys(master_, other, server_random_);
+  EXPECT_NE(diff.client_enc_key, keys_.client_enc_key);
+}
+
+TEST_F(RecordTest, DuplexRoundTrip) {
+  Session client(keys_, /*is_server=*/false);
+  Session server(keys_, /*is_server=*/true);
+
+  const std::vector<std::uint8_t> req = {'G', 'E', 'T', ' ', '/'};
+  const auto wire1 = client.send(req, rng_);
+  const auto got1 = server.receive(wire1);
+  ASSERT_TRUE(got1.has_value());
+  EXPECT_EQ(*got1, req);
+
+  const std::vector<std::uint8_t> resp(500, 0x42);
+  const auto wire2 = server.send(resp, rng_);
+  const auto got2 = client.receive(wire2);
+  ASSERT_TRUE(got2.has_value());
+  EXPECT_EQ(*got2, resp);
+}
+
+TEST_F(RecordTest, ManyRecordsKeepSequence) {
+  Session client(keys_, false);
+  Session server(keys_, true);
+  for (int i = 0; i < 50; ++i) {
+    const std::vector<std::uint8_t> msg(static_cast<std::size_t>(i) + 1,
+                                        static_cast<std::uint8_t>(i));
+    const auto wire = client.send(msg, rng_);
+    const auto got = server.receive(wire);
+    ASSERT_TRUE(got.has_value()) << i;
+    EXPECT_EQ(*got, msg) << i;
+  }
+}
+
+TEST_F(RecordTest, ReplayRejected) {
+  Session client(keys_, false);
+  Session server(keys_, true);
+  const std::vector<std::uint8_t> msg = {1, 2, 3};
+  const auto wire = client.send(msg, rng_);
+  ASSERT_TRUE(server.receive(wire).has_value());
+  // Same record again: the receiver's sequence number advanced, so the
+  // MAC (which covers the sequence number) no longer verifies.
+  EXPECT_FALSE(server.receive(wire).has_value());
+}
+
+TEST_F(RecordTest, ReorderRejected) {
+  Session client(keys_, false);
+  Session server(keys_, true);
+  const auto first = client.send(std::vector<std::uint8_t>{1}, rng_);
+  const auto second = client.send(std::vector<std::uint8_t>{2}, rng_);
+  EXPECT_FALSE(server.receive(second).has_value());  // out of order
+  EXPECT_TRUE(server.receive(first).has_value());
+}
+
+TEST_F(RecordTest, TamperingRejected) {
+  Session client(keys_, false);
+  const std::vector<std::uint8_t> msg(64, 0x5a);
+  const auto wire = client.send(msg, rng_);
+  for (std::size_t pos : {std::size_t{0}, kIvSize, wire.size() - 1}) {
+    Session server(keys_, true);
+    auto bad = wire;
+    bad[pos] ^= 0x01;
+    EXPECT_FALSE(server.receive(bad).has_value()) << pos;
+  }
+}
+
+TEST_F(RecordTest, TruncationRejected) {
+  Session client(keys_, false);
+  Session server(keys_, true);
+  auto wire = client.send(std::vector<std::uint8_t>(40, 1), rng_);
+  wire.resize(wire.size() - 16);  // drop a whole block
+  EXPECT_FALSE(server.receive(wire).has_value());
+  EXPECT_FALSE(server.receive(std::vector<std::uint8_t>(5, 0)).has_value());
+}
+
+TEST_F(RecordTest, DirectionKeysNotInterchangeable) {
+  Session client1(keys_, false);
+  Session client2(keys_, false);
+  // A client cannot open a record another client sealed (it decrypts with
+  // the SERVER write keys).
+  const auto wire = client1.send(std::vector<std::uint8_t>{9}, rng_);
+  EXPECT_FALSE(client2.receive(wire).has_value());
+}
+
+TEST_F(RecordTest, WrongContentTypeRejected) {
+  RecordChannel sender(keys_.client_enc_key, keys_.client_mac_key);
+  RecordChannel receiver(keys_.client_enc_key, keys_.client_mac_key);
+  const std::vector<std::uint8_t> msg = {1, 2, 3};
+  const auto wire = sender.seal(kContentApplicationData, msg, rng_);
+  EXPECT_FALSE(receiver.open(22, wire).has_value());  // handshake type
+}
+
+TEST_F(RecordTest, EmptyPayloadAllowed) {
+  Session client(keys_, false);
+  Session server(keys_, true);
+  const auto wire = client.send({}, rng_);
+  const auto got = server.receive(wire);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_TRUE(got->empty());
+}
+
+}  // namespace
+}  // namespace phissl::ssl
+
+namespace phissl::ssl {
+namespace {
+
+class GcmRecordTest : public ::testing::Test {
+ protected:
+  GcmRecordTest() {
+    util::Rng rng(88);
+    key_ = rng.bytes(GcmRecordChannel::kKeySize);
+    salt_ = rng.bytes(GcmRecordChannel::kSaltSize);
+  }
+  std::vector<std::uint8_t> key_, salt_;
+};
+
+TEST_F(GcmRecordTest, RoundTripAndSequenceDiscipline) {
+  GcmRecordChannel sender(key_, salt_);
+  GcmRecordChannel receiver(key_, salt_);
+  for (int i = 0; i < 20; ++i) {
+    const std::vector<std::uint8_t> msg(static_cast<std::size_t>(i) + 1,
+                                        static_cast<std::uint8_t>(i));
+    const auto wire = sender.seal(kContentApplicationData, msg);
+    const auto got = receiver.open(kContentApplicationData, wire);
+    ASSERT_TRUE(got.has_value()) << i;
+    EXPECT_EQ(*got, msg) << i;
+  }
+}
+
+TEST_F(GcmRecordTest, ReplayTamperAndTypeRejected) {
+  GcmRecordChannel sender(key_, salt_);
+  GcmRecordChannel receiver(key_, salt_);
+  const std::vector<std::uint8_t> msg = {1, 2, 3, 4};
+  const auto wire = sender.seal(kContentApplicationData, msg);
+  ASSERT_TRUE(receiver.open(kContentApplicationData, wire).has_value());
+  // Replay: receiver sequence advanced -> AAD mismatch.
+  EXPECT_FALSE(receiver.open(kContentApplicationData, wire).has_value());
+  // Tamper.
+  GcmRecordChannel receiver2(key_, salt_);
+  auto bad = wire;
+  bad[bad.size() / 2] ^= 1;
+  EXPECT_FALSE(receiver2.open(kContentApplicationData, bad).has_value());
+  // Wrong content type (AAD covers it).
+  GcmRecordChannel receiver3(key_, salt_);
+  EXPECT_FALSE(receiver3.open(22, wire).has_value());
+  // Truncation.
+  EXPECT_FALSE(receiver3
+                   .open(kContentApplicationData,
+                         std::vector<std::uint8_t>(5, 0))
+                   .has_value());
+}
+
+TEST_F(GcmRecordTest, GcmRecordsSmallerThanCbc) {
+  // AEAD overhead (8B nonce + 16B tag) < CBC overhead (16B IV + 32B MAC
+  // + padding): the reason TLS moved to GCM.
+  GcmRecordChannel gcm(key_, salt_);
+  const std::vector<std::uint8_t> msg(100, 0x7);
+  const auto gcm_wire = gcm.seal(kContentApplicationData, msg);
+  EXPECT_EQ(gcm_wire.size(), 100u + 8u + 16u);
+}
+
+TEST_F(GcmRecordTest, RejectsBadKeyOrSalt) {
+  EXPECT_THROW(GcmRecordChannel(std::vector<std::uint8_t>(8), salt_),
+               std::invalid_argument);
+  EXPECT_THROW(GcmRecordChannel(key_, std::vector<std::uint8_t>(3)),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace phissl::ssl

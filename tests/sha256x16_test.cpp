@@ -1,0 +1,61 @@
+// Multi-buffer SHA-256: every lane must match the scalar reference for
+// all padding layouts (len % 64 below/at/above 56) and distinct contents.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "simd/sha256x16.hpp"
+#include "util/random.hpp"
+
+namespace phissl::simd {
+namespace {
+
+class Sha256X16Test : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(Sha256X16Test, MatchesScalarPerLane) {
+  const std::size_t len = GetParam();
+  util::Rng rng(len + 1);
+  std::array<std::vector<std::uint8_t>, 16> bufs;
+  std::array<std::span<const std::uint8_t>, 16> spans;
+  for (std::size_t l = 0; l < 16; ++l) {
+    bufs[l] = rng.bytes(len);
+    spans[l] = bufs[l];
+  }
+  const auto got = sha256_x16(spans);
+  for (std::size_t l = 0; l < 16; ++l) {
+    EXPECT_EQ(got[l], util::Sha256::hash(spans[l])) << "len=" << len
+                                                    << " lane=" << l;
+  }
+}
+
+// Lengths chosen to hit every padding configuration: empty, short, the
+// 55/56 one-vs-two-final-block boundary, exact block multiples, and
+// multi-block messages.
+INSTANTIATE_TEST_SUITE_P(PaddingLayouts, Sha256X16Test,
+                         ::testing::Values<std::size_t>(0, 1, 3, 55, 56, 63,
+                                                        64, 65, 119, 120, 127,
+                                                        128, 1000),
+                         [](const auto& param_info) {
+                           return "len" + std::to_string(param_info.param);
+                         });
+
+TEST(Sha256X16, RejectsUnequalLengths) {
+  std::vector<std::uint8_t> a(10), b(11);
+  std::array<std::span<const std::uint8_t>, 16> spans;
+  spans.fill(a);
+  spans[7] = b;
+  EXPECT_THROW(sha256_x16(spans), std::invalid_argument);
+}
+
+TEST(Sha256X16, IdenticalLanesProduceIdenticalDigests) {
+  util::Rng rng(9);
+  const auto msg = rng.bytes(200);
+  std::array<std::span<const std::uint8_t>, 16> spans;
+  spans.fill(msg);
+  const auto got = sha256_x16(spans);
+  for (std::size_t l = 1; l < 16; ++l) EXPECT_EQ(got[l], got[0]);
+  EXPECT_EQ(got[0], util::Sha256::hash(msg));
+}
+
+}  // namespace
+}  // namespace phissl::simd

@@ -1,0 +1,348 @@
+// Handshake state-machine tests: full happy path, the abbreviated
+// (resumption) path, every failure path (wrong suite, wrong certificate,
+// corrupted key exchange, bad Finished, out-of-order messages), the
+// session cache, and the multithreaded driver.
+#include <gtest/gtest.h>
+
+#include "baseline/systems.hpp"
+#include "rsa/key.hpp"
+#include "ssl/driver.hpp"
+#include "ssl/handshake.hpp"
+#include "ssl/session_cache.hpp"
+#include "util/random.hpp"
+
+namespace phissl::ssl {
+namespace {
+
+class HandshakeTest : public ::testing::Test {
+ protected:
+  HandshakeTest()
+      : server_engine_(rsa::test_key(1024), rsa::EngineOptions{}),
+        client_engine_(rsa::test_key(1024).pub, rsa::EngineOptions{}) {}
+
+  // Runs a full handshake to completion; returns the client's resumable
+  // handle. Fails the test on any alert.
+  ResumableSession full_handshake(SessionCache* cache = nullptr) {
+    ServerHandshake server(server_engine_, rng_, cache);
+    ClientHandshake client(client_engine_, rng_);
+    const auto flight = server.on_client_hello(client.start());
+    EXPECT_TRUE(flight.ok());
+    EXPECT_FALSE(flight.value().hello.resumed);
+    const auto kex = client.on_server_hello(flight.value().hello,
+                                            *flight.value().certificate);
+    EXPECT_TRUE(kex.ok());
+    const auto fin =
+        server.on_key_exchange(kex.value().first, kex.value().second);
+    EXPECT_TRUE(fin.ok());
+    EXPECT_TRUE(client.on_server_finished(fin.value()).ok());
+    EXPECT_EQ(*client.master(), *server.master());
+    EXPECT_FALSE(client.resumed());
+    EXPECT_FALSE(server.resumed());
+    return client.resumable();
+  }
+
+  rsa::Engine server_engine_;
+  rsa::Engine client_engine_;
+  util::Rng rng_{99};
+};
+
+TEST_F(HandshakeTest, FullHandshakeEstablishesSharedMaster) {
+  full_handshake();
+}
+
+TEST_F(HandshakeTest, SessionKeysAgreeAcrossSides) {
+  ServerHandshake server(server_engine_, rng_);
+  ClientHandshake client(client_engine_, rng_);
+  const auto flight = server.on_client_hello(client.start());
+  const auto kex = client.on_server_hello(flight.value().hello,
+                                          *flight.value().certificate);
+  const auto fin = server.on_key_exchange(kex.value().first, kex.value().second);
+  ASSERT_TRUE(fin.ok());
+  ASSERT_TRUE(client.on_server_finished(fin.value()).ok());
+  const SessionKeys sk = server.session_keys();
+  const SessionKeys ck = client.session_keys();
+  EXPECT_EQ(sk.client_enc_key, ck.client_enc_key);
+  EXPECT_EQ(sk.server_mac_key, ck.server_mac_key);
+}
+
+TEST_F(HandshakeTest, ResumptionSkipsRsaAndEstablishes) {
+  SessionCache cache;
+  const ResumableSession ticket = full_handshake(&cache);
+  EXPECT_EQ(cache.size(), 1u);
+
+  // Abbreviated handshake with a PUBLIC-ONLY check: no private op runs
+  // (decrypt_pkcs1 is never called on this path).
+  ServerHandshake server(server_engine_, rng_, &cache);
+  ClientHandshake client(client_engine_, rng_);
+  const auto flight = server.on_client_hello(client.start(ticket));
+  ASSERT_TRUE(flight.ok());
+  EXPECT_TRUE(flight.value().hello.resumed);
+  EXPECT_FALSE(flight.value().certificate.has_value());
+  ASSERT_TRUE(flight.value().finished.has_value());
+
+  const auto client_fin =
+      client.on_resumed_hello(flight.value().hello, *flight.value().finished);
+  ASSERT_TRUE(client_fin.ok());
+  ASSERT_TRUE(server.on_resumed_client_finished(client_fin.value()).ok());
+
+  EXPECT_TRUE(client.resumed());
+  EXPECT_TRUE(server.resumed());
+  EXPECT_EQ(*client.master(), *server.master());
+  EXPECT_EQ(*client.master(), ticket.master);  // reused verbatim
+  // Fresh randoms => fresh traffic keys even with the same master.
+  const SessionKeys keys = client.session_keys();
+  EXPECT_EQ(keys.client_enc_key, server.session_keys().client_enc_key);
+}
+
+TEST_F(HandshakeTest, ResumptionCanRepeat) {
+  SessionCache cache;
+  ResumableSession ticket = full_handshake(&cache);
+  for (int i = 0; i < 3; ++i) {
+    ServerHandshake server(server_engine_, rng_, &cache);
+    ClientHandshake client(client_engine_, rng_);
+    const auto flight = server.on_client_hello(client.start(ticket));
+    ASSERT_TRUE(flight.ok());
+    ASSERT_TRUE(flight.value().hello.resumed) << i;
+    const auto cf =
+        client.on_resumed_hello(flight.value().hello, *flight.value().finished);
+    ASSERT_TRUE(cf.ok()) << i;
+    ASSERT_TRUE(server.on_resumed_client_finished(cf.value()).ok()) << i;
+    ticket = client.resumable();  // same id+master each time
+  }
+}
+
+TEST_F(HandshakeTest, UnknownSessionIdFallsBackToFull) {
+  SessionCache cache;
+  ResumableSession bogus;
+  rng_.fill_bytes(bogus.id.data(), bogus.id.size());
+  rng_.fill_bytes(bogus.master.data(), bogus.master.size());
+
+  ServerHandshake server(server_engine_, rng_, &cache);
+  ClientHandshake client(client_engine_, rng_);
+  const auto flight = server.on_client_hello(client.start(bogus));
+  ASSERT_TRUE(flight.ok());
+  EXPECT_FALSE(flight.value().hello.resumed);  // cache miss -> full
+  ASSERT_TRUE(flight.value().certificate.has_value());
+  const auto kex = client.on_server_hello(flight.value().hello,
+                                          *flight.value().certificate);
+  ASSERT_TRUE(kex.ok());
+}
+
+TEST_F(HandshakeTest, ResumptionWithWrongMasterRejected) {
+  SessionCache cache;
+  ResumableSession ticket = full_handshake(&cache);
+  ticket.master[0] ^= 1;  // client remembers a wrong master
+
+  ServerHandshake server(server_engine_, rng_, &cache);
+  ClientHandshake client(client_engine_, rng_);
+  const auto flight = server.on_client_hello(client.start(ticket));
+  ASSERT_TRUE(flight.ok());
+  ASSERT_TRUE(flight.value().hello.resumed);
+  // The server's Finished is keyed by the true master: client must reject.
+  const auto cf =
+      client.on_resumed_hello(flight.value().hello, *flight.value().finished);
+  ASSERT_FALSE(cf.ok());
+  EXPECT_EQ(cf.alert(), Alert::kBadFinished);
+}
+
+TEST_F(HandshakeTest, RejectsUnknownCipherSuites) {
+  ServerHandshake server(server_engine_, rng_);
+  ClientHello ch;
+  ch.cipher_suites = {0x0000, 0x1301};  // no RSA suite offered
+  const auto flight = server.on_client_hello(ch);
+  ASSERT_FALSE(flight.ok());
+  EXPECT_EQ(flight.alert(), Alert::kHandshakeFailure);
+}
+
+TEST_F(HandshakeTest, ClientRejectsWrongCertificate) {
+  ServerHandshake server(server_engine_, rng_);
+  ClientHandshake client(client_engine_, rng_);
+  const auto flight = server.on_client_hello(client.start());
+  ASSERT_TRUE(flight.ok());
+  Certificate bad_cert;
+  bad_cert.server_key = rsa::test_key(2048).pub;  // different key
+  const auto kex = client.on_server_hello(flight.value().hello, bad_cert);
+  ASSERT_FALSE(kex.ok());
+  EXPECT_EQ(kex.alert(), Alert::kHandshakeFailure);
+}
+
+TEST_F(HandshakeTest, ServerRejectsCorruptedKeyExchange) {
+  ServerHandshake server(server_engine_, rng_);
+  ClientHandshake client(client_engine_, rng_);
+  const auto flight = server.on_client_hello(client.start());
+  auto kex = client.on_server_hello(flight.value().hello,
+                                    *flight.value().certificate);
+  ASSERT_TRUE(kex.ok());
+  auto bad = kex.value().first;
+  bad.encrypted_premaster[10] ^= 0x40;
+  const auto fin = server.on_key_exchange(bad, kex.value().second);
+  ASSERT_FALSE(fin.ok());
+  EXPECT_TRUE(fin.alert() == Alert::kDecryptError ||
+              fin.alert() == Alert::kBadFinished);
+}
+
+TEST_F(HandshakeTest, ServerRejectsBadClientFinished) {
+  ServerHandshake server(server_engine_, rng_);
+  ClientHandshake client(client_engine_, rng_);
+  const auto flight = server.on_client_hello(client.start());
+  auto kex = client.on_server_hello(flight.value().hello,
+                                    *flight.value().certificate);
+  ASSERT_TRUE(kex.ok());
+  Finished bad_fin = kex.value().second;
+  bad_fin.verify_data[0] ^= 1;
+  const auto fin = server.on_key_exchange(kex.value().first, bad_fin);
+  ASSERT_FALSE(fin.ok());
+  EXPECT_EQ(fin.alert(), Alert::kBadFinished);
+}
+
+TEST_F(HandshakeTest, ClientRejectsBadServerFinished) {
+  ServerHandshake server(server_engine_, rng_);
+  ClientHandshake client(client_engine_, rng_);
+  const auto flight = server.on_client_hello(client.start());
+  const auto kex = client.on_server_hello(flight.value().hello,
+                                          *flight.value().certificate);
+  auto fin = server.on_key_exchange(kex.value().first, kex.value().second);
+  ASSERT_TRUE(fin.ok());
+  Finished bad = fin.value();
+  bad.verify_data[kVerifyDataSize - 1] ^= 0x80;
+  const auto done = client.on_server_finished(bad);
+  ASSERT_FALSE(done.ok());
+  EXPECT_EQ(done.alert(), Alert::kBadFinished);
+}
+
+TEST_F(HandshakeTest, OutOfOrderMessagesRejected) {
+  ServerHandshake server(server_engine_, rng_);
+  ClientHandshake client(client_engine_, rng_);
+  // KeyExchange before ClientHello.
+  const auto early = server.on_key_exchange(ClientKeyExchange{}, Finished{});
+  ASSERT_FALSE(early.ok());
+  EXPECT_EQ(early.alert(), Alert::kUnexpectedMessage);
+  // Resumed-finished on the full path.
+  EXPECT_FALSE(server.on_resumed_client_finished(Finished{}).ok());
+  // Hello twice.
+  const auto flight = server.on_client_hello(client.start());
+  ASSERT_TRUE(flight.ok());
+  const auto again = server.on_client_hello(client.start());
+  ASSERT_FALSE(again.ok());
+  EXPECT_EQ(again.alert(), Alert::kUnexpectedMessage);
+  // Client: server hello before start is rejected.
+  ClientHandshake fresh(client_engine_, rng_);
+  const auto bad = fresh.on_server_hello(flight.value().hello,
+                                         *flight.value().certificate);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.alert(), Alert::kUnexpectedMessage);
+}
+
+TEST_F(HandshakeTest, SessionsHaveDistinctMasters) {
+  MasterSecret first{};
+  for (int i = 0; i < 2; ++i) {
+    ServerHandshake server(server_engine_, rng_);
+    ClientHandshake client(client_engine_, rng_);
+    const auto flight = server.on_client_hello(client.start());
+    const auto kex = client.on_server_hello(flight.value().hello,
+                                            *flight.value().certificate);
+    const auto fin =
+        server.on_key_exchange(kex.value().first, kex.value().second);
+    ASSERT_TRUE(fin.ok());
+    if (i == 0) {
+      first = *server.master();
+    } else {
+      EXPECT_NE(*server.master(), first);
+    }
+  }
+}
+
+TEST(SessionCacheTest, PutGetEvict) {
+  SessionCache cache(2);
+  SessionId a{}, b{}, c{};
+  a[0] = 1;
+  b[0] = 2;
+  c[0] = 3;
+  MasterSecret m{};
+  m[0] = 9;
+  cache.put(a, m);
+  cache.put(b, m);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_TRUE(cache.get(a).has_value());
+  cache.put(c, m);  // evicts the oldest (a)
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_FALSE(cache.get(a).has_value());
+  EXPECT_TRUE(cache.get(b).has_value());
+  EXPECT_TRUE(cache.get(c).has_value());
+  // Re-put of an existing id is an update, not an insert.
+  MasterSecret m2{};
+  m2[0] = 7;
+  cache.put(b, m2);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ((*cache.get(b))[0], 7);
+}
+
+TEST(AlertNames, AllDistinct) {
+  EXPECT_STREQ(to_string(Alert::kHandshakeFailure), "handshake_failure");
+  EXPECT_STREQ(to_string(Alert::kDecryptError), "decrypt_error");
+  EXPECT_STREQ(to_string(Alert::kBadFinished), "bad_finished");
+  EXPECT_STREQ(to_string(Alert::kUnexpectedMessage), "unexpected_message");
+}
+
+TEST(Driver, CompletesAllHandshakes) {
+  const rsa::Engine engine(rsa::test_key(512),
+                           baseline::options_for(baseline::System::kPhiOpenSSL));
+  DriverConfig cfg;
+  cfg.num_handshakes = 16;
+  cfg.num_threads = 1;
+  const DriverReport r = run_handshakes(engine, cfg);
+  EXPECT_EQ(r.completed, 16u);
+  EXPECT_EQ(r.failed, 0u);
+  EXPECT_EQ(r.resumed, 0u);  // ratio defaults to 0
+  EXPECT_GT(r.handshakes_per_s, 0.0);
+  EXPECT_EQ(r.latency_us.count, 16u);
+}
+
+TEST(Driver, MultithreadedCompletesAll) {
+  const rsa::Engine engine(rsa::test_key(512),
+                           baseline::options_for(baseline::System::kPhiOpenSSL));
+  DriverConfig cfg;
+  cfg.num_handshakes = 32;
+  cfg.num_threads = 4;
+  const DriverReport r = run_handshakes(engine, cfg);
+  EXPECT_EQ(r.completed, 32u);
+  EXPECT_EQ(r.failed, 0u);
+}
+
+TEST(Driver, ResumptionRatioRespected) {
+  const rsa::Engine engine(rsa::test_key(512),
+                           baseline::options_for(baseline::System::kPhiOpenSSL));
+  DriverConfig cfg;
+  cfg.num_handshakes = 60;
+  cfg.num_threads = 2;
+  cfg.resumption_ratio = 1.0;  // resume whenever possible
+  const DriverReport r = run_handshakes(engine, cfg);
+  EXPECT_EQ(r.completed, 60u);
+  EXPECT_EQ(r.failed, 0u);
+  // Every handshake after each worker's first can resume.
+  EXPECT_GE(r.resumed, 60u - 2 * cfg.num_threads);
+  EXPECT_LT(r.resumed, 60u);
+
+  cfg.resumption_ratio = 2.0;
+  EXPECT_THROW(run_handshakes(engine, cfg), std::invalid_argument);
+}
+
+TEST(Driver, WorksForAllBaselineSystems) {
+  for (const auto s : baseline::all_systems()) {
+    const rsa::Engine engine =
+        baseline::make_engine(s, rsa::test_key(512));
+    DriverConfig cfg;
+    cfg.num_handshakes = 4;
+    const DriverReport r = run_handshakes(engine, cfg);
+    EXPECT_EQ(r.completed, 4u) << baseline::name(s);
+  }
+}
+
+TEST(Driver, RequiresPrivateKey) {
+  const rsa::Engine pub_only(rsa::test_key(512).pub, rsa::EngineOptions{});
+  EXPECT_THROW(run_handshakes(pub_only, DriverConfig{}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace phissl::ssl

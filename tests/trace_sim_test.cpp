@@ -1,0 +1,149 @@
+// Trace-driven pipeline simulator tests: trace synthesis fidelity, issue
+// rules, and — the point of the module — agreement between the
+// cycle-stepped simulation and the closed-form CoreModel.
+#include <gtest/gtest.h>
+
+#include "phisim/core_model.hpp"
+#include "phisim/trace_sim.hpp"
+
+namespace phissl::phisim {
+namespace {
+
+TEST(TraceSynthesis, PreservesMixProportions) {
+  const KernelProfile p = profile_vector_mont_mul(1024);
+  const auto trace = synthesize_trace(p, 2000);
+  EXPECT_LE(trace.size(), 2100u);
+  const KernelProfile q = profile_of_trace(trace, p.serial_fraction);
+  // Ratios preserved within rounding.
+  EXPECT_NEAR(q.vec_mul / q.vec_alu, p.vec_mul / p.vec_alu, 0.05);
+  EXPECT_NEAR(q.vec_load / q.vec_store, p.vec_load / p.vec_store, 0.05);
+}
+
+TEST(TraceSynthesis, DependencyFractionMatchesSerialFraction) {
+  KernelProfile p;
+  p.vec_alu = 10000;
+  for (const double sf : {0.0, 0.25, 0.5, 1.0}) {
+    p.serial_fraction = sf;
+    const auto trace = synthesize_trace(p, 4000);
+    double dependent = 0;
+    for (const auto& op : trace) {
+      if (op.depends_on_prev) dependent += 1;
+    }
+    EXPECT_NEAR(dependent / static_cast<double>(trace.size()), sf, 0.05)
+        << "sf=" << sf;
+  }
+}
+
+TEST(TraceSynthesis, DeterministicAndNonEmpty) {
+  const KernelProfile p = profile_scalar32_mont_mul(512);
+  const auto a = synthesize_trace(p);
+  const auto b = synthesize_trace(p);
+  ASSERT_FALSE(a.empty());
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].cls, b[i].cls);
+    EXPECT_EQ(a[i].depends_on_prev, b[i].depends_on_prev);
+  }
+}
+
+TEST(TraceSim, SingleThreadIssueGapVisible) {
+  // Independent 1-cycle ops: one thread can use at most every other
+  // cycle; two threads fill the gaps for ~2x throughput.
+  KernelProfile p;
+  p.vec_alu = 1000;
+  p.serial_fraction = 0.0;
+  const auto trace = synthesize_trace(p, 1000);
+  const auto t1 = simulate_core(trace, 1);
+  const auto t2 = simulate_core(trace, 2);
+  EXPECT_NEAR(t2.ops_per_cycle / t1.ops_per_cycle, 2.0, 0.1);
+  EXPECT_NEAR(t2.ops_per_cycle, 1.0, 0.05);  // U pipe saturated
+}
+
+TEST(TraceSim, SerialChainExposesLatency) {
+  // Fully dependent vector ops: each must wait the 4-cycle latency.
+  KernelProfile p;
+  p.vec_alu = 1000;
+  p.serial_fraction = 1.0;
+  const auto trace = synthesize_trace(p, 1000);
+  const auto t1 = simulate_core(trace, 1);
+  EXPECT_NEAR(t1.ops_per_cycle, 0.25, 0.03);  // 1 op / 4 cycles
+  // Four threads hide the latency completely.
+  const auto t4 = simulate_core(trace, 4);
+  EXPECT_NEAR(t4.ops_per_cycle, 1.0, 0.05);
+}
+
+TEST(TraceSim, DualIssuePairsScalarOps) {
+  // Independent mix of vector (U) and scalar ALU (V-pairable): both pipes
+  // run, throughput approaches 2 ops/cycle with enough threads.
+  KernelProfile p;
+  p.vec_alu = 500;
+  p.scalar_alu = 500;
+  p.serial_fraction = 0.0;
+  const auto trace = synthesize_trace(p, 1000);
+  const auto t4 = simulate_core(trace, 4);
+  EXPECT_GT(t4.ops_per_cycle, 1.5);
+}
+
+TEST(TraceSim, MonotoneInThreads) {
+  for (const KernelProfile& p :
+       {profile_vector_mont_mul(512), profile_scalar32_mont_mul(512),
+        profile_scalar64_mont_mul(512)}) {
+    const auto trace = synthesize_trace(p, 3000);
+    double prev = 0;
+    for (int t = 1; t <= 4; ++t) {
+      const double cur = simulate_core(trace, t).traces_per_kcycle;
+      EXPECT_GE(cur, prev * 0.999) << p.label << " t=" << t;
+      prev = cur;
+    }
+  }
+}
+
+TEST(TraceSim, AgreesWithClosedFormModel) {
+  // The reason this module exists: the analytic CoreModel and the
+  // cycle-stepped simulation must tell the same story for the real kernel
+  // profiles, across thread counts.
+  const CoreModel model;
+  for (const KernelProfile& p :
+       {profile_vector_mont_mul(1024), profile_scalar32_mont_mul(1024),
+        profile_scalar64_mont_mul(1024)}) {
+    const auto trace = synthesize_trace(p, 3000);
+    const KernelProfile scaled = profile_of_trace(trace, p.serial_fraction);
+    for (int t = 1; t <= 4; ++t) {
+      const double analytic =
+          model.throughput_per_cycle(scaled, t) * 1000.0;  // traces/kcycle
+      const double simulated = simulate_core(trace, t).traces_per_kcycle;
+      const double ratio = simulated / analytic;
+      EXPECT_GT(ratio, 0.55) << p.label << " t=" << t;
+      EXPECT_LT(ratio, 1.9) << p.label << " t=" << t;
+    }
+  }
+}
+
+TEST(TraceSim, PreservesKernelOrdering) {
+  // Whatever the absolute agreement, the vector kernel must beat both
+  // scalar kernels in the trace simulation too (at equal work scale the
+  // comparison is per-instruction-budget; compare full-size traces).
+  const auto vec = synthesize_trace(profile_vector_mont_mul(1024), 100000);
+  const auto s32 = synthesize_trace(profile_scalar32_mont_mul(1024), 100000);
+  const auto s64 = synthesize_trace(profile_scalar64_mont_mul(1024), 100000);
+  // One full kernel invocation per trace: compare cycles directly.
+  const auto cv = simulate_core(vec, 4, 1).cycles;
+  const auto c32 = simulate_core(s32, 4, 1).cycles;
+  const auto c64 = simulate_core(s64, 4, 1).cycles;
+  EXPECT_LT(cv, c64);
+  EXPECT_LT(c64, c32);
+}
+
+TEST(TraceSim, RejectsBadArguments) {
+  KernelProfile p;
+  p.vec_alu = 10;
+  const auto trace = synthesize_trace(p);
+  EXPECT_THROW(simulate_core(trace, 0), std::invalid_argument);
+  EXPECT_THROW(simulate_core(trace, 5), std::invalid_argument);
+  EXPECT_THROW(simulate_core({}, 1), std::invalid_argument);
+  KernelProfile empty;
+  EXPECT_THROW(synthesize_trace(empty), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace phissl::phisim
