@@ -3,12 +3,21 @@
 // libcrypto shapes (scalar 32-bit and 64-bit CIOS + sliding window),
 // across modulus sizes. The paper reports PhiOpenSSL up to 15.3x faster.
 //
+// Also measures the dedicated-squaring ablation: the same vector kernel
+// and schedule but with every squaring routed through the general multiply
+// (sqr(a) := mul(a,a)) — the pre-squaring-kernel configuration. Since
+// windowed exponentiation is dominated by squarings, the PHI(no-sqr)/PHI
+// ratio is the end-to-end win of the squaring kernel.
+//
 // Two tables are produced:
 //   (a) measured on this host (AVX-512/portable backend vs host scalar) —
 //       the host has a fast out-of-order 64-bit multiplier KNC never had,
 //       so the scalar64 column is far stronger here than on the Phi;
 //   (b) simulated on the KNC cost model (phisim) — the apples-to-apples
 //       reproduction of the paper's hardware ratio.
+//
+// Pass --json <path> to also write the rows as machine-readable JSON
+// (bench/results/BENCH_mont.json is the checked-in reference run).
 #include <cstdio>
 
 #include "bench/harness.hpp"
@@ -20,20 +29,69 @@
 #include "phisim/core_model.hpp"
 #include "util/random.hpp"
 
-int main() {
+namespace {
+
+using phissl::bigint::BigInt;
+namespace mont = phissl::mont;
+
+// The vector context with the dedicated squaring kernel disabled: sqr
+// forwards to mul(a,a). Satisfies the same Montgomery-context concept, so
+// the windowed schedules run unchanged — isolating exactly the squaring
+// kernel's contribution.
+class NoSqrVectorCtx {
+ public:
+  using Rep = mont::VectorMontCtx::Rep;
+  using Workspace = mont::VectorMontCtx::Workspace;
+
+  explicit NoSqrVectorCtx(const BigInt& m) : inner_(m) {}
+
+  [[nodiscard]] std::size_t rep_size() const { return inner_.rep_size(); }
+  [[nodiscard]] const BigInt& modulus() const { return inner_.modulus(); }
+  [[nodiscard]] Rep to_mont(const BigInt& x) const { return inner_.to_mont(x); }
+  void to_mont(const BigInt& x, Rep& out, Workspace& ws) const {
+    inner_.to_mont(x, out, ws);
+  }
+  [[nodiscard]] BigInt from_mont(const Rep& a) const {
+    return inner_.from_mont(a);
+  }
+  void from_mont(const Rep& a, BigInt& out, Workspace& ws) const {
+    inner_.from_mont(a, out, ws);
+  }
+  [[nodiscard]] Rep one_mont() const { return inner_.one_mont(); }
+  [[nodiscard]] const Rep& one_mont_rep() const {
+    return inner_.one_mont_rep();
+  }
+  void mul(const Rep& a, const Rep& b, Rep& out) const {
+    inner_.mul(a, b, out);
+  }
+  void mul(const Rep& a, const Rep& b, Rep& out, Workspace& ws) const {
+    inner_.mul(a, b, out, ws);
+  }
+  void sqr(const Rep& a, Rep& out) const { inner_.mul(a, a, out); }
+  void sqr(const Rep& a, Rep& out, Workspace& ws) const {
+    inner_.mul(a, a, out, ws);
+  }
+
+ private:
+  mont::VectorMontCtx inner_;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
   using namespace phissl;
-  using bigint::BigInt;
 
   bench::print_header(
       "E3 bench_mont_exp",
       "Montgomery exponentiation latency: PhiOpenSSL vs MPSS-like vs "
-      "OpenSSL-like");
+      "OpenSSL-like (+ dedicated-squaring ablation)");
+  auto json = bench::JsonReporter::from_args("bench_mont_exp", argc, argv);
 
   const std::size_t sizes[] = {512, 1024, 2048, 4096};
 
   std::printf("\n(a) measured on this host [median ms per exponentiation]\n");
-  std::printf("%8s %12s %12s %12s %14s %14s\n", "bits", "PHI(vec)",
-              "MPSS(s32)", "OSSL(s64)", "PHI/s32 spd", "PHI/s64 spd");
+  std::printf("%8s %12s %13s %12s %12s %12s %12s\n", "bits", "PHI(vec)",
+              "PHI(no-sqr)", "MPSS(s32)", "OSSL(s64)", "sqr spd", "PHI/s64");
   for (const std::size_t bits : sizes) {
     util::Rng rng(bits);
     const BigInt m = BigInt::random_odd_exact_bits(bits, rng);
@@ -41,11 +99,15 @@ int main() {
     const BigInt exp = BigInt::random_bits(bits, rng);
 
     const mont::VectorMontCtx vctx(m);
+    const NoSqrVectorCtx nctx(m);
     const mont::MontCtx32 c32(m);
     const mont::MontCtx64 c64(m);
 
     const double phi =
         bench::time_op_ms([&] { mont::fixed_window_exp(vctx, base, exp); })
+            .median;
+    const double phi_nosqr =
+        bench::time_op_ms([&] { mont::fixed_window_exp(nctx, base, exp); })
             .median;
     const double s32 =
         bench::time_op_ms([&] { mont::sliding_window_exp(c32, base, exp); })
@@ -53,8 +115,16 @@ int main() {
     const double s64 =
         bench::time_op_ms([&] { mont::sliding_window_exp(c64, base, exp); })
             .median;
-    std::printf("%8zu %12.3f %12.3f %12.3f %13.2fx %13.2fx\n", bits, phi, s32,
-                s64, s32 / phi, s64 / phi);
+    std::printf("%8zu %12.3f %13.3f %12.3f %12.3f %11.2fx %11.2fx\n", bits,
+                phi, phi_nosqr, s32, s64, phi_nosqr / phi, s64 / phi);
+    json.add_row("host_ms", std::to_string(bits),
+                 {{"phi_vec", phi},
+                  {"phi_no_sqr", phi_nosqr},
+                  {"mpss_s32", s32},
+                  {"ossl_s64", s64},
+                  {"sqr_speedup", phi_nosqr / phi},
+                  {"speedup_vs_s32", s32 / phi},
+                  {"speedup_vs_s64", s64 / phi}});
   }
 
   std::printf("\n(b) simulated on the KNC cost model "
@@ -77,8 +147,14 @@ int main() {
     const double s64 = 1e3 * chip.op_latency_s(s64_p, 4);
     std::printf("%8zu %12.3f %12.3f %12.3f %13.2fx %13.2fx\n", bits, phi, s32,
                 s64, s32 / phi, s64 / phi);
+    json.add_row("knc_sim_ms", std::to_string(bits),
+                 {{"phi_vec", phi},
+                  {"mpss_s32", s32},
+                  {"ossl_s64", s64},
+                  {"speedup_vs_s32", s32 / phi},
+                  {"speedup_vs_s64", s64 / phi}});
   }
   std::printf("\npaper: PhiOpenSSL up to 15.3x faster than the reference "
               "libcrypto builds (Montgomery exponentiation)\n");
-  return 0;
+  return json.write() ? 0 : 1;
 }

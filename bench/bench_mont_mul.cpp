@@ -1,7 +1,12 @@
-// E2: single Montgomery multiplication latency, all kernels, across
-// modulus sizes — the innermost primitive the paper vectorizes.
+// E2: single Montgomery multiplication and squaring latency, all kernels,
+// across modulus sizes — the innermost primitives the paper vectorizes.
+// The sqr benchmarks carry a "sqr/mul" counter: the measured cost ratio of
+// the dedicated squaring kernel against a general multiply of the same
+// operand (ideal symmetry win is ~0.75; modexp spends most of its
+// multiplies on squarings, so this ratio bounds the schedule-level gain).
 #include <benchmark/benchmark.h>
 
+#include "harness.hpp"
 #include "bigint/bigint.hpp"
 #include "mont/mont32.hpp"
 #include "mont/mont64.hpp"
@@ -35,6 +40,34 @@ BENCHMARK_TEMPLATE(BM_MontMul, mont::MontCtx64)
     ->Name("BM_MontMul_scalar64")->Arg(512)->Arg(1024)->Arg(2048)->Arg(4096);
 BENCHMARK_TEMPLATE(BM_MontMul, mont::VectorMontCtx)
     ->Name("BM_MontMul_vector")->Arg(512)->Arg(1024)->Arg(2048)->Arg(4096);
+
+template <typename Ctx>
+void BM_MontSqr(benchmark::State& state) {
+  const auto bits = static_cast<std::size_t>(state.range(0));
+  phissl::util::Rng rng(bits);
+  const BigInt m = BigInt::random_odd_exact_bits(bits, rng);
+  const Ctx ctx(m);
+  const auto a = ctx.to_mont(BigInt::random_below(m, rng));
+  typename Ctx::Rep out;
+  for (auto _ : state) {
+    ctx.sqr(a, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  // Measured sqr/mul cost ratio on the same operand (E2's squaring win).
+  const double sqr_ms =
+      phissl::bench::time_op_ms([&] { ctx.sqr(a, out); }, 20, 0.05).median;
+  const double mul_ms =
+      phissl::bench::time_op_ms([&] { ctx.mul(a, a, out); }, 20, 0.05).median;
+  state.counters["sqr/mul"] = mul_ms > 0 ? sqr_ms / mul_ms : 0.0;
+  state.SetLabel(std::to_string(bits) + "-bit");
+}
+
+BENCHMARK_TEMPLATE(BM_MontSqr, mont::MontCtx32)
+    ->Name("BM_MontSqr_scalar32")->Arg(512)->Arg(1024)->Arg(2048)->Arg(4096);
+BENCHMARK_TEMPLATE(BM_MontSqr, mont::MontCtx64)
+    ->Name("BM_MontSqr_scalar64")->Arg(512)->Arg(1024)->Arg(2048)->Arg(4096);
+BENCHMARK_TEMPLATE(BM_MontSqr, mont::VectorMontCtx)
+    ->Name("BM_MontSqr_vector")->Arg(512)->Arg(1024)->Arg(2048)->Arg(4096);
 
 // Same column algorithm without SIMD: isolates the pure vectorization win
 // on the host (the apples-to-apples ablation for the vector kernel).

@@ -4,7 +4,11 @@
 #pragma once
 
 #include <cstdio>
+#include <cstring>
 #include <functional>
+#include <initializer_list>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "util/stats.hpp"
@@ -38,5 +42,80 @@ inline void print_header(const char* experiment, const char* description) {
   std::printf("%s: %s\n", experiment, description);
   std::printf("=============================================================\n");
 }
+
+/// Machine-readable results alongside the printed tables: collects named
+/// rows of numeric metrics and writes them as JSON to the path given by a
+/// `--json <path>` (or `--json=<path>`) flag. With no flag every call is a
+/// no-op, so harnesses can report unconditionally.
+class JsonReporter {
+ public:
+  JsonReporter() = default;
+
+  /// Parses --json from the harness's argv. `benchmark` names the harness
+  /// in the output (e.g. "bench_mont_exp").
+  static JsonReporter from_args(const char* benchmark, int argc,
+                                char** argv) {
+    JsonReporter r;
+    r.benchmark_ = benchmark;
+    for (int i = 1; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+        r.path_ = argv[i + 1];
+      } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+        r.path_ = argv[i] + 7;
+      }
+    }
+    return r;
+  }
+
+  [[nodiscard]] bool enabled() const { return !path_.empty(); }
+
+  /// Records one result row. `group` names the table the row belongs to
+  /// (e.g. "host_ms" vs "knc_sim_ms"); `name` identifies the row within it.
+  void add_row(std::string group, std::string name,
+               std::initializer_list<std::pair<const char*, double>> metrics) {
+    if (!enabled()) return;
+    Row row{std::move(group), std::move(name), {}};
+    for (const auto& [k, v] : metrics) row.metrics.emplace_back(k, v);
+    rows_.push_back(std::move(row));
+  }
+
+  /// Writes the collected rows; prints the destination path. Returns false
+  /// (after printing a diagnostic) if the file cannot be written.
+  bool write() const {
+    if (!enabled()) return true;
+    std::FILE* f = std::fopen(path_.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "JsonReporter: cannot open %s\n", path_.c_str());
+      return false;
+    }
+    std::fprintf(f, "{\n  \"benchmark\": \"%s\",\n  \"rows\": [",
+                 benchmark_.c_str());
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      const Row& row = rows_[i];
+      std::fprintf(f, "%s\n    {\"group\": \"%s\", \"name\": \"%s\"",
+                   i == 0 ? "" : ",", row.group.c_str(), row.name.c_str());
+      std::fprintf(f, ", \"metrics\": {");
+      for (std::size_t m = 0; m < row.metrics.size(); ++m) {
+        std::fprintf(f, "%s\"%s\": %.9g", m == 0 ? "" : ", ",
+                     row.metrics[m].first.c_str(), row.metrics[m].second);
+      }
+      std::fprintf(f, "}}");
+    }
+    std::fprintf(f, "\n  ]\n}\n");
+    std::fclose(f);
+    std::printf("\nwrote JSON results to %s\n", path_.c_str());
+    return true;
+  }
+
+ private:
+  struct Row {
+    std::string group, name;
+    std::vector<std::pair<std::string, double>> metrics;
+  };
+
+  std::string benchmark_;
+  std::string path_;
+  std::vector<Row> rows_;
+};
 
 }  // namespace phissl::bench

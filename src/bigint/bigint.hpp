@@ -60,6 +60,14 @@ class BigInt {
   /// bits must be >= 2.
   static BigInt random_odd_exact_bits(std::size_t bits, util::Rng& rng);
 
+  /// Reassigns this to the non-negative value whose little-endian digits
+  /// (each `digit_bits` wide, digit_bits in [1, 32], values < 2^digit_bits)
+  /// are given. Reuses existing limb capacity — the allocation-free
+  /// counterpart of the unpacking factories, used by the Montgomery
+  /// contexts' from_mont paths.
+  void assign_from_digits(std::span<const std::uint32_t> digits,
+                          unsigned digit_bits);
+
   // -- Observers -------------------------------------------------------------
 
   [[nodiscard]] bool is_zero() const { return limbs_.empty(); }
@@ -128,6 +136,12 @@ class BigInt {
 
   /// this * this — dispatches to the squaring kernel.
   [[nodiscard]] BigInt squared() const;
+
+  /// out = a * b, schoolbook, reusing out's limb capacity (no allocation
+  /// once out has warmed up). out must not alias a or b. Intended for the
+  /// CRT-sized products in the RSA hot path; unlike operator*, it never
+  /// takes the (allocating) Karatsuba route.
+  static void mul_to(const BigInt& a, const BigInt& b, BigInt& out);
 
   // -- Comparison --------------------------------------------------------------
 

@@ -28,6 +28,29 @@ BigInt BigInt::from_u64(std::uint64_t v) {
   return r;
 }
 
+void BigInt::assign_from_digits(std::span<const std::uint32_t> digits,
+                                unsigned digit_bits) {
+  if (digit_bits == 0 || digit_bits > 32) {
+    throw std::invalid_argument(
+        "BigInt::assign_from_digits: digit_bits must be in [1, 32]");
+  }
+  const std::size_t total_bits = digits.size() * digit_bits;
+  limbs_.assign((total_bits + 31) / 32, 0);
+  negative_ = false;
+  for (std::size_t j = 0; j < digits.size(); ++j) {
+    const std::uint64_t v = digits[j];
+    const std::size_t bit = j * digit_bits;
+    const std::size_t limb = bit / 32;
+    const unsigned off = bit % 32;
+    // v < 2^digit_bits, so the shifted digit spans at most two limbs and
+    // the high half (when nonzero) always lands inside limbs_.
+    const std::uint64_t w = v << off;
+    limbs_[limb] |= static_cast<std::uint32_t>(w);
+    if (w >> 32) limbs_[limb + 1] |= static_cast<std::uint32_t>(w >> 32);
+  }
+  normalize();
+}
+
 void BigInt::normalize() {
   while (!limbs_.empty() && limbs_.back() == 0) limbs_.pop_back();
   if (limbs_.empty()) negative_ = false;

@@ -25,6 +25,8 @@ void div_by_limb(const std::vector<std::uint32_t>& u, std::uint32_t v,
 }
 
 // Knuth D on magnitudes. u and v normalized, v.size() >= 2, u >= v.
+// The normalized copies live in thread-local scratch so repeated division
+// at a fixed size (the RSA hot path) does not allocate.
 void div_knuth(const std::vector<std::uint32_t>& u_in,
                const std::vector<std::uint32_t>& v_in,
                std::vector<std::uint32_t>& q, std::vector<std::uint32_t>& r) {
@@ -33,12 +35,16 @@ void div_knuth(const std::vector<std::uint32_t>& u_in,
 
   // D1: normalize so the divisor's top bit is set.
   const int s = std::countl_zero(v_in.back());
-  std::vector<std::uint32_t> v(n);
+  static thread_local std::vector<std::uint32_t> v_buf;
+  static thread_local std::vector<std::uint32_t> u_buf;
+  std::vector<std::uint32_t>& v = v_buf;
+  std::vector<std::uint32_t>& u = u_buf;
+  v.assign(n, 0);
   for (std::size_t i = n; i-- > 0;) {
     v[i] = v_in[i] << s;
     if (s && i > 0) v[i] |= v_in[i - 1] >> (32 - s);
   }
-  std::vector<std::uint32_t> u(u_in.size() + 1, 0);
+  u.assign(u_in.size() + 1, 0);
   for (std::size_t i = u_in.size(); i-- > 0;) {
     const std::uint64_t w = static_cast<std::uint64_t>(u_in[i]) << s;
     u[i + 1] |= static_cast<std::uint32_t>(w >> 32);
@@ -112,26 +118,38 @@ void trim(std::vector<std::uint32_t>& v) {
 void BigInt::divmod(const BigInt& num, const BigInt& den, BigInt& quot,
                     BigInt& rem) {
   if (den.is_zero()) throw std::domain_error("BigInt: division by zero");
-  if (cmp_mag(num, den) < 0) {
-    rem = num;
-    quot = BigInt{};
+
+  // When an output aliases an input (or the other output), divide into
+  // temporaries. The common non-aliased call writes the outputs directly,
+  // reusing their limb capacity — no allocation once warmed up.
+  if (&quot == &rem || &quot == &num || &quot == &den || &rem == &num ||
+      &rem == &den) {
+    BigInt q, r;
+    divmod(num, den, q, r);
+    quot = std::move(q);
+    rem = std::move(r);
     return;
   }
 
-  BigInt q, r;
+  if (cmp_mag(num, den) < 0) {
+    rem = num;
+    quot.limbs_.clear();
+    quot.negative_ = false;
+    return;
+  }
+
   if (den.limbs_.size() == 1) {
     std::uint32_t r_limb = 0;
-    div_by_limb(num.limbs_, den.limbs_[0], q.limbs_, r_limb);
-    if (r_limb) r.limbs_.push_back(r_limb);
+    div_by_limb(num.limbs_, den.limbs_[0], quot.limbs_, r_limb);
+    rem.limbs_.clear();
+    if (r_limb) rem.limbs_.push_back(r_limb);
   } else {
-    div_knuth(num.limbs_, den.limbs_, q.limbs_, r.limbs_);
+    div_knuth(num.limbs_, den.limbs_, quot.limbs_, rem.limbs_);
   }
-  trim(q.limbs_);
-  trim(r.limbs_);
-  q.negative_ = !q.limbs_.empty() && (num.negative_ != den.negative_);
-  r.negative_ = !r.limbs_.empty() && num.negative_;
-  quot = std::move(q);
-  rem = std::move(r);
+  trim(quot.limbs_);
+  trim(rem.limbs_);
+  quot.negative_ = !quot.limbs_.empty() && (num.negative_ != den.negative_);
+  rem.negative_ = !rem.limbs_.empty() && num.negative_;
 }
 
 BigInt& BigInt::operator/=(const BigInt& rhs) {

@@ -186,6 +186,19 @@ BigInt& BigInt::operator*=(const BigInt& rhs) {
   return *this;
 }
 
+void BigInt::mul_to(const BigInt& a, const BigInt& b, BigInt& out) {
+  assert(&out != &a && &out != &b);
+  if (a.is_zero() || b.is_zero()) {
+    out.limbs_.clear();
+    out.negative_ = false;
+    return;
+  }
+  out.limbs_.assign(a.limbs_.size() + b.limbs_.size(), 0);
+  kernels::mul_schoolbook(a.limbs_, b.limbs_, out.limbs_);
+  out.negative_ = a.negative_ != b.negative_;
+  out.normalize();
+}
+
 BigInt BigInt::squared() const {
   if (is_zero()) return {};
   BigInt r;

@@ -14,7 +14,12 @@ using simd::VecU32x16;
 
 namespace {
 constexpr std::size_t kB = BatchVectorMontCtx::kBatch;
+
+BatchVectorMontCtx::Workspace& tls_workspace() {
+  static thread_local BatchVectorMontCtx::Workspace ws;
+  return ws;
 }
+}  // namespace
 
 BatchVectorMontCtx::BatchVectorMontCtx(const bigint::BigInt& m,
                                        unsigned digit_bits)
@@ -29,7 +34,8 @@ BatchVectorMontCtx::BatchVectorMontCtx(const bigint::BigInt& m,
   }
   digit_mask_ = (1u << digit_bits) - 1u;
   d_ = (m.bit_length() + digit_bits - 1) / digit_bits;
-  // Same 64-bit column bound as VectorMontCtx (per lane).
+  // Same 64-bit column bound as VectorMontCtx (per lane); the squaring
+  // kernel's doubled off-diagonal + diagonal stays inside it too.
   const unsigned product_bits = 2 * digit_bits;
   if (product_bits >= 63 ||
       (static_cast<std::uint64_t>(2 * d_) >
@@ -46,74 +52,82 @@ BatchVectorMontCtx::BatchVectorMontCtx(const bigint::BigInt& m,
   bigint::BigInt r{1};
   r <<= digit_bits_ * d_;
   rr_ = (r * r).mod(m_);
+  const bigint::BigInt one_m = r.mod(m_);
+  rr_rep_.assign(d_ * kB, 0);
+  one_plain_.assign(d_ * kB, 0);
+  one_m_.assign(d_ * kB, 0);
+  for (std::size_t j = 0; j < d_; ++j) {
+    const std::uint32_t rr_digit = rr_.bits_window(j * digit_bits_, digit_bits_);
+    const std::uint32_t om_digit =
+        one_m.bits_window(j * digit_bits_, digit_bits_);
+    for (std::size_t l = 0; l < kB; ++l) {
+      rr_rep_[j * kB + l] = rr_digit;
+      one_m_[j * kB + l] = om_digit;
+    }
+  }
+  for (std::size_t l = 0; l < kB; ++l) one_plain_[l] = 1;
 }
 
 BatchVectorMontCtx::Rep BatchVectorMontCtx::to_mont(
     std::span<const bigint::BigInt> xs) const {
+  Rep out;
+  to_mont(xs, out, tls_workspace());
+  return out;
+}
+
+void BatchVectorMontCtx::to_mont(std::span<const bigint::BigInt> xs, Rep& out,
+                                 Workspace& ws) const {
   if (xs.size() != kB) {
     throw std::invalid_argument("BatchVectorMontCtx::to_mont: need 16 values");
   }
-  Rep packed(d_ * kB, 0);
+  ws.rep.assign(d_ * kB, 0);
   for (std::size_t l = 0; l < kB; ++l) {
     if (xs[l].is_negative() || xs[l] >= m_) {
       throw std::invalid_argument(
           "BatchVectorMontCtx::to_mont: values must be in [0, m)");
     }
     for (std::size_t j = 0; j < d_; ++j) {
-      packed[j * kB + l] = xs[l].bits_window(j * digit_bits_, digit_bits_);
+      ws.rep[j * kB + l] = xs[l].bits_window(j * digit_bits_, digit_bits_);
     }
   }
-  // rr in every lane.
-  Rep rr(d_ * kB, 0);
-  for (std::size_t j = 0; j < d_; ++j) {
-    const std::uint32_t digit = rr_.bits_window(j * digit_bits_, digit_bits_);
-    for (std::size_t l = 0; l < kB; ++l) rr[j * kB + l] = digit;
-  }
-  Rep out;
-  mul(packed, rr, out);
-  return out;
+  mul(ws.rep, rr_rep_, out, ws);
 }
 
 std::array<bigint::BigInt, BatchVectorMontCtx::kBatch>
 BatchVectorMontCtx::from_mont(const Rep& a) const {
-  // Multiply by 1 (per lane) to leave Montgomery form.
-  Rep one(d_ * kB, 0);
-  for (std::size_t l = 0; l < kB; ++l) one[l] = 1;
-  Rep plain;
-  mul(a, one, plain);
   std::array<bigint::BigInt, kB> out;
-  for (std::size_t l = 0; l < kB; ++l) {
-    bigint::BigInt v;
-    for (std::size_t j = d_; j-- > 0;) {
-      v <<= digit_bits_;
-      v += bigint::BigInt::from_u64(plain[j * kB + l]);
-    }
-    out[l] = std::move(v);
-  }
+  from_mont(a, out, tls_workspace());
   return out;
 }
 
-BatchVectorMontCtx::Rep BatchVectorMontCtx::one_mont() const {
-  bigint::BigInt r{1};
-  r <<= digit_bits_ * d_;
-  r = r.mod(m_);
-  Rep out(d_ * kB, 0);
-  for (std::size_t j = 0; j < d_; ++j) {
-    const std::uint32_t digit = r.bits_window(j * digit_bits_, digit_bits_);
-    for (std::size_t l = 0; l < kB; ++l) out[j * kB + l] = digit;
+void BatchVectorMontCtx::from_mont(const Rep& a, std::span<bigint::BigInt> out,
+                                   Workspace& ws) const {
+  if (out.size() != kB) {
+    throw std::invalid_argument(
+        "BatchVectorMontCtx::from_mont: need 16 outputs");
   }
-  return out;
+  // Multiply by 1 (per lane) to leave Montgomery form.
+  mul(a, one_plain_, ws.rep, ws);
+  ws.lane.assign(d_, 0);
+  for (std::size_t l = 0; l < kB; ++l) {
+    for (std::size_t j = 0; j < d_; ++j) ws.lane[j] = ws.rep[j * kB + l];
+    out[l].assign_from_digits(ws.lane, digit_bits_);
+  }
 }
 
 void BatchVectorMontCtx::mul(const Rep& a, const Rep& b, Rep& out) const {
+  mul(a, b, out, tls_workspace());
+}
+
+void BatchVectorMontCtx::mul(const Rep& a, const Rep& b, Rep& out,
+                             Workspace& ws) const {
   assert(a.size() == d_ * kB && b.size() == d_ * kB);
 
-  static thread_local std::vector<std::uint32_t> acc_lo_buf, acc_hi_buf;
   const std::size_t cols = 2 * d_ + 1;
-  acc_lo_buf.assign(cols * kB, 0);
-  acc_hi_buf.assign(cols * kB, 0);
-  std::uint32_t* acc_lo = acc_lo_buf.data();
-  std::uint32_t* acc_hi = acc_hi_buf.data();
+  ws.acc_lo.assign(cols * kB, 0);
+  ws.acc_hi.assign(cols * kB, 0);
+  std::uint32_t* acc_lo = ws.acc_lo.data();
+  std::uint32_t* acc_hi = ws.acc_hi.data();
 
   const VecU32x16 vmask = VecU32x16::broadcast(digit_mask_);
   const VecU32x16 vn0 = VecU32x16::broadcast(n0_);
@@ -160,8 +174,94 @@ void BatchVectorMontCtx::mul(const Rep& a, const Rep& b, Rep& out) const {
     hi_n.store(&acc_hi[(i + 1) * kB]);
   }
 
-  // Per-lane normalization and conditional subtract (scalar; O(d) per
-  // lane, negligible next to the O(d^2) sweeps).
+  finalize_lanes(acc_lo, acc_hi, out);
+}
+
+void BatchVectorMontCtx::sqr(const Rep& a, Rep& out) const {
+  sqr(a, out, tls_workspace());
+}
+
+void BatchVectorMontCtx::sqr(const Rep& a, Rep& out, Workspace& ws) const {
+  assert(a.size() == d_ * kB);
+
+  const std::size_t cols = 2 * d_ + 1;
+  ws.acc_lo.assign(cols * kB, 0);
+  ws.acc_hi.assign(cols * kB, 0);
+  std::uint32_t* acc_lo = ws.acc_lo.data();
+  std::uint32_t* acc_hi = ws.acc_hi.data();
+
+  const VecU32x16 vmask = VecU32x16::broadcast(digit_mask_);
+  const VecU32x16 vn0 = VecU32x16::broadcast(n0_);
+  const VecU32x16 vone = VecU32x16::broadcast(1);
+  const unsigned db = digit_bits_;
+
+  // Single fused sweep per outer iteration (see VectorMontCtx::sqr for
+  // the schedule argument): step i adds the diagonal a_i^2 into column 2i
+  // (first, so for i = 0 the quotient digit sees it), then one pass over
+  // j adds the q*n row everywhere and the off-diagonal row for j > i with
+  // a pre-doubled 2*a_i operand. Lane-wise throughout; no masking needed
+  // since the inner loop runs over digit indices and the 16 lanes of one
+  // index are independent operand sets.
+  for (std::size_t i = 0; i < d_; ++i) {
+    const VecU32x16 va = VecU32x16::load(&a[i * kB]);
+    {
+      VecU32x16 lo = VecU32x16::load(&acc_lo[2 * i * kB]);
+      VecU32x16 hi = VecU32x16::load(&acc_hi[2 * i * kB]);
+      simd::add_wide_product(lo, hi, mul_lo(va, va), mul_hi(va, va));
+      lo.store(&acc_lo[2 * i * kB]);
+      hi.store(&acc_hi[2 * i * kB]);
+    }
+
+    const VecU32x16 t0 = bit_and(VecU32x16::load(&acc_lo[i * kB]), vmask);
+    const VecU32x16 vq = bit_and(mul_lo(t0, vn0), vmask);
+    const VecU32x16 va2 = shl(va, 1);
+
+    std::size_t j = 0;
+    for (; j <= i && j < d_; ++j) {  // prefix: q*n row only
+      const VecU32x16 vn = VecU32x16::broadcast(n_[j]);
+      VecU32x16 lo = VecU32x16::load(&acc_lo[(i + j) * kB]);
+      VecU32x16 hi = VecU32x16::load(&acc_hi[(i + j) * kB]);
+      simd::add_wide_product(lo, hi, mul_lo(vq, vn), mul_hi(vq, vn));
+      lo.store(&acc_lo[(i + j) * kB]);
+      hi.store(&acc_hi[(i + j) * kB]);
+    }
+    for (; j < d_; ++j) {  // fused q*n + doubled off-diagonal
+      const VecU32x16 vn = VecU32x16::broadcast(n_[j]);
+      const VecU32x16 vaj = VecU32x16::load(&a[j * kB]);
+      VecU32x16 lo = VecU32x16::load(&acc_lo[(i + j) * kB]);
+      VecU32x16 hi = VecU32x16::load(&acc_hi[(i + j) * kB]);
+      simd::add_wide_product(lo, hi, mul_lo(vq, vn), mul_hi(vq, vn));
+      simd::add_wide_product(lo, hi, mul_lo(va2, vaj), mul_hi(va2, vaj));
+      lo.store(&acc_lo[(i + j) * kB]);
+      hi.store(&acc_hi[(i + j) * kB]);
+    }
+
+    const VecU32x16 lo_i = VecU32x16::load(&acc_lo[i * kB]);
+    const VecU32x16 hi_i = VecU32x16::load(&acc_hi[i * kB]);
+    const VecU32x16 carry_lo = bit_or(shr(lo_i, db), shl(hi_i, 32 - db));
+    const VecU32x16 carry_hi = shr(hi_i, db);
+
+    VecU32x16 lo_n = VecU32x16::load(&acc_lo[(i + 1) * kB]);
+    VecU32x16 hi_n = VecU32x16::load(&acc_hi[(i + 1) * kB]);
+    const VecU32x16 sum = add(lo_n, carry_lo);
+    const Mask16 cmask = cmp_lt_u32(sum, lo_n);
+    lo_n = sum;
+    hi_n = add(hi_n, carry_hi);
+    hi_n = masked_add(cmask, hi_n, vone);
+    lo_n.store(&acc_lo[(i + 1) * kB]);
+    hi_n.store(&acc_hi[(i + 1) * kB]);
+  }
+
+  finalize_lanes(acc_lo, acc_hi, out);
+}
+
+void BatchVectorMontCtx::finalize_lanes(const std::uint32_t* acc_lo,
+                                        const std::uint32_t* acc_hi,
+                                        Rep& out) const {
+  // Per-lane normalization and CONSTANT-TIME conditional subtract (scalar;
+  // O(d) per lane, negligible next to the O(d^2) sweeps). A full
+  // branchless borrow scan decides, then the subtract always runs with n
+  // masked in or out — no early exit, no value-dependent branches.
   out.assign(d_ * kB, 0);
   for (std::size_t l = 0; l < kB; ++l) {
     std::uint64_t carry = 0;
@@ -174,69 +274,50 @@ void BatchVectorMontCtx::mul(const Rep& a, const Rep& b, Rep& out) const {
       carry = v >> digit_bits_;
     }
     assert(carry <= 1);
-    bool ge = carry != 0;
-    if (!ge) {
-      ge = true;
-      for (std::size_t j = d_; j-- > 0;) {
-        if (out[j * kB + l] != n_[j]) {
-          ge = out[j * kB + l] > n_[j];
-          break;
-        }
-      }
+    std::uint64_t borrow = 0;
+    for (std::size_t j = 0; j < d_; ++j) {
+      const std::uint64_t diff =
+          static_cast<std::uint64_t>(out[j * kB + l]) - n_[j] - borrow;
+      borrow = (diff >> 63) & 1u;
     }
-    if (ge) {
-      std::int64_t borrow = 0;
-      for (std::size_t j = 0; j < d_; ++j) {
-        std::int64_t diff = static_cast<std::int64_t>(out[j * kB + l]) -
-                            static_cast<std::int64_t>(n_[j]) - borrow;
-        borrow = diff < 0 ? 1 : 0;
-        if (diff < 0) diff += std::int64_t{1} << digit_bits_;
-        out[j * kB + l] = static_cast<std::uint32_t>(diff);
-      }
-      assert(static_cast<std::uint64_t>(borrow) == carry);
+    const std::uint32_t ge =
+        static_cast<std::uint32_t>((carry | (1u - borrow)) != 0);
+    const std::uint32_t mask = 0u - ge;
+    borrow = 0;
+    for (std::size_t j = 0; j < d_; ++j) {
+      const std::uint64_t diff = static_cast<std::uint64_t>(out[j * kB + l]) -
+                                 (n_[j] & mask) - borrow;
+      out[j * kB + l] = static_cast<std::uint32_t>(diff) & digit_mask_;
+      borrow = (diff >> 63) & 1u;
     }
+    assert(!ge || borrow == carry);
   }
 }
 
 BatchVectorMontCtx::Rep BatchVectorMontCtx::fixed_window_exp(
     const Rep& base, const bigint::BigInt& exp, int window) const {
   if (window <= 0) window = choose_window(exp.bit_length());
-  if (window < 1 || window > 10) {
-    throw std::invalid_argument("batch fixed_window_exp: bad window");
-  }
-  if (exp.is_negative()) {
-    throw std::invalid_argument("batch fixed_window_exp: negative exponent");
-  }
-  if (exp.is_zero()) return one_mont();
-  const std::size_t w = static_cast<std::size_t>(window);
-
-  std::vector<Rep> table(std::size_t{1} << w);
-  table[0] = one_mont();
-  table[1] = base;
-  for (std::size_t e = 2; e < table.size(); ++e) {
-    mul(table[e - 1], base, table[e]);
-  }
-
-  const std::size_t bits = exp.bit_length();
-  const std::size_t nwin = (bits + w - 1) / w;
-  Rep acc, tmp, factor;
-  ct_table_select(table, exp.bits_window((nwin - 1) * w, w), acc);
-  for (std::size_t win = nwin - 1; win-- > 0;) {
-    for (std::size_t s = 0; s < w; ++s) {
-      sqr(acc, tmp);
-      acc.swap(tmp);
-    }
-    ct_table_select(table, exp.bits_window(win * w, w), factor);
-    mul(acc, factor, tmp);
-    acc.swap(tmp);
-  }
-  return acc;
+  return fixed_window_exp_rep(*this, base, exp, window);
 }
 
 std::array<bigint::BigInt, BatchVectorMontCtx::kBatch>
 BatchVectorMontCtx::mod_exp(std::span<const bigint::BigInt> bases,
                             const bigint::BigInt& exp, int window) const {
-  return from_mont(fixed_window_exp(to_mont(bases), exp, window));
+  ExpWorkspace<BatchVectorMontCtx> ws;
+  std::array<bigint::BigInt, kB> out;
+  mod_exp(bases, exp, out, ws, window);
+  return out;
+}
+
+void BatchVectorMontCtx::mod_exp(std::span<const bigint::BigInt> bases,
+                                 const bigint::BigInt& exp,
+                                 std::span<bigint::BigInt> out,
+                                 ExpWorkspace<BatchVectorMontCtx>& ws,
+                                 int window) const {
+  if (window <= 0) window = choose_window(exp.bit_length());
+  to_mont(bases, ws.base_m, ws.kernel);
+  fixed_window_exp_rep(*this, ws.base_m, exp, window, ws.res, ws);
+  from_mont(ws.res, out, ws.kernel);
 }
 
 }  // namespace phissl::mont

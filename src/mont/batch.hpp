@@ -12,6 +12,11 @@
 //
 // Layout: digit j of lane l lives at rep[j*16 + l] (digit-major,
 // transposed), so one vector load fetches digit j of all 16 lanes.
+//
+// The context satisfies the generic Montgomery-context concept in
+// modexp.hpp (Rep, Workspace, one_mont_rep, mul/sqr with and without a
+// workspace), so the windowed exponentiation schedules are shared with the
+// other three kernels rather than hand-cloned here.
 #pragma once
 
 #include <array>
@@ -23,12 +28,22 @@
 
 namespace phissl::mont {
 
+template <typename Ctx>
+struct ExpWorkspace;
+
 class BatchVectorMontCtx {
  public:
   static constexpr std::size_t kBatch = 16;
 
   /// Transposed batch residue: digits() * kBatch entries, digit-major.
   using Rep = std::vector<std::uint32_t>;
+
+  /// Reusable scratch for mul/sqr/to_mont/from_mont. Not thread-safe.
+  struct Workspace {
+    std::vector<std::uint32_t> acc_lo, acc_hi;  // column accumulators
+    Rep rep;                                    // residue-sized scratch
+    std::vector<std::uint32_t> lane;            // one lane's digits
+  };
 
   /// Builds the context for an odd modulus m > 1 shared by all lanes.
   /// Same digit-width constraints as VectorMontCtx.
@@ -37,25 +52,38 @@ class BatchVectorMontCtx {
 
   [[nodiscard]] unsigned digit_bits() const { return digit_bits_; }
   [[nodiscard]] std::size_t digits() const { return d_; }
+  [[nodiscard]] std::size_t rep_size() const { return d_ * kBatch; }
   [[nodiscard]] const bigint::BigInt& modulus() const { return m_; }
 
   /// Packs 16 values (each in [0, m)) into Montgomery form, one per lane.
   [[nodiscard]] Rep to_mont(std::span<const bigint::BigInt> xs) const;
+  void to_mont(std::span<const bigint::BigInt> xs, Rep& out,
+               Workspace& ws) const;
 
   /// Unpacks all 16 lanes out of Montgomery form.
   [[nodiscard]] std::array<bigint::BigInt, kBatch> from_mont(
       const Rep& a) const;
+  void from_mont(const Rep& a, std::span<bigint::BigInt> out,
+                 Workspace& ws) const;
 
   /// Montgomery form of 1 in every lane.
-  [[nodiscard]] Rep one_mont() const;
+  [[nodiscard]] Rep one_mont() const { return one_m_; }
+  [[nodiscard]] const Rep& one_mont_rep() const { return one_m_; }
 
   /// Lane-wise out[l] = a[l]*b[l]*R^-1 mod m. out may alias a or b.
   void mul(const Rep& a, const Rep& b, Rep& out) const;
+  void mul(const Rep& a, const Rep& b, Rep& out, Workspace& ws) const;
 
-  void sqr(const Rep& a, Rep& out) const { mul(a, a, out); }
+  /// Lane-wise out[l] = a[l]^2*R^-1 mod m: mul's fused sweep schedule, but
+  /// each off-diagonal pair touched once with a pre-doubled 2*a_i operand
+  /// plus the diagonal (~3/4 the lane multiplies of mul at identical
+  /// accumulator traffic).
+  void sqr(const Rep& a, Rep& out) const;
+  void sqr(const Rep& a, Rep& out, Workspace& ws) const;
 
   /// Lane-wise fixed-window exponentiation with a SHARED exponent:
   /// out[l] = base[l]^exp mod m. window <= 0 selects choose_window().
+  /// Thin wrapper over the generic fixed_window_exp_rep in modexp.hpp.
   [[nodiscard]] Rep fixed_window_exp(const Rep& base,
                                      const bigint::BigInt& exp,
                                      int window = 0) const;
@@ -65,7 +93,17 @@ class BatchVectorMontCtx {
       std::span<const bigint::BigInt> bases, const bigint::BigInt& exp,
       int window = 0) const;
 
+  /// Allocation-free full-domain batch modexp (after warm-up).
+  void mod_exp(std::span<const bigint::BigInt> bases,
+               const bigint::BigInt& exp, std::span<bigint::BigInt> out,
+               ExpWorkspace<BatchVectorMontCtx>& ws, int window = 0) const;
+
  private:
+  // Per-lane normalization and constant-time conditional subtract of the
+  // result columns (acc rows d_ .. 2d_-1) into out.
+  void finalize_lanes(const std::uint32_t* acc_lo, const std::uint32_t* acc_hi,
+                      Rep& out) const;
+
   bigint::BigInt m_;
   unsigned digit_bits_;
   std::uint32_t digit_mask_;
@@ -73,6 +111,9 @@ class BatchVectorMontCtx {
   std::vector<std::uint32_t> n_;  // modulus digits (NOT transposed; shared)
   std::uint32_t n0_ = 0;
   bigint::BigInt rr_;
+  Rep rr_rep_;     // R^2 mod m broadcast to every lane
+  Rep one_plain_;  // plain 1 in every lane
+  Rep one_m_;      // R mod m in every lane
 };
 
 }  // namespace phissl::mont

@@ -1,8 +1,8 @@
 // Modular exponentiation over any Montgomery context.
 //
 // Generic over the context type so the same windowed schedules run on
-// MontCtx32 (MPSS-like), MontCtx64 (OpenSSL-like) and VectorMontCtx
-// (PhiOpenSSL). Two schedules:
+// MontCtx32 (MPSS-like), MontCtx64 (OpenSSL-like), VectorMontCtx
+// (PhiOpenSSL) and BatchVectorMontCtx (16-lane batches). Two schedules:
 //
 //  - fixed_window_exp: the paper's method. Precomputes g^0..g^(2^w - 1),
 //    consumes the exponent in fixed w-bit windows MSB-first, and multiplies
@@ -15,10 +15,19 @@
 //
 // A Montgomery context Ctx must provide:
 //   using Rep = <vector-like of unsigned words>;
+//   struct Workspace;                     (reusable kernel scratch)
 //   std::size_t rep_size() const;
 //   Rep to_mont(const BigInt&) const;     BigInt from_mont(const Rep&) const;
-//   Rep one_mont() const;                 void mul(a, b, out) const;
-//   void sqr(a, out) const;               const BigInt& modulus() const;
+//   Rep one_mont() const;                 const Rep& one_mont_rep() const;
+//   void mul(a, b, out) const;            void sqr(a, out) const;
+//   void mul(a, b, out, ws) const;        void sqr(a, out, ws) const;
+//   const BigInt& modulus() const;
+//
+// Every schedule comes in two forms: a value-returning one that allocates
+// its own scratch, and an out-param one threaded through an ExpWorkspace —
+// after a warm-up call at a given size, the workspace form performs no
+// heap allocation at all (table, accumulators and kernel scratch all
+// retain capacity).
 #pragma once
 
 #include <cstddef>
@@ -39,14 +48,28 @@ inline int choose_window(std::size_t exp_bits) {
   return 6;
 }
 
+/// Reusable scratch for the windowed schedules: the 2^w window table, the
+/// accumulator/temporary/factor residues, and the kernel's own workspace.
+/// The table never shrinks, so one ExpWorkspace can serve alternating
+/// window sizes (e.g. the two CRT halves) without churn. Not thread-safe.
+template <typename Ctx>
+struct ExpWorkspace {
+  typename Ctx::Workspace kernel;
+  std::vector<typename Ctx::Rep> table;
+  typename Ctx::Rep tmp;
+  typename Ctx::Rep factor;
+  typename Ctx::Rep base_m;  // full-domain wrappers: converted base
+  typename Ctx::Rep res;     // full-domain wrappers: Montgomery result
+};
+
 /// Constant-time table gather: out = table[idx] scanned with arithmetic
 /// masks so the memory access pattern is independent of idx.
 template <typename Rep>
-void ct_table_select(const std::vector<Rep>& table, std::uint32_t idx,
+void ct_table_select(const Rep* table, std::size_t count, std::uint32_t idx,
                      Rep& out) {
   using Word = typename Rep::value_type;
   out.assign(table[0].size(), Word{0});
-  for (std::uint32_t e = 0; e < table.size(); ++e) {
+  for (std::uint32_t e = 0; e < count; ++e) {
     // mask = all-ones when e == idx, else 0, without branching on idx.
     const Word diff = static_cast<Word>(e ^ idx);
     const Word nonzero = static_cast<Word>((diff | (Word{0} - diff)) >>
@@ -59,12 +82,19 @@ void ct_table_select(const std::vector<Rep>& table, std::uint32_t idx,
   }
 }
 
-/// (base^exp) mod m in Montgomery domain, fixed w-bit windows.
-/// base is a Montgomery residue; result is a Montgomery residue.
+template <typename Rep>
+void ct_table_select(const std::vector<Rep>& table, std::uint32_t idx,
+                     Rep& out) {
+  ct_table_select(table.data(), table.size(), idx, out);
+}
+
+/// (base^exp) mod m in Montgomery domain, fixed w-bit windows, writing the
+/// result into `out` (which must not alias `base`) and drawing all scratch
+/// from `ws`. Allocation-free once ws has warmed up at this size.
 template <typename Ctx>
-typename Ctx::Rep fixed_window_exp_rep(const Ctx& ctx,
-                                       const typename Ctx::Rep& base,
-                                       const bigint::BigInt& exp, int window) {
+void fixed_window_exp_rep(const Ctx& ctx, const typename Ctx::Rep& base,
+                          const bigint::BigInt& exp, int window,
+                          typename Ctx::Rep& out, ExpWorkspace<Ctx>& ws) {
   if (window < 1 || window > 10) {
     throw std::invalid_argument("fixed_window_exp: window must be in [1,10]");
   }
@@ -72,34 +102,61 @@ typename Ctx::Rep fixed_window_exp_rep(const Ctx& ctx,
     throw std::invalid_argument("fixed_window_exp: negative exponent");
   }
   const std::size_t w = static_cast<std::size_t>(window);
-  if (exp.is_zero()) return ctx.one_mont();
+  if (exp.is_zero()) {
+    out = ctx.one_mont_rep();
+    return;
+  }
 
-  // Table of g^0 .. g^(2^w - 1) in Montgomery form.
-  std::vector<typename Ctx::Rep> table(std::size_t{1} << w);
-  table[0] = ctx.one_mont();
-  table[1] = base;
-  for (std::size_t e = 2; e < table.size(); ++e) {
-    ctx.mul(table[e - 1], base, table[e]);
+  // Table of g^0 .. g^(2^w - 1) in Montgomery form. The vector only ever
+  // grows; entries keep their capacity across calls.
+  const std::size_t tsize = std::size_t{1} << w;
+  if (ws.table.size() < tsize) ws.table.resize(tsize);
+  ws.table[0] = ctx.one_mont_rep();
+  ws.table[1] = base;
+  for (std::size_t e = 2; e < tsize; ++e) {
+    ctx.mul(ws.table[e - 1], base, ws.table[e], ws.kernel);
   }
 
   const std::size_t bits = exp.bit_length();
   const std::size_t nwin = (bits + w - 1) / w;
 
-  typename Ctx::Rep acc;
-  typename Ctx::Rep tmp;
-  // Top (possibly partial) window seeds the accumulator.
-  ct_table_select(table, exp.bits_window((nwin - 1) * w, w), acc);
+  // Ping-pong between out and ws.tmp (vector swap — free).
+  ct_table_select(ws.table.data(), tsize, exp.bits_window((nwin - 1) * w, w),
+                  out);
   for (std::size_t win = nwin - 1; win-- > 0;) {
     for (std::size_t s = 0; s < w; ++s) {
-      ctx.sqr(acc, tmp);
-      acc.swap(tmp);
+      ctx.sqr(out, ws.tmp, ws.kernel);
+      out.swap(ws.tmp);
     }
-    typename Ctx::Rep factor;
-    ct_table_select(table, exp.bits_window(win * w, w), factor);
-    ctx.mul(acc, factor, tmp);  // multiply every window, even zeros
-    acc.swap(tmp);
+    ct_table_select(ws.table.data(), tsize, exp.bits_window(win * w, w),
+                    ws.factor);
+    ctx.mul(out, ws.factor, ws.tmp, ws.kernel);  // every window, even zeros
+    out.swap(ws.tmp);
   }
-  return acc;
+}
+
+/// Value-returning form; allocates its own scratch per call.
+template <typename Ctx>
+typename Ctx::Rep fixed_window_exp_rep(const Ctx& ctx,
+                                       const typename Ctx::Rep& base,
+                                       const bigint::BigInt& exp, int window) {
+  ExpWorkspace<Ctx> ws;
+  typename Ctx::Rep out;
+  fixed_window_exp_rep(ctx, base, exp, window, out, ws);
+  return out;
+}
+
+/// Full-domain workspace form: converts in/out of Montgomery form, writes
+/// the plain result into `out`. base must be in [0, m). window <= 0
+/// selects choose_window().
+template <typename Ctx>
+void fixed_window_exp(const Ctx& ctx, const bigint::BigInt& base,
+                      const bigint::BigInt& exp, bigint::BigInt& out,
+                      ExpWorkspace<Ctx>& ws, int window = 0) {
+  if (window <= 0) window = choose_window(exp.bit_length());
+  ctx.to_mont(base, ws.base_m, ws.kernel);
+  fixed_window_exp_rep(ctx, ws.base_m, exp, window, ws.res, ws);
+  ctx.from_mont(ws.res, out, ws.kernel);
 }
 
 /// Full-domain convenience: converts in/out of Montgomery form.
@@ -107,44 +164,47 @@ typename Ctx::Rep fixed_window_exp_rep(const Ctx& ctx,
 template <typename Ctx>
 bigint::BigInt fixed_window_exp(const Ctx& ctx, const bigint::BigInt& base,
                                 const bigint::BigInt& exp, int window = 0) {
-  if (window <= 0) window = choose_window(exp.bit_length());
-  const auto base_m = ctx.to_mont(base);
-  return ctx.from_mont(fixed_window_exp_rep(ctx, base_m, exp, window));
+  ExpWorkspace<Ctx> ws;
+  bigint::BigInt out;
+  fixed_window_exp(ctx, base, exp, out, ws, window);
+  return out;
 }
 
-/// Sliding-window exponentiation (odd-powers table), Montgomery domain.
+/// Sliding-window exponentiation (odd-powers table), Montgomery domain,
+/// workspace form. out must not alias base.
 template <typename Ctx>
-typename Ctx::Rep sliding_window_exp_rep(const Ctx& ctx,
-                                         const typename Ctx::Rep& base,
-                                         const bigint::BigInt& exp,
-                                         int window) {
+void sliding_window_exp_rep(const Ctx& ctx, const typename Ctx::Rep& base,
+                            const bigint::BigInt& exp, int window,
+                            typename Ctx::Rep& out, ExpWorkspace<Ctx>& ws) {
   if (window < 1 || window > 10) {
     throw std::invalid_argument("sliding_window_exp: window must be in [1,10]");
   }
   if (exp.is_negative()) {
     throw std::invalid_argument("sliding_window_exp: negative exponent");
   }
-  if (exp.is_zero()) return ctx.one_mont();
+  if (exp.is_zero()) {
+    out = ctx.one_mont_rep();
+    return;
+  }
   const std::size_t w = static_cast<std::size_t>(window);
 
-  // Odd powers g^1, g^3, ..., g^(2^w - 1).
-  std::vector<typename Ctx::Rep> table(std::size_t{1} << (w - 1));
-  table[0] = base;
-  typename Ctx::Rep g2;
-  ctx.sqr(base, g2);
-  for (std::size_t e = 1; e < table.size(); ++e) {
-    ctx.mul(table[e - 1], g2, table[e]);
+  // Odd powers g^1, g^3, ..., g^(2^w - 1). ws.factor doubles as g^2.
+  const std::size_t tsize = std::size_t{1} << (w - 1);
+  if (ws.table.size() < tsize) ws.table.resize(tsize);
+  ws.table[0] = base;
+  ctx.sqr(base, ws.factor, ws.kernel);
+  for (std::size_t e = 1; e < tsize; ++e) {
+    ctx.mul(ws.table[e - 1], ws.factor, ws.table[e], ws.kernel);
   }
 
-  typename Ctx::Rep acc = ctx.one_mont();
-  typename Ctx::Rep tmp;
+  out = ctx.one_mont_rep();
   bool started = false;
   std::size_t i = exp.bit_length();
   while (i > 0) {
     if (!exp.bit(i - 1)) {
       if (started) {
-        ctx.sqr(acc, tmp);
-        acc.swap(tmp);
+        ctx.sqr(out, ws.tmp, ws.kernel);
+        out.swap(ws.tmp);
       }
       --i;
       continue;
@@ -158,29 +218,52 @@ typename Ctx::Rep sliding_window_exp_rep(const Ctx& ctx,
     }
     for (std::size_t k = 0; k < len; ++k) {
       if (started) {
-        ctx.sqr(acc, tmp);
-        acc.swap(tmp);
+        ctx.sqr(out, ws.tmp, ws.kernel);
+        out.swap(ws.tmp);
       }
     }
     if (started) {
-      ctx.mul(acc, table[(val - 1) / 2], tmp);
-      acc.swap(tmp);
+      ctx.mul(out, ws.table[(val - 1) / 2], ws.tmp, ws.kernel);
+      out.swap(ws.tmp);
     } else {
-      acc = table[(val - 1) / 2];
+      out = ws.table[(val - 1) / 2];
       started = true;
     }
     i -= len;
   }
-  return acc;
+}
+
+/// Value-returning sliding-window form; allocates its own scratch.
+template <typename Ctx>
+typename Ctx::Rep sliding_window_exp_rep(const Ctx& ctx,
+                                         const typename Ctx::Rep& base,
+                                         const bigint::BigInt& exp,
+                                         int window) {
+  ExpWorkspace<Ctx> ws;
+  typename Ctx::Rep out;
+  sliding_window_exp_rep(ctx, base, exp, window, out, ws);
+  return out;
+}
+
+/// Full-domain sliding-window workspace form.
+template <typename Ctx>
+void sliding_window_exp(const Ctx& ctx, const bigint::BigInt& base,
+                        const bigint::BigInt& exp, bigint::BigInt& out,
+                        ExpWorkspace<Ctx>& ws, int window = 0) {
+  if (window <= 0) window = choose_window(exp.bit_length());
+  ctx.to_mont(base, ws.base_m, ws.kernel);
+  sliding_window_exp_rep(ctx, ws.base_m, exp, window, ws.res, ws);
+  ctx.from_mont(ws.res, out, ws.kernel);
 }
 
 /// Full-domain sliding-window convenience.
 template <typename Ctx>
 bigint::BigInt sliding_window_exp(const Ctx& ctx, const bigint::BigInt& base,
                                   const bigint::BigInt& exp, int window = 0) {
-  if (window <= 0) window = choose_window(exp.bit_length());
-  const auto base_m = ctx.to_mont(base);
-  return ctx.from_mont(sliding_window_exp_rep(ctx, base_m, exp, window));
+  ExpWorkspace<Ctx> ws;
+  bigint::BigInt out;
+  sliding_window_exp(ctx, base, exp, out, ws, window);
+  return out;
 }
 
 }  // namespace phissl::mont

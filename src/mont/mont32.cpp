@@ -15,26 +15,50 @@ std::uint32_t neg_inv_u32(std::uint32_t x) {
 
 namespace {
 
-std::vector<std::uint32_t> limbs_of(const bigint::BigInt& x, std::size_t n) {
-  std::vector<std::uint32_t> out(n, 0);
+void limbs_into(const bigint::BigInt& x, std::size_t n,
+                std::vector<std::uint32_t>& out) {
+  out.assign(n, 0);
   const auto src = x.limbs();
   assert(src.size() <= n);
   for (std::size_t i = 0; i < src.size(); ++i) out[i] = src[i];
+}
+
+std::vector<std::uint32_t> limbs_of(const bigint::BigInt& x, std::size_t n) {
+  std::vector<std::uint32_t> out;
+  limbs_into(x, n, out);
   return out;
 }
 
-bigint::BigInt bigint_of(const std::vector<std::uint32_t>& limbs) {
-  // Assemble via bytes to stay on the public BigInt API.
-  std::vector<std::uint8_t> be(limbs.size() * 4);
-  for (std::size_t i = 0; i < limbs.size(); ++i) {
-    const std::uint32_t limb = limbs[i];
-    const std::size_t base = be.size() - 4 * (i + 1);
-    be[base + 0] = static_cast<std::uint8_t>(limb >> 24);
-    be[base + 1] = static_cast<std::uint8_t>(limb >> 16);
-    be[base + 2] = static_cast<std::uint8_t>(limb >> 8);
-    be[base + 3] = static_cast<std::uint8_t>(limb);
+MontCtx32::Workspace& tls_workspace() {
+  static thread_local MontCtx32::Workspace ws;
+  return ws;
+}
+
+// Constant-time conditional subtract: out = t - (ge ? n : 0) where
+// ge = (t >= n), with t given as n.size() low words plus a top word.
+// Branchless full scan; the memory access pattern is data-independent.
+void ct_sub_mod(const std::uint32_t* t, std::uint32_t top,
+                const std::vector<std::uint32_t>& n,
+                std::vector<std::uint32_t>& out) {
+  const std::size_t len = n.size();
+  // Full borrow scan of t - n (no early exit).
+  std::uint64_t borrow = 0;
+  for (std::size_t i = 0; i < len; ++i) {
+    const std::uint64_t d = static_cast<std::uint64_t>(t[i]) - n[i] - borrow;
+    borrow = (d >> 63) & 1u;  // 1 iff the true difference went negative
   }
-  return bigint::BigInt::from_bytes_be(be);
+  // t >= n iff the top word is nonzero or no final borrow occurred.
+  const std::uint32_t ge =
+      static_cast<std::uint32_t>((top | (1u - static_cast<std::uint32_t>(borrow))) != 0);
+  const std::uint32_t mask = 0u - ge;  // all-ones iff subtracting
+  out.assign(len, 0);
+  borrow = 0;
+  for (std::size_t i = 0; i < len; ++i) {
+    const std::uint64_t d =
+        static_cast<std::uint64_t>(t[i]) - (n[i] & mask) - borrow;
+    out[i] = static_cast<std::uint32_t>(d);
+    borrow = (d >> 63) & 1u;
+  }
 }
 
 }  // namespace
@@ -49,39 +73,51 @@ MontCtx32::MontCtx32(const bigint::BigInt& m) : m_(m) {
   bigint::BigInt r{1};
   r <<= 32 * n_.size();
   rr_ = (r * r).mod(m_);
+  rr_rep_ = limbs_of(rr_, n_.size());
+  one_plain_.assign(n_.size(), 0);
+  one_plain_[0] = 1;
+  one_m_ = limbs_of(r.mod(m_), n_.size());
 }
 
 MontCtx32::Rep MontCtx32::to_mont(const bigint::BigInt& x) const {
-  if (x.is_negative() || x >= m_) {
-    throw std::invalid_argument("MontCtx32::to_mont: x must be in [0, m)");
-  }
-  const Rep xr = limbs_of(x, n_.size());
-  const Rep rr = limbs_of(rr_, n_.size());
   Rep out;
-  mul(xr, rr, out);
+  to_mont(x, out, tls_workspace());
   return out;
 }
 
-bigint::BigInt MontCtx32::from_mont(const Rep& a) const {
-  Rep one(n_.size(), 0);
-  one[0] = 1;
-  Rep out;
-  mul(a, one, out);
-  return bigint_of(out);
+void MontCtx32::to_mont(const bigint::BigInt& x, Rep& out,
+                        Workspace& ws) const {
+  if (x.is_negative() || x >= m_) {
+    throw std::invalid_argument("MontCtx32::to_mont: x must be in [0, m)");
+  }
+  limbs_into(x, n_.size(), ws.rep);
+  mul(ws.rep, rr_rep_, out, ws);
 }
 
-MontCtx32::Rep MontCtx32::one_mont() const {
-  bigint::BigInt r{1};
-  r <<= 32 * n_.size();
-  return limbs_of(r.mod(m_), n_.size());
+bigint::BigInt MontCtx32::from_mont(const Rep& a) const {
+  bigint::BigInt out;
+  from_mont(a, out, tls_workspace());
+  return out;
+}
+
+void MontCtx32::from_mont(const Rep& a, bigint::BigInt& out,
+                          Workspace& ws) const {
+  mul(a, one_plain_, ws.rep, ws);
+  out.assign_from_digits(ws.rep, 32);
 }
 
 void MontCtx32::mul(const Rep& a, const Rep& b, Rep& out) const {
+  mul(a, b, out, tls_workspace());
+}
+
+void MontCtx32::mul(const Rep& a, const Rep& b, Rep& out,
+                    Workspace& ws) const {
   const std::size_t n = n_.size();
   assert(a.size() == n && b.size() == n);
   // CIOS (coarsely integrated operand scanning), Koc et al. 1996.
   // t has n+2 words: t[n] and t[n+1] hold the running top.
-  std::vector<std::uint32_t> t(n + 2, 0);
+  ws.t.assign(n + 2, 0);
+  std::uint32_t* t = ws.t.data();
   for (std::size_t i = 0; i < n; ++i) {
     // t += a[i] * b
     std::uint64_t carry = 0;
@@ -113,29 +149,54 @@ void MontCtx32::mul(const Rep& a, const Rep& b, Rep& out) const {
     t[n + 1] = 0;
   }
 
-  // Conditional subtract: t in [0, 2m) here.
-  bool ge = t[n] != 0;
-  if (!ge) {
-    ge = true;
-    for (std::size_t i = n; i-- > 0;) {
-      if (t[i] != n_[i]) {
-        ge = t[i] > n_[i];
-        break;
-      }
+  // t in [0, 2m): constant-time conditional subtract.
+  ct_sub_mod(t, t[n], n_, out);
+}
+
+void MontCtx32::sqr(const Rep& a, Rep& out) const {
+  sqr(a, out, tls_workspace());
+}
+
+void MontCtx32::sqr(const Rep& a, Rep& out, Workspace& ws) const {
+  const std::size_t n = n_.size();
+  assert(a.size() == n);
+  // Phase 1: full double-width square via the symmetric schoolbook kernel
+  // (off-diagonal products computed once and doubled — ~n^2/2 multiplies
+  // instead of CIOS's n^2 product half).
+  ws.t2.assign(2 * n + 2, 0);
+  bigint::kernels::sqr_schoolbook(
+      a, std::span<std::uint32_t>(ws.t2.data(), 2 * n));
+  // Phase 2: one fused REDC pass over the 2n-word square.
+  redc_wide(ws.t2, out);
+}
+
+void MontCtx32::redc_wide(std::vector<std::uint32_t>& tv, Rep& out) const {
+  const std::size_t n = n_.size();
+  assert(tv.size() >= 2 * n + 1);
+  std::uint32_t* t = tv.data();
+  // SOS reduction (Koc et al.): n passes, each zeroing one low word. The
+  // carry out of word i+n is deferred one iteration ("pending") — it lands
+  // exactly where the next iteration's carry is added, so propagation is
+  // O(1) per pass instead of a ripple to the top.
+  std::uint64_t pending = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t q = static_cast<std::uint32_t>(t[i] * n0_);
+    std::uint64_t carry = 0;
+    for (std::size_t j = 0; j < n; ++j) {
+      const std::uint64_t s = q * n_[j] + t[i + j] + carry;
+      t[i + j] = static_cast<std::uint32_t>(s);
+      carry = s >> 32;
     }
+    const std::uint64_t s = static_cast<std::uint64_t>(t[i + n]) + carry +
+                            pending;
+    t[i + n] = static_cast<std::uint32_t>(s);
+    pending = s >> 32;
   }
-  out.assign(n, 0);
-  if (ge) {
-    std::int64_t borrow = 0;
-    for (std::size_t i = 0; i < n; ++i) {
-      const std::int64_t d =
-          static_cast<std::int64_t>(t[i]) - n_[i] - borrow;
-      out[i] = static_cast<std::uint32_t>(d);
-      borrow = d < 0 ? 1 : 0;
-    }
-  } else {
-    for (std::size_t i = 0; i < n; ++i) out[i] = t[i];
-  }
+  // T = a^2 + sum(q_i*m*2^(32i)) < 2m*2^(32n): top word is 0 or 1.
+  const std::uint32_t top =
+      t[2 * n] + static_cast<std::uint32_t>(pending);
+  assert(top <= 1);
+  ct_sub_mod(t + n, top, n_, out);
 }
 
 }  // namespace phissl::mont

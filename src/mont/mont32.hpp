@@ -19,6 +19,15 @@ class MontCtx32 {
   /// value < modulus.
   using Rep = std::vector<std::uint32_t>;
 
+  /// Reusable scratch for mul/sqr/to_mont/from_mont. One workspace may be
+  /// shared across contexts of different sizes (buffers are resized per
+  /// call, retaining capacity), but must not be shared across threads.
+  struct Workspace {
+    std::vector<std::uint32_t> t;   // CIOS running accumulator (n+2)
+    std::vector<std::uint32_t> t2;  // squaring accumulator (2n+2)
+    Rep rep;                        // residue-sized scratch
+  };
+
   /// Builds the context for an odd modulus m > 1.
   /// Throws std::invalid_argument otherwise.
   explicit MontCtx32(const bigint::BigInt& m);
@@ -29,23 +38,43 @@ class MontCtx32 {
   /// x -> x*R mod m. x must be in [0, m).
   [[nodiscard]] Rep to_mont(const bigint::BigInt& x) const;
 
+  /// Allocation-free variant (once out/ws have warmed capacity).
+  void to_mont(const bigint::BigInt& x, Rep& out, Workspace& ws) const;
+
   /// x*R mod m -> x.
   [[nodiscard]] bigint::BigInt from_mont(const Rep& a) const;
 
+  /// Allocation-free variant.
+  void from_mont(const Rep& a, bigint::BigInt& out, Workspace& ws) const;
+
   /// Montgomery form of 1 (= R mod m).
-  [[nodiscard]] Rep one_mont() const;
+  [[nodiscard]] Rep one_mont() const { return one_m_; }
+
+  /// Cached Montgomery form of 1 (no copy).
+  [[nodiscard]] const Rep& one_mont_rep() const { return one_m_; }
 
   /// out = a*b*R^-1 mod m (CIOS). out may alias a or b.
   void mul(const Rep& a, const Rep& b, Rep& out) const;
+  void mul(const Rep& a, const Rep& b, Rep& out, Workspace& ws) const;
 
-  /// out = a*a*R^-1 mod m. (Same kernel; hook point for a squaring path.)
-  void sqr(const Rep& a, Rep& out) const { mul(a, a, out); }
+  /// out = a*a*R^-1 mod m. Dedicated squaring: off-diagonal limb products
+  /// are computed once and doubled (~half the multiplies of mul), then a
+  /// single fused REDC pass reduces the double-width square.
+  void sqr(const Rep& a, Rep& out) const;
+  void sqr(const Rep& a, Rep& out, Workspace& ws) const;
 
  private:
+  // Montgomery reduction of the 2n-word value in ws (t2[0..2n+1]) followed
+  // by the constant-time conditional subtract; writes n limbs to out.
+  void redc_wide(std::vector<std::uint32_t>& t, Rep& out) const;
+
   bigint::BigInt m_;
   std::vector<std::uint32_t> n_;  // modulus limbs
   std::uint32_t n0_ = 0;          // -m^-1 mod 2^32
   bigint::BigInt rr_;             // R^2 mod m
+  Rep rr_rep_;                    // R^2 mod m, limb form
+  Rep one_plain_;                 // plain 1 (from_mont multiplier)
+  Rep one_m_;                     // R mod m (Montgomery 1)
 };
 
 /// -x^-1 mod 2^32 for odd x (Newton–Hensel lifting).

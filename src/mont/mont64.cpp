@@ -16,27 +16,47 @@ std::uint64_t neg_inv_u64(std::uint64_t x) {
 
 namespace {
 
-std::vector<std::uint64_t> limbs64_of(const bigint::BigInt& x, std::size_t n) {
-  std::vector<std::uint64_t> out(n, 0);
+void limbs64_into(const bigint::BigInt& x, std::size_t n,
+                  std::vector<std::uint64_t>& out) {
+  out.assign(n, 0);
   const auto src = x.limbs();  // u32 little-endian
   assert(src.size() <= 2 * n);
   for (std::size_t i = 0; i < src.size(); ++i) {
     out[i / 2] |= static_cast<std::uint64_t>(src[i]) << (32 * (i % 2));
   }
+}
+
+std::vector<std::uint64_t> limbs64_of(const bigint::BigInt& x, std::size_t n) {
+  std::vector<std::uint64_t> out;
+  limbs64_into(x, n, out);
   return out;
 }
 
-bigint::BigInt bigint_of64(const std::vector<std::uint64_t>& limbs) {
-  std::vector<std::uint8_t> be(limbs.size() * 8);
-  for (std::size_t i = 0; i < limbs.size(); ++i) {
-    const std::uint64_t limb = limbs[i];
-    const std::size_t base = be.size() - 8 * (i + 1);
-    for (int b = 0; b < 8; ++b) {
-      be[base + static_cast<std::size_t>(b)] =
-          static_cast<std::uint8_t>(limb >> (56 - 8 * b));
-    }
+MontCtx64::Workspace& tls_workspace() {
+  static thread_local MontCtx64::Workspace ws;
+  return ws;
+}
+
+// Constant-time conditional subtract on u64 limbs: out = t - (ge ? n : 0)
+// with ge = (t >= n), t given as n.size() low words plus a top word.
+void ct_sub_mod64(const std::uint64_t* t, std::uint64_t top,
+                  const std::vector<std::uint64_t>& n,
+                  std::vector<std::uint64_t>& out) {
+  const std::size_t len = n.size();
+  std::uint64_t borrow = 0;
+  for (std::size_t i = 0; i < len; ++i) {
+    const u128 d = static_cast<u128>(t[i]) - n[i] - borrow;
+    borrow = static_cast<std::uint64_t>(d >> 127) & 1u;
   }
-  return bigint::BigInt::from_bytes_be(be);
+  const std::uint64_t ge = (top | (1u - borrow)) != 0 ? 1u : 0u;
+  const std::uint64_t mask = 0u - ge;
+  out.assign(len, 0);
+  borrow = 0;
+  for (std::size_t i = 0; i < len; ++i) {
+    const u128 d = static_cast<u128>(t[i]) - (n[i] & mask) - borrow;
+    out[i] = static_cast<std::uint64_t>(d);
+    borrow = static_cast<std::uint64_t>(d >> 127) & 1u;
+  }
 }
 
 }  // namespace
@@ -51,37 +71,54 @@ MontCtx64::MontCtx64(const bigint::BigInt& m) : m_(m) {
   bigint::BigInt r{1};
   r <<= 64 * n_.size();
   rr_ = (r * r).mod(m_);
+  rr_rep_ = limbs64_of(rr_, n_.size());
+  one_plain_.assign(n_.size(), 0);
+  one_plain_[0] = 1;
+  one_m_ = limbs64_of(r.mod(m_), n_.size());
 }
 
 MontCtx64::Rep MontCtx64::to_mont(const bigint::BigInt& x) const {
-  if (x.is_negative() || x >= m_) {
-    throw std::invalid_argument("MontCtx64::to_mont: x must be in [0, m)");
-  }
-  const Rep xr = limbs64_of(x, n_.size());
-  const Rep rr = limbs64_of(rr_, n_.size());
   Rep out;
-  mul(xr, rr, out);
+  to_mont(x, out, tls_workspace());
   return out;
 }
 
-bigint::BigInt MontCtx64::from_mont(const Rep& a) const {
-  Rep one(n_.size(), 0);
-  one[0] = 1;
-  Rep out;
-  mul(a, one, out);
-  return bigint_of64(out);
+void MontCtx64::to_mont(const bigint::BigInt& x, Rep& out,
+                        Workspace& ws) const {
+  if (x.is_negative() || x >= m_) {
+    throw std::invalid_argument("MontCtx64::to_mont: x must be in [0, m)");
+  }
+  limbs64_into(x, n_.size(), ws.rep);
+  mul(ws.rep, rr_rep_, out, ws);
 }
 
-MontCtx64::Rep MontCtx64::one_mont() const {
-  bigint::BigInt r{1};
-  r <<= 64 * n_.size();
-  return limbs64_of(r.mod(m_), n_.size());
+bigint::BigInt MontCtx64::from_mont(const Rep& a) const {
+  bigint::BigInt out;
+  from_mont(a, out, tls_workspace());
+  return out;
+}
+
+void MontCtx64::from_mont(const Rep& a, bigint::BigInt& out,
+                          Workspace& ws) const {
+  mul(a, one_plain_, ws.rep, ws);
+  ws.u32.assign(2 * ws.rep.size(), 0);
+  for (std::size_t i = 0; i < ws.rep.size(); ++i) {
+    ws.u32[2 * i] = static_cast<std::uint32_t>(ws.rep[i]);
+    ws.u32[2 * i + 1] = static_cast<std::uint32_t>(ws.rep[i] >> 32);
+  }
+  out.assign_from_digits(ws.u32, 32);
 }
 
 void MontCtx64::mul(const Rep& a, const Rep& b, Rep& out) const {
+  mul(a, b, out, tls_workspace());
+}
+
+void MontCtx64::mul(const Rep& a, const Rep& b, Rep& out,
+                    Workspace& ws) const {
   const std::size_t n = n_.size();
   assert(a.size() == n && b.size() == n);
-  std::vector<std::uint64_t> t(n + 2, 0);
+  ws.t.assign(n + 2, 0);
+  std::uint64_t* t = ws.t.data();
   for (std::size_t i = 0; i < n; ++i) {
     std::uint64_t carry = 0;
     const std::uint64_t ai = a[i];
@@ -110,28 +147,77 @@ void MontCtx64::mul(const Rep& a, const Rep& b, Rep& out) const {
     t[n + 1] = 0;
   }
 
-  bool ge = t[n] != 0;
-  if (!ge) {
-    ge = true;
-    for (std::size_t i = n; i-- > 0;) {
-      if (t[i] != n_[i]) {
-        ge = t[i] > n_[i];
-        break;
-      }
+  // t in [0, 2m): constant-time conditional subtract.
+  ct_sub_mod64(t, t[n], n_, out);
+}
+
+void MontCtx64::sqr(const Rep& a, Rep& out) const {
+  sqr(a, out, tls_workspace());
+}
+
+void MontCtx64::sqr(const Rep& a, Rep& out, Workspace& ws) const {
+  const std::size_t n = n_.size();
+  assert(a.size() == n);
+  ws.t2.assign(2 * n + 2, 0);
+  std::uint64_t* t = ws.t2.data();
+
+  // Off-diagonal products a_i*a_j (i<j), summed once then doubled.
+  for (std::size_t i = 0; i < n; ++i) {
+    std::uint64_t carry = 0;
+    const std::uint64_t ai = a[i];
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const u128 s = static_cast<u128>(ai) * a[j] + t[i + j] + carry;
+      t[i + j] = static_cast<std::uint64_t>(s);
+      carry = static_cast<std::uint64_t>(s >> 64);
     }
+    t[i + n] = carry;  // untouched so far: rows i' < i stop at i'+n <= i+n-1
   }
-  out.assign(n, 0);
-  if (ge) {
-    std::uint64_t borrow = 0;
-    for (std::size_t i = 0; i < n; ++i) {
-      const std::uint64_t d = t[i] - n_[i] - borrow;
-      // Borrow occurred iff the true difference was negative.
-      borrow = (t[i] < n_[i] || (t[i] == n_[i] && borrow)) ? 1 : 0;
-      out[i] = d;
+  // Double, then add the diagonal a_i^2.
+  std::uint64_t carry = 0;
+  for (std::size_t i = 0; i < 2 * n; ++i) {
+    const u128 s = (static_cast<u128>(t[i]) << 1) + carry;
+    t[i] = static_cast<std::uint64_t>(s);
+    carry = static_cast<std::uint64_t>(s >> 64);
+  }
+  assert(carry == 0);  // doubled off-diagonal sum < a^2 < 2^(128n)
+  carry = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const u128 sq = static_cast<u128>(a[i]) * a[i];
+    u128 s = static_cast<u128>(t[2 * i]) +
+             static_cast<std::uint64_t>(sq) + carry;
+    t[2 * i] = static_cast<std::uint64_t>(s);
+    carry = static_cast<std::uint64_t>(s >> 64);
+    s = static_cast<u128>(t[2 * i + 1]) +
+        static_cast<std::uint64_t>(sq >> 64) + carry;
+    t[2 * i + 1] = static_cast<std::uint64_t>(s);
+    carry = static_cast<std::uint64_t>(s >> 64);
+  }
+  assert(carry == 0);
+
+  redc_wide(ws.t2, out);
+}
+
+void MontCtx64::redc_wide(std::vector<std::uint64_t>& tv, Rep& out) const {
+  const std::size_t n = n_.size();
+  assert(tv.size() >= 2 * n + 1);
+  std::uint64_t* t = tv.data();
+  // SOS reduction with the deferred-carry trick (see MontCtx32::redc_wide).
+  std::uint64_t pending = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t q = t[i] * n0_;
+    std::uint64_t carry = 0;
+    for (std::size_t j = 0; j < n; ++j) {
+      const u128 s = static_cast<u128>(q) * n_[j] + t[i + j] + carry;
+      t[i + j] = static_cast<std::uint64_t>(s);
+      carry = static_cast<std::uint64_t>(s >> 64);
     }
-  } else {
-    for (std::size_t i = 0; i < n; ++i) out[i] = t[i];
+    const u128 s = static_cast<u128>(t[i + n]) + carry + pending;
+    t[i + n] = static_cast<std::uint64_t>(s);
+    pending = static_cast<std::uint64_t>(s >> 64);
   }
+  const std::uint64_t top = t[2 * n] + pending;
+  assert(top <= 1);
+  ct_sub_mod64(t + n, top, n_, out);
 }
 
 }  // namespace phissl::mont

@@ -18,6 +18,14 @@ class MontCtx64 {
   /// value < modulus.
   using Rep = std::vector<std::uint64_t>;
 
+  /// Reusable scratch for mul/sqr/to_mont/from_mont (see MontCtx32 notes).
+  struct Workspace {
+    std::vector<std::uint64_t> t;    // CIOS running accumulator (n+2)
+    std::vector<std::uint64_t> t2;   // squaring accumulator (2n+2)
+    Rep rep;                         // residue-sized scratch
+    std::vector<std::uint32_t> u32;  // u64 -> u32 limb split scratch
+  };
+
   /// Builds the context for an odd modulus m > 1.
   /// Throws std::invalid_argument otherwise.
   explicit MontCtx64(const bigint::BigInt& m);
@@ -27,23 +35,35 @@ class MontCtx64 {
 
   /// x -> x*R mod m. x must be in [0, m).
   [[nodiscard]] Rep to_mont(const bigint::BigInt& x) const;
+  void to_mont(const bigint::BigInt& x, Rep& out, Workspace& ws) const;
 
   /// x*R mod m -> x.
   [[nodiscard]] bigint::BigInt from_mont(const Rep& a) const;
+  void from_mont(const Rep& a, bigint::BigInt& out, Workspace& ws) const;
 
   /// Montgomery form of 1 (= R mod m).
-  [[nodiscard]] Rep one_mont() const;
+  [[nodiscard]] Rep one_mont() const { return one_m_; }
+  [[nodiscard]] const Rep& one_mont_rep() const { return one_m_; }
 
   /// out = a*b*R^-1 mod m (CIOS). out may alias a or b.
   void mul(const Rep& a, const Rep& b, Rep& out) const;
+  void mul(const Rep& a, const Rep& b, Rep& out, Workspace& ws) const;
 
-  void sqr(const Rep& a, Rep& out) const { mul(a, a, out); }
+  /// out = a*a*R^-1 mod m via the doubled-off-diagonal squaring kernel
+  /// plus one fused REDC pass (~1.3x fewer limb multiplies than mul).
+  void sqr(const Rep& a, Rep& out) const;
+  void sqr(const Rep& a, Rep& out, Workspace& ws) const;
 
  private:
+  void redc_wide(std::vector<std::uint64_t>& t, Rep& out) const;
+
   bigint::BigInt m_;
   std::vector<std::uint64_t> n_;
   std::uint64_t n0_ = 0;  // -m^-1 mod 2^64
   bigint::BigInt rr_;     // R^2 mod m
+  Rep rr_rep_;
+  Rep one_plain_;
+  Rep one_m_;
 };
 
 /// -x^-1 mod 2^64 for odd x.

@@ -8,6 +8,7 @@
 
 namespace phissl::mont {
 
+using simd::Mask16;
 using simd::VecU32x16;
 
 namespace {
@@ -15,6 +16,11 @@ constexpr std::size_t kLanes = VecU32x16::kLanes;
 
 std::size_t round_up(std::size_t x, std::size_t to) {
   return (x + to - 1) / to * to;
+}
+
+VectorMontCtx::Workspace& tls_workspace() {
+  static thread_local VectorMontCtx::Workspace ws;
+  return ws;
 }
 }  // namespace
 
@@ -32,7 +38,10 @@ VectorMontCtx::VectorMontCtx(const bigint::BigInt& m, unsigned digit_bits)
 
   // Column-overflow guard: every 64-bit column absorbs at most 2*d_
   // products < 2^(2*digit_bits) plus one ripple carry < 2^(64-digit_bits).
-  // Require 2*d_ * 2^(2*digit_bits) + 2^38 < 2^64, conservatively.
+  // Require 2*d_ * 2^(2*digit_bits) + 2^38 < 2^64, conservatively. The
+  // squaring kernel stays inside the same bound: a doubled off-diagonal
+  // half plus the diagonal contributes exactly as many ordered products
+  // per column as mul's full a_i*b row does.
   const unsigned product_bits = 2 * digit_bits;
   if (product_bits >= 63 ||
       (static_cast<std::uint64_t>(2 * d_) >
@@ -48,48 +57,56 @@ VectorMontCtx::VectorMontCtx(const bigint::BigInt& m, unsigned digit_bits)
   bigint::BigInt r{1};
   r <<= digit_bits_ * d_;
   rr_ = (r * r).mod(m_);
+  rr_rep_ = pack(rr_);
+  one_plain_.assign(pd_, 0);
+  one_plain_[0] = 1;
+  one_m_ = pack(r.mod(m_));
 }
 
 VectorMontCtx::Rep VectorMontCtx::pack(const bigint::BigInt& x) const {
-  Rep out(pd_, 0);
+  Rep out;
+  pack_into(x, out);
+  return out;
+}
+
+void VectorMontCtx::pack_into(const bigint::BigInt& x, Rep& out) const {
+  out.assign(pd_, 0);
   for (std::size_t j = 0; j < d_; ++j) {
     out[j] = x.bits_window(j * digit_bits_, digit_bits_);
   }
-  return out;
 }
 
 bigint::BigInt VectorMontCtx::unpack(const Rep& a) const {
   bigint::BigInt r;
-  for (std::size_t j = a.size(); j-- > 0;) {
-    r <<= digit_bits_;
-    r += bigint::BigInt::from_u64(a[j]);
-  }
+  r.assign_from_digits(a, digit_bits_);
   return r;
 }
 
 VectorMontCtx::Rep VectorMontCtx::to_mont(const bigint::BigInt& x) const {
-  if (x.is_negative() || x >= m_) {
-    throw std::invalid_argument("VectorMontCtx::to_mont: x must be in [0, m)");
-  }
-  const Rep xd = pack(x);
-  const Rep rr = pack(rr_);
   Rep out;
-  mul(xd, rr, out);
+  to_mont(x, out, tls_workspace());
   return out;
 }
 
-bigint::BigInt VectorMontCtx::from_mont(const Rep& a) const {
-  Rep one(pd_, 0);
-  one[0] = 1;
-  Rep out;
-  mul(a, one, out);
-  return unpack(out);
+void VectorMontCtx::to_mont(const bigint::BigInt& x, Rep& out,
+                            Workspace& ws) const {
+  if (x.is_negative() || x >= m_) {
+    throw std::invalid_argument("VectorMontCtx::to_mont: x must be in [0, m)");
+  }
+  pack_into(x, ws.rep);
+  mul(ws.rep, rr_rep_, out, ws);
 }
 
-VectorMontCtx::Rep VectorMontCtx::one_mont() const {
-  bigint::BigInt r{1};
-  r <<= digit_bits_ * d_;
-  return pack(r.mod(m_));
+bigint::BigInt VectorMontCtx::from_mont(const Rep& a) const {
+  bigint::BigInt out;
+  from_mont(a, out, tls_workspace());
+  return out;
+}
+
+void VectorMontCtx::from_mont(const Rep& a, bigint::BigInt& out,
+                              Workspace& ws) const {
+  mul(a, one_plain_, ws.rep, ws);
+  out.assign_from_digits(ws.rep, digit_bits_);
 }
 
 void VectorMontCtx::finalize(const std::uint64_t* cols, Rep& out) const {
@@ -103,41 +120,46 @@ void VectorMontCtx::finalize(const std::uint64_t* cols, Rep& out) const {
   // Result < 2m < 2^(digit_bits*d + 1), so the overflow digit is 0 or 1.
   assert(carry <= 1);
 
-  bool ge = carry != 0;
-  if (!ge) {
-    ge = true;
-    for (std::size_t j = d_; j-- > 0;) {
-      if (out[j] != n_[j]) {
-        ge = out[j] > n_[j];
-        break;
-      }
-    }
+  // Constant-time conditional subtract of n: a full branchless borrow scan
+  // decides, then the subtraction always runs with n masked in or out. No
+  // early exit — the timing and memory pattern are data-independent.
+  std::uint64_t borrow = 0;
+  for (std::size_t j = 0; j < d_; ++j) {
+    const std::uint64_t diff =
+        static_cast<std::uint64_t>(out[j]) - n_[j] - borrow;
+    borrow = (diff >> 63) & 1u;
   }
-  if (ge) {
-    std::int64_t borrow = 0;
-    for (std::size_t j = 0; j < d_; ++j) {
-      std::int64_t diff = static_cast<std::int64_t>(out[j]) -
-                          static_cast<std::int64_t>(n_[j]) - borrow;
-      borrow = diff < 0 ? 1 : 0;
-      if (diff < 0) diff += std::int64_t{1} << digit_bits_;
-      out[j] = static_cast<std::uint32_t>(diff);
-    }
-    // The final borrow is absorbed by the overflow digit.
-    assert(static_cast<std::uint64_t>(borrow) == carry);
+  const std::uint32_t ge = static_cast<std::uint32_t>(
+      (carry | (1u - borrow)) != 0);
+  const std::uint32_t mask = 0u - ge;
+  borrow = 0;
+  for (std::size_t j = 0; j < d_; ++j) {
+    const std::uint64_t diff =
+        static_cast<std::uint64_t>(out[j]) - (n_[j] & mask) - borrow;
+    out[j] = static_cast<std::uint32_t>(diff) & digit_mask_;
+    borrow = (diff >> 63) & 1u;
   }
+  // The final borrow is absorbed by the overflow digit.
+  assert(!ge || borrow == carry);
 }
 
 void VectorMontCtx::mul(const Rep& a, const Rep& b, Rep& out) const {
+  mul(a, b, out, tls_workspace());
+}
+
+void VectorMontCtx::mul(const Rep& a, const Rep& b, Rep& out,
+                        Workspace& ws) const {
   assert(a.size() == pd_ && b.size() == pd_);
 
   // Column accumulators as u32 (lo, hi) pairs. Indexed physically: outer
-  // iteration i writes columns [i, i + pd_); max index d_-1 + pd_-1.
-  static thread_local std::vector<std::uint32_t> acc_lo_buf, acc_hi_buf;
-  const std::size_t acc_len = d_ + pd_ + kLanes;
-  acc_lo_buf.assign(acc_len, 0);
-  acc_hi_buf.assign(acc_len, 0);
-  std::uint32_t* acc_lo = acc_lo_buf.data();
-  std::uint32_t* acc_hi = acc_hi_buf.data();
+  // iteration i writes columns [i, i + pd_); max index d_-1 + pd_-1. The
+  // length is rounded to the vector width so whole-block ops stay in
+  // bounds.
+  const std::size_t acc_len = round_up(d_ + pd_ + kLanes, kLanes);
+  ws.acc_lo.assign(acc_len, 0);
+  ws.acc_hi.assign(acc_len, 0);
+  std::uint32_t* acc_lo = ws.acc_lo.data();
+  std::uint32_t* acc_hi = ws.acc_hi.data();
 
   for (std::size_t i = 0; i < d_; ++i) {
     const std::uint32_t ai = a[i];
@@ -174,13 +196,101 @@ void VectorMontCtx::mul(const Rep& a, const Rep& b, Rep& out) const {
   }
 
   // Columns d_ .. 2d_-1 hold the result; normalize + conditional subtract.
-  static thread_local std::vector<std::uint64_t> cols_buf;
-  cols_buf.assign(d_, 0);
+  ws.cols.assign(d_, 0);
   for (std::size_t j = 0; j < d_; ++j) {
-    cols_buf[j] = acc_lo[d_ + j] |
-                  (static_cast<std::uint64_t>(acc_hi[d_ + j]) << 32);
+    ws.cols[j] = acc_lo[d_ + j] |
+                 (static_cast<std::uint64_t>(acc_hi[d_ + j]) << 32);
   }
-  finalize(cols_buf.data(), out);
+  finalize(ws.cols.data(), out);
+}
+
+void VectorMontCtx::sqr(const Rep& a, Rep& out) const {
+  sqr(a, out, tls_workspace());
+}
+
+void VectorMontCtx::sqr(const Rep& a, Rep& out, Workspace& ws) const {
+  assert(a.size() == pd_);
+
+  const std::size_t acc_len = round_up(d_ + pd_ + kLanes, kLanes);
+  ws.acc_lo.assign(acc_len, 0);
+  ws.acc_hi.assign(acc_len, 0);
+  std::uint32_t* acc_lo = ws.acc_lo.data();
+  std::uint32_t* acc_hi = ws.acc_hi.data();
+
+  // Single FIOS-style sweep per outer iteration, exactly mul's memory
+  // schedule, exploiting the a_i*a_j symmetry. Step i adds three things
+  // against ONE pass of accumulator traffic:
+  //   - the diagonal a_i^2 into column 2i (scalar; done first so that for
+  //     i = 0 the quotient digit sees it),
+  //   - the q_i*n row over columns [i, i+d),
+  //   - the off-diagonal row a_i * a[j] for j > i, pre-doubled by
+  //     broadcasting 2*a_i — the doubling costs zero vector ops, and the
+  //     (2*digit_bits + 1)-bit products stay inside the column budget:
+  //     doubled off-diagonal plus diagonal is exactly the d products per
+  //     column that mul's a_i*b row contributes.
+  // Columns <= i receive nothing after step i (the off-diagonal row starts
+  // at column 2i+1, the diagonal lands at 2i), so the quotient digit is
+  // computable up front as in mul, each unordered pair is touched once
+  // (the ~3/4 multiply saving), and there is no separate doubling or REDC
+  // pass over the accumulator.
+  for (std::size_t i = 0; i < d_; ++i) {
+    const std::uint64_t diag =
+        (acc_lo[2 * i] | (static_cast<std::uint64_t>(acc_hi[2 * i]) << 32)) +
+        static_cast<std::uint64_t>(a[i]) * a[i];
+    acc_lo[2 * i] = static_cast<std::uint32_t>(diag);
+    acc_hi[2 * i] = static_cast<std::uint32_t>(diag >> 32);
+
+    const std::uint32_t q = ((acc_lo[i] & digit_mask_) * n0_) & digit_mask_;
+    const VecU32x16 vq = VecU32x16::broadcast(q);
+    const VecU32x16 va2 = VecU32x16::broadcast(a[i] << 1);
+    const std::size_t j0 = i + 1;                 // off-diagonal row start
+    const std::size_t jb = j0 / kLanes * kLanes;  // its first vector block
+
+    std::size_t j = 0;
+    for (; j < jb; j += kLanes) {  // prefix blocks: q*n row only
+      const VecU32x16 vn = VecU32x16::load(&n_[j]);
+      VecU32x16 lo = VecU32x16::load(&acc_lo[i + j]);
+      VecU32x16 hi = VecU32x16::load(&acc_hi[i + j]);
+      simd::add_wide_product(lo, hi, mul_lo(vq, vn), mul_hi(vq, vn));
+      lo.store(&acc_lo[i + j]);
+      hi.store(&acc_hi[i + j]);
+    }
+    for (; j < pd_; j += kLanes) {  // fused q*n + doubled off-diagonal
+      const VecU32x16 vn = VecU32x16::load(&n_[j]);
+      const VecU32x16 vaj = VecU32x16::load(&a[j]);
+      VecU32x16 p_lo = mul_lo(va2, vaj);
+      VecU32x16 p_hi = mul_hi(va2, vaj);
+      if (j == jb && j0 != jb) {
+        // Partial first block: keep lanes [j0 - jb, 16) only.
+        const Mask16 keep = static_cast<Mask16>(0xFFFFu << (j0 - jb));
+        p_lo = select(keep, p_lo, VecU32x16::zero());
+        p_hi = select(keep, p_hi, VecU32x16::zero());
+      }
+      VecU32x16 lo = VecU32x16::load(&acc_lo[i + j]);
+      VecU32x16 hi = VecU32x16::load(&acc_hi[i + j]);
+      simd::add_wide_product(lo, hi, mul_lo(vq, vn), mul_hi(vq, vn));
+      simd::add_wide_product(lo, hi, p_lo, p_hi);
+      lo.store(&acc_lo[i + j]);
+      hi.store(&acc_hi[i + j]);
+    }
+
+    // Column i is now ≡ 0 (mod β); push its upper part into column i+1.
+    const std::uint64_t col =
+        acc_lo[i] | (static_cast<std::uint64_t>(acc_hi[i]) << 32);
+    assert((col & digit_mask_) == 0);
+    const std::uint64_t next =
+        (acc_lo[i + 1] | (static_cast<std::uint64_t>(acc_hi[i + 1]) << 32)) +
+        (col >> digit_bits_);
+    acc_lo[i + 1] = static_cast<std::uint32_t>(next);
+    acc_hi[i + 1] = static_cast<std::uint32_t>(next >> 32);
+  }
+
+  ws.cols.assign(d_, 0);
+  for (std::size_t j = 0; j < d_; ++j) {
+    ws.cols[j] = acc_lo[d_ + j] |
+                 (static_cast<std::uint64_t>(acc_hi[d_ + j]) << 32);
+  }
+  finalize(ws.cols.data(), out);
 }
 
 void VectorMontCtx::mul_scalar_ref(const Rep& a, const Rep& b,

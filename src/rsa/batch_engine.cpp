@@ -2,9 +2,29 @@
 
 #include <stdexcept>
 
+#include "mont/modexp.hpp"
+
 namespace phissl::rsa {
 
 using bigint::BigInt;
+
+namespace {
+
+// Per-thread intermediates (see CrtScratch in engine.cpp): all BigInts and
+// workspaces retain capacity, so a warmed-up batched private_op allocates
+// nothing.
+struct BatchScratch {
+  std::array<BigInt, BatchEngine::kBatch> xp, xq, m1, m2;
+  BigInt quot, t, t2, h;
+  mont::ExpWorkspace<mont::BatchVectorMontCtx> wsp, wsq;
+};
+
+BatchScratch& batch_scratch() {
+  static thread_local BatchScratch s;
+  return s;
+}
+
+}  // namespace
 
 BatchEngine::BatchEngine(PrivateKey key, unsigned digit_bits)
     : key_(std::move(key)),
@@ -13,28 +33,51 @@ BatchEngine::BatchEngine(PrivateKey key, unsigned digit_bits)
 
 std::array<BigInt, BatchEngine::kBatch> BatchEngine::private_op(
     std::span<const BigInt> xs) const {
-  if (xs.size() != kBatch) {
-    throw std::invalid_argument("BatchEngine::private_op: need 16 inputs");
+  std::array<BigInt, kBatch> out;
+  private_op(xs, out);
+  return out;
+}
+
+void BatchEngine::private_op(std::span<const BigInt> xs,
+                             std::span<BigInt> out) const {
+  if (xs.size() != kBatch || out.size() != kBatch) {
+    throw std::invalid_argument(
+        "BatchEngine::private_op: need 16 inputs and 16 outputs");
   }
-  std::array<BigInt, kBatch> xp, xq;
+  BatchScratch& s = batch_scratch();
   for (std::size_t l = 0; l < kBatch; ++l) {
     if (xs[l].is_negative() || xs[l] >= key_.pub.n) {
       throw std::invalid_argument(
           "BatchEngine::private_op: inputs must be in [0, n)");
     }
-    xp[l] = xs[l].mod(key_.p);
-    xq[l] = xs[l].mod(key_.q);
+    BigInt::divmod(xs[l], key_.p, s.quot, s.xp[l]);
+    BigInt::divmod(xs[l], key_.q, s.quot, s.xq[l]);
   }
   // Two batched half-size exponentiations (shared exponents dp, dq).
-  const auto m1 = ctx_p_.mod_exp(xp, key_.dp);
-  const auto m2 = ctx_q_.mod_exp(xq, key_.dq);
+  ctx_p_.mod_exp(s.xp, key_.dp, s.m1, s.wsp);
+  ctx_q_.mod_exp(s.xq, key_.dq, s.m2, s.wsq);
   // Garner recombination per lane (scalar; cheap next to the modexps).
-  std::array<BigInt, kBatch> out;
+  // Sign-tracked so the magnitude subtraction runs largest-first in place
+  // (see Engine::private_op_crt_into).
   for (std::size_t l = 0; l < kBatch; ++l) {
-    const BigInt h = (key_.qinv * (m1[l] - m2[l])).mod(key_.p);
-    out[l] = m2[l] + h * key_.q;
+    const bool diff_neg = s.m1[l] < s.m2[l];
+    if (diff_neg) {
+      s.t = s.m2[l];
+      s.t -= s.m1[l];
+    } else {
+      s.t = s.m1[l];
+      s.t -= s.m2[l];
+    }
+    BigInt::mul_to(key_.qinv, s.t, s.t2);
+    BigInt::divmod(s.t2, key_.p, s.quot, s.h);
+    if (diff_neg && !s.h.is_zero()) {
+      s.t = key_.p;
+      s.t -= s.h;
+      s.h = s.t;
+    }
+    BigInt::mul_to(s.h, key_.q, out[l]);
+    out[l] += s.m2[l];
   }
-  return out;
 }
 
 }  // namespace phissl::rsa

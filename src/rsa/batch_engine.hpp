@@ -26,6 +26,12 @@ class BatchEngine {
   [[nodiscard]] std::array<bigint::BigInt, kBatch> private_op(
       std::span<const bigint::BigInt> xs) const;
 
+  /// Same, writing into `out` (16 entries) with all intermediates drawn
+  /// from per-thread workspaces — no heap allocation after one warm-up
+  /// call per thread at a given key size.
+  void private_op(std::span<const bigint::BigInt> xs,
+                  std::span<bigint::BigInt> out) const;
+
  private:
   PrivateKey key_;
   mont::BatchVectorMontCtx ctx_p_;

@@ -1,6 +1,7 @@
 #include "rsa/engine.hpp"
 
 #include <stdexcept>
+#include <type_traits>
 
 #include "mont/modexp.hpp"
 #include "util/random.hpp"
@@ -46,12 +47,26 @@ Engine::AnyCtx Engine::make_ctx(const BigInt& modulus) const {
 
 BigInt Engine::mod_exp(const AnyCtx& ctx, const BigInt& base,
                        const BigInt& exp) const {
-  return std::visit(
+  BigInt out;
+  mod_exp_into(ctx, base, exp, out);
+  return out;
+}
+
+void Engine::mod_exp_into(const AnyCtx& ctx, const BigInt& base,
+                          const BigInt& exp, BigInt& out) const {
+  std::visit(
       [&](const auto& c) {
+        // One workspace per kernel type per thread: the engine itself stays
+        // immutable and shareable across threads (the documented
+        // concurrency contract), while repeated ops on one thread reuse
+        // the window table, accumulators and kernel scratch.
+        using C = std::decay_t<decltype(c)>;
+        static thread_local mont::ExpWorkspace<C> ws;
         if (opts_.schedule == Schedule::kFixedWindow) {
-          return mont::fixed_window_exp(c, base, exp, opts_.window);
+          mont::fixed_window_exp(c, base, exp, out, ws, opts_.window);
+        } else {
+          mont::sliding_window_exp(c, base, exp, out, ws, opts_.window);
         }
-        return mont::sliding_window_exp(c, base, exp, opts_.window);
       },
       ctx);
 }
@@ -77,13 +92,62 @@ BigInt Engine::public_op(const BigInt& x) const {
   return mod_exp(*ctx_n_, x, pub_.e);
 }
 
+namespace {
+
+// Per-thread intermediates for the CRT recombination. Every BigInt keeps
+// its limb capacity across calls, so a warmed-up private_op_crt_into makes
+// no heap allocation.
+struct CrtScratch {
+  BigInt quot;    // discarded quotients
+  BigInt xp, xq;  // x mod p, x mod q
+  BigInt m1, m2;  // half-size exponentiation results
+  BigInt t, t2;   // |m1 - m2|, qinv * |m1 - m2|
+  BigInt h;       // Garner coefficient
+};
+
+CrtScratch& crt_scratch() {
+  static thread_local CrtScratch s;
+  return s;
+}
+
+}  // namespace
+
 BigInt Engine::private_op_crt(const BigInt& x) const {
+  BigInt out;
+  private_op_crt_into(x, out);
+  return out;
+}
+
+void Engine::private_op_crt_into(const BigInt& x, BigInt& out) const {
   const PrivateKey& k = *priv_;
+  CrtScratch& s = crt_scratch();
   // Half-size exponentiations mod p and q, then Garner recombination.
-  const BigInt m1 = mod_exp(*ctx_p_, x.mod(k.p), k.dp);
-  const BigInt m2 = mod_exp(*ctx_q_, x.mod(k.q), k.dq);
-  const BigInt h = (k.qinv * (m1 - m2)).mod(k.p);
-  return m2 + h * k.q;
+  BigInt::divmod(x, k.p, s.quot, s.xp);
+  BigInt::divmod(x, k.q, s.quot, s.xq);
+  mod_exp_into(*ctx_p_, s.xp, k.dp, s.m1);
+  mod_exp_into(*ctx_q_, s.xq, k.dq, s.m2);
+  // h = qinv * (m1 - m2) mod p. Track the sign of (m1 - m2) explicitly so
+  // the magnitude subtraction always runs largest-first in place (the
+  // other order would allocate a temporary inside operator-=).
+  const bool diff_neg = s.m1 < s.m2;
+  if (diff_neg) {
+    s.t = s.m2;
+    s.t -= s.m1;
+  } else {
+    s.t = s.m1;
+    s.t -= s.m2;
+  }
+  BigInt::mul_to(k.qinv, s.t, s.t2);
+  BigInt::divmod(s.t2, k.p, s.quot, s.h);
+  if (diff_neg && !s.h.is_zero()) {
+    // (m1 - m2) was negative: h = p - (qinv * |m1 - m2| mod p).
+    s.t = k.p;
+    s.t -= s.h;
+    s.h = s.t;
+  }
+  // out = m2 + h * q.
+  BigInt::mul_to(s.h, k.q, out);
+  out += s.m2;
 }
 
 BigInt Engine::private_op(const BigInt& x, util::Rng* rng) const {
@@ -116,6 +180,25 @@ BigInt Engine::private_op(const BigInt& x, util::Rng* rng) const {
   const BigInt result =
       opts_.use_crt ? private_op_crt(blinded) : mod_exp(*ctx_n_, blinded, priv_->d);
   return (result * r_inv).mod(pub_.n);
+}
+
+void Engine::private_op_into(const BigInt& x, BigInt& out,
+                             util::Rng* rng) const {
+  if (!priv_) {
+    throw std::logic_error("Engine::private_op_into: no private key");
+  }
+  if (x.is_negative() || x >= pub_.n) {
+    throw std::invalid_argument("Engine::private_op_into: x must be in [0, n)");
+  }
+  if (opts_.blinding) {
+    out = private_op(x, rng);  // blinding draws fresh randomness; allocates
+    return;
+  }
+  if (opts_.use_crt) {
+    private_op_crt_into(x, out);
+  } else {
+    mod_exp_into(*ctx_n_, x, priv_->d, out);
+  }
 }
 
 }  // namespace phissl::rsa

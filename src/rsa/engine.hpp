@@ -78,6 +78,14 @@ class Engine {
   [[nodiscard]] bigint::BigInt private_op(const bigint::BigInt& x,
                                           util::Rng* rng = nullptr) const;
 
+  /// Private operation writing into `out`, drawing every intermediate from
+  /// per-thread workspaces: after one warm-up call per thread at a given
+  /// key size, a call performs no heap allocation (the property bench/test
+  /// workspace_test verifies). Blinding still allocates (it draws fresh
+  /// random blinding factors); out must not alias x.
+  void private_op_into(const bigint::BigInt& x, bigint::BigInt& out,
+                       util::Rng* rng = nullptr) const;
+
  private:
   using AnyCtx =
       std::variant<mont::MontCtx32, mont::MontCtx64, mont::VectorMontCtx>;
@@ -85,8 +93,11 @@ class Engine {
   AnyCtx make_ctx(const bigint::BigInt& modulus) const;
   bigint::BigInt mod_exp(const AnyCtx& ctx, const bigint::BigInt& base,
                          const bigint::BigInt& exp) const;
+  void mod_exp_into(const AnyCtx& ctx, const bigint::BigInt& base,
+                    const bigint::BigInt& exp, bigint::BigInt& out) const;
 
   bigint::BigInt private_op_crt(const bigint::BigInt& x) const;
+  void private_op_crt_into(const bigint::BigInt& x, bigint::BigInt& out) const;
 
   PublicKey pub_;
   std::optional<PrivateKey> priv_;

@@ -112,25 +112,28 @@ DriverReport run_handshakes(const rsa::Engine& server_engine,
   const std::uint64_t resume_threshold =
       static_cast<std::uint64_t>(cfg.resumption_ratio * 4294967296.0);
 
-  pool.parallel_for(cfg.num_handshakes, [&](std::size_t) {
-    thread_local std::size_t slot = SIZE_MAX;
-    if (slot == SIZE_MAX) slot = next_slot++ % slots;
+  pool.parallel_for(cfg.num_handshakes, [&](std::size_t lo, std::size_t hi) {
+    // One chunk = one slot: chunks never outnumber pool.size() == slots, so
+    // each running chunk owns its RNG stream and session handle exclusively.
+    const std::size_t slot = next_slot++ % slots;
     util::Rng& rng = rngs[slot];
 
-    const bool try_resume = sessions[slot].has_value() &&
-                            rng.next_u32() < resume_threshold;
-    util::Stopwatch sw;
-    const HandshakeOutcome outcome = one_handshake(
-        server_engine, client_engine, cache, rng, sessions[slot], try_resume);
-    const double us = static_cast<double>(sw.elapsed_ns()) * 1e-3;
-    if (outcome.ok) {
-      completed++;
-      if (outcome.resumed) resumed++;
-    } else {
-      failed++;
+    for (std::size_t i = lo; i < hi; ++i) {
+      const bool try_resume = sessions[slot].has_value() &&
+                              rng.next_u32() < resume_threshold;
+      util::Stopwatch sw;
+      const HandshakeOutcome outcome = one_handshake(
+          server_engine, client_engine, cache, rng, sessions[slot], try_resume);
+      const double us = static_cast<double>(sw.elapsed_ns()) * 1e-3;
+      if (outcome.ok) {
+        completed++;
+        if (outcome.resumed) resumed++;
+      } else {
+        failed++;
+      }
+      std::lock_guard<std::mutex> lock(lat_mu);
+      latencies_us.push_back(us);
     }
-    std::lock_guard<std::mutex> lock(lat_mu);
-    latencies_us.push_back(us);
   });
 
   DriverReport report;

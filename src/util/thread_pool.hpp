@@ -34,9 +34,13 @@ class ThreadPool {
   /// Enqueues `fn`; returns a future for its completion.
   std::future<void> submit(std::function<void()> fn);
 
-  /// Runs fn(i) for i in [0, n) across the pool and blocks until done.
-  /// Work is divided into contiguous chunks, one per worker.
-  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+  /// Covers [0, n) with contiguous chunks, at most one per worker, calling
+  /// fn(begin, end) once per chunk and blocking until all complete. The
+  /// callback owns its whole range — one std::function dispatch per chunk
+  /// rather than one indirect call per index, so tight per-item loops
+  /// stay inlinable inside the callback.
+  void parallel_for(std::size_t n,
+                    const std::function<void(std::size_t, std::size_t)>& fn);
 
  private:
   void worker_loop();

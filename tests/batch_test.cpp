@@ -86,6 +86,68 @@ TEST(BatchMont, EdgeLaneValues) {
   }
 }
 
+TEST(BatchMont, SqrMatchesMulPerLane) {
+  // Differential sqr(a) == mul(a,a) on every lane, across sizes, including
+  // edge lanes 0, 1, m-1 that stress doubling carries and the final
+  // constant-time subtract.
+  util::Rng rng(19);
+  for (std::size_t bits : {512u, 1024u, 2048u, 4096u}) {
+    const BigInt m = BigInt::random_odd_exact_bits(bits, rng);
+    const BatchVectorMontCtx ctx(m);
+    auto xs = random_lanes(m, rng);
+    xs[0] = BigInt{};
+    xs[1] = BigInt{1};
+    xs[2] = m - BigInt{1};
+    const auto xm = ctx.to_mont(xs);
+    BatchVectorMontCtx::Rep s, p;
+    ctx.sqr(xm, s);
+    ctx.mul(xm, xm, p);
+    EXPECT_EQ(s, p) << "bits=" << bits;
+    const auto got = ctx.from_mont(s);
+    for (std::size_t l = 0; l < kB; ++l) {
+      EXPECT_EQ(got[l], (xs[l] * xs[l]).mod(m)) << "bits=" << bits
+                                                << " lane=" << l;
+    }
+  }
+}
+
+TEST(BatchMont, SqrWithWorkspaceMatchesAllocatingPath) {
+  util::Rng rng(20);
+  BatchVectorMontCtx::Workspace ws;
+  for (std::size_t bits : {256u, 1024u}) {
+    const BigInt m = BigInt::random_odd_exact_bits(bits, rng);
+    const BatchVectorMontCtx ctx(m);
+    for (int i = 0; i < 4; ++i) {
+      const auto xs = random_lanes(m, rng);
+      const auto xm = ctx.to_mont(xs);
+      BatchVectorMontCtx::Rep s_ws, s_alloc;
+      ctx.sqr(xm, s_ws, ws);
+      ctx.sqr(xm, s_alloc);
+      EXPECT_EQ(s_ws, s_alloc) << "bits=" << bits;
+    }
+  }
+}
+
+TEST(BatchMont, ModExpWorkspaceMatchesAllocatingPath) {
+  // The workspace-threaded mod_exp overload must agree with the allocating
+  // one, and a single workspace must stay correct when reused across
+  // different exponents and window widths.
+  util::Rng rng(21);
+  const BigInt m = BigInt::random_odd_exact_bits(512, rng);
+  const BatchVectorMontCtx ctx(m);
+  ExpWorkspace<BatchVectorMontCtx> ws;
+  std::array<BigInt, kB> out;
+  for (int w : {0, 1, 3, 6}) {
+    const auto xs = random_lanes(m, rng);
+    const BigInt exp = BigInt::random_bits(512, rng);
+    ctx.mod_exp(xs, exp, out, ws, w);
+    const auto expected = ctx.mod_exp(xs, exp, w);
+    for (std::size_t l = 0; l < kB; ++l) {
+      EXPECT_EQ(out[l], expected[l]) << "w=" << w << " lane=" << l;
+    }
+  }
+}
+
 TEST(BatchMont, SharedExponentExpMatchesSingleStream) {
   util::Rng rng(5);
   const BigInt m = BigInt::random_odd_exact_bits(512, rng);

@@ -133,6 +133,47 @@ TYPED_TEST(ModExpTyped, EdgeBases) {
             exp.is_even() ? BigInt{1} : top);
 }
 
+TYPED_TEST(ModExpTyped, WorkspaceFormMatchesAllocatingForm) {
+  // The ExpWorkspace-threaded overloads must agree with the value-returning
+  // allocating forms, and one workspace reused across bases, exponents,
+  // window widths and schedules must not corrupt state between calls.
+  util::Rng rng(29);
+  for (std::size_t bits : {128u, 512u, 1024u}) {
+    const BigInt m = BigInt::random_odd_exact_bits(bits, rng);
+    const TypeParam ctx(m);
+    ExpWorkspace<TypeParam> ws;  // deliberately shared across iterations
+    BigInt out;
+    for (int i = 0; i < 4; ++i) {
+      const BigInt base = BigInt::random_below(m, rng);
+      const BigInt exp = BigInt::random_bits(bits, rng);
+      const int w = 1 + i;  // alternate window widths against one table
+      fixed_window_exp(ctx, base, exp, out, ws, w);
+      EXPECT_EQ(out, fixed_window_exp(ctx, base, exp, w))
+          << "bits=" << bits << " w=" << w;
+      sliding_window_exp(ctx, base, exp, out, ws, w);
+      EXPECT_EQ(out, sliding_window_exp(ctx, base, exp, w))
+          << "bits=" << bits << " w=" << w;
+    }
+  }
+}
+
+TYPED_TEST(ModExpTyped, WorkspaceReuseAcrossSizesIsStable) {
+  // A workspace warmed at one modulus size must stay correct when reused
+  // at other sizes (table entries and scratch are resized per call, never
+  // assumed clean).
+  util::Rng rng(30);
+  ExpWorkspace<TypeParam> ws;
+  for (std::size_t bits : {1024u, 128u, 512u, 1024u}) {
+    const BigInt m = BigInt::random_odd_exact_bits(bits, rng);
+    const TypeParam ctx(m);
+    const BigInt base = BigInt::random_below(m, rng);
+    const BigInt exp = BigInt::random_bits(bits, rng);
+    BigInt out;
+    fixed_window_exp(ctx, base, exp, out, ws);
+    EXPECT_EQ(out, base.mod_pow(exp, m)) << "bits=" << bits;
+  }
+}
+
 TYPED_TEST(ModExpTyped, RejectsBadArguments) {
   util::Rng rng(26);
   const BigInt m = BigInt::random_odd_exact_bits(128, rng);

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <stdexcept>
+#include <vector>
 
 #include "bigint/bigint.hpp"
 #include "mont/mont32.hpp"
@@ -155,17 +156,46 @@ TYPED_TEST(MontDifferential, MulByOneAndZero) {
 }
 
 TYPED_TEST(MontDifferential, SqrMatchesMul) {
+  // Differential sqr(a) == mul(a,a) across the full RSA-relevant size range
+  // plus the edge operands (0, 1, m-1) that stress the REDC tail and the
+  // constant-time final subtract.
   util::Rng rng(10);
-  const BigInt m = random_odd_modulus(768, rng);
-  const TypeParam ctx(m);
-  for (int i = 0; i < 10; ++i) {
-    const BigInt x = BigInt::random_below(m, rng);
-    const auto xm = ctx.to_mont(x);
-    typename TypeParam::Rep s, p;
-    ctx.sqr(xm, s);
-    ctx.mul(xm, xm, p);
-    EXPECT_EQ(ctx.from_mont(s), ctx.from_mont(p));
-    EXPECT_EQ(ctx.from_mont(s), (x * x).mod(m));
+  for (std::size_t bits : {512u, 768u, 1024u, 2048u, 3072u, 4096u}) {
+    const BigInt m = random_odd_modulus(bits, rng);
+    const TypeParam ctx(m);
+    std::vector<BigInt> operands = {BigInt{}, BigInt{1}, m - BigInt{1}};
+    for (int i = 0; i < 5; ++i) {
+      operands.push_back(BigInt::random_below(m, rng));
+    }
+    for (const BigInt& x : operands) {
+      const auto xm = ctx.to_mont(x);
+      typename TypeParam::Rep s, p;
+      ctx.sqr(xm, s);
+      ctx.mul(xm, xm, p);
+      EXPECT_EQ(ctx.from_mont(s), ctx.from_mont(p)) << "bits=" << bits;
+      EXPECT_EQ(ctx.from_mont(s), (x * x).mod(m)) << "bits=" << bits;
+    }
+  }
+}
+
+TYPED_TEST(MontDifferential, SqrWithWorkspaceMatchesAllocatingPath) {
+  // One workspace reused across sizes and operands must give identical
+  // results to the allocating overloads (and never corrupt state between
+  // calls).
+  util::Rng rng(15);
+  typename TypeParam::Workspace ws;
+  for (std::size_t bits : {512u, 2048u}) {
+    const BigInt m = random_odd_modulus(bits, rng);
+    const TypeParam ctx(m);
+    for (int i = 0; i < 6; ++i) {
+      const BigInt x = BigInt::random_below(m, rng);
+      const auto xm = ctx.to_mont(x);
+      typename TypeParam::Rep s_ws, s_alloc;
+      ctx.sqr(xm, s_ws, ws);
+      ctx.sqr(xm, s_alloc);
+      EXPECT_EQ(s_ws, s_alloc) << "bits=" << bits;
+      EXPECT_EQ(ctx.from_mont(s_ws), (x * x).mod(m)) << "bits=" << bits;
+    }
   }
 }
 
