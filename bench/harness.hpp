@@ -45,8 +45,10 @@ inline void print_header(const char* experiment, const char* description) {
 
 /// Machine-readable results alongside the printed tables: collects named
 /// rows of numeric metrics and writes them as JSON to the path given by a
-/// `--json <path>` (or `--json=<path>`) flag. With no flag every call is a
-/// no-op, so harnesses can report unconditionally.
+/// `--json <path>` (or `--json=<path>`) flag; a bare `--json` (no path,
+/// or followed by another `--flag`) writes to `<benchmark>.json` in the
+/// working directory. With no flag every call is a no-op, so harnesses
+/// can report unconditionally.
 class JsonReporter {
  public:
   JsonReporter() = default;
@@ -58,8 +60,12 @@ class JsonReporter {
     JsonReporter r;
     r.benchmark_ = benchmark;
     for (int i = 1; i < argc; ++i) {
-      if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
-        r.path_ = argv[i + 1];
+      if (std::strcmp(argv[i], "--json") == 0) {
+        if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+          r.path_ = argv[i + 1];
+        } else {
+          r.path_ = r.benchmark_ + ".json";
+        }
       } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
         r.path_ = argv[i] + 7;
       }

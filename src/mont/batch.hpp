@@ -50,9 +50,13 @@ class BatchVectorMontCtx {
   explicit BatchVectorMontCtx(const bigint::BigInt& m,
                               unsigned digit_bits = 27);
 
+  /// Redundant-radix digit width (bits) chosen at construction.
   [[nodiscard]] unsigned digit_bits() const { return digit_bits_; }
+  /// Digits per lane: ceil(modulus_bits / digit_bits).
   [[nodiscard]] std::size_t digits() const { return d_; }
+  /// Words in one Rep: digits() * kBatch (all 16 lanes, transposed).
   [[nodiscard]] std::size_t rep_size() const { return d_ * kBatch; }
+  /// The modulus every lane shares.
   [[nodiscard]] const bigint::BigInt& modulus() const { return m_; }
 
   /// Packs 16 values (each in [0, m)) into Montgomery form, one per lane.

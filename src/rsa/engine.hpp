@@ -42,9 +42,15 @@ enum class Schedule {
   kSlidingWindow,  ///< OpenSSL's BN_mod_exp schedule
 };
 
+/// Human-readable names for table headers and logs ("vector",
+/// "fixed-window", ...).
 const char* to_string(Kernel k);
 const char* to_string(Schedule s);
 
+/// The full configuration space every experiment sweeps: kernel ×
+/// schedule × window × CRT × blinding × digit width. Defaults are the
+/// paper's PhiOpenSSL configuration; src/baseline/engines.hpp holds the
+/// presets for all three named systems.
 struct EngineOptions {
   Kernel kernel = Kernel::kVector;
   Schedule schedule = Schedule::kFixedWindow;
@@ -58,6 +64,12 @@ struct EngineOptions {
   unsigned digit_bits = 27;
 };
 
+/// One configured RSA computation engine: raw public/private modular
+/// exponentiation over the kernel/schedule/CRT/blinding choice in its
+/// EngineOptions. Montgomery contexts for n (and p/q when CRT) are
+/// precomputed at construction; all methods are const and safe to call
+/// concurrently (per-thread workspaces back the *_into fast paths).
+/// Padding lives elsewhere: pkcs1.hpp / oaep.hpp consume these raw ops.
 class Engine {
  public:
   /// Engine over a full private key (public + private ops available).

@@ -1,0 +1,307 @@
+#include "service/sign_service.hpp"
+
+#include <algorithm>
+#include <array>
+#include <optional>
+#include <stdexcept>
+#include <utility>
+
+#include "rsa/pkcs1.hpp"
+#include "util/sha256.hpp"
+
+namespace phissl::service {
+
+using bigint::BigInt;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+double to_us(Clock::duration d) {
+  return std::chrono::duration<double, std::micro>(d).count();
+}
+
+}  // namespace
+
+/// One queued request: the EMSA-encoded digest as an integer in [0, n),
+/// plus the promise the dispatch path fulfills.
+struct SignService::Pending {
+  BigInt x;
+  std::promise<SignResult> promise;
+  Clock::time_point submitted;
+};
+
+/// Per-key shard: one BatchEngine plus its (sub-16) submission queue.
+struct SignService::Shard {
+  Shard(rsa::PrivateKey key, unsigned digit_bits)
+      : engine(std::move(key), digit_bits), k(engine.pub().byte_size()) {
+    // Dummy input for padded lanes: the EMSA encoding of an all-zero
+    // digest. Any EMSA block starts 0x00 0x01, so its value is < 2^(8k-8)
+    // <= n — always a valid private_op input. Using one fixed value keeps
+    // the padded lanes on the identical 16-lane kernel shape; their
+    // outputs are simply discarded.
+    const util::Sha256::Digest zero{};
+    dummy = BigInt::from_bytes_be(rsa::emsa_pkcs1_v15_from_digest(zero, k));
+  }
+
+  rsa::BatchEngine engine;
+  std::size_t k;  // modulus byte size (signature length)
+  BigInt dummy;
+
+  std::mutex mu;
+  std::vector<Pending> pending;   // always < kBatch entries
+  Clock::time_point oldest;       // submit time of pending.front()
+};
+
+SignService::SignService(SignServiceConfig config)
+    : config_(config), pool_(config.dispatch_threads) {
+  linger_thread_ = std::thread([this] { linger_loop(); });
+}
+
+SignService::~SignService() { stop(); }
+
+void SignService::add_key(const std::string& key_id, rsa::PrivateKey key) {
+  if (!accepting_.load()) {
+    throw std::runtime_error("SignService::add_key after stop()");
+  }
+  auto shard = std::make_unique<Shard>(std::move(key), config_.digit_bits);
+  std::lock_guard<std::mutex> lock(shards_mu_);
+  if (!shards_.emplace(key_id, std::move(shard)).second) {
+    throw std::invalid_argument("SignService::add_key: duplicate key id \"" +
+                                key_id + "\"");
+  }
+}
+
+SignService::Shard& SignService::find_shard(const std::string& key_id) const {
+  std::lock_guard<std::mutex> lock(shards_mu_);
+  const auto it = shards_.find(key_id);
+  if (it == shards_.end()) {
+    throw std::invalid_argument("SignService: unknown key id \"" + key_id +
+                                "\"");
+  }
+  return *it->second;  // shards are never removed while the service lives
+}
+
+const rsa::PublicKey& SignService::public_key(const std::string& key_id) const {
+  return find_shard(key_id).engine.pub();
+}
+
+std::future<SignResult> SignService::sign(
+    const std::string& key_id, std::span<const std::uint8_t> digest) {
+  Shard& shard = find_shard(key_id);
+
+  Pending p;
+  p.x = BigInt::from_bytes_be(rsa::emsa_pkcs1_v15_from_digest(digest, shard.k));
+  p.submitted = Clock::now();
+  std::future<SignResult> fut = p.promise.get_future();
+
+  std::vector<Pending> batch;
+  bool first_pending = false;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    // Checked under the shard lock so stop()'s drain (which sets
+    // accepting_ first, then flushes under this lock) cannot miss us.
+    if (!accepting_.load()) {
+      throw std::runtime_error("SignService::sign after stop()");
+    }
+    if (shard.pending.empty()) {
+      shard.oldest = p.submitted;
+      first_pending = true;
+    }
+    shard.pending.push_back(std::move(p));
+    if (shard.pending.size() == kBatch) {
+      batch = std::move(shard.pending);
+      shard.pending.clear();
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++requests_;
+  }
+
+  if (!batch.empty()) {
+    dispatch(shard, std::move(batch));  // fast path: 16 pending, go now
+  } else if (first_pending && !config_.full_batches_only) {
+    // Arm the linger timer for this shard's new deadline.
+    {
+      std::lock_guard<std::mutex> lock(linger_mu_);
+      ++linger_gen_;
+    }
+    linger_cv_.notify_one();
+  }
+  return fut;
+}
+
+void SignService::dispatch(Shard& shard, std::vector<Pending>&& batch) {
+  const Clock::time_point dispatch_time = Clock::now();
+  const std::size_t real = batch.size();
+  // shared_ptr because ThreadPool::submit takes a copyable std::function
+  // and promises are move-only.
+  auto work = std::make_shared<std::vector<Pending>>(std::move(batch));
+
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++batches_;
+    if (real == kBatch) ++full_batches_;
+    padded_lanes_ += kBatch - real;
+    lanes_signed_ += real;
+    for (const Pending& p : *work) {
+      queue_wait_us_.push_back(to_us(dispatch_time - p.submitted));
+    }
+  }
+
+  inflight_.fetch_add(1);
+  auto run = [this, &shard, work, dispatch_time] {
+    std::array<BigInt, kBatch> xs;
+    std::array<BigInt, kBatch> out;
+    for (std::size_t l = 0; l < kBatch; ++l) {
+      xs[l] = l < work->size() ? (*work)[l].x : shard.dummy;
+    }
+    try {
+      shard.engine.private_op(xs, out);
+      const Clock::time_point done = Clock::now();
+      // Serialize every signature before fulfilling any promise so a
+      // failure cannot leave the batch half-fulfilled.
+      std::vector<std::vector<std::uint8_t>> sigs(work->size());
+      for (std::size_t l = 0; l < work->size(); ++l) {
+        sigs[l] = out[l].to_bytes_be(shard.k);
+      }
+      for (std::size_t l = 0; l < work->size(); ++l) {
+        (*work)[l].promise.set_value(SignResult{
+            std::move(sigs[l]), (*work)[l].submitted, done});
+      }
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      service_us_.push_back(to_us(done - dispatch_time));
+    } catch (...) {
+      for (Pending& p : *work) {
+        p.promise.set_exception(std::current_exception());
+      }
+    }
+    // A dispatch slot just freed up: wake the linger timer so a partial
+    // batch whose deadline expired while we were busy flushes now.
+    inflight_.fetch_sub(1);
+    {
+      std::lock_guard<std::mutex> lock(linger_mu_);
+      ++linger_gen_;
+    }
+    linger_cv_.notify_one();
+  };
+  try {
+    pool_.submit(run);
+  } catch (const std::exception&) {
+    // The pool is draining (a sign() racing stop() can get here): run the
+    // batch inline so every promise is still fulfilled.
+    run();
+  }
+}
+
+void SignService::linger_loop() {
+  std::unique_lock<std::mutex> lk(linger_mu_);
+  for (;;) {
+    if (stopping_) return;
+    const std::uint64_t gen = linger_gen_;
+    const auto changed = [&] { return stopping_ || linger_gen_ != gen; };
+
+    // Lane-filling backpressure: while every dispatch slot is busy, an
+    // expired partial would only sit in the pool queue — let it keep
+    // filling instead and wait for a completion (which bumps gen).
+    if (inflight_.load() >= pool_.size()) {
+      linger_cv_.wait(lk, changed);
+      continue;
+    }
+
+    // Earliest partial-batch deadline across all shards.
+    std::optional<Clock::time_point> next;
+    if (!config_.full_batches_only) {
+      std::lock_guard<std::mutex> sl(shards_mu_);
+      for (auto& [id, shard] : shards_) {
+        std::lock_guard<std::mutex> pl(shard->mu);
+        if (!shard->pending.empty()) {
+          const Clock::time_point deadline = shard->oldest + config_.max_linger;
+          if (!next || deadline < *next) next = deadline;
+        }
+      }
+    }
+
+    if (!next) {
+      linger_cv_.wait(lk, changed);
+      continue;
+    }
+    if (linger_cv_.wait_until(lk, *next, changed)) continue;  // re-evaluate
+    if (inflight_.load() >= pool_.size()) continue;  // slot filled meanwhile
+
+    // Deadline reached: flush every shard whose oldest request expired.
+    const Clock::time_point now = Clock::now();
+    std::vector<std::pair<Shard*, std::vector<Pending>>> flushes;
+    {
+      std::lock_guard<std::mutex> sl(shards_mu_);
+      for (auto& [id, shard] : shards_) {
+        std::lock_guard<std::mutex> pl(shard->mu);
+        if (!shard->pending.empty() &&
+            shard->oldest + config_.max_linger <= now) {
+          flushes.emplace_back(shard.get(), std::move(shard->pending));
+          shard->pending.clear();
+        }
+      }
+    }
+    for (auto& [shard, batch] : flushes) {
+      dispatch(*shard, std::move(batch));
+    }
+  }
+}
+
+StatsSnapshot SignService::stats() const {
+  StatsSnapshot s;
+  std::vector<double> qw, sv;
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    s.requests = requests_;
+    s.batches = batches_;
+    s.full_batches = full_batches_;
+    s.padded_lanes = padded_lanes_;
+    s.mean_lane_occupancy =
+        batches_ == 0 ? 0.0
+                      : static_cast<double>(lanes_signed_) /
+                            static_cast<double>(batches_ * kBatch);
+    qw = queue_wait_us_;
+    sv = service_us_;
+  }
+  s.queue_wait_us = util::summarize(std::move(qw));
+  s.service_us = util::summarize(std::move(sv));
+  return s;
+}
+
+void SignService::stop() {
+  std::lock_guard<std::mutex> stop_lock(stop_mu_);
+  if (stopped_) return;
+
+  {
+    std::lock_guard<std::mutex> lock(linger_mu_);
+    stopping_ = true;
+  }
+  linger_cv_.notify_all();
+  if (linger_thread_.joinable()) linger_thread_.join();
+
+  // Reject new submissions, then drain: any sign() that passed its
+  // accepting_ check did so under its shard's mutex, so taking each mutex
+  // here is a barrier — every accepted request is either in pending (we
+  // flush it) or was already dispatched (the pool drain below waits).
+  accepting_.store(false);
+  std::vector<std::pair<Shard*, std::vector<Pending>>> flushes;
+  {
+    std::lock_guard<std::mutex> sl(shards_mu_);
+    for (auto& [id, shard] : shards_) {
+      std::lock_guard<std::mutex> pl(shard->mu);
+      if (!shard->pending.empty()) {
+        flushes.emplace_back(shard.get(), std::move(shard->pending));
+        shard->pending.clear();
+      }
+    }
+  }
+  for (auto& [shard, batch] : flushes) {
+    dispatch(*shard, std::move(batch));
+  }
+  pool_.shutdown();
+  stopped_ = true;
+}
+
+}  // namespace phissl::service

@@ -1,0 +1,186 @@
+// Asynchronous batched signing service: the on-ramp that feeds the
+// 16-lane BatchEngine from irregular single-request traffic.
+//
+// The batch kernels (rsa::BatchEngine over mont::BatchVectorMontCtx) hit
+// the paper's headline throughput only when all 16 SIMD lanes carry real
+// work, but a server sees requests one at a time. This service closes the
+// gap: callers submit single `sign(digest) -> future<SignResult>`
+// requests and the service transparently coalesces them into full 16-lane
+// batches. The flush policy is adaptive:
+//
+//   - the moment 16 requests are pending for one key, the batch is
+//     dispatched immediately (the fast path — zero added latency under
+//     load);
+//   - otherwise a partial batch is flushed once its oldest request has
+//     lingered for `max_linger` AND a dispatch slot is free, with the
+//     unused lanes padded by a precomputed dummy input so the vector
+//     kernel always runs the exact same 16-lane shape (the dummy results
+//     are discarded).
+//
+// The dispatch-slot condition is what makes the scheduler lane-FILLING
+// rather than merely deadline-driven: while every worker is busy, an
+// expired partial keeps accumulating arrivals (a flush could not start
+// any sooner anyway), so under load batches reach 16 lanes on their own
+// and the deadline only ever fires into an idle worker. Without it, a
+// short linger at moderate load shreds the queue into 2–3-lane batches
+// whose per-batch cost is that of a full one — effective capacity drops
+// ~8x and the backlog (and tail latency) diverges; bench_sign_service's
+// sweep is exactly the experiment that exposes this.
+//
+// Net effect: at light load a request waits at most max_linger before its
+// (mostly padded) batch runs; at heavy load lane occupancy approaches
+// 100% — the occupancy-vs-latency knob bench_sign_service sweeps.
+//
+// One service instance holds one shard per private key (keyed by a caller
+// chosen string id) and routes requests by key id; dispatches run on the
+// service's util::ThreadPool, so several shards' batches overlap on
+// multi-worker configurations.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "rsa/batch_engine.hpp"
+#include "rsa/key.hpp"
+#include "util/stats.hpp"
+#include "util/thread_pool.hpp"
+
+namespace phissl::service {
+
+/// Tuning knobs for a SignService.
+struct SignServiceConfig {
+  /// Workers in the dispatch pool (each runs whole 16-lane batches).
+  std::size_t dispatch_threads = 2;
+  /// How long the oldest pending request may wait before a partial batch
+  /// is flushed with dummy-padded lanes (once a dispatch slot is free —
+  /// see the class comment). Smaller = lower tail latency at light load,
+  /// lower lane occupancy. Ignored when full_batches_only.
+  std::chrono::microseconds max_linger{500};
+  /// Never flush a partial batch on a deadline: dispatch only when 16
+  /// requests are pending (plus a final drain at stop()). This is the
+  /// forced-full baseline bench_sign_service compares against — maximal
+  /// occupancy, unbounded queueing latency at light load.
+  bool full_batches_only = false;
+  /// Redundant-radix digit width for the underlying batch contexts.
+  unsigned digit_bits = 27;
+};
+
+/// A completed signing request: the PKCS#1 v1.5 signature block plus the
+/// service-side timestamps (submit and completion) so callers — load
+/// generators and tracing alike — can compute exact per-request latency
+/// without polling the future.
+struct SignResult {
+  /// k-byte big-endian RSASSA-PKCS1-v1_5(SHA-256) signature.
+  std::vector<std::uint8_t> signature;
+  std::chrono::steady_clock::time_point submitted_at;
+  std::chrono::steady_clock::time_point completed_at;
+};
+
+/// A point-in-time snapshot of service counters; cheap to take while the
+/// service is running.
+struct StatsSnapshot {
+  std::uint64_t requests = 0;      ///< sign() calls accepted
+  std::uint64_t batches = 0;       ///< 16-lane dispatches issued
+  std::uint64_t full_batches = 0;  ///< dispatches with no padded lane
+  std::uint64_t padded_lanes = 0;  ///< dummy lanes across all batches
+  /// Real requests per dispatched lane: requests_signed / (batches * 16).
+  /// 1.0 means every dispatched lane carried caller work.
+  double mean_lane_occupancy = 0.0;
+  /// Per-request time from sign() to batch dispatch (microseconds).
+  util::Summary queue_wait_us;
+  /// Per-batch kernel + completion time (microseconds).
+  util::Summary service_us;
+};
+
+class SignService {
+ public:
+  static constexpr std::size_t kBatch = rsa::BatchEngine::kBatch;
+
+  explicit SignService(SignServiceConfig config = {});
+
+  /// Stops the service (flushing and completing everything pending).
+  ~SignService();
+
+  SignService(const SignService&) = delete;
+  SignService& operator=(const SignService&) = delete;
+
+  /// Registers a private key under `key_id` (one BatchEngine shard per
+  /// key). Thread-safe; throws std::invalid_argument on a duplicate id
+  /// and std::runtime_error after stop().
+  void add_key(const std::string& key_id, rsa::PrivateKey key);
+
+  /// Public half of a registered key (for verification).
+  [[nodiscard]] const rsa::PublicKey& public_key(
+      const std::string& key_id) const;
+
+  /// Queues one signing request: the returned future resolves to the
+  /// RSASSA-PKCS1-v1_5 signature of the given 32-byte SHA-256 `digest`
+  /// under the key registered as `key_id`. Thread-safe. Throws
+  /// std::invalid_argument for an unknown key or non-32-byte digest and
+  /// std::runtime_error after stop().
+  std::future<SignResult> sign(const std::string& key_id,
+                               std::span<const std::uint8_t> digest);
+
+  /// Counter snapshot; safe to call concurrently with sign()/dispatches.
+  [[nodiscard]] StatsSnapshot stats() const;
+
+  /// Stops accepting requests, flushes every pending partial batch, and
+  /// blocks until all dispatched work has completed (every returned
+  /// future is ready afterwards). Idempotent; called by the destructor.
+  void stop();
+
+ private:
+  struct Pending;
+  struct Shard;
+
+  Shard& find_shard(const std::string& key_id) const;
+  void dispatch(Shard& shard, std::vector<Pending>&& batch);
+  void linger_loop();
+
+  SignServiceConfig config_;
+
+  mutable std::mutex shards_mu_;
+  std::unordered_map<std::string, std::unique_ptr<Shard>> shards_;
+
+  // Stats block: monotonically increasing counters + latency samples.
+  mutable std::mutex stats_mu_;
+  std::uint64_t requests_ = 0;
+  std::uint64_t batches_ = 0;
+  std::uint64_t full_batches_ = 0;
+  std::uint64_t padded_lanes_ = 0;
+  std::uint64_t lanes_signed_ = 0;
+  std::vector<double> queue_wait_us_;
+  std::vector<double> service_us_;
+
+  // Linger timer: one thread waking at the earliest partial-batch
+  // deadline. gen_ bumps on every first-pending arrival and on every
+  // dispatch completion so the timer re-evaluates its wait without
+  // missed wakeups.
+  std::mutex linger_mu_;
+  std::condition_variable linger_cv_;
+  std::uint64_t linger_gen_ = 0;
+  bool stopping_ = false;
+
+  // Batches submitted to the pool and not yet finished. The linger timer
+  // only deadline-flushes while this is below the worker count (a free
+  // dispatch slot exists); full 16-lane batches always dispatch.
+  std::atomic<std::uint64_t> inflight_{0};
+
+  std::atomic<bool> accepting_{true};
+  std::mutex stop_mu_;  // serializes stop() callers (incl. the destructor)
+  bool stopped_ = false;
+  util::ThreadPool pool_;
+  std::thread linger_thread_;
+};
+
+}  // namespace phissl::service

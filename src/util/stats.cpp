@@ -29,9 +29,13 @@ Summary summarize(std::vector<double> samples) {
   }
 
   // Nearest-rank percentile: ceil(p*n)-th smallest.
-  const std::size_t rank =
-      static_cast<std::size_t>(std::ceil(0.95 * static_cast<double>(n)));
-  s.p95 = samples[std::min(n - 1, rank == 0 ? 0 : rank - 1)];
+  const auto percentile = [&](double p) {
+    const std::size_t rank =
+        static_cast<std::size_t>(std::ceil(p * static_cast<double>(n)));
+    return samples[std::min(n - 1, rank == 0 ? 0 : rank - 1)];
+  };
+  s.p95 = percentile(0.95);
+  s.p99 = percentile(0.99);
   return s;
 }
 

@@ -1,5 +1,6 @@
-// Small sample-statistics helper used by bench harnesses to report
-// mean/median/percentile rows the way the paper's tables do.
+// Small sample-statistics helper used by bench harnesses and the signing
+// service to report mean/median/percentile rows the way the paper's
+// tables do.
 #pragma once
 
 #include <cstddef>
@@ -7,18 +8,26 @@
 
 namespace phissl::util {
 
-/// Summary statistics over a sample of doubles.
+/// Summary statistics over a sample of doubles. All fields are zero for
+/// an empty sample; units are whatever the caller's samples were in.
 struct Summary {
-  std::size_t count = 0;
-  double min = 0.0;
-  double max = 0.0;
-  double mean = 0.0;
-  double median = 0.0;
-  double stddev = 0.0;  // sample stddev (n-1 denominator; 0 for n<2)
-  double p95 = 0.0;     // 95th percentile (nearest-rank)
+  std::size_t count = 0;   ///< number of samples summarized
+  double min = 0.0;        ///< smallest sample
+  double max = 0.0;        ///< largest sample
+  double mean = 0.0;       ///< arithmetic mean
+  double median = 0.0;     ///< 50th percentile (midpoint of the two
+                           ///< central samples for even counts)
+  double stddev = 0.0;     ///< sample stddev (n-1 denominator; 0 for n<2)
+  double p95 = 0.0;        ///< 95th percentile (nearest-rank)
+  double p99 = 0.0;        ///< 99th percentile (nearest-rank) — the tail
+                           ///< metric the service-latency experiments use
 };
 
-/// Computes Summary over `samples`. Empty input yields a zeroed Summary.
+/// Computes Summary over `samples` (taken by value: summarizing sorts the
+/// vector in place, so pass with std::move when the caller is done with
+/// it). Empty input yields a zeroed Summary. Percentiles use the
+/// nearest-rank definition: the ceil(p*n)-th smallest sample, so for
+/// small n the high percentiles coincide with max.
 Summary summarize(std::vector<double> samples);
 
 }  // namespace phissl::util

@@ -1,6 +1,7 @@
 #include "util/thread_pool.hpp"
 
 #include <algorithm>
+#include <stdexcept>
 
 namespace phissl::util {
 
@@ -12,13 +13,20 @@ ThreadPool::ThreadPool(std::size_t num_threads) {
   }
 }
 
-ThreadPool::~ThreadPool() {
+ThreadPool::~ThreadPool() { shutdown(); }
+
+void ThreadPool::shutdown() {
   {
     std::lock_guard<std::mutex> lock(mu_);
     stopping_ = true;
   }
   cv_.notify_all();
-  for (auto& t : workers_) t.join();
+  // join_mu_ serializes concurrent shutdown() callers: std::thread::join
+  // races are UB, and joinable() alone is check-then-act.
+  std::lock_guard<std::mutex> join_lock(join_mu_);
+  for (auto& t : workers_) {
+    if (t.joinable()) t.join();
+  }
 }
 
 std::future<void> ThreadPool::submit(std::function<void()> fn) {
@@ -26,6 +34,9 @@ std::future<void> ThreadPool::submit(std::function<void()> fn) {
   std::future<void> fut = task.get_future();
   {
     std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) {
+      throw std::runtime_error("ThreadPool::submit on a draining pool");
+    }
     queue_.push_back(std::move(task));
   }
   cv_.notify_one();

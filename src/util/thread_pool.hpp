@@ -17,12 +17,21 @@
 
 namespace phissl::util {
 
+/// Shutdown semantics: shutdown() (or the destructor) first marks the
+/// pool as draining, then lets the workers finish every task that was
+/// already queued, then joins them — submitted work is never silently
+/// dropped. Once draining has begun, submit() REJECTS new work by
+/// throwing std::runtime_error; without the rejection a task enqueued
+/// after the workers exited would never run and its future would never
+/// become ready. parallel_for() on a draining pool throws for the same
+/// reason. shutdown() is idempotent and must not be called from a worker
+/// thread (it joins them).
 class ThreadPool {
  public:
   /// Spawns `num_threads` workers (>= 1; 0 is clamped to 1).
   explicit ThreadPool(std::size_t num_threads);
 
-  /// Drains outstanding work, then joins all workers.
+  /// Calls shutdown(): drains outstanding work, then joins all workers.
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
@@ -31,8 +40,15 @@ class ThreadPool {
   /// Number of worker threads.
   [[nodiscard]] std::size_t size() const { return workers_.size(); }
 
-  /// Enqueues `fn`; returns a future for its completion.
+  /// Enqueues `fn`; returns a future for its completion. Throws
+  /// std::runtime_error if the pool is draining or already shut down
+  /// (see the class comment) — the task is not enqueued in that case.
   std::future<void> submit(std::function<void()> fn);
+
+  /// Stops accepting new work, runs everything already queued, and joins
+  /// the workers. Idempotent; safe to call concurrently with submit()
+  /// (losers of the race get the submit() rejection above).
+  void shutdown();
 
   /// Covers [0, n) with contiguous chunks, at most one per worker, calling
   /// fn(begin, end) once per chunk and blocking until all complete. The
@@ -48,6 +64,7 @@ class ThreadPool {
   std::vector<std::thread> workers_;
   std::deque<std::packaged_task<void()>> queue_;
   std::mutex mu_;
+  std::mutex join_mu_;  // serializes concurrent shutdown() callers
   std::condition_variable cv_;
   bool stopping_ = false;
 };

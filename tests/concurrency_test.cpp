@@ -17,6 +17,7 @@
 #include "rsa/key.hpp"
 #include "rsa/pkcs1.hpp"
 #include "util/random.hpp"
+#include "util/thread_pool.hpp"
 
 namespace phissl {
 namespace {
@@ -119,6 +120,28 @@ TEST(Concurrency, DistinctEnginesDistinctKernelsInParallel) {
   }
   for (auto& th : threads) th.join();
   EXPECT_EQ(mismatches.load(), 0);
+}
+
+TEST(Concurrency, ThreadPoolDrainRunsEverythingThenRejectsSubmit) {
+  // The documented shutdown contract: work queued before shutdown() all
+  // runs (no silent drops, every future becomes ready), and submit after
+  // the drain begins is rejected rather than enqueued into a pool whose
+  // workers will never run it.
+  util::ThreadPool pool(3);
+  std::atomic<int> ran{0};
+  std::vector<std::future<void>> futs;
+  for (int i = 0; i < 32; ++i) {
+    futs.push_back(pool.submit([&ran] { ran++; }));
+  }
+  pool.shutdown();
+  EXPECT_EQ(ran.load(), 32);
+  for (auto& f : futs) f.get();  // all ready; none broken
+
+  EXPECT_THROW((void)pool.submit([] {}), std::runtime_error);
+  EXPECT_EQ(ran.load(), 32);  // the rejected task never ran
+
+  pool.shutdown();  // idempotent
+  EXPECT_THROW((void)pool.submit([] {}), std::runtime_error);
 }
 
 }  // namespace

@@ -97,6 +97,15 @@ TEST(Stats, BasicSummary) {
   EXPECT_DOUBLE_EQ(s.median, 3.0);
   EXPECT_NEAR(s.stddev, 1.5811, 1e-3);
   EXPECT_DOUBLE_EQ(s.p95, 5.0);
+  EXPECT_DOUBLE_EQ(s.p99, 5.0);
+}
+
+TEST(Stats, PercentilesNearestRank) {
+  std::vector<double> samples;
+  for (int i = 1; i <= 100; ++i) samples.push_back(static_cast<double>(i));
+  const Summary s = summarize(std::move(samples));
+  EXPECT_DOUBLE_EQ(s.p95, 95.0);
+  EXPECT_DOUBLE_EQ(s.p99, 99.0);
 }
 
 TEST(Stats, EvenCountMedian) {
@@ -110,6 +119,7 @@ TEST(Stats, EmptyAndSingleton) {
   EXPECT_DOUBLE_EQ(s.mean, 7.0);
   EXPECT_DOUBLE_EQ(s.stddev, 0.0);
   EXPECT_DOUBLE_EQ(s.p95, 7.0);
+  EXPECT_DOUBLE_EQ(s.p99, 7.0);
 }
 
 TEST(ThreadPool, RunsAllTasks) {

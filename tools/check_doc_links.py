@@ -1,0 +1,32 @@
+#!/usr/bin/env python3
+"""Checks that every relative markdown link in the top-level docs resolves
+to a file in the repository. External (http/mailto) links and pure
+#anchors are skipped. Exit code 1 lists every broken link."""
+import re
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+DOCS = [ROOT / "README.md", ROOT / "DESIGN.md", ROOT / "EXPERIMENTS.md",
+        ROOT / "ROADMAP.md", *sorted((ROOT / "docs").glob("*.md"))]
+LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+broken = []
+checked = 0
+for doc in DOCS:
+    if not doc.exists():
+        broken.append(f"{doc.relative_to(ROOT)}: file listed for checking is missing")
+        continue
+    for lineno, line in enumerate(doc.read_text().splitlines(), start=1):
+        for target in LINK.findall(line):
+            if target.startswith(("http://", "https://", "mailto:", "#")):
+                continue
+            checked += 1
+            path = (doc.parent / target.split("#", 1)[0]).resolve()
+            if not path.exists():
+                broken.append(f"{doc.relative_to(ROOT)}:{lineno}: broken link -> {target}")
+
+if broken:
+    print("\n".join(broken))
+    sys.exit(1)
+print(f"check_doc_links: {checked} relative links OK across {len(DOCS)} files")
