@@ -19,9 +19,13 @@
 //     max_linger instead of ~15 inter-arrival times).
 //
 //   ./bench_sign_service [--smoke] [--json [path]]
+//                        [--trace [path]] [--metrics [path]]
 //
 // --smoke shrinks the sweep to a seconds-long CI run (512-bit key, few
-// requests); --json with no path writes bench_sign_service.json.
+// requests); --json with no path writes bench_sign_service.json. --trace
+// enables span recording and writes a Chrome trace (chrome://tracing /
+// Perfetto); --metrics dumps the process metric registry in Prometheus
+// text format. Both are validated by tools/check_trace_json.py in CI.
 #include <chrono>
 #include <cmath>
 #include <cstdio>
@@ -31,6 +35,7 @@
 #include <vector>
 
 #include "bench/harness.hpp"
+#include "obs/export.hpp"
 #include "rsa/batch_engine.hpp"
 #include "rsa/key.hpp"
 #include "service/sign_service.hpp"
@@ -121,6 +126,7 @@ int main(int argc, char** argv) {
                       "async batched signing service: arrival rate x "
                       "linger-deadline sweep (Poisson open loop)");
   auto json = bench::JsonReporter::from_args("bench_sign_service", argc, argv);
+  auto obs_out = obs::ExportConfig::from_args(argc, argv);
 
   const std::size_t bits = smoke ? 512 : 1024;
   const std::size_t requests = smoke ? 48 : 600;
@@ -132,15 +138,21 @@ int main(int argc, char** argv) {
   util::Rng rng(7);
   std::array<bigint::BigInt, rsa::BatchEngine::kBatch> xs;
   for (auto& x : xs) x = bigint::BigInt::random_below(key.pub.n, rng);
+  bool cal_capped = false;
   const double t_batch_ms =
-      bench::time_op_ms([&] { (void)cal.private_op(xs); }, 3, 0.2, 50).median;
+      bench::time_op_ms([&] { (void)cal.private_op(xs); }, 3, 0.2, 50,
+                        &cal_capped)
+          .median;
   const double capacity_rps =
       static_cast<double>(rsa::BatchEngine::kBatch) / (t_batch_ms * 1e-3);
   std::printf("\nRSA-%zu: full 16-lane batch = %.2f ms -> capacity %.0f "
-              "signs/s on this host\n",
-              bits, t_batch_ms, capacity_rps);
+              "signs/s on this host%s\n",
+              bits, t_batch_ms, capacity_rps,
+              cal_capped ? " (rep-capped calibration)" : "");
   json.add_row("calibration", std::to_string(bits),
-               {{"t_batch_ms", t_batch_ms}, {"capacity_rps", capacity_rps}});
+               {{"t_batch_ms", t_batch_ms},
+                {"capacity_rps", capacity_rps},
+                {"capped", cal_capped ? 1.0 : 0.0}});
 
   struct Policy {
     const char* label;
@@ -240,5 +252,6 @@ int main(int argc, char** argv) {
                   low_rate_p99_linger < low_rate_p99_full;
   std::printf("  => %s\n", ok ? "OK" : "NOT MET (rerun; 1-core host noise)");
 
-  return json.write() ? 0 : 1;
+  const bool wrote_obs = obs_out.write();
+  return json.write() && wrote_obs ? 0 : 1;
 }

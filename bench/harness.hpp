@@ -18,10 +18,13 @@ namespace phissl::bench {
 
 /// Runs `op` repeatedly (at least min_reps times, at least min_seconds of
 /// wall time, capped at max_reps) and returns per-op latency statistics in
-/// milliseconds.
+/// milliseconds. When `capped` is non-null it reports whether the rep cap
+/// cut the run short of its time budget — a capped measurement has fewer
+/// samples than requested, so downstream consumers (JSON rows, plots)
+/// should treat its percentiles with suspicion.
 inline util::Summary time_op_ms(const std::function<void()>& op,
                                 int min_reps = 5, double min_seconds = 0.2,
-                                int max_reps = 1000) {
+                                int max_reps = 1000, bool* capped = nullptr) {
   op();  // warm-up
   std::vector<double> samples;
   util::Stopwatch total;
@@ -33,6 +36,7 @@ inline util::Summary time_op_ms(const std::function<void()>& op,
     samples.push_back(sw.elapsed_s() * 1e3);
     ++reps;
   }
+  if (capped != nullptr) *capped = total.elapsed_s() < min_seconds;
   return util::summarize(std::move(samples));
 }
 

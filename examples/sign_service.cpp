@@ -7,7 +7,12 @@
 // mid-run and the final counters, and verifies every returned signature.
 //
 //   ./sign_service [rate_rps] [requests] [linger_us]
+//                  [--trace [path]] [--metrics [path]]
 //   (defaults: 800, 160, 500)
+//
+// --trace records scoped spans (svc.sign, svc.batch, rsa.* phases, ...)
+// and writes a Chrome trace for chrome://tracing / Perfetto; --metrics
+// dumps the process metric registry in Prometheus text format.
 #include <algorithm>
 #include <chrono>
 #include <cmath>
@@ -18,6 +23,7 @@
 #include <vector>
 
 #include "bigint/bigint.hpp"
+#include "obs/export.hpp"
 #include "rsa/engine.hpp"
 #include "rsa/key.hpp"
 #include "rsa/pkcs1.hpp"
@@ -47,10 +53,22 @@ int main(int argc, char** argv) {
   using namespace phissl;
   using Clock = std::chrono::steady_clock;
 
-  const double rate = argc > 1 ? std::strtod(argv[1], nullptr) : 800.0;
+  const auto obs_out = obs::ExportConfig::from_args(argc, argv);
+
+  // Positional args, skipping the flags ExportConfig owns.
+  std::vector<const char*> pos;
+  for (int i = 1; i < argc; ++i) {
+    bool consumed_next = false;
+    if (obs::ExportConfig::owns_arg(argc, argv, i, consumed_next)) {
+      if (consumed_next) ++i;
+      continue;
+    }
+    pos.push_back(argv[i]);
+  }
+  const double rate = pos.size() > 0 ? std::strtod(pos[0], nullptr) : 800.0;
   const std::size_t requests =
-      argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 160;
-  const long linger_us = argc > 3 ? std::strtol(argv[3], nullptr, 10) : 500;
+      pos.size() > 1 ? std::strtoul(pos[1], nullptr, 10) : 160;
+  const long linger_us = pos.size() > 2 ? std::strtol(pos[2], nullptr, 10) : 500;
 
   std::printf("== async batched signing service: %.0f req/s Poisson, "
               "%zu requests, %ld us linger ==\n",
@@ -102,5 +120,6 @@ int main(int argc, char** argv) {
   std::printf("verified %zu/%zu signatures against the public keys; "
               "worst end-to-end latency %.1f ms\n",
               verified, requests, worst_ms);
+  if (!obs_out.write()) return 1;
   return verified == requests ? 0 : 1;
 }

@@ -5,9 +5,21 @@
 
 #include "mont/modexp.hpp"
 #include "mont/mont32.hpp"  // neg_inv_u32
+#include "obs/metrics.hpp"
 #include "simd/vec.hpp"
 
 namespace phissl::mont {
+
+#if PHISSL_OBS_ENABLED
+namespace {
+// One registry lookup ever; each kernel call pays one guard check plus
+// two sharded relaxed increments (mul-or-sqr + the fused REDC).
+obs::MontKernelCounters& kernel_counters() {
+  static obs::MontKernelCounters k("batch");
+  return k;
+}
+}  // namespace
+#endif
 
 using simd::Mask16;
 using simd::VecU32x16;
@@ -121,6 +133,10 @@ void BatchVectorMontCtx::mul(const Rep& a, const Rep& b, Rep& out) const {
 
 void BatchVectorMontCtx::mul(const Rep& a, const Rep& b, Rep& out,
                              Workspace& ws) const {
+#if PHISSL_OBS_ENABLED
+  kernel_counters().mul.inc();
+  kernel_counters().redc.inc();
+#endif
   assert(a.size() == d_ * kB && b.size() == d_ * kB);
 
   const std::size_t cols = 2 * d_ + 1;
@@ -182,6 +198,10 @@ void BatchVectorMontCtx::sqr(const Rep& a, Rep& out) const {
 }
 
 void BatchVectorMontCtx::sqr(const Rep& a, Rep& out, Workspace& ws) const {
+#if PHISSL_OBS_ENABLED
+  kernel_counters().sqr.inc();
+  kernel_counters().redc.inc();
+#endif
   assert(a.size() == d_ * kB);
 
   const std::size_t cols = 2 * d_ + 1;

@@ -35,6 +35,7 @@
 #include <vector>
 
 #include "bigint/bigint.hpp"
+#include "obs/trace.hpp"
 
 namespace phissl::mont {
 
@@ -111,10 +112,14 @@ void fixed_window_exp_rep(const Ctx& ctx, const typename Ctx::Rep& base,
   // grows; entries keep their capacity across calls.
   const std::size_t tsize = std::size_t{1} << w;
   if (ws.table.size() < tsize) ws.table.resize(tsize);
-  ws.table[0] = ctx.one_mont_rep();
-  ws.table[1] = base;
-  for (std::size_t e = 2; e < tsize; ++e) {
-    ctx.mul(ws.table[e - 1], base, ws.table[e], ws.kernel);
+  {
+    PHISSL_OBS_SPAN("mont.window_table", "entries",
+                    static_cast<std::uint64_t>(tsize));
+    ws.table[0] = ctx.one_mont_rep();
+    ws.table[1] = base;
+    for (std::size_t e = 2; e < tsize; ++e) {
+      ctx.mul(ws.table[e - 1], base, ws.table[e], ws.kernel);
+    }
   }
 
   const std::size_t bits = exp.bit_length();
@@ -191,10 +196,14 @@ void sliding_window_exp_rep(const Ctx& ctx, const typename Ctx::Rep& base,
   // Odd powers g^1, g^3, ..., g^(2^w - 1). ws.factor doubles as g^2.
   const std::size_t tsize = std::size_t{1} << (w - 1);
   if (ws.table.size() < tsize) ws.table.resize(tsize);
-  ws.table[0] = base;
-  ctx.sqr(base, ws.factor, ws.kernel);
-  for (std::size_t e = 1; e < tsize; ++e) {
-    ctx.mul(ws.table[e - 1], ws.factor, ws.table[e], ws.kernel);
+  {
+    PHISSL_OBS_SPAN("mont.window_table", "entries",
+                    static_cast<std::uint64_t>(tsize));
+    ws.table[0] = base;
+    ctx.sqr(base, ws.factor, ws.kernel);
+    for (std::size_t e = 1; e < tsize; ++e) {
+      ctx.mul(ws.table[e - 1], ws.factor, ws.table[e], ws.kernel);
+    }
   }
 
   out = ctx.one_mont_rep();

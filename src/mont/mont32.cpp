@@ -3,7 +3,20 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+
 namespace phissl::mont {
+
+#if PHISSL_OBS_ENABLED
+namespace {
+// One registry lookup ever; each kernel call pays one guard check plus
+// two sharded relaxed increments (mul-or-sqr + the fused REDC).
+obs::MontKernelCounters& kernel_counters() {
+  static obs::MontKernelCounters k("scalar32");
+  return k;
+}
+}  // namespace
+#endif
 
 std::uint32_t neg_inv_u32(std::uint32_t x) {
   assert(x & 1u);
@@ -112,6 +125,10 @@ void MontCtx32::mul(const Rep& a, const Rep& b, Rep& out) const {
 
 void MontCtx32::mul(const Rep& a, const Rep& b, Rep& out,
                     Workspace& ws) const {
+#if PHISSL_OBS_ENABLED
+  kernel_counters().mul.inc();
+  kernel_counters().redc.inc();
+#endif
   const std::size_t n = n_.size();
   assert(a.size() == n && b.size() == n);
   // CIOS (coarsely integrated operand scanning), Koc et al. 1996.
@@ -158,6 +175,10 @@ void MontCtx32::sqr(const Rep& a, Rep& out) const {
 }
 
 void MontCtx32::sqr(const Rep& a, Rep& out, Workspace& ws) const {
+#if PHISSL_OBS_ENABLED
+  kernel_counters().sqr.inc();
+  kernel_counters().redc.inc();
+#endif
   const std::size_t n = n_.size();
   assert(a.size() == n);
   // Phase 1: full double-width square via the symmetric schoolbook kernel

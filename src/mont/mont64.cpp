@@ -3,7 +3,20 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+
 namespace phissl::mont {
+
+#if PHISSL_OBS_ENABLED
+namespace {
+// One registry lookup ever; each kernel call pays one guard check plus
+// two sharded relaxed increments (mul-or-sqr + the fused REDC).
+obs::MontKernelCounters& kernel_counters() {
+  static obs::MontKernelCounters k("scalar64");
+  return k;
+}
+}  // namespace
+#endif
 
 using u128 = unsigned __int128;
 
@@ -115,6 +128,10 @@ void MontCtx64::mul(const Rep& a, const Rep& b, Rep& out) const {
 
 void MontCtx64::mul(const Rep& a, const Rep& b, Rep& out,
                     Workspace& ws) const {
+#if PHISSL_OBS_ENABLED
+  kernel_counters().mul.inc();
+  kernel_counters().redc.inc();
+#endif
   const std::size_t n = n_.size();
   assert(a.size() == n && b.size() == n);
   ws.t.assign(n + 2, 0);
@@ -156,6 +173,10 @@ void MontCtx64::sqr(const Rep& a, Rep& out) const {
 }
 
 void MontCtx64::sqr(const Rep& a, Rep& out, Workspace& ws) const {
+#if PHISSL_OBS_ENABLED
+  kernel_counters().sqr.inc();
+  kernel_counters().redc.inc();
+#endif
   const std::size_t n = n_.size();
   assert(a.size() == n);
   ws.t2.assign(2 * n + 2, 0);

@@ -4,9 +4,21 @@
 #include <stdexcept>
 
 #include "mont/mont32.hpp"  // neg_inv_u32
+#include "obs/metrics.hpp"
 #include "simd/vec.hpp"
 
 namespace phissl::mont {
+
+#if PHISSL_OBS_ENABLED
+namespace {
+// One registry lookup ever; each kernel call pays one guard check plus
+// two sharded relaxed increments (mul-or-sqr + the fused REDC).
+obs::MontKernelCounters& kernel_counters() {
+  static obs::MontKernelCounters k("vector");
+  return k;
+}
+}  // namespace
+#endif
 
 using simd::Mask16;
 using simd::VecU32x16;
@@ -149,6 +161,10 @@ void VectorMontCtx::mul(const Rep& a, const Rep& b, Rep& out) const {
 
 void VectorMontCtx::mul(const Rep& a, const Rep& b, Rep& out,
                         Workspace& ws) const {
+#if PHISSL_OBS_ENABLED
+  kernel_counters().mul.inc();
+  kernel_counters().redc.inc();
+#endif
   assert(a.size() == pd_ && b.size() == pd_);
 
   // Column accumulators as u32 (lo, hi) pairs. Indexed physically: outer
@@ -209,6 +225,10 @@ void VectorMontCtx::sqr(const Rep& a, Rep& out) const {
 }
 
 void VectorMontCtx::sqr(const Rep& a, Rep& out, Workspace& ws) const {
+#if PHISSL_OBS_ENABLED
+  kernel_counters().sqr.inc();
+  kernel_counters().redc.inc();
+#endif
   assert(a.size() == pd_);
 
   const std::size_t acc_len = round_up(d_ + pd_ + kLanes, kLanes);

@@ -1,0 +1,43 @@
+// CLI plumbing shared by bench harnesses and examples: parse
+// `--trace <path>` / `--metrics <path>` flags, enable span tracing when a
+// trace was requested, and write the Chrome trace + Prometheus dump next
+// to whatever else the program emits.
+//
+//   auto obs_out = obs::ExportConfig::from_args(argc, argv);
+//   ... run the workload ...
+//   obs_out.write();  // no-op when neither flag was given
+//
+// Both flags accept `--flag <path>`, `--flag=<path>`, or a bare `--flag`
+// (default paths trace.json / metrics.prom), mirroring the bench
+// harness's --json contract. tools/check_trace_json.py validates both
+// output formats in CI.
+#pragma once
+
+#include <string>
+
+namespace phissl::obs {
+
+struct ExportConfig {
+  std::string trace_path;    // empty = no trace requested
+  std::string metrics_path;  // empty = no metrics dump requested
+
+  /// Parses argv (ignoring unrelated flags) and calls set_tracing(true)
+  /// when a trace path was requested.
+  static ExportConfig from_args(int argc, char** argv);
+
+  /// True if argv[i] is one of our flags; `consumed_next` is set when the
+  /// flag takes the following argv entry as its value. Lets positional
+  /// argument parsers (examples/sign_service) skip what we own.
+  static bool owns_arg(int argc, char** argv, int i, bool& consumed_next);
+
+  [[nodiscard]] bool enabled() const {
+    return !trace_path.empty() || !metrics_path.empty();
+  }
+
+  /// Writes the requested files (Chrome trace JSON and/or Prometheus text
+  /// dump), printing each destination. Returns false after a diagnostic
+  /// if a file cannot be written.
+  [[nodiscard]] bool write() const;
+};
+
+}  // namespace phissl::obs

@@ -1,0 +1,285 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <stdexcept>
+#include <variant>
+#include <vector>
+
+namespace phissl::obs {
+
+namespace {
+
+// Lock-free monotone update of an atomic double (used for min/max).
+template <typename Cmp>
+void atomic_extreme(std::atomic<double>& a, double v, Cmp better) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (better(v, cur) &&
+         !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_add(std::atomic<double>& a, double v) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (!a.compare_exchange_weak(cur, cur + v, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+int Histogram::bucket_index(double v) noexcept {
+  if (!(v > 0.0)) return 0;  // zero, negatives -> underflow bucket
+  const int e = std::ilogb(v);  // floor(log2(v)) for finite positive v
+  const int idx = e - kMinExp;
+  return std::clamp(idx, 0, kBuckets - 1);
+}
+
+double Histogram::bucket_upper_edge(int i) noexcept {
+  return std::ldexp(1.0, kMinExp + i + 1);
+}
+
+void Histogram::record(double v) noexcept {
+  if (!std::isfinite(v)) return;
+  Shard& s = shards_[thread_shard()];
+  const std::uint64_t before = s.count.load(std::memory_order_relaxed);
+  if (before == 0) {
+    // First sample on this shard seeds min/max. Benign race within one
+    // shard is impossible: a shard belongs to a fixed set of threads, and
+    // the CAS loops below keep extremes correct even across them.
+    s.min.store(v, std::memory_order_relaxed);
+    s.max.store(v, std::memory_order_relaxed);
+  } else {
+    atomic_extreme(s.min, v, [](double a, double b) { return a < b; });
+    atomic_extreme(s.max, v, [](double a, double b) { return a > b; });
+  }
+  atomic_add(s.sum, v);
+  atomic_add(s.sum_sq, v * v);
+  s.buckets[static_cast<std::size_t>(bucket_index(v))].fetch_add(
+      1, std::memory_order_relaxed);
+  // Count released last so a reader seeing count == n also sees at least
+  // n samples' worth of sums/buckets.
+  s.count.fetch_add(1, std::memory_order_release);
+}
+
+Histogram::Snapshot Histogram::snapshot() const noexcept {
+  Snapshot out;
+  bool have_extremes = false;
+  for (const Shard& s : shards_) {
+    const std::uint64_t c = s.count.load(std::memory_order_acquire);
+    if (c == 0) continue;
+    out.count += c;
+    out.sum += s.sum.load(std::memory_order_relaxed);
+    out.sum_sq += s.sum_sq.load(std::memory_order_relaxed);
+    const double mn = s.min.load(std::memory_order_relaxed);
+    const double mx = s.max.load(std::memory_order_relaxed);
+    if (!have_extremes || mn < out.min) out.min = mn;
+    if (!have_extremes || mx > out.max) out.max = mx;
+    have_extremes = true;
+    for (int i = 0; i < kBuckets; ++i) {
+      out.buckets[static_cast<std::size_t>(i)] +=
+          s.buckets[static_cast<std::size_t>(i)].load(
+              std::memory_order_relaxed);
+    }
+  }
+  return out;
+}
+
+double Histogram::Snapshot::quantile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Nearest-rank: the ceil(q*n)-th smallest sample (1-based).
+  const std::uint64_t rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(
+             std::ceil(q * static_cast<double>(count))));
+  std::uint64_t cum = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    const std::uint64_t c = buckets[static_cast<std::size_t>(i)];
+    if (cum + c >= rank) {
+      // Linear interpolation at the rank's position within the bucket,
+      // then clamp to the exact observed range.
+      const double lo = bucket_upper_edge(i) * 0.5;
+      const double hi = bucket_upper_edge(i);
+      const double pos =
+          (static_cast<double>(rank - cum) - 0.5) / static_cast<double>(c);
+      return std::clamp(lo + pos * (hi - lo), min, max);
+    }
+    cum += c;
+  }
+  return max;
+}
+
+util::Summary Histogram::Snapshot::summary() const {
+  util::Summary s;
+  s.count = count;
+  if (count == 0) return s;
+  s.min = min;
+  s.max = max;
+  const double n = static_cast<double>(count);
+  s.mean = sum / n;
+  if (count >= 2) {
+    const double var = (sum_sq - sum * sum / n) / (n - 1.0);
+    s.stddev = std::sqrt(std::max(0.0, var));
+  }
+  s.median = quantile(0.5);
+  s.p95 = quantile(0.95);
+  s.p99 = quantile(0.99);
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+
+namespace {
+
+using AnyMetric =
+    std::variant<std::unique_ptr<Counter>, std::unique_ptr<Gauge>,
+                 std::unique_ptr<Histogram>>;
+
+struct Instance {
+  std::string labels;  // without braces; may be empty
+  AnyMetric metric;
+};
+
+struct Family {
+  std::string help;
+  std::vector<Instance> instances;
+};
+
+std::string label_suffix(const std::string& labels,
+                         const std::string& extra = "") {
+  if (labels.empty() && extra.empty()) return "";
+  std::string body = labels;
+  if (!extra.empty()) {
+    if (!body.empty()) body += ",";
+    body += extra;
+  }
+  return "{" + body + "}";
+}
+
+}  // namespace
+
+struct Registry::Impl {
+  mutable std::mutex mu;
+  // std::map: render iterates families in stable name order.
+  std::map<std::string, Family> families;
+
+  template <typename M>
+  M& lookup(const std::string& name, const std::string& help,
+            const std::string& labels) {
+    std::lock_guard<std::mutex> lock(mu);
+    Family& fam = families[name];
+    if (fam.help.empty()) fam.help = help;
+    for (Instance& inst : fam.instances) {
+      if (inst.labels == labels) {
+        auto* held = std::get_if<std::unique_ptr<M>>(&inst.metric);
+        if (held == nullptr) {
+          throw std::logic_error("obs::Registry: metric \"" + name +
+                                 "\" re-registered with a different type");
+        }
+        return **held;
+      }
+    }
+    fam.instances.push_back(Instance{labels, std::make_unique<M>()});
+    return *std::get<std::unique_ptr<M>>(fam.instances.back().metric);
+  }
+};
+
+Registry::Registry() : impl_(new Impl) {}
+Registry::~Registry() { delete impl_; }
+
+Registry& Registry::global() {
+  // Leaked on purpose (see header): instrumented threads may outlive
+  // static destruction order.
+  static Registry* r = new Registry;
+  return *r;
+}
+
+Counter& Registry::counter(const std::string& name, const std::string& help,
+                           const std::string& labels) {
+  return impl_->lookup<Counter>(name, help, labels);
+}
+
+Gauge& Registry::gauge(const std::string& name, const std::string& help,
+                       const std::string& labels) {
+  return impl_->lookup<Gauge>(name, help, labels);
+}
+
+Histogram& Registry::histogram(const std::string& name,
+                               const std::string& help,
+                               const std::string& labels) {
+  return impl_->lookup<Histogram>(name, help, labels);
+}
+
+void Registry::render_prometheus(std::ostream& os) const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  for (const auto& [name, fam] : impl_->families) {
+    if (fam.instances.empty()) continue;
+    const char* type =
+        std::holds_alternative<std::unique_ptr<Counter>>(
+            fam.instances.front().metric)
+            ? "counter"
+            : std::holds_alternative<std::unique_ptr<Gauge>>(
+                  fam.instances.front().metric)
+                  ? "gauge"
+                  : "histogram";
+    if (!fam.help.empty()) os << "# HELP " << name << " " << fam.help << "\n";
+    os << "# TYPE " << name << " " << type << "\n";
+    for (const Instance& inst : fam.instances) {
+      if (const auto* c =
+              std::get_if<std::unique_ptr<Counter>>(&inst.metric)) {
+        os << name << label_suffix(inst.labels) << " " << (*c)->value()
+           << "\n";
+      } else if (const auto* g =
+                     std::get_if<std::unique_ptr<Gauge>>(&inst.metric)) {
+        os << name << label_suffix(inst.labels) << " " << (*g)->value()
+           << "\n";
+      } else {
+        const auto& h = std::get<std::unique_ptr<Histogram>>(inst.metric);
+        const Histogram::Snapshot snap = h->snapshot();
+        std::uint64_t cum = 0;
+        for (int i = 0; i < Histogram::kBuckets; ++i) {
+          cum += snap.buckets[static_cast<std::size_t>(i)];
+          char le[32];
+          std::snprintf(le, sizeof le, "le=\"%.9g\"",
+                        Histogram::bucket_upper_edge(i));
+          os << name << "_bucket" << label_suffix(inst.labels, le) << " "
+             << cum << "\n";
+        }
+        // Under concurrent recording a bucket increment can be visible
+        // before its count increment; keep the exposition self-consistent
+        // (+Inf bucket == _count >= every cumulative bucket).
+        const std::uint64_t total = std::max(cum, snap.count);
+        os << name << "_bucket" << label_suffix(inst.labels, "le=\"+Inf\"")
+           << " " << total << "\n";
+        os << name << "_sum" << label_suffix(inst.labels) << " " << snap.sum
+           << "\n";
+        os << name << "_count" << label_suffix(inst.labels) << " " << total
+           << "\n";
+      }
+    }
+  }
+}
+
+void render_prometheus(std::ostream& os) {
+  Registry::global().render_prometheus(os);
+}
+
+MontKernelCounters::MontKernelCounters(const char* ctx_label)
+    : mul(Registry::global().counter(
+          "phissl_mont_mul_total", "Montgomery multiplications per context",
+          std::string("ctx=\"") + ctx_label + "\"")),
+      sqr(Registry::global().counter(
+          "phissl_mont_sqr_total",
+          "Montgomery squarings (dedicated kernel) per context",
+          std::string("ctx=\"") + ctx_label + "\"")),
+      redc(Registry::global().counter(
+          "phissl_mont_redc_total",
+          "Montgomery REDC passes (fused into mul/sqr) per context",
+          std::string("ctx=\"") + ctx_label + "\"")) {}
+
+}  // namespace phissl::obs

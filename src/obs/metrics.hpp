@@ -1,0 +1,226 @@
+// Process-wide low-overhead metrics: atomic counters, gauges, and
+// log-bucketed latency histograms with mergeable per-thread shards.
+//
+// Design constraints, in order:
+//
+//  1. NO mutex on any record path. Every inc()/set()/record() is a handful
+//     of relaxed-or-release atomic operations on a cache-line-padded shard
+//     picked by a per-thread index, so worker threads never contend on a
+//     lock (the SignService's old `stats_mu_` sample vectors — one global
+//     mutex taken on every request — are exactly what this replaces).
+//     Registration (name -> handle lookup) takes a mutex, but happens once
+//     per call site behind a function-local static.
+//  2. Mergeable reads. snapshot()/value() sum the shards; readers never
+//     block writers. Snapshots are only guaranteed exact once recording
+//     has quiesced (counters are monotone, so mid-run reads are still
+//     sane: see the release/acquire note on Counter).
+//  3. Near-zero when compiled out. The PHISSL_OBS CMake toggle (compile
+//     definition PHISSL_OBS_ENABLED) removes every instrumentation call
+//     site gated by the macros below. The registry classes themselves are
+//     always built — SignService::stats() is sourced from them and is API,
+//     not optional instrumentation.
+//
+// Histograms are log2-bucketed: bucket i spans [2^(kMinExp+i),
+// 2^(kMinExp+i+1)), with bucket 0 additionally catching everything below
+// (underflow, including zero and negatives) and the top bucket everything
+// above (overflow). Exact count/sum/sum-of-squares/min/max ride alongside
+// the buckets, so mean and stddev are exact and only the quantiles are
+// bucket-interpolated. Non-finite samples are ignored.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "util/stats.hpp"  // header-only Summary struct; no link dependency
+
+#ifndef PHISSL_OBS_ENABLED
+#define PHISSL_OBS_ENABLED 1
+#endif
+
+namespace phissl::obs {
+
+/// Number of per-metric shards; threads map onto shards round-robin, so
+/// contention only appears when > kShards threads record concurrently.
+inline constexpr std::size_t kShards = 16;
+
+/// Stable per-thread shard index in [0, kShards).
+inline std::size_t thread_shard() noexcept {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t idx =
+      next.fetch_add(1, std::memory_order_relaxed) % kShards;
+  return idx;
+}
+
+/// Monotone counter. inc() uses release ordering and value() acquire loads
+/// so that cross-counter invariants hold for concurrent readers when the
+/// writer orders its increments (e.g. `batches` before `full_batches`
+/// written, read back in the opposite order, can never show full > total).
+class Counter {
+ public:
+  static_assert(std::atomic<std::uint64_t>::is_always_lock_free,
+                "Counter record path must be lock-free");
+
+  void inc(std::uint64_t n = 1) noexcept {
+    shards_[thread_shard()].v.fetch_add(n, std::memory_order_release);
+  }
+
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    std::uint64_t total = 0;
+    for (const Cell& c : shards_) total += c.v.load(std::memory_order_acquire);
+    return total;
+  }
+
+ private:
+  struct alignas(64) Cell {
+    std::atomic<std::uint64_t> v{0};
+  };
+  std::array<Cell, kShards> shards_;
+};
+
+/// Point-in-time value (queue depth, in-flight batches). Unsharded: gauges
+/// are read-modify-write on one value by nature; a single relaxed atomic
+/// is still lock-free.
+class Gauge {
+ public:
+  static_assert(std::atomic<std::int64_t>::is_always_lock_free,
+                "Gauge record path must be lock-free");
+
+  void set(std::int64_t v) noexcept { v_.store(v, std::memory_order_relaxed); }
+  void add(std::int64_t n = 1) noexcept {
+    v_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void sub(std::int64_t n = 1) noexcept {
+    v_.fetch_sub(n, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::int64_t value() const noexcept {
+    return v_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::int64_t> v_{0};
+};
+
+/// Log2-bucketed histogram with per-thread shards; see the file comment
+/// for bucket semantics. Units are whatever the caller records (the
+/// service records microseconds).
+class Histogram {
+ public:
+  static_assert(std::atomic<std::uint64_t>::is_always_lock_free,
+                "Histogram record path must be lock-free");
+
+  /// First bucket upper edge is 2^(kMinExp+1); with kMinExp = -8 and
+  /// microsecond samples the buckets resolve ~4 ns .. ~18 minutes before
+  /// clamping, which covers every latency this codebase measures.
+  static constexpr int kMinExp = -8;
+  static constexpr int kBuckets = 40;
+
+  /// Bucket index for a finite value (underflow/overflow clamped).
+  static int bucket_index(double v) noexcept;
+  /// Exclusive upper edge of bucket i: 2^(kMinExp+i+1).
+  static double bucket_upper_edge(int i) noexcept;
+
+  /// Records one sample: a few relaxed/CAS atomics on this thread's
+  /// shard, no lock. Non-finite values are ignored.
+  void record(double v) noexcept;
+
+  /// Merged view of all shards. Exact for count/sum/min/max; quantiles
+  /// are interpolated within the containing bucket and clamped to
+  /// [min, max].
+  struct Snapshot {
+    std::uint64_t count = 0;
+    double sum = 0.0;
+    double sum_sq = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    std::array<std::uint64_t, kBuckets> buckets{};
+
+    /// Nearest-rank quantile estimate, q in [0, 1].
+    [[nodiscard]] double quantile(double q) const;
+    /// util::Summary-shaped view (mean/stddev exact, percentiles
+    /// bucket-estimated) — what SignService::stats() returns.
+    [[nodiscard]] util::Summary summary() const;
+  };
+
+  [[nodiscard]] Snapshot snapshot() const noexcept;
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<std::uint64_t> count{0};
+    std::atomic<double> sum{0.0};
+    std::atomic<double> sum_sq{0.0};
+    std::atomic<double> min{0.0};  // valid only when count > 0
+    std::atomic<double> max{0.0};
+    std::array<std::atomic<std::uint64_t>, kBuckets> buckets{};
+  };
+  std::array<Shard, kShards> shards_;
+};
+
+/// Named metric registry. Metrics are created on first lookup (under a
+/// mutex — cold path; cache the returned reference) and live for the
+/// registry's lifetime; references stay stable. A (name, labels) pair
+/// identifies one instance; instances sharing a name form one Prometheus
+/// family and must share a type.
+class Registry {
+ public:
+  /// The process-wide registry used by all built-in instrumentation.
+  /// Intentionally leaked so records from late-exiting threads can never
+  /// touch a destroyed registry.
+  static Registry& global();
+
+  Registry();
+  ~Registry();
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// `labels` is a pre-formatted Prometheus label body without braces,
+  /// e.g. `svc="0",reason="full"`, or empty. `help` is kept from the
+  /// first registration of the family.
+  Counter& counter(const std::string& name, const std::string& help = "",
+                   const std::string& labels = "");
+  Gauge& gauge(const std::string& name, const std::string& help = "",
+               const std::string& labels = "");
+  Histogram& histogram(const std::string& name, const std::string& help = "",
+                       const std::string& labels = "");
+
+  /// Prometheus text exposition format (# HELP/# TYPE + samples;
+  /// histograms as cumulative `le` buckets plus _sum/_count).
+  void render_prometheus(std::ostream& os) const;
+
+ private:
+  struct Impl;
+  Impl* impl_;  // raw: Registry::global() is never destroyed
+};
+
+/// Renders the global registry (the form benches and services use).
+void render_prometheus(std::ostream& os);
+
+/// mul/sqr/REDC counter bundle for one Montgomery context family, so the
+/// kernels pay one function-local-static guard instead of three lookups.
+struct MontKernelCounters {
+  Counter& mul;
+  Counter& sqr;
+  Counter& redc;
+  explicit MontKernelCounters(const char* ctx_label);
+};
+
+}  // namespace phissl::obs
+
+// Instrumentation macro for counters: declares a function-local static
+// handle (one registry lookup per call site, ever) and increments it.
+// Compiles to nothing when PHISSL_OBS is off.
+#if PHISSL_OBS_ENABLED
+#define PHISSL_OBS_COUNT_NAMED(name, help, labels, n)                  \
+  do {                                                                 \
+    static ::phissl::obs::Counter& phissl_obs_counter_ =               \
+        ::phissl::obs::Registry::global().counter(name, help, labels); \
+    phissl_obs_counter_.inc(n);                                        \
+  } while (0)
+#else
+#define PHISSL_OBS_COUNT_NAMED(name, help, labels, n) \
+  do {                                                \
+  } while (0)
+#endif

@@ -1,0 +1,168 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace phissl::obs {
+
+namespace {
+
+std::atomic<bool> g_tracing{false};
+
+/// Epoch anchor so trace timestamps start near zero (Perfetto renders
+/// absolute steady_clock values poorly).
+std::uint64_t epoch_ns() {
+  static const std::uint64_t e = util::now_ns();
+  return e;
+}
+
+// Minimal JSON string escaper; span names are static literals we control,
+// but a stray quote must not corrupt the whole trace file.
+void write_escaped(std::ostream& os, const char* s) {
+  for (; *s != '\0'; ++s) {
+    const char c = *s;
+    if (c == '"' || c == '\\') {
+      os << '\\' << c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      os << ' ';
+    } else {
+      os << c;
+    }
+  }
+}
+
+}  // namespace
+
+bool tracing_enabled() noexcept {
+  return g_tracing.load(std::memory_order_relaxed);
+}
+
+void set_tracing(bool on) noexcept {
+  if (on) (void)epoch_ns();  // pin the epoch before the first span
+  g_tracing.store(on, std::memory_order_relaxed);
+}
+
+struct Ring {
+  explicit Ring(std::uint32_t id) : tid(id), slots(Tracer::kRingCapacity) {}
+  std::uint32_t tid;
+  std::vector<SpanRecord> slots;
+  // Monotone logical write position; slot = head % capacity. The owning
+  // thread is the only writer; drains read up to an acquire-loaded head.
+  std::atomic<std::uint64_t> head{0};
+};
+
+struct Tracer::Impl {
+  mutable std::mutex rings_mu;
+  std::vector<std::shared_ptr<Ring>> rings;
+
+  Ring& local_ring() {
+    thread_local std::shared_ptr<Ring> mine;
+    if (!mine) {
+      std::lock_guard<std::mutex> lock(rings_mu);
+      mine = std::make_shared<Ring>(static_cast<std::uint32_t>(rings.size()));
+      rings.push_back(mine);  // keeps the ring alive past thread exit
+    }
+    return *mine;
+  }
+};
+
+Tracer::Tracer() : impl_(new Impl) {}
+
+Tracer& Tracer::global() {
+  static Tracer* t = new Tracer;  // leaked: threads may outlive statics
+  return *t;
+}
+
+void Tracer::record(const char* name, std::uint64_t start_ns,
+                    std::uint64_t dur_ns, const char* arg_name,
+                    std::uint64_t arg) noexcept {
+  Ring& ring = impl_->local_ring();
+  const std::uint64_t h = ring.head.load(std::memory_order_relaxed);
+  SpanRecord& slot = ring.slots[h % kRingCapacity];
+  slot.name = name;
+  slot.arg_name = arg_name;
+  slot.arg = arg;
+  slot.start_ns = start_ns - std::min(start_ns, epoch_ns());
+  slot.dur_ns = dur_ns;
+  slot.tid = ring.tid;
+  ring.head.store(h + 1, std::memory_order_release);
+}
+
+void Tracer::write_chrome_trace(std::ostream& os) const {
+  std::lock_guard<std::mutex> lock(impl_->rings_mu);
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  std::uint64_t dropped = 0;
+  for (const auto& ring : impl_->rings) {
+    const std::uint64_t head = ring->head.load(std::memory_order_acquire);
+    const std::uint64_t n = std::min<std::uint64_t>(head, kRingCapacity);
+    dropped += head - n;
+    for (std::uint64_t i = head - n; i < head; ++i) {
+      const SpanRecord& r = ring->slots[i % kRingCapacity];
+      os << (first ? "\n" : ",\n");
+      first = false;
+      os << "{\"name\":\"";
+      write_escaped(os, r.name);
+      // ts/dur are microseconds; fixed %.3f keeps ns resolution at any
+      // trace length (default ostream precision would truncate).
+      char times[80];
+      std::snprintf(times, sizeof times,
+                    "\",\"cat\":\"phissl\",\"ph\":\"X\",\"ts\":%.3f,"
+                    "\"dur\":%.3f",
+                    static_cast<double>(r.start_ns) * 1e-3,
+                    static_cast<double>(r.dur_ns) * 1e-3);
+      os << times << ",\"pid\":1,\"tid\":" << r.tid;
+      if (r.arg_name != nullptr) {
+        os << ",\"args\":{\"";
+        write_escaped(os, r.arg_name);
+        os << "\":" << r.arg << "}";
+      }
+      os << "}";
+    }
+  }
+  // Drop total as a Chrome counter event, so a wrapped trace is visibly
+  // truncated rather than silently complete.
+  os << (first ? "\n" : ",\n")
+     << "{\"name\":\"trace_dropped_spans\",\"ph\":\"C\",\"ts\":0,\"pid\":1,"
+        "\"args\":{\"dropped\":"
+     << dropped << "}}";
+  os << "\n]}\n";
+}
+
+std::uint64_t Tracer::dropped_total() const {
+  std::lock_guard<std::mutex> lock(impl_->rings_mu);
+  std::uint64_t dropped = 0;
+  for (const auto& ring : impl_->rings) {
+    const std::uint64_t head = ring->head.load(std::memory_order_acquire);
+    dropped += head - std::min<std::uint64_t>(head, kRingCapacity);
+  }
+  return dropped;
+}
+
+std::uint64_t Tracer::recorded_total() const {
+  std::lock_guard<std::mutex> lock(impl_->rings_mu);
+  std::uint64_t total = 0;
+  for (const auto& ring : impl_->rings) {
+    total += ring->head.load(std::memory_order_acquire);
+  }
+  return total;
+}
+
+void Tracer::clear() {
+  std::lock_guard<std::mutex> lock(impl_->rings_mu);
+  for (const auto& ring : impl_->rings) {
+    ring->head.store(0, std::memory_order_release);
+  }
+}
+
+void write_chrome_trace(std::ostream& os) {
+  Tracer::global().write_chrome_trace(os);
+}
+
+}  // namespace phissl::obs

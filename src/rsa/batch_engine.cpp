@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "mont/modexp.hpp"
+#include "obs/trace.hpp"
 
 namespace phissl::rsa {
 
@@ -44,21 +45,32 @@ void BatchEngine::private_op(std::span<const BigInt> xs,
     throw std::invalid_argument(
         "BatchEngine::private_op: need 16 inputs and 16 outputs");
   }
+  PHISSL_OBS_SPAN("rsa.batch_private_op");
   BatchScratch& s = batch_scratch();
-  for (std::size_t l = 0; l < kBatch; ++l) {
-    if (xs[l].is_negative() || xs[l] >= key_.pub.n) {
-      throw std::invalid_argument(
-          "BatchEngine::private_op: inputs must be in [0, n)");
+  {
+    PHISSL_OBS_SPAN("rsa.crt_reduce");
+    for (std::size_t l = 0; l < kBatch; ++l) {
+      if (xs[l].is_negative() || xs[l] >= key_.pub.n) {
+        throw std::invalid_argument(
+            "BatchEngine::private_op: inputs must be in [0, n)");
+      }
+      BigInt::divmod(xs[l], key_.p, s.quot, s.xp[l]);
+      BigInt::divmod(xs[l], key_.q, s.quot, s.xq[l]);
     }
-    BigInt::divmod(xs[l], key_.p, s.quot, s.xp[l]);
-    BigInt::divmod(xs[l], key_.q, s.quot, s.xq[l]);
   }
   // Two batched half-size exponentiations (shared exponents dp, dq).
-  ctx_p_.mod_exp(s.xp, key_.dp, s.m1, s.wsp);
-  ctx_q_.mod_exp(s.xq, key_.dq, s.m2, s.wsq);
+  {
+    PHISSL_OBS_SPAN("rsa.mod_exp_p");
+    ctx_p_.mod_exp(s.xp, key_.dp, s.m1, s.wsp);
+  }
+  {
+    PHISSL_OBS_SPAN("rsa.mod_exp_q");
+    ctx_q_.mod_exp(s.xq, key_.dq, s.m2, s.wsq);
+  }
   // Garner recombination per lane (scalar; cheap next to the modexps).
   // Sign-tracked so the magnitude subtraction runs largest-first in place
   // (see Engine::private_op_crt_into).
+  PHISSL_OBS_SPAN("rsa.crt_recombine");
   for (std::size_t l = 0; l < kBatch; ++l) {
     const bool diff_neg = s.m1[l] < s.m2[l];
     if (diff_neg) {

@@ -4,6 +4,7 @@
 #include <type_traits>
 
 #include "mont/modexp.hpp"
+#include "obs/trace.hpp"
 #include "util/random.hpp"
 
 namespace phissl::rsa {
@@ -119,13 +120,24 @@ BigInt Engine::private_op_crt(const BigInt& x) const {
 }
 
 void Engine::private_op_crt_into(const BigInt& x, BigInt& out) const {
+  PHISSL_OBS_SPAN("rsa.private_op_crt");
   const PrivateKey& k = *priv_;
   CrtScratch& s = crt_scratch();
   // Half-size exponentiations mod p and q, then Garner recombination.
-  BigInt::divmod(x, k.p, s.quot, s.xp);
-  BigInt::divmod(x, k.q, s.quot, s.xq);
-  mod_exp_into(*ctx_p_, s.xp, k.dp, s.m1);
-  mod_exp_into(*ctx_q_, s.xq, k.dq, s.m2);
+  {
+    PHISSL_OBS_SPAN("rsa.crt_reduce");
+    BigInt::divmod(x, k.p, s.quot, s.xp);
+    BigInt::divmod(x, k.q, s.quot, s.xq);
+  }
+  {
+    PHISSL_OBS_SPAN("rsa.mod_exp_p");
+    mod_exp_into(*ctx_p_, s.xp, k.dp, s.m1);
+  }
+  {
+    PHISSL_OBS_SPAN("rsa.mod_exp_q");
+    mod_exp_into(*ctx_q_, s.xq, k.dq, s.m2);
+  }
+  PHISSL_OBS_SPAN("rsa.crt_recombine");
   // h = qinv * (m1 - m2) mod p. Track the sign of (m1 - m2) explicitly so
   // the magnitude subtraction always runs largest-first in place (the
   // other order would allocate a temporary inside operator-=).

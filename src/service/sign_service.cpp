@@ -6,6 +6,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "rsa/pkcs1.hpp"
 #include "util/sha256.hpp"
 
@@ -20,7 +22,61 @@ double to_us(Clock::duration d) {
   return std::chrono::duration<double, std::micro>(d).count();
 }
 
+// Prometheus label body identifying one service instance. Each SignService
+// gets its own metric instances so tests running several services in one
+// process never see each other's counts.
+std::string next_svc_labels() {
+  static std::atomic<std::uint64_t> next{0};
+  return "svc=\"" + std::to_string(next.fetch_add(1)) + "\"";
+}
+
 }  // namespace
+
+/// Registry-backed stats block. References are stable for the process
+/// lifetime (Registry::global() never destroys metrics), so holding them
+/// across the service's life is safe.
+struct SignService::Metrics {
+  obs::Counter& requests;
+  obs::Counter& batches;
+  obs::Counter& full_batches;
+  obs::Counter& padded_lanes;
+  obs::Counter& lanes_signed;
+  obs::Counter& flush_full;
+  obs::Counter& flush_linger;
+  obs::Counter& flush_drain;
+  obs::Histogram& queue_wait_us;
+  obs::Histogram& service_us;
+
+  explicit Metrics(const std::string& svc)
+      : requests(obs::Registry::global().counter(
+            "phissl_service_requests_total", "sign() calls accepted", svc)),
+        batches(obs::Registry::global().counter(
+            "phissl_service_batches_total", "16-lane dispatches issued", svc)),
+        full_batches(obs::Registry::global().counter(
+            "phissl_service_full_batches_total",
+            "dispatches with no padded lane", svc)),
+        padded_lanes(obs::Registry::global().counter(
+            "phissl_service_padded_lanes_total",
+            "dummy lanes across all dispatched batches", svc)),
+        lanes_signed(obs::Registry::global().counter(
+            "phissl_service_lanes_signed_total",
+            "caller requests dispatched (real lanes)", svc)),
+        flush_full(obs::Registry::global().counter(
+            "phissl_service_flush_total", "batch flushes by reason",
+            svc + ",reason=\"full\"")),
+        flush_linger(obs::Registry::global().counter(
+            "phissl_service_flush_total", "batch flushes by reason",
+            svc + ",reason=\"linger\"")),
+        flush_drain(obs::Registry::global().counter(
+            "phissl_service_flush_total", "batch flushes by reason",
+            svc + ",reason=\"drain\"")),
+        queue_wait_us(obs::Registry::global().histogram(
+            "phissl_service_queue_wait_us",
+            "per-request sign()-to-dispatch wait (microseconds)", svc)),
+        service_us(obs::Registry::global().histogram(
+            "phissl_service_batch_service_us",
+            "per-batch kernel + completion time (microseconds)", svc)) {}
+};
 
 /// One queued request: the EMSA-encoded digest as an integer in [0, n),
 /// plus the promise the dispatch path fulfills.
@@ -53,7 +109,9 @@ struct SignService::Shard {
 };
 
 SignService::SignService(SignServiceConfig config)
-    : config_(config), pool_(config.dispatch_threads) {
+    : config_(config),
+      metrics_(std::make_unique<Metrics>(next_svc_labels())),
+      pool_(config.dispatch_threads) {
   linger_thread_ = std::thread([this] { linger_loop(); });
 }
 
@@ -87,6 +145,7 @@ const rsa::PublicKey& SignService::public_key(const std::string& key_id) const {
 
 std::future<SignResult> SignService::sign(
     const std::string& key_id, std::span<const std::uint8_t> digest) {
+  PHISSL_OBS_SPAN("svc.sign");
   Shard& shard = find_shard(key_id);
 
   Pending p;
@@ -113,13 +172,11 @@ std::future<SignResult> SignService::sign(
       shard.pending.clear();
     }
   }
-  {
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    ++requests_;
-  }
+  metrics_->requests.inc();
 
   if (!batch.empty()) {
-    dispatch(shard, std::move(batch));  // fast path: 16 pending, go now
+    // Fast path: 16 pending, go now.
+    dispatch(shard, std::move(batch), FlushReason::kFull);
   } else if (first_pending && !config_.full_batches_only) {
     // Arm the linger timer for this shard's new deadline.
     {
@@ -131,26 +188,40 @@ std::future<SignResult> SignService::sign(
   return fut;
 }
 
-void SignService::dispatch(Shard& shard, std::vector<Pending>&& batch) {
+void SignService::dispatch(Shard& shard, std::vector<Pending>&& batch,
+                           FlushReason why) {
   const Clock::time_point dispatch_time = Clock::now();
   const std::size_t real = batch.size();
   // shared_ptr because ThreadPool::submit takes a copyable std::function
   // and promises are move-only.
   auto work = std::make_shared<std::vector<Pending>>(std::move(batch));
 
-  {
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    ++batches_;
-    if (real == kBatch) ++full_batches_;
-    padded_lanes_ += kBatch - real;
-    lanes_signed_ += real;
-    for (const Pending& p : *work) {
-      queue_wait_us_.push_back(to_us(dispatch_time - p.submitted));
-    }
+  // No lock: every record below is a shard-local atomic. `batches` is
+  // incremented BEFORE `full_batches` (and stats() reads them in the
+  // opposite order), so a concurrent snapshot can never observe
+  // full_batches > batches.
+  metrics_->batches.inc();
+  if (real == kBatch) metrics_->full_batches.inc();
+  metrics_->padded_lanes.inc(kBatch - real);
+  metrics_->lanes_signed.inc(real);
+  switch (why) {
+    case FlushReason::kFull:
+      metrics_->flush_full.inc();
+      break;
+    case FlushReason::kLinger:
+      metrics_->flush_linger.inc();
+      break;
+    case FlushReason::kDrain:
+      metrics_->flush_drain.inc();
+      break;
+  }
+  for (const Pending& p : *work) {
+    metrics_->queue_wait_us.record(to_us(dispatch_time - p.submitted));
   }
 
   inflight_.fetch_add(1);
-  auto run = [this, &shard, work, dispatch_time] {
+  auto run = [this, &shard, work, dispatch_time, real] {
+    PHISSL_OBS_SPAN("svc.batch", "lanes", static_cast<std::uint64_t>(real));
     std::array<BigInt, kBatch> xs;
     std::array<BigInt, kBatch> out;
     for (std::size_t l = 0; l < kBatch; ++l) {
@@ -169,8 +240,7 @@ void SignService::dispatch(Shard& shard, std::vector<Pending>&& batch) {
         (*work)[l].promise.set_value(SignResult{
             std::move(sigs[l]), (*work)[l].submitted, done});
       }
-      std::lock_guard<std::mutex> lock(stats_mu_);
-      service_us_.push_back(to_us(done - dispatch_time));
+      metrics_->service_us.record(to_us(done - dispatch_time));
     } catch (...) {
       for (Pending& p : *work) {
         p.promise.set_exception(std::current_exception());
@@ -230,6 +300,7 @@ void SignService::linger_loop() {
     if (inflight_.load() >= pool_.size()) continue;  // slot filled meanwhile
 
     // Deadline reached: flush every shard whose oldest request expired.
+    PHISSL_OBS_SPAN("svc.linger_flush");
     const Clock::time_point now = Clock::now();
     std::vector<std::pair<Shard*, std::vector<Pending>>> flushes;
     {
@@ -244,29 +315,27 @@ void SignService::linger_loop() {
       }
     }
     for (auto& [shard, batch] : flushes) {
-      dispatch(*shard, std::move(batch));
+      dispatch(*shard, std::move(batch), FlushReason::kLinger);
     }
   }
 }
 
 StatsSnapshot SignService::stats() const {
   StatsSnapshot s;
-  std::vector<double> qw, sv;
-  {
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    s.requests = requests_;
-    s.batches = batches_;
-    s.full_batches = full_batches_;
-    s.padded_lanes = padded_lanes_;
-    s.mean_lane_occupancy =
-        batches_ == 0 ? 0.0
-                      : static_cast<double>(lanes_signed_) /
-                            static_cast<double>(batches_ * kBatch);
-    qw = queue_wait_us_;
-    sv = service_us_;
-  }
-  s.queue_wait_us = util::summarize(std::move(qw));
-  s.service_us = util::summarize(std::move(sv));
+  // Lock-free: counter value() is an acquire-load sum. full_batches is
+  // read BEFORE batches (dispatch() increments them in the opposite
+  // order), so a mid-run snapshot can never show full_batches > batches.
+  s.full_batches = metrics_->full_batches.value();
+  s.batches = metrics_->batches.value();
+  s.requests = metrics_->requests.value();
+  s.padded_lanes = metrics_->padded_lanes.value();
+  const std::uint64_t lanes_signed = metrics_->lanes_signed.value();
+  s.mean_lane_occupancy =
+      s.batches == 0 ? 0.0
+                     : static_cast<double>(lanes_signed) /
+                           static_cast<double>(s.batches * kBatch);
+  s.queue_wait_us = metrics_->queue_wait_us.snapshot().summary();
+  s.service_us = metrics_->service_us.snapshot().summary();
   return s;
 }
 
@@ -298,7 +367,7 @@ void SignService::stop() {
     }
   }
   for (auto& [shard, batch] : flushes) {
-    dispatch(*shard, std::move(batch));
+    dispatch(*shard, std::move(batch), FlushReason::kDrain);
   }
   pool_.shutdown();
   stopped_ = true;

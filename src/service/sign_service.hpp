@@ -143,8 +143,12 @@ class SignService {
   struct Pending;
   struct Shard;
 
+  /// Why a batch left the queue: 16 pending (full), linger deadline, or
+  /// the stop() drain. Feeds the phissl_service_flush_total counters.
+  enum class FlushReason { kFull, kLinger, kDrain };
+
   Shard& find_shard(const std::string& key_id) const;
-  void dispatch(Shard& shard, std::vector<Pending>&& batch);
+  void dispatch(Shard& shard, std::vector<Pending>&& batch, FlushReason why);
   void linger_loop();
 
   SignServiceConfig config_;
@@ -152,15 +156,13 @@ class SignService {
   mutable std::mutex shards_mu_;
   std::unordered_map<std::string, std::unique_ptr<Shard>> shards_;
 
-  // Stats block: monotonically increasing counters + latency samples.
-  mutable std::mutex stats_mu_;
-  std::uint64_t requests_ = 0;
-  std::uint64_t batches_ = 0;
-  std::uint64_t full_batches_ = 0;
-  std::uint64_t padded_lanes_ = 0;
-  std::uint64_t lanes_signed_ = 0;
-  std::vector<double> queue_wait_us_;
-  std::vector<double> service_us_;
+  // Stats block: obs::Registry-backed counters and histograms, labelled
+  // svc="N" per instance so concurrent services stay separate. Every
+  // record path is lock-free (this replaced a global stats mutex taken on
+  // each request — see src/obs/metrics.hpp); stats() reassembles the same
+  // StatsSnapshot from counter sums and histogram snapshots.
+  struct Metrics;
+  std::unique_ptr<Metrics> metrics_;
 
   // Linger timer: one thread waking at the earliest partial-batch
   // deadline. gen_ bumps on every first-pending arrival and on every

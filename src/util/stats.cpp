@@ -7,6 +7,13 @@ namespace phissl::util {
 
 Summary summarize(std::vector<double> samples) {
   Summary s;
+  // NaN/inf samples (a zero-duration op divided away, a poisoned timer)
+  // would otherwise poison every aggregate — and NaN comparisons break
+  // std::sort's strict-weak-ordering contract. Summarize the finite
+  // subset; count reports only what was summarized.
+  samples.erase(std::remove_if(samples.begin(), samples.end(),
+                               [](double v) { return !std::isfinite(v); }),
+                samples.end());
   s.count = samples.size();
   if (samples.empty()) return s;
 

@@ -28,6 +28,11 @@ struct Summary {
 /// it). Empty input yields a zeroed Summary. Percentiles use the
 /// nearest-rank definition: the ceil(p*n)-th smallest sample, so for
 /// small n the high percentiles coincide with max.
+///
+/// Non-finite samples (NaN, ±inf) are dropped before summarizing — they
+/// would poison every aggregate and violate std::sort's ordering
+/// contract — so `count` reports the finite subset only; an all-non-finite
+/// input yields a zeroed Summary like an empty one.
 Summary summarize(std::vector<double> samples);
 
 }  // namespace phissl::util

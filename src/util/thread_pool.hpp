@@ -8,6 +8,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
@@ -61,8 +62,15 @@ class ThreadPool {
  private:
   void worker_loop();
 
+  /// A queued task plus its enqueue timestamp, so the dequeuing worker
+  /// can record the queue-wait histogram (phissl_pool_task_wait_us).
+  struct Queued {
+    std::packaged_task<void()> task;
+    std::uint64_t enqueue_ns;
+  };
+
   std::vector<std::thread> workers_;
-  std::deque<std::packaged_task<void()>> queue_;
+  std::deque<Queued> queue_;
   std::mutex mu_;
   std::mutex join_mu_;  // serializes concurrent shutdown() callers
   std::condition_variable cv_;

@@ -1,0 +1,343 @@
+// Unit tests for src/obs: histogram bucket boundaries (edge values,
+// underflow/overflow), exact aggregates, quantile monotonicity, registry
+// identity and Prometheus rendering, tracer ring wraparound (oldest spans
+// dropped, drop counter, drained JSON well-formed), the runtime tracing
+// toggle, record-path lock-freedom under thread contention, and the
+// --trace/--metrics flag parser.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace phissl::obs {
+namespace {
+
+std::size_t count_occurrences(const std::string& haystack,
+                              const std::string& needle) {
+  std::size_t n = 0;
+  for (std::size_t pos = haystack.find(needle); pos != std::string::npos;
+       pos = haystack.find(needle, pos + needle.size())) {
+    ++n;
+  }
+  return n;
+}
+
+// --- histogram buckets ------------------------------------------------------
+
+TEST(HistogramBuckets, PowerOfTwoBoundaries) {
+  // kMinExp = -8: bucket i spans [2^(-8+i), 2^(-8+i+1)). 1.0 = 2^0 lands
+  // exactly on the lower edge of bucket 8; just below it belongs to 7.
+  EXPECT_EQ(Histogram::bucket_index(1.0), 8);
+  EXPECT_EQ(Histogram::bucket_index(std::nextafter(1.0, 0.0)), 7);
+  EXPECT_EQ(Histogram::bucket_index(2.0), 9);
+  EXPECT_EQ(Histogram::bucket_index(std::nextafter(2.0, 0.0)), 8);
+  EXPECT_DOUBLE_EQ(Histogram::bucket_upper_edge(8), 2.0);
+  EXPECT_DOUBLE_EQ(Histogram::bucket_upper_edge(0), 0.0078125);  // 2^-7
+}
+
+TEST(HistogramBuckets, UnderflowClampsToBucketZero) {
+  EXPECT_EQ(Histogram::bucket_index(0.0), 0);
+  EXPECT_EQ(Histogram::bucket_index(-17.0), 0);
+  EXPECT_EQ(Histogram::bucket_index(1e-300), 0);
+  // 2^-8 is bucket 0's own lower edge; anything below it also clamps there.
+  EXPECT_EQ(Histogram::bucket_index(0.00390625), 0);
+  EXPECT_EQ(Histogram::bucket_index(std::nextafter(0.00390625, 0.0)), 0);
+}
+
+TEST(HistogramBuckets, OverflowClampsToTopBucket) {
+  const int top = Histogram::kBuckets - 1;
+  // Top bucket's lower edge is 2^(kMinExp + kBuckets - 1) = 2^31.
+  EXPECT_EQ(Histogram::bucket_index(std::ldexp(1.0, 31)), top);
+  EXPECT_EQ(Histogram::bucket_index(std::ldexp(1.0, 30)), top - 1);
+  EXPECT_EQ(Histogram::bucket_index(1e300), top);
+}
+
+TEST(Histogram, ExactAggregatesAndNonFiniteIgnored) {
+  Histogram h;
+  h.record(0.5);
+  h.record(4.0);
+  h.record(-2.0);    // underflow bucket, but exact min tracks it
+  h.record(1e12);    // overflow bucket
+  h.record(std::numeric_limits<double>::quiet_NaN());  // ignored
+  h.record(std::numeric_limits<double>::infinity());   // ignored
+
+  const Histogram::Snapshot s = h.snapshot();
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_DOUBLE_EQ(s.sum, 0.5 + 4.0 - 2.0 + 1e12);
+  EXPECT_DOUBLE_EQ(s.min, -2.0);
+  EXPECT_DOUBLE_EQ(s.max, 1e12);
+  EXPECT_EQ(s.buckets[0], 1u);  // -2.0
+  EXPECT_EQ(s.buckets[static_cast<std::size_t>(Histogram::bucket_index(
+                0.5))],
+            1u);
+  EXPECT_EQ(s.buckets[static_cast<std::size_t>(Histogram::kBuckets - 1)],
+            1u);  // 1e12
+  std::uint64_t bucket_total = 0;
+  for (const std::uint64_t b : s.buckets) bucket_total += b;
+  EXPECT_EQ(bucket_total, s.count);
+}
+
+TEST(Histogram, QuantilesMonotoneAndClampedToObservedRange) {
+  Histogram h;
+  for (int i = 1; i <= 1000; ++i) h.record(static_cast<double>(i));
+  const Histogram::Snapshot s = h.snapshot();
+  const double q50 = s.quantile(0.5);
+  const double q95 = s.quantile(0.95);
+  const double q99 = s.quantile(0.99);
+  const double q100 = s.quantile(1.0);
+  EXPECT_LE(s.quantile(0.0), q50);
+  EXPECT_LE(q50, q95);
+  EXPECT_LE(q95, q99);
+  EXPECT_LE(q99, q100);
+  EXPECT_GE(q50, s.min);
+  EXPECT_LE(q100, s.max);
+  // Bucket interpolation is coarse but must stay in the right ballpark:
+  // the true median is 500, inside bucket [256, 512).
+  EXPECT_GE(q50, 256.0);
+  EXPECT_LE(q50, 512.0);
+
+  const util::Summary sum = s.summary();
+  EXPECT_EQ(sum.count, 1000u);
+  EXPECT_DOUBLE_EQ(sum.mean, 500.5);
+  EXPECT_LE(sum.median, sum.p95);
+  EXPECT_LE(sum.p95, sum.p99);
+}
+
+// --- registry ---------------------------------------------------------------
+
+TEST(Registry, SameNameAndLabelsIsSameInstance) {
+  Registry reg;
+  Counter& a = reg.counter("obs_test_ctr", "help", "k=\"1\"");
+  Counter& b = reg.counter("obs_test_ctr", "help", "k=\"1\"");
+  Counter& other = reg.counter("obs_test_ctr", "help", "k=\"2\"");
+  EXPECT_EQ(&a, &b);
+  EXPECT_NE(&a, &other);
+  a.inc(3);
+  EXPECT_EQ(b.value(), 3u);
+  EXPECT_EQ(other.value(), 0u);
+}
+
+TEST(Registry, TypeMismatchThrows) {
+  Registry reg;
+  (void)reg.counter("obs_test_clash", "");
+  EXPECT_THROW((void)reg.histogram("obs_test_clash", ""), std::logic_error);
+  EXPECT_THROW((void)reg.gauge("obs_test_clash", ""), std::logic_error);
+}
+
+TEST(Registry, RendersPrometheusTextFormat) {
+  Registry reg;
+  reg.counter("obs_test_requests_total", "requests served", "svc=\"9\"")
+      .inc(7);
+  reg.gauge("obs_test_depth", "queue depth").set(-3);
+  Histogram& h = reg.histogram("obs_test_lat_us", "latency");
+  h.record(1.5);
+  h.record(3.0);
+
+  std::ostringstream os;
+  reg.render_prometheus(os);
+  const std::string text = os.str();
+
+  EXPECT_NE(text.find("# TYPE obs_test_requests_total counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("# HELP obs_test_requests_total requests served"),
+            std::string::npos);
+  EXPECT_NE(text.find("obs_test_requests_total{svc=\"9\"} 7"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE obs_test_depth gauge"), std::string::npos);
+  EXPECT_NE(text.find("obs_test_depth -3"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE obs_test_lat_us histogram"),
+            std::string::npos);
+  EXPECT_NE(text.find("obs_test_lat_us_bucket{le=\"+Inf\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("obs_test_lat_us_count 2"), std::string::npos);
+  EXPECT_NE(text.find("obs_test_lat_us_sum 4.5"), std::string::npos);
+
+  // Cumulative le buckets must be monotone non-decreasing.
+  std::istringstream lines(text);
+  std::string line;
+  std::uint64_t prev = 0;
+  bool saw_bucket = false;
+  while (std::getline(lines, line)) {
+    if (line.rfind("obs_test_lat_us_bucket", 0) != 0) continue;
+    const std::uint64_t v =
+        std::stoull(line.substr(line.find_last_of(' ') + 1));
+    EXPECT_GE(v, prev);
+    prev = v;
+    saw_bucket = true;
+  }
+  EXPECT_TRUE(saw_bucket);
+}
+
+// --- tracer -----------------------------------------------------------------
+
+TEST(Tracer, RingWraparoundDropsOldestAndCountsDrops) {
+  Tracer& t = Tracer::global();
+  t.clear();
+  const std::uint64_t extra = 100;
+  for (std::uint64_t i = 0; i < Tracer::kRingCapacity + extra; ++i) {
+    t.record("wrap_span", i * 1000, 500, "i", i);
+  }
+  EXPECT_EQ(t.dropped_total(), extra);
+  EXPECT_EQ(t.recorded_total(), Tracer::kRingCapacity + extra);
+
+  std::ostringstream os;
+  t.write_chrome_trace(os);
+  const std::string json = os.str();
+
+  // Shape: one complete ("X") event per surviving span, plus the drop
+  // counter event; the file opens/closes as a single JSON object.
+  EXPECT_EQ(json.rfind("{\"traceEvents\":[", 0), 0u);
+  EXPECT_NE(json.find("]}"), std::string::npos);
+  EXPECT_EQ(count_occurrences(json, "\"ph\":\"X\""), Tracer::kRingCapacity);
+  EXPECT_NE(json.find("\"name\":\"trace_dropped_spans\",\"ph\":\"C\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"args\":{\"dropped\":100}"), std::string::npos);
+
+  // The OLDEST spans are the ones dropped: args 0..99 are gone, arg 100
+  // is the first survivor and the newest span is present.
+  EXPECT_EQ(json.find("\"args\":{\"i\":99}"), std::string::npos);
+  EXPECT_NE(json.find("\"args\":{\"i\":100}"), std::string::npos);
+  EXPECT_NE(json.find("\"args\":{\"i\":" +
+                      std::to_string(Tracer::kRingCapacity + extra - 1) + "}"),
+            std::string::npos);
+
+  t.clear();
+  EXPECT_EQ(t.dropped_total(), 0u);
+  EXPECT_EQ(t.recorded_total(), 0u);
+}
+
+TEST(Tracer, ScopedSpanRespectsRuntimeToggle) {
+#if !PHISSL_OBS_ENABLED
+  GTEST_SKIP() << "span sites compile to nothing under -DPHISSL_OBS=OFF";
+#endif
+  Tracer& t = Tracer::global();
+  t.clear();
+  set_tracing(false);
+  {
+    PHISSL_OBS_SPAN("toggle_off_span");
+  }
+  EXPECT_EQ(t.recorded_total(), 0u);
+  set_tracing(true);
+  {
+    PHISSL_OBS_SPAN("toggle_on_span", "arg", 42);
+  }
+  set_tracing(false);
+  EXPECT_EQ(t.recorded_total(), 1u);
+  std::ostringstream os;
+  t.write_chrome_trace(os);
+  EXPECT_NE(os.str().find("toggle_on_span"), std::string::npos);
+  EXPECT_NE(os.str().find("\"args\":{\"arg\":42}"), std::string::npos);
+  t.clear();
+}
+
+// --- record-path lock-freedom under contention ------------------------------
+
+// The whole point of the obs record path is that worker threads never
+// share a lock: the primitives are statically lock-free, and hammering
+// one shared metric from many threads (with a concurrent reader) must
+// lose no updates and observe only monotone counter values.
+TEST(Concurrency, RecordPathIsLockFreeAndExact) {
+  static_assert(std::atomic<std::uint64_t>::is_always_lock_free);
+  static_assert(std::atomic<std::int64_t>::is_always_lock_free);
+  static_assert(std::atomic<double>::is_always_lock_free);
+
+  constexpr int kThreads = 8;
+  constexpr int kOps = 50'000;
+  Counter ctr;
+  Histogram hist;
+  std::atomic<bool> stop_reader{false};
+  std::atomic<bool> reader_saw_decrease{false};
+
+  std::thread reader([&] {
+    std::uint64_t prev = 0;
+    while (!stop_reader.load()) {
+      const std::uint64_t v = ctr.value();
+      if (v < prev) reader_saw_decrease.store(true);
+      prev = v;
+    }
+  });
+
+  std::vector<std::thread> writers;
+  writers.reserve(kThreads);
+  for (int w = 0; w < kThreads; ++w) {
+    writers.emplace_back([&, w] {
+      for (int i = 0; i < kOps; ++i) {
+        ctr.inc();
+        hist.record(static_cast<double>((w * kOps + i) % 1024));
+      }
+    });
+  }
+  for (auto& th : writers) th.join();
+  stop_reader.store(true);
+  reader.join();
+
+  EXPECT_FALSE(reader_saw_decrease.load());
+  EXPECT_EQ(ctr.value(), static_cast<std::uint64_t>(kThreads) * kOps);
+  const Histogram::Snapshot s = hist.snapshot();
+  EXPECT_EQ(s.count, static_cast<std::uint64_t>(kThreads) * kOps);
+  std::uint64_t bucket_total = 0;
+  for (const std::uint64_t b : s.buckets) bucket_total += b;
+  EXPECT_EQ(bucket_total, s.count);
+}
+
+// --- export flag parsing ----------------------------------------------------
+
+TEST(ExportConfig, ParsesAllFlagForms) {
+  {
+    const char* argv[] = {"prog", "--trace", "out.json", "--metrics=m.prom"};
+    const auto cfg = ExportConfig::from_args(4, const_cast<char**>(argv));
+    EXPECT_EQ(cfg.trace_path, "out.json");
+    EXPECT_EQ(cfg.metrics_path, "m.prom");
+    EXPECT_TRUE(cfg.enabled());
+    EXPECT_TRUE(tracing_enabled());  // a trace request turns tracing on
+    set_tracing(false);
+  }
+  {
+    // Bare flags fall back to default filenames; a following --flag is
+    // not consumed as a path.
+    const char* argv[] = {"prog", "--trace", "--metrics"};
+    const auto cfg = ExportConfig::from_args(3, const_cast<char**>(argv));
+    EXPECT_EQ(cfg.trace_path, "trace.json");
+    EXPECT_EQ(cfg.metrics_path, "metrics.prom");
+    set_tracing(false);
+  }
+  {
+    const char* argv[] = {"prog", "800", "--metrics", "m.prom", "160"};
+    const auto cfg = ExportConfig::from_args(5, const_cast<char**>(argv));
+    EXPECT_TRUE(cfg.trace_path.empty());
+    EXPECT_EQ(cfg.metrics_path, "m.prom");
+    EXPECT_FALSE(tracing_enabled());  // metrics alone must not enable spans
+
+    // owns_arg lets positional parsers skip exactly our flags.
+    bool consumed = false;
+    EXPECT_FALSE(ExportConfig::owns_arg(5, const_cast<char**>(argv), 1,
+                                        consumed));
+    EXPECT_TRUE(ExportConfig::owns_arg(5, const_cast<char**>(argv), 2,
+                                       consumed));
+    EXPECT_TRUE(consumed);  // "--metrics" consumed "m.prom"
+    EXPECT_FALSE(ExportConfig::owns_arg(5, const_cast<char**>(argv), 4,
+                                        consumed));
+  }
+}
+
+TEST(ExportConfig, DisabledByDefault) {
+  const char* argv[] = {"prog", "--json", "x.json", "--smoke"};
+  const auto cfg = ExportConfig::from_args(4, const_cast<char**>(argv));
+  EXPECT_FALSE(cfg.enabled());
+  EXPECT_TRUE(cfg.trace_path.empty());
+  EXPECT_TRUE(cfg.metrics_path.empty());
+}
+
+}  // namespace
+}  // namespace phissl::obs

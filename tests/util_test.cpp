@@ -3,7 +3,9 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cmath>
 #include <cstdint>
+#include <limits>
 #include <mutex>
 #include <set>
 #include <utility>
@@ -120,6 +122,28 @@ TEST(Stats, EmptyAndSingleton) {
   EXPECT_DOUBLE_EQ(s.stddev, 0.0);
   EXPECT_DOUBLE_EQ(s.p95, 7.0);
   EXPECT_DOUBLE_EQ(s.p99, 7.0);
+}
+
+TEST(Stats, NonFiniteSamplesAreDropped) {
+  // A NaN or infinity in the sample set (a poisoned timer, a division by
+  // a zero duration) must not leak into any aggregate: summarize drops
+  // non-finite values and reports only the finite subset.
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  const Summary s = summarize({2.0, nan, 4.0, inf, 6.0, -inf});
+  EXPECT_EQ(s.count, 3u);
+  EXPECT_DOUBLE_EQ(s.min, 2.0);
+  EXPECT_DOUBLE_EQ(s.max, 6.0);
+  EXPECT_DOUBLE_EQ(s.mean, 4.0);
+  EXPECT_DOUBLE_EQ(s.median, 4.0);
+  EXPECT_TRUE(std::isfinite(s.stddev));
+  EXPECT_DOUBLE_EQ(s.p99, 6.0);
+
+  // All-non-finite input behaves exactly like an empty sample.
+  const Summary none = summarize({nan, inf, -inf});
+  EXPECT_EQ(none.count, 0u);
+  EXPECT_DOUBLE_EQ(none.mean, 0.0);
+  EXPECT_DOUBLE_EQ(none.p99, 0.0);
 }
 
 TEST(ThreadPool, RunsAllTasks) {

@@ -1,0 +1,160 @@
+#!/usr/bin/env python3
+"""Validates the observability export formats produced by the bench
+harnesses (`--trace` / `--metrics`, see src/obs/export.hpp):
+
+  - the Chrome trace-event JSON must parse and every event must carry the
+    fields chrome://tracing / Perfetto require ("X" complete events need a
+    duration; the drop counter rides along as a "C" event);
+  - the Prometheus text dump must parse line-by-line, histogram `le`
+    buckets must be cumulative (monotone non-decreasing, capped by +Inf)
+    and `+Inf` must equal `_count`.
+
+Usage:
+  check_trace_json.py --trace trace.json --metrics metrics.prom
+
+Run by CI after `bench_sign_service --smoke --trace ... --metrics ...`.
+Exits non-zero with a diagnostic on the first violation.
+"""
+
+import argparse
+import json
+import math
+import re
+import sys
+
+SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?P<labels>\{[^}]*\})?"
+    r"\s+(?P<value>[^ ]+)$"
+)
+LE_RE = re.compile(r'le="(?P<le>[^"]+)"')
+
+
+def strip_le(labels):
+    """Drops the le="..." pair so bucket series key-match their _count
+    sample (which has no le, and no braces at all when le was the only
+    label)."""
+    inner = LE_RE.sub("", labels[1:-1])
+    inner = ",".join(p for p in inner.split(",") if p)
+    return "{" + inner + "}" if inner else ""
+
+
+def fail(msg):
+    print(f"check_trace_json: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_trace(path):
+    with open(path, encoding="utf-8") as f:
+        try:
+            doc = json.load(f)
+        except json.JSONDecodeError as e:
+            fail(f"{path}: not valid JSON: {e}")
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        fail(f"{path}: top-level 'traceEvents' list missing")
+    if not events:
+        fail(f"{path}: traceEvents is empty (no spans recorded?)")
+    phases = {}
+    for i, ev in enumerate(events):
+        for field in ("name", "ph", "pid", "ts"):
+            if field not in ev:
+                fail(f"{path}: event #{i} missing '{field}': {ev}")
+        if ev["ph"] == "X":
+            if "dur" not in ev or "tid" not in ev:
+                fail(f"{path}: complete event #{i} missing dur/tid: {ev}")
+            if ev["dur"] < 0 or ev["ts"] < 0:
+                fail(f"{path}: event #{i} has negative ts/dur: {ev}")
+        phases[ev["ph"]] = phases.get(ev["ph"], 0) + 1
+    if phases.get("X", 0) == 0:
+        fail(f"{path}: no 'X' (complete) span events")
+    drops = [
+        ev for ev in events
+        if ev["ph"] == "C" and ev["name"] == "trace_dropped_spans"
+    ]
+    if len(drops) != 1:
+        fail(f"{path}: expected exactly one trace_dropped_spans counter "
+             f"event, found {len(drops)}")
+    print(f"check_trace_json: {path}: {phases.get('X', 0)} spans, "
+          f"{drops[0]['args']['dropped']} dropped — OK")
+
+
+def check_metrics(path):
+    families = {}  # name -> type
+    histograms = {}  # base name+labels(sans le) -> list of (le, value)
+    counts = {}  # base name+labels -> _count value
+    samples = 0
+    with open(path, encoding="utf-8") as f:
+        for lineno, line in enumerate(f, 1):
+            line = line.rstrip("\n")
+            if not line:
+                continue
+            if line.startswith("# HELP "):
+                continue
+            if line.startswith("# TYPE "):
+                parts = line.split(" ")
+                if len(parts) != 4 or parts[3] not in (
+                        "counter", "gauge", "histogram"):
+                    fail(f"{path}:{lineno}: malformed TYPE line: {line}")
+                families[parts[2]] = parts[3]
+                continue
+            if line.startswith("#"):
+                fail(f"{path}:{lineno}: unknown comment line: {line}")
+            m = SAMPLE_RE.match(line)
+            if m is None:
+                fail(f"{path}:{lineno}: unparseable sample line: {line}")
+            try:
+                value = float(m.group("value"))
+            except ValueError:
+                fail(f"{path}:{lineno}: non-numeric value: {line}")
+            if math.isnan(value):
+                fail(f"{path}:{lineno}: NaN sample value: {line}")
+            samples += 1
+            name, labels = m.group("name"), m.group("labels") or ""
+            if name.endswith("_bucket"):
+                le_m = LE_RE.search(labels)
+                if le_m is None:
+                    fail(f"{path}:{lineno}: _bucket sample without le: "
+                         f"{line}")
+                key = (name, strip_le(labels))
+                histograms.setdefault(key, []).append(
+                    (le_m.group("le"), value))
+            elif name.endswith("_count"):
+                counts[(name[:-len("_count")], labels)] = value
+    if samples == 0:
+        fail(f"{path}: no samples")
+    for (name, labels), buckets in histograms.items():
+        prev = -1.0
+        for le, value in buckets:  # file order == ascending le
+            if value < prev:
+                fail(f"{path}: {name}{labels}: cumulative bucket le={le} "
+                     f"decreased ({value} < {prev})")
+            prev = value
+        if buckets[-1][0] != "+Inf":
+            fail(f"{path}: {name}{labels}: last bucket is not +Inf")
+        base = name[:-len("_bucket")]
+        if (base, labels) not in counts:
+            fail(f"{path}: {name}{labels}: no matching _count sample")
+        if buckets[-1][1] != counts[(base, labels)]:
+            fail(f"{path}: {name}{labels}: +Inf bucket "
+                 f"({buckets[-1][1]}) != _count ({counts[(base, labels)]})")
+    print(f"check_trace_json: {path}: {samples} samples, "
+          f"{len(families)} families, {len(histograms)} histogram "
+          f"series — OK")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--trace", help="Chrome trace JSON file to validate")
+    ap.add_argument("--metrics", help="Prometheus text dump to validate")
+    args = ap.parse_args()
+    if not args.trace and not args.metrics:
+        ap.error("nothing to check: pass --trace and/or --metrics")
+    if args.trace:
+        check_trace(args.trace)
+    if args.metrics:
+        check_metrics(args.metrics)
+
+
+if __name__ == "__main__":
+    main()
