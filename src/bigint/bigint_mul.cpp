@@ -7,6 +7,8 @@
 
 #include <cassert>
 
+#include "bigint/kernels_generic.hpp"
+
 namespace phissl::bigint {
 
 namespace kernels {
@@ -31,38 +33,9 @@ void mul_schoolbook(std::span<const std::uint32_t> a,
 void sqr_schoolbook(std::span<const std::uint32_t> a,
                     std::span<std::uint32_t> out) {
   assert(out.size() >= 2 * a.size());
-  const std::size_t n = a.size();
-  // Off-diagonal products a_i*a_j (i<j), summed once then doubled.
-  for (std::size_t i = 0; i < n; ++i) {
-    std::uint64_t carry = 0;
-    const std::uint64_t ai = a[i];
-    for (std::size_t j = i + 1; j < n; ++j) {
-      const std::uint64_t t = ai * a[j] + out[i + j] + carry;
-      out[i + j] = static_cast<std::uint32_t>(t);
-      carry = t >> 32;
-    }
-    out[i + n] = static_cast<std::uint32_t>(carry);
-  }
-  // Double, then add the diagonal a_i^2.
-  std::uint64_t carry = 0;
-  for (std::size_t i = 0; i < 2 * n; ++i) {
-    const std::uint64_t t = (static_cast<std::uint64_t>(out[i]) << 1) + carry;
-    out[i] = static_cast<std::uint32_t>(t);
-    carry = t >> 32;
-  }
-  assert(carry == 0);  // top product word was < 2^31 before doubling
-  carry = 0;
-  for (std::size_t i = 0; i < n; ++i) {
-    const std::uint64_t sq = static_cast<std::uint64_t>(a[i]) * a[i];
-    std::uint64_t t = static_cast<std::uint64_t>(out[2 * i]) +
-                      static_cast<std::uint32_t>(sq) + carry;
-    out[2 * i] = static_cast<std::uint32_t>(t);
-    carry = t >> 32;
-    t = static_cast<std::uint64_t>(out[2 * i + 1]) + (sq >> 32) + carry;
-    out[2 * i + 1] = static_cast<std::uint32_t>(t);
-    carry = t >> 32;
-  }
-  assert(carry == 0);
+  // One implementation, two instantiations: this native one and the
+  // shadow-taint replay in src/ct/ (see kernels_generic.hpp).
+  kernels::sqr_schoolbook_g(a.data(), a.size(), out.data());
 }
 
 namespace {

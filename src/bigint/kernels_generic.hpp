@@ -1,0 +1,92 @@
+// Word-generic multiplication kernels.
+//
+// The hot word-serial kernels are written once, templated over the 32-bit
+// word type W32 and its 64-bit widening type W64, and instantiated twice:
+//
+//   - with std::uint32_t / std::uint64_t (the native build — the compiler
+//     sees exactly the integer code that lived here before the extraction),
+//   - with ct::Tainted<u32> / ct::Tainted<u64> (the shadow-taint
+//     constant-time checker in src/ct/, which replays the SAME kernel code
+//     while tracking secret-dependence through every arithmetic op).
+//
+// The small hook functions below (w64, lo32, is_nonzero, peek32/peek64)
+// are the only points where the two word families differ; the tainted
+// overloads are found by argument-dependent lookup. Hooks must stay
+// branch-free on the data path: is_nonzero is a value computation (setcc),
+// never a jump, in both instantiations.
+//
+// phissl:ct-kernel — tools/phissl_lint.py bans raw index extraction here.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+
+namespace phissl::bigint::kernels {
+
+/// Widening map: W32 -> the 64-bit word that holds a full 32x32 product.
+/// The shadow-taint word types in src/ct/ add their own specialization.
+template <typename W32>
+struct WideWord;
+
+template <>
+struct WideWord<std::uint32_t> {
+  using type = std::uint64_t;
+};
+
+template <typename W32>
+using wide_t = typename WideWord<W32>::type;
+
+/// Native word hooks. The ct::Tainted overloads mirror these exactly.
+constexpr std::uint64_t w64(std::uint32_t x) noexcept { return x; }
+constexpr std::uint32_t lo32(std::uint64_t x) noexcept {
+  return static_cast<std::uint32_t>(x);
+}
+/// 1 iff x != 0, as a value (compiles to setcc, not a branch).
+constexpr std::uint32_t is_nonzero(std::uint32_t x) noexcept {
+  return static_cast<std::uint32_t>(x != 0);
+}
+/// Debug peeks for asserts only: compiled out under NDEBUG, and permitted
+/// to look through taint (an assert is not part of the data-dependent
+/// control flow contract).
+constexpr std::uint32_t peek32(std::uint32_t x) noexcept { return x; }
+constexpr std::uint64_t peek64(std::uint64_t x) noexcept { return x; }
+
+/// Writes the full double-width square of a[0..n) into out[0..2n), which
+/// must be zeroed by the caller. Off-diagonal products are computed once
+/// and doubled, then the diagonal is added (~n^2/2 multiplies instead of
+/// the full n^2).
+template <typename W32, typename W64 = wide_t<W32>>
+void sqr_schoolbook_g(const W32* a, std::size_t n, W32* out) {
+  for (std::size_t i = 0; i < n; ++i) {
+    W64 carry{0};
+    const W64 ai = w64(a[i]);
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const W64 t = ai * w64(a[j]) + w64(out[i + j]) + carry;
+      out[i + j] = lo32(t);
+      carry = t >> 32;
+    }
+    out[i + n] = lo32(carry);
+  }
+  // Double, then add the diagonal a_i^2.
+  W64 carry{0};
+  for (std::size_t i = 0; i < 2 * n; ++i) {
+    const W64 t = (w64(out[i]) << 1) + carry;
+    out[i] = lo32(t);
+    carry = t >> 32;
+  }
+  assert(peek64(carry) == 0);  // top product word was < 2^31 before doubling
+  carry = W64{0};
+  for (std::size_t i = 0; i < n; ++i) {
+    const W64 sq = w64(a[i]) * w64(a[i]);
+    W64 t = w64(out[2 * i]) + w64(lo32(sq)) + carry;
+    out[2 * i] = lo32(t);
+    carry = t >> 32;
+    t = w64(out[2 * i + 1]) + (sq >> 32) + carry;
+    out[2 * i + 1] = lo32(t);
+    carry = t >> 32;
+  }
+  assert(peek64(carry) == 0);
+}
+
+}  // namespace phissl::bigint::kernels

@@ -1,0 +1,118 @@
+#include "ct/ct.hpp"
+
+#include <atomic>
+#include <mutex>
+
+// Dynamic poisoning backends. Both are compile-guarded: the msan hooks
+// only exist under clang -fsanitize=memory, and the valgrind client
+// requests only when the headers are installed. PHISSL_CTCHECK gates the
+// whole mechanism so a production build never poisons anything.
+#if defined(PHISSL_CTCHECK)
+#  if defined(__has_feature)
+#    if __has_feature(memory_sanitizer)
+#      include <sanitizer/msan_interface.h>
+#      define PHISSL_CT_BACKEND_MSAN 1
+#    endif
+#  endif
+#  if !defined(PHISSL_CT_BACKEND_MSAN) && defined(__has_include)
+#    if __has_include(<valgrind/memcheck.h>)
+#      include <valgrind/memcheck.h>
+#      define PHISSL_CT_BACKEND_VALGRIND 1
+#    endif
+#  endif
+#endif
+
+namespace phissl::ct {
+
+namespace {
+
+std::mutex& recorder_mu() {
+  static std::mutex mu;
+  return mu;
+}
+
+std::vector<Violation>& recorder_log() {
+  static std::vector<Violation> log;
+  return log;
+}
+
+// Fast path for violation_count(): checked after every kernel run, so it
+// skips the lock.
+std::atomic<std::size_t> g_count{0};
+
+thread_local int t_declassify_depth = 0;
+
+}  // namespace
+
+const char* backend_name() noexcept {
+#if defined(PHISSL_CT_BACKEND_MSAN)
+  return "msan";
+#elif defined(PHISSL_CT_BACKEND_VALGRIND)
+  return "valgrind";
+#else
+  return "shadow";
+#endif
+}
+
+void secret(void* p, std::size_t len) noexcept {
+#if defined(PHISSL_CT_BACKEND_MSAN)
+  __msan_allocated_memory(p, len);
+#elif defined(PHISSL_CT_BACKEND_VALGRIND)
+  VALGRIND_MAKE_MEM_UNDEFINED(p, len);
+#else
+  (void)p;
+  (void)len;
+#endif
+}
+
+void declassify(void* p, std::size_t len) noexcept {
+#if defined(PHISSL_CT_BACKEND_MSAN)
+  __msan_unpoison(p, len);
+#elif defined(PHISSL_CT_BACKEND_VALGRIND)
+  VALGRIND_MAKE_MEM_DEFINED(p, len);
+#else
+  (void)p;
+  (void)len;
+#endif
+}
+
+void report_violation(ViolationKind kind, const char* site) {
+  if (t_declassify_depth > 0) return;
+  std::lock_guard<std::mutex> lock(recorder_mu());
+  recorder_log().push_back(Violation{kind, site});
+  g_count.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::size_t violation_count() noexcept {
+  return g_count.load(std::memory_order_relaxed);
+}
+
+std::size_t violation_count(ViolationKind kind) noexcept {
+  std::lock_guard<std::mutex> lock(recorder_mu());
+  std::size_t n = 0;
+  for (const Violation& v : recorder_log()) {
+    if (v.kind == kind) ++n;
+  }
+  return n;
+}
+
+std::vector<Violation> take_violations() {
+  std::lock_guard<std::mutex> lock(recorder_mu());
+  std::vector<Violation> out;
+  out.swap(recorder_log());
+  g_count.store(0, std::memory_order_relaxed);
+  return out;
+}
+
+void clear_violations() noexcept {
+  std::lock_guard<std::mutex> lock(recorder_mu());
+  recorder_log().clear();
+  g_count.store(0, std::memory_order_relaxed);
+}
+
+DeclassifyScope::DeclassifyScope() noexcept { ++t_declassify_depth; }
+DeclassifyScope::~DeclassifyScope() { --t_declassify_depth; }
+
+bool declassified() noexcept { return t_declassify_depth > 0; }
+
+}  // namespace phissl::ct

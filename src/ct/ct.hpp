@@ -1,0 +1,97 @@
+// Constant-time verification harness: secret/declassify annotations and
+// the violation recorder.
+//
+// The harness answers one question: does any branch or memory index in a
+// kernel depend on secret data? Three backends share this annotation API:
+//
+//   - shadow  — the portable default. Kernels templated on a word type are
+//     re-instantiated with ct::Tainted<> words (taint.hpp) that propagate a
+//     secrecy bit through arithmetic; converting a tainted value to a
+//     branch condition or a table index records a violation here. Runs on
+//     any compiler, no tooling required; covers the scalar32 kernel family
+//     (the template extraction in bigint/kernels_generic.hpp and
+//     mont/scalar32_kernel.hpp exists for exactly this).
+//   - msan    — under clang -fsanitize=memory with -DPHISSL_CTCHECK=ON,
+//     ct::secret() marks bytes uninitialized via __msan_allocated_memory;
+//     MSan then aborts on any branch/index over them (ctgrind's trick,
+//     Langley 2010). Covers every kernel, including mont64/vector/batch.
+//   - valgrind — same trick through memcheck client requests when
+//     <valgrind/memcheck.h> is available at build time; the requests are
+//     no-ops unless the binary actually runs under valgrind.
+//
+// Backends that aren't compiled in degrade to no-ops; backend_name() says
+// which one is live so tests can pick the right assertions.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace phissl::ct {
+
+enum class ViolationKind {
+  kBranch,  // control flow decided by a secret value
+  kIndex,   // memory address derived from a secret value
+};
+
+struct Violation {
+  ViolationKind kind;
+  const char* site;  // static description of the leaking operation
+};
+
+/// Which poisoning backend this build carries: "msan", "valgrind" or
+/// "shadow" (the taint interpreter; also the answer when PHISSL_CTCHECK
+/// is off and the dynamic backends are compiled out).
+const char* backend_name() noexcept;
+
+/// Marks [p, p+len) as secret. Under the msan/valgrind backends this
+/// poisons the bytes so any branch or index over them traps; under the
+/// shadow backend secrecy travels in the Tainted<> word type instead and
+/// this is a no-op kept for call-site symmetry.
+void secret(void* p, std::size_t len) noexcept;
+
+/// Declassifies [p, p+len): marks the bytes as public again (e.g. a
+/// signature about to be returned, or a blinded intermediate whose value
+/// reveals nothing by policy).
+void declassify(void* p, std::size_t len) noexcept;
+
+/// Convenience: poison/unpoison a whole contiguous container.
+template <typename Vec>
+void secret_all(Vec& v) noexcept {
+  if (!v.empty()) secret(v.data(), v.size() * sizeof(*v.data()));
+}
+template <typename Vec>
+void declassify_all(Vec& v) noexcept {
+  if (!v.empty()) declassify(v.data(), v.size() * sizeof(*v.data()));
+}
+
+// ---- Violation recorder (shadow backend) --------------------------------
+//
+// Record-and-continue: a violation is logged and execution proceeds with
+// the real value, so one run reports every leak site, not just the first.
+// The recorder is process-global and mutex-guarded — the checker runs in
+// tests, never on a hot path.
+
+void report_violation(ViolationKind kind, const char* site);
+[[nodiscard]] std::size_t violation_count() noexcept;
+[[nodiscard]] std::size_t violation_count(ViolationKind kind) noexcept;
+/// Drains and returns everything recorded so far.
+std::vector<Violation> take_violations();
+void clear_violations() noexcept;
+
+/// While at least one DeclassifyScope is alive on this thread, tainted
+/// reads do NOT record violations. This is the policy escape hatch for
+/// code that is variable-time on purpose: CRT recombination and BigInt
+/// reduction run on *blinded* values, so their branches reveal nothing
+/// (docs/STATIC_ANALYSIS.md, "Declassification policy"). Scopes nest.
+class DeclassifyScope {
+ public:
+  DeclassifyScope() noexcept;
+  ~DeclassifyScope();
+  DeclassifyScope(const DeclassifyScope&) = delete;
+  DeclassifyScope& operator=(const DeclassifyScope&) = delete;
+};
+
+/// True iff a DeclassifyScope is active on the calling thread.
+[[nodiscard]] bool declassified() noexcept;
+
+}  // namespace phissl::ct

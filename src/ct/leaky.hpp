@@ -1,0 +1,75 @@
+// Deliberately-leaky modexp fixtures — negative controls for the checker.
+//
+// A constant-time checker that never fires is indistinguishable from one
+// that checks nothing. These two kernels are the textbook leaky shapes
+// the hardened schedules in modexp.hpp exist to replace; the harness runs
+// them under taint and asserts that violations ARE recorded:
+//
+//   - leaky_square_and_multiply: branches on every exponent bit — the
+//     classic timing leak (Kocher 1996). Expect one kBranch per examined
+//     bit (the branch is evaluated whether or not it is taken).
+//   - leaky_fixed_window: same window schedule as fixed_window_exp_rep
+//     but with a DIRECT table lookup instead of the masked gather — the
+//     cache-line leak (Percival 2005). Expect one kIndex per window.
+//
+// Test fixtures only. Never call these with real key material.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "ct/taint.hpp"
+#include "mont/modexp.hpp"
+
+namespace phissl::ct {
+
+/// MSB-first square-and-multiply that multiplies only when the exponent
+/// bit is set. `if (exp.bit(i))` on a tainted bit records kBranch.
+template <typename Ctx, typename Exp>
+void leaky_square_and_multiply(const Ctx& ctx, const typename Ctx::Rep& base,
+                               const Exp& exp, typename Ctx::Rep& out,
+                               mont::ExpWorkspace<Ctx>& ws) {
+  out = ctx.one_mont_rep();
+  for (std::size_t i = exp.bit_length(); i-- > 0;) {
+    ctx.sqr(out, ws.tmp, ws.kernel);
+    out.swap(ws.tmp);
+    if (exp.bit(i)) {  // LEAK: control flow follows a secret bit
+      ctx.mul(out, base, ws.tmp, ws.kernel);
+      out.swap(ws.tmp);
+    }
+  }
+}
+
+/// Fixed-window schedule with a naive table[index] lookup: the load
+/// address depends on the window value, so index_value() records kIndex
+/// once per window under taint. Contrast with fixed_window_exp_rep,
+/// which gathers via ct_table_select and extracts no index at all.
+template <typename Ctx, typename Exp>
+void leaky_fixed_window(const Ctx& ctx, const typename Ctx::Rep& base,
+                        const Exp& exp, int window, typename Ctx::Rep& out,
+                        mont::ExpWorkspace<Ctx>& ws) {
+  const std::size_t w = static_cast<std::size_t>(window);
+  const std::size_t tsize = std::size_t{1} << w;
+  if (ws.table.size() < tsize) ws.table.resize(tsize);
+  ws.table[0] = ctx.one_mont_rep();
+  ws.table[1] = base;
+  for (std::size_t e = 2; e < tsize; ++e) {
+    ctx.mul(ws.table[e - 1], base, ws.table[e], ws.kernel);
+  }
+
+  const std::size_t bits = exp.bit_length();
+  const std::size_t nwin = (bits + w - 1) / w;
+  // LEAK: secret-indexed load on every window.
+  out = ws.table[index_value(exp.bits_window((nwin - 1) * w, w))];
+  for (std::size_t win = nwin - 1; win-- > 0;) {
+    for (std::size_t s = 0; s < w; ++s) {
+      ctx.sqr(out, ws.tmp, ws.kernel);
+      out.swap(ws.tmp);
+    }
+    const std::uint32_t idx = index_value(exp.bits_window(win * w, w));
+    ctx.mul(out, ws.table[idx], ws.tmp, ws.kernel);
+    out.swap(ws.tmp);
+  }
+}
+
+}  // namespace phissl::ct

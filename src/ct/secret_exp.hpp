@@ -1,0 +1,68 @@
+// Exponent wrappers for the modexp schedule templates (modexp.hpp).
+//
+// The *_rep schedules are generic over the exponent type: anything with
+// is_negative / is_zero / bit_length / bits_window / bit works. These two
+// wrappers encode the harness's secrecy policy for exponents:
+//
+//   - the exponent's VALUE is secret (bit reads come back tainted);
+//   - its BIT LENGTH is public. Real deployments make that true by
+//     padding the schedule to the modulus size — PaddedExp is that
+//     padding, and is what the dynamic (msan/valgrind) backends use so
+//     the loop trip count never reads a poisoned length;
+//   - the is_zero / is_negative guards are public: they are fixed
+//     properties of a well-formed key, not per-operation data.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "bigint/bigint.hpp"
+#include "ct/taint.hpp"
+
+namespace phissl::ct {
+
+/// Shadow-backend exponent: every bit and window read is tainted.
+class SecretExp {
+ public:
+  explicit SecretExp(const bigint::BigInt& e) : e_(&e) {}
+
+  [[nodiscard]] bool is_negative() const { return e_->is_negative(); }
+  [[nodiscard]] bool is_zero() const { return e_->is_zero(); }
+  [[nodiscard]] std::size_t bit_length() const { return e_->bit_length(); }
+  [[nodiscard]] TW32 bits_window(std::size_t lo, std::size_t w) const {
+    return TW32(e_->bits_window(lo, w), true);
+  }
+  [[nodiscard]] TBool bit(std::size_t i) const {
+    return TBool(e_->bit(i), true);
+  }
+
+ private:
+  const bigint::BigInt* e_;
+};
+
+/// Fixed-length exponent schedule: walks exactly padded_bits bits no
+/// matter the value (bits above bit_length() read as 0, which the
+/// schedules handle — a zero window multiplies by one). This is the
+/// leading-zero hardening that makes "bit length is public" true, and
+/// what the poisoning backends drive the real contexts with. Requires
+/// padded_bits >= e.bit_length().
+class PaddedExp {
+ public:
+  PaddedExp(const bigint::BigInt& e, std::size_t padded_bits)
+      : e_(&e), bits_(padded_bits) {}
+
+  [[nodiscard]] bool is_negative() const { return e_->is_negative(); }
+  [[nodiscard]] bool is_zero() const { return bits_ == 0; }
+  [[nodiscard]] std::size_t bit_length() const { return bits_; }
+  [[nodiscard]] std::uint32_t bits_window(std::size_t lo,
+                                          std::size_t w) const {
+    return e_->bits_window(lo, w);
+  }
+  [[nodiscard]] bool bit(std::size_t i) const { return e_->bit(i); }
+
+ private:
+  const bigint::BigInt* e_;
+  std::size_t bits_;
+};
+
+}  // namespace phissl::ct

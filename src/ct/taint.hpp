@@ -1,0 +1,163 @@
+// Shadow-taint word types for the constant-time checker.
+//
+// Tainted<T> is a T plus one secrecy bit. Arithmetic propagates the bit
+// (any op touching a secret yields a secret); the ONLY ways a secret can
+// influence anything other than a stored value are:
+//
+//   - converting a Tainted<bool> to a branch condition  -> kBranch
+//   - extracting a table index via index_value()        -> kIndex
+//
+// both of which record a violation with ct::report_violation and then
+// continue with the real value, so one run reports every leak site and
+// still computes the right answer (letting tests ALSO check the tainted
+// kernel's output against the native one — a checker that drifted from
+// the production code would fail that faithfulness check).
+//
+// There is deliberately no implicit conversion from Tainted<T> to T: a
+// kernel written against the generic word interface (kernels_generic.hpp,
+// scalar32_kernel.hpp, ct_table_select) cannot leak without going through
+// one of the named extraction points above. peek32/peek64 exist for
+// asserts only and are allowed to look through the taint.
+#pragma once
+
+#include <cstdint>
+#include <type_traits>
+
+#include "bigint/kernels_generic.hpp"
+#include "ct/ct.hpp"
+
+namespace phissl::ct {
+
+template <typename T>
+struct Tainted {
+  static_assert(std::is_unsigned_v<T>, "taint words are unsigned");
+  using value_type = T;
+
+  T v{};
+  bool secret = false;
+
+  constexpr Tainted() = default;
+  constexpr explicit Tainted(T value, bool is_secret = false) noexcept
+      : v(value), secret(is_secret) {}
+
+// Secrecy joins under every binary op; mixed forms keep the tainted
+// operand's mark (a plain integral is public by definition). Hidden
+// friends: found by ADL only, so they never interfere with native words.
+#define PHISSL_CT_BINOP(op)                                                  \
+  friend constexpr Tainted operator op(Tainted a, Tainted b) noexcept {      \
+    return Tainted(static_cast<T>(a.v op b.v), a.secret || b.secret);        \
+  }                                                                          \
+  template <typename U, typename = std::enable_if_t<std::is_integral_v<U>>>  \
+  friend constexpr Tainted operator op(Tainted a, U b) noexcept {            \
+    return Tainted(static_cast<T>(a.v op static_cast<T>(b)), a.secret);      \
+  }                                                                          \
+  template <typename U, typename = std::enable_if_t<std::is_integral_v<U>>>  \
+  friend constexpr Tainted operator op(U a, Tainted b) noexcept {            \
+    return Tainted(static_cast<T>(static_cast<T>(a) op b.v), b.secret);      \
+  }
+
+  PHISSL_CT_BINOP(+)
+  PHISSL_CT_BINOP(-)
+  PHISSL_CT_BINOP(*)
+  PHISSL_CT_BINOP(&)
+  PHISSL_CT_BINOP(|)
+  PHISSL_CT_BINOP(^)
+#undef PHISSL_CT_BINOP
+
+  // Shift amounts in the kernels are always compile-time-public (word
+  // widths, window sizes), so only plain-integral shifts exist.
+  template <typename U, typename = std::enable_if_t<std::is_integral_v<U>>>
+  friend constexpr Tainted operator<<(Tainted a, U s) noexcept {
+    return Tainted(static_cast<T>(a.v << s), a.secret);
+  }
+  template <typename U, typename = std::enable_if_t<std::is_integral_v<U>>>
+  friend constexpr Tainted operator>>(Tainted a, U s) noexcept {
+    return Tainted(static_cast<T>(a.v >> s), a.secret);
+  }
+};
+
+/// A bool whose truth value may be secret. Branching on it — any
+/// contextual conversion to bool, e.g. `if (exp.bit(i))` — is THE leak
+/// the checker exists to catch.
+template <>
+struct Tainted<bool> {
+  using value_type = bool;
+
+  bool v = false;
+  bool secret = false;
+
+  constexpr Tainted() = default;
+  constexpr explicit Tainted(bool value, bool is_secret = false) noexcept
+      : v(value), secret(is_secret) {}
+
+  // Implicit on purpose: leaky code branches without ceremony, and that
+  // is exactly the moment to record the violation. DeclassifyScope
+  // suppression happens inside report_violation.
+  operator bool() const {
+    if (secret) {
+      report_violation(ViolationKind::kBranch, "branch on tainted bool");
+    }
+    return v;
+  }
+  constexpr Tainted operator!() const noexcept { return Tainted(!v, secret); }
+};
+
+using TW32 = Tainted<std::uint32_t>;
+using TW64 = Tainted<std::uint64_t>;
+using TBool = Tainted<bool>;
+
+// ---- Word hooks (tainted overloads of bigint/kernels_generic.hpp) ------
+// Resolved by ADL inside the generic kernels.
+
+constexpr TW64 w64(TW32 x) noexcept { return TW64(x.v, x.secret); }
+constexpr TW32 lo32(TW64 x) noexcept {
+  return TW32(static_cast<std::uint32_t>(x.v), x.secret);
+}
+/// Value computation (the native form compiles to setcc, not a jump), so
+/// it is legal on secrets and records nothing; the result stays tainted.
+constexpr TW32 is_nonzero(TW32 x) noexcept {
+  return TW32(static_cast<std::uint32_t>(x.v != 0), x.secret);
+}
+/// Assert-only peeks: allowed to look through taint (an assert is not
+/// part of the data-dependent control flow contract; NDEBUG removes it).
+constexpr std::uint32_t peek32(TW32 x) noexcept { return x.v; }
+constexpr std::uint64_t peek64(TW64 x) noexcept { return x.v; }
+
+/// Extracts a memory index from a word. On a tainted word the address of
+/// the subsequent load becomes secret-dependent — a cache-timing leak —
+/// so this records kIndex. The native overload lets fixture code compile
+/// against both word families. Constant-time code never calls this: it
+/// gathers with ct_table_select instead.
+inline std::uint32_t index_value(TW32 x) {
+  if (x.secret) {
+    report_violation(ViolationKind::kIndex, "tainted table index");
+  }
+  return x.v;
+}
+constexpr std::uint32_t index_value(std::uint32_t x) noexcept { return x; }
+
+}  // namespace phissl::ct
+
+namespace phissl::bigint::kernels {
+
+/// Widening map for the tainted word family.
+template <>
+struct WideWord<ct::TW32> {
+  using type = ct::TW64;
+};
+
+}  // namespace phissl::bigint::kernels
+
+namespace phissl::mont {
+
+template <typename Word>
+struct WordTraits;
+
+/// Residue-word width for ct_table_select's mask shift: a tainted u32 is
+/// still a 32-bit word (numeric_limits would say otherwise).
+template <>
+struct WordTraits<ct::TW32> {
+  static constexpr unsigned bits = 32;
+};
+
+}  // namespace phissl::mont

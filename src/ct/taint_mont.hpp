@@ -1,0 +1,115 @@
+// Shadow-taint Montgomery context.
+//
+// TaintCtx32 satisfies the modexp Ctx concept (modexp.hpp) with
+// Rep = vector<Tainted<u32>>, so the UNMODIFIED production schedule
+// templates — fixed_window_exp_rep, sliding_window_exp_rep,
+// ct_table_select — run over tainted residues, driven by a SecretExp
+// whose bit reads carry the secrecy mark. Its mul/sqr call the same
+// scalar32_kernel.hpp / kernels_generic.hpp templates MontCtx32 compiles,
+// just instantiated with tainted words: what gets verified is the code
+// that ships, not a model of it.
+//
+// Conversions in/out of Montgomery form go through an embedded native
+// MontCtx32 and then wrap limbs with the requested secrecy — those paths
+// are setup/teardown, not the kernel under test.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "bigint/bigint.hpp"
+#include "ct/taint.hpp"
+#include "mont/modexp.hpp"
+#include "mont/mont32.hpp"
+#include "mont/scalar32_kernel.hpp"
+
+namespace phissl::ct {
+
+class TaintCtx32 {
+ public:
+  using Rep = std::vector<TW32>;
+
+  struct Workspace {
+    std::vector<TW32> t;   // CIOS running accumulator (n+2)
+    std::vector<TW32> t2;  // squaring accumulator (2n+2)
+  };
+
+  /// secret_modulus taints the modulus limbs and n0 themselves — the CRT
+  /// case, where the primes p and q are private key material and even the
+  /// reduction constants are secret-derived.
+  explicit TaintCtx32(const bigint::BigInt& m, bool secret_modulus = false)
+      : native_(m), secret_modulus_(secret_modulus) {
+    const auto limbs = m.limbs();
+    n_.reserve(limbs.size());
+    for (const std::uint32_t limb : limbs) {
+      n_.emplace_back(limb, secret_modulus);
+    }
+    n0_ = TW32(mont::neg_inv_u32(limbs[0]), secret_modulus);
+    one_m_ = taint_rep(native_.one_mont_rep(), secret_modulus);
+  }
+
+  [[nodiscard]] std::size_t rep_size() const { return n_.size(); }
+  [[nodiscard]] const bigint::BigInt& modulus() const {
+    return native_.modulus();
+  }
+  [[nodiscard]] const Rep& one_mont_rep() const { return one_m_; }
+  [[nodiscard]] Rep one_mont() const { return one_m_; }
+
+  /// Converts through the native context, then marks every limb with the
+  /// requested secrecy (joined with the modulus secrecy: a residue mod a
+  /// secret prime is secret-derived).
+  [[nodiscard]] Rep to_mont(const bigint::BigInt& x, bool secret_value) const {
+    return taint_rep(native_.to_mont(x), secret_value || secret_modulus_);
+  }
+
+  /// Strips taint and converts back — verification path for tests, which
+  /// compare the tainted kernel's output against MontCtx32's.
+  [[nodiscard]] bigint::BigInt from_mont_clear(const Rep& a) const {
+    mont::MontCtx32::Rep plain(a.size());
+    for (std::size_t i = 0; i < a.size(); ++i) plain[i] = a[i].v;
+    return native_.from_mont(plain);
+  }
+
+  void mul(const Rep& a, const Rep& b, Rep& out, Workspace& ws) const {
+    const std::size_t n = n_.size();
+    ws.t.assign(n + 2, TW32{});
+    mont::s32::cios_mul(a.data(), b.data(), n_.data(), n0_, n, ws.t.data());
+    mont::s32::ct_sub_mod(ws.t.data(), ws.t[n], n_.data(), n, out);
+  }
+
+  void sqr(const Rep& a, Rep& out, Workspace& ws) const {
+    const std::size_t n = n_.size();
+    ws.t2.assign(2 * n + 2, TW32{});
+    bigint::kernels::sqr_schoolbook_g(a.data(), n, ws.t2.data());
+    mont::s32::redc_wide(ws.t2.data(), n_.data(), n0_, n, out);
+  }
+
+  void mul(const Rep& a, const Rep& b, Rep& out) const {
+    Workspace ws;
+    mul(a, b, out, ws);
+  }
+  void sqr(const Rep& a, Rep& out) const {
+    Workspace ws;
+    sqr(a, out, ws);
+  }
+
+  /// Wraps a native residue with a secrecy mark per limb.
+  static Rep taint_rep(const mont::MontCtx32::Rep& r, bool secret_value) {
+    Rep out;
+    out.reserve(r.size());
+    for (const std::uint32_t limb : r) {
+      out.emplace_back(limb, secret_value);
+    }
+    return out;
+  }
+
+ private:
+  mont::MontCtx32 native_;
+  bool secret_modulus_;
+  Rep n_;    // modulus limbs, tainted iff secret_modulus
+  TW32 n0_;  // -m^-1 mod 2^32
+  Rep one_m_;
+};
+
+}  // namespace phissl::ct

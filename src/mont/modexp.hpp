@@ -28,9 +28,18 @@
 // after a warm-up call at a given size, the workspace form performs no
 // heap allocation at all (table, accumulators and kernel scratch all
 // retain capacity).
+// The `_rep` schedules are additionally generic over the EXPONENT type:
+// anything providing is_negative() / is_zero() / bit_length() /
+// bits_window() / bit() works. The default is bigint::BigInt; the
+// constant-time checker in src/ct/ passes a tainted-exponent wrapper whose
+// bit reads carry a secrecy mark, so the same template that runs in
+// production is what gets verified for secret-dependent branches.
+//
+// phissl:ct-kernel — tools/phissl_lint.py bans raw index extraction here.
 #pragma once
 
 #include <cstddef>
+#include <limits>
 #include <stdexcept>
 #include <vector>
 
@@ -38,6 +47,13 @@
 #include "obs/trace.hpp"
 
 namespace phissl::mont {
+
+/// Bit width of a residue word. The default covers the built-in integer
+/// words; the shadow-taint word types in src/ct/ specialize this.
+template <typename Word>
+struct WordTraits {
+  static constexpr unsigned bits = std::numeric_limits<Word>::digits;
+};
 
 /// Window width PhiOpenSSL picks for a given exponent size (in bits).
 /// Table memory is 2^w residues; the optimum grows slowly with the
@@ -65,16 +81,15 @@ struct ExpWorkspace {
 
 /// Constant-time table gather: out = table[idx] scanned with arithmetic
 /// masks so the memory access pattern is independent of idx.
-template <typename Rep>
-void ct_table_select(const Rep* table, std::size_t count, std::uint32_t idx,
-                     Rep& out) {
+template <typename Rep, typename Idx = std::uint32_t>
+void ct_table_select(const Rep* table, std::size_t count, Idx idx, Rep& out) {
   using Word = typename Rep::value_type;
   out.assign(table[0].size(), Word{0});
   for (std::uint32_t e = 0; e < count; ++e) {
     // mask = all-ones when e == idx, else 0, without branching on idx.
-    const Word diff = static_cast<Word>(e ^ idx);
+    const Word diff = static_cast<Word>(idx ^ e);
     const Word nonzero = static_cast<Word>((diff | (Word{0} - diff)) >>
-                                           (8 * sizeof(Word) - 1));
+                                           (WordTraits<Word>::bits - 1));
     const Word mask = static_cast<Word>(nonzero - Word{1});  // ~0 iff e==idx
     const Rep& entry = table[e];
     for (std::size_t w = 0; w < out.size(); ++w) {
@@ -83,18 +98,17 @@ void ct_table_select(const Rep* table, std::size_t count, std::uint32_t idx,
   }
 }
 
-template <typename Rep>
-void ct_table_select(const std::vector<Rep>& table, std::uint32_t idx,
-                     Rep& out) {
+template <typename Rep, typename Idx = std::uint32_t>
+void ct_table_select(const std::vector<Rep>& table, Idx idx, Rep& out) {
   ct_table_select(table.data(), table.size(), idx, out);
 }
 
 /// (base^exp) mod m in Montgomery domain, fixed w-bit windows, writing the
 /// result into `out` (which must not alias `base`) and drawing all scratch
 /// from `ws`. Allocation-free once ws has warmed up at this size.
-template <typename Ctx>
+template <typename Ctx, typename Exp = bigint::BigInt>
 void fixed_window_exp_rep(const Ctx& ctx, const typename Ctx::Rep& base,
-                          const bigint::BigInt& exp, int window,
+                          const Exp& exp, int window,
                           typename Ctx::Rep& out, ExpWorkspace<Ctx>& ws) {
   if (window < 1 || window > 10) {
     throw std::invalid_argument("fixed_window_exp: window must be in [1,10]");
@@ -177,9 +191,9 @@ bigint::BigInt fixed_window_exp(const Ctx& ctx, const bigint::BigInt& base,
 
 /// Sliding-window exponentiation (odd-powers table), Montgomery domain,
 /// workspace form. out must not alias base.
-template <typename Ctx>
+template <typename Ctx, typename Exp = bigint::BigInt>
 void sliding_window_exp_rep(const Ctx& ctx, const typename Ctx::Rep& base,
-                            const bigint::BigInt& exp, int window,
+                            const Exp& exp, int window,
                             typename Ctx::Rep& out, ExpWorkspace<Ctx>& ws) {
   if (window < 1 || window > 10) {
     throw std::invalid_argument("sliding_window_exp: window must be in [1,10]");

@@ -3,6 +3,7 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "mont/scalar32_kernel.hpp"
 #include "obs/metrics.hpp"
 
 namespace phissl::mont {
@@ -45,33 +46,6 @@ std::vector<std::uint32_t> limbs_of(const bigint::BigInt& x, std::size_t n) {
 MontCtx32::Workspace& tls_workspace() {
   static thread_local MontCtx32::Workspace ws;
   return ws;
-}
-
-// Constant-time conditional subtract: out = t - (ge ? n : 0) where
-// ge = (t >= n), with t given as n.size() low words plus a top word.
-// Branchless full scan; the memory access pattern is data-independent.
-void ct_sub_mod(const std::uint32_t* t, std::uint32_t top,
-                const std::vector<std::uint32_t>& n,
-                std::vector<std::uint32_t>& out) {
-  const std::size_t len = n.size();
-  // Full borrow scan of t - n (no early exit).
-  std::uint64_t borrow = 0;
-  for (std::size_t i = 0; i < len; ++i) {
-    const std::uint64_t d = static_cast<std::uint64_t>(t[i]) - n[i] - borrow;
-    borrow = (d >> 63) & 1u;  // 1 iff the true difference went negative
-  }
-  // t >= n iff the top word is nonzero or no final borrow occurred.
-  const std::uint32_t ge =
-      static_cast<std::uint32_t>((top | (1u - static_cast<std::uint32_t>(borrow))) != 0);
-  const std::uint32_t mask = 0u - ge;  // all-ones iff subtracting
-  out.assign(len, 0);
-  borrow = 0;
-  for (std::size_t i = 0; i < len; ++i) {
-    const std::uint64_t d =
-        static_cast<std::uint64_t>(t[i]) - (n[i] & mask) - borrow;
-    out[i] = static_cast<std::uint32_t>(d);
-    borrow = (d >> 63) & 1u;
-  }
 }
 
 }  // namespace
@@ -131,43 +105,14 @@ void MontCtx32::mul(const Rep& a, const Rep& b, Rep& out,
 #endif
   const std::size_t n = n_.size();
   assert(a.size() == n && b.size() == n);
-  // CIOS (coarsely integrated operand scanning), Koc et al. 1996.
-  // t has n+2 words: t[n] and t[n+1] hold the running top.
+  // CIOS core + constant-time conditional subtract, shared with the
+  // shadow-taint checker (see scalar32_kernel.hpp). t has n+2 words:
+  // t[n] and t[n+1] hold the running top.
   ws.t.assign(n + 2, 0);
   std::uint32_t* t = ws.t.data();
-  for (std::size_t i = 0; i < n; ++i) {
-    // t += a[i] * b
-    std::uint64_t carry = 0;
-    const std::uint64_t ai = a[i];
-    for (std::size_t j = 0; j < n; ++j) {
-      const std::uint64_t s = ai * b[j] + t[j] + carry;
-      t[j] = static_cast<std::uint32_t>(s);
-      carry = s >> 32;
-    }
-    std::uint64_t s = static_cast<std::uint64_t>(t[n]) + carry;
-    t[n] = static_cast<std::uint32_t>(s);
-    t[n + 1] = static_cast<std::uint32_t>(s >> 32);
-
-    // q = t[0] * n0 mod 2^32; t += q * m; t >>= 32
-    const std::uint64_t q = static_cast<std::uint32_t>(t[0] * n0_);
-    carry = 0;
-    {
-      const std::uint64_t s0 = q * n_[0] + t[0];
-      carry = s0 >> 32;  // low word becomes 0 by construction
-    }
-    for (std::size_t j = 1; j < n; ++j) {
-      const std::uint64_t sj = q * n_[j] + t[j] + carry;
-      t[j - 1] = static_cast<std::uint32_t>(sj);
-      carry = sj >> 32;
-    }
-    s = static_cast<std::uint64_t>(t[n]) + carry;
-    t[n - 1] = static_cast<std::uint32_t>(s);
-    t[n] = static_cast<std::uint32_t>((s >> 32) + t[n + 1]);
-    t[n + 1] = 0;
-  }
-
+  s32::cios_mul(a.data(), b.data(), n_.data(), n0_, n, t);
   // t in [0, 2m): constant-time conditional subtract.
-  ct_sub_mod(t, t[n], n_, out);
+  s32::ct_sub_mod(t, t[n], n_.data(), n, out);
 }
 
 void MontCtx32::sqr(const Rep& a, Rep& out) const {
@@ -194,30 +139,8 @@ void MontCtx32::sqr(const Rep& a, Rep& out, Workspace& ws) const {
 void MontCtx32::redc_wide(std::vector<std::uint32_t>& tv, Rep& out) const {
   const std::size_t n = n_.size();
   assert(tv.size() >= 2 * n + 1);
-  std::uint32_t* t = tv.data();
-  // SOS reduction (Koc et al.): n passes, each zeroing one low word. The
-  // carry out of word i+n is deferred one iteration ("pending") — it lands
-  // exactly where the next iteration's carry is added, so propagation is
-  // O(1) per pass instead of a ripple to the top.
-  std::uint64_t pending = 0;
-  for (std::size_t i = 0; i < n; ++i) {
-    const std::uint64_t q = static_cast<std::uint32_t>(t[i] * n0_);
-    std::uint64_t carry = 0;
-    for (std::size_t j = 0; j < n; ++j) {
-      const std::uint64_t s = q * n_[j] + t[i + j] + carry;
-      t[i + j] = static_cast<std::uint32_t>(s);
-      carry = s >> 32;
-    }
-    const std::uint64_t s = static_cast<std::uint64_t>(t[i + n]) + carry +
-                            pending;
-    t[i + n] = static_cast<std::uint32_t>(s);
-    pending = s >> 32;
-  }
-  // T = a^2 + sum(q_i*m*2^(32i)) < 2m*2^(32n): top word is 0 or 1.
-  const std::uint32_t top =
-      t[2 * n] + static_cast<std::uint32_t>(pending);
-  assert(top <= 1);
-  ct_sub_mod(t + n, top, n_, out);
+  // Shared SOS reduction + constant-time subtract (scalar32_kernel.hpp).
+  s32::redc_wide(tv.data(), n_.data(), n0_, n, out);
 }
 
 }  // namespace phissl::mont

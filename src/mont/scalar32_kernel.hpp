@@ -1,0 +1,134 @@
+// Word-generic scalar CIOS Montgomery kernels on 32-bit words.
+//
+// These are MontCtx32's inner loops, extracted verbatim into templates so
+// they can be instantiated twice:
+//
+//   - W32 = std::uint32_t, W64 = std::uint64_t: the production kernel
+//     (mont32.cpp) — identical code generation to the pre-extraction
+//     integer loops;
+//   - W32 = ct::Tainted<u32>, W64 = ct::Tainted<u64>: the shadow-taint
+//     constant-time checker (src/ct/taint_mont.hpp), which replays the
+//     exact production control flow while propagating a secrecy bit
+//     through every arithmetic operation and flagging any branch or
+//     memory index that depends on a secret.
+//
+// Everything here is constant-time BY CONSTRUCTION with respect to the
+// word values: loop bounds depend only on the (public) limb count, and
+// the conditional subtract is a branch-free mask select. The shadow-taint
+// instantiation is the machine-checked proof of that property; the
+// deliberately-leaky fixture in src/ct/leaky.hpp is the proof that the
+// checker would notice if it were violated.
+//
+// Word hooks (w64 / lo32 / is_nonzero / peek32 / peek64) and the WideWord
+// trait come from bigint/kernels_generic.hpp; tainted overloads are found
+// by argument-dependent lookup.
+//
+// phissl:ct-kernel — tools/phissl_lint.py bans raw index extraction here.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "bigint/kernels_generic.hpp"
+
+namespace phissl::mont::s32 {
+
+using bigint::kernels::is_nonzero;
+using bigint::kernels::lo32;
+using bigint::kernels::peek32;
+using bigint::kernels::peek64;
+using bigint::kernels::w64;
+using bigint::kernels::wide_t;
+
+// Constant-time conditional subtract: out = t - (ge ? n : 0) where
+// ge = (t >= n), with t given as len low words plus a top word.
+// Branchless full scan; the memory access pattern is data-independent.
+template <typename W32, typename W64 = wide_t<W32>>
+void ct_sub_mod(const W32* t, W32 top, const W32* n, std::size_t len,
+                std::vector<W32>& out) {
+  // Full borrow scan of t - n (no early exit).
+  W64 borrow{0};
+  for (std::size_t i = 0; i < len; ++i) {
+    const W64 d = w64(t[i]) - w64(n[i]) - borrow;
+    borrow = (d >> 63) & 1u;  // 1 iff the true difference went negative
+  }
+  // t >= n iff the top word is nonzero or no final borrow occurred.
+  const W32 ge = is_nonzero(top | (W32{1} - lo32(borrow)));
+  const W32 mask = W32{0} - ge;  // all-ones iff subtracting
+  out.assign(len, W32{0});
+  borrow = W64{0};
+  for (std::size_t i = 0; i < len; ++i) {
+    const W64 d = w64(t[i]) - w64(n[i] & mask) - borrow;
+    out[i] = lo32(d);
+    borrow = (d >> 63) & 1u;
+  }
+}
+
+// CIOS product-and-reduce core (coarsely integrated operand scanning,
+// Koc et al. 1996). t has n+2 words, zeroed by the caller; on return
+// t[0..n] holds the reduced value in [0, 2m) with t[n] the top word.
+template <typename W32, typename W64 = wide_t<W32>>
+void cios_mul(const W32* a, const W32* b, const W32* mod, W32 n0,
+              std::size_t n, W32* t) {
+  for (std::size_t i = 0; i < n; ++i) {
+    // t += a[i] * b
+    W64 carry{0};
+    const W64 ai = w64(a[i]);
+    for (std::size_t j = 0; j < n; ++j) {
+      const W64 s = ai * w64(b[j]) + w64(t[j]) + carry;
+      t[j] = lo32(s);
+      carry = s >> 32;
+    }
+    W64 s = w64(t[n]) + carry;
+    t[n] = lo32(s);
+    t[n + 1] = lo32(s >> 32);
+
+    // q = t[0] * n0 mod 2^32; t += q * m; t >>= 32
+    const W64 q = w64(t[0] * n0);
+    {
+      const W64 s0 = q * w64(mod[0]) + w64(t[0]);
+      carry = s0 >> 32;  // low word becomes 0 by construction
+    }
+    for (std::size_t j = 1; j < n; ++j) {
+      const W64 sj = q * w64(mod[j]) + w64(t[j]) + carry;
+      t[j - 1] = lo32(sj);
+      carry = sj >> 32;
+    }
+    s = w64(t[n]) + carry;
+    t[n - 1] = lo32(s);
+    t[n] = lo32((s >> 32) + w64(t[n + 1]));
+    t[n + 1] = W32{0};
+  }
+}
+
+// Montgomery reduction of the 2n-word value in t (>= 2n+1 words) followed
+// by the constant-time conditional subtract; writes n limbs to out.
+// SOS reduction (Koc et al.): n passes, each zeroing one low word. The
+// carry out of word i+n is deferred one iteration ("pending") — it lands
+// exactly where the next iteration's carry is added, so propagation is
+// O(1) per pass instead of a ripple to the top.
+template <typename W32, typename W64 = wide_t<W32>>
+void redc_wide(W32* t, const W32* mod, W32 n0, std::size_t n,
+               std::vector<W32>& out) {
+  W64 pending{0};
+  for (std::size_t i = 0; i < n; ++i) {
+    const W64 q = w64(t[i] * n0);
+    W64 carry{0};
+    for (std::size_t j = 0; j < n; ++j) {
+      const W64 s = q * w64(mod[j]) + w64(t[i + j]) + carry;
+      t[i + j] = lo32(s);
+      carry = s >> 32;
+    }
+    const W64 s = w64(t[i + n]) + carry + pending;
+    t[i + n] = lo32(s);
+    pending = s >> 32;
+  }
+  // T = a^2 + sum(q_i*m*2^(32i)) < 2m*2^(32n): top word is 0 or 1.
+  const W32 top = t[2 * n] + lo32(pending);
+  assert(peek32(top) <= 1);
+  ct_sub_mod(t + n, top, mod, n, out);
+}
+
+}  // namespace phissl::mont::s32

@@ -117,7 +117,12 @@ std::array<util::Sha256::Digest, 16> sha256_x16(
   const std::size_t pad_blocks = tail < 56 ? 1 : 2;
   std::array<std::array<std::uint8_t, 128>, 16> final_buf{};
   for (std::size_t l = 0; l < 16; ++l) {
-    std::memcpy(final_buf[l].data(), msgs[l].data() + 64 * full_blocks, tail);
+    // tail == 0 also means msgs[l].data() may be null (empty message);
+    // memcpy requires non-null pointers even for a zero count.
+    if (tail != 0) {
+      std::memcpy(final_buf[l].data(), msgs[l].data() + 64 * full_blocks,
+                  tail);
+    }
     final_buf[l][tail] = 0x80;
     for (int i = 0; i < 8; ++i) {
       final_buf[l][64 * pad_blocks - 8 + static_cast<std::size_t>(i)] =

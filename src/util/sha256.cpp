@@ -37,6 +37,9 @@ void Sha256::reset() {
 }
 
 void Sha256::update(std::span<const std::uint8_t> data) {
+  // An empty span may carry a null data() pointer, and memcpy requires
+  // non-null arguments even for a zero count.
+  if (data.empty()) return;
   total_len_ += data.size();
   std::size_t off = 0;
   if (buffer_len_ != 0) {

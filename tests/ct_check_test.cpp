@@ -1,0 +1,474 @@
+// Constant-time verification harness tests.
+//
+// Three layers, mirroring docs/STATIC_ANALYSIS.md:
+//
+//  1. Recorder/annotation plumbing: violation accounting, declassify
+//     scopes, the poisoning API, backend identification.
+//  2. Positive certification: the production Montgomery kernels and the
+//     fixed-window schedule, re-instantiated with tainted words
+//     (TaintCtx32), execute with ZERO secret-dependent branches or table
+//     indices — over secret exponents, secret bases, and secret (CRT
+//     prime) moduli — while still computing bit-identical results.
+//  3. Negative controls: the checker must FIRE on code that leaks. The
+//     deliberately-leaky fixtures (ct/leaky.hpp) and the variable-time
+//     sliding-window schedule all get flagged, with the expected
+//     violation kinds and counts.
+//
+// The poisoned-exponent drivers at the bottom run every production
+// context (mont32/mont64/vector/batch) with ct::secret() on the exponent
+// limbs: no-ops under the shadow backend, hard faults on any leak when
+// the suite is rebuilt with -DPHISSL_CTCHECK=ON under MSan or valgrind.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "bigint/bigint.hpp"
+#include "ct/ct.hpp"
+#include "ct/leaky.hpp"
+#include "ct/secret_exp.hpp"
+#include "ct/taint.hpp"
+#include "ct/taint_mont.hpp"
+#include "mont/batch.hpp"
+#include "mont/modexp.hpp"
+#include "mont/mont32.hpp"
+#include "mont/mont64.hpp"
+#include "mont/vector_mont.hpp"
+#include "rsa/key.hpp"
+#include "util/random.hpp"
+
+namespace phissl::ct {
+namespace {
+
+using bigint::BigInt;
+
+class CtCheckTest : public ::testing::Test {
+ protected:
+  void SetUp() override { clear_violations(); }
+  void TearDown() override { clear_violations(); }
+};
+
+// ---- Layer 1: plumbing --------------------------------------------------
+
+TEST(CtBackend, NameIsKnown) {
+  const std::string name = backend_name();
+  EXPECT_TRUE(name == "shadow" || name == "msan" || name == "valgrind")
+      << name;
+}
+
+TEST(CtBackend, PoisonApiIsCallable) {
+  // Under the shadow backend these are no-ops; under msan/valgrind the
+  // poison/unpoison pair must still leave the buffer readable.
+  std::vector<std::uint32_t> buf(8, 7u);
+  secret_all(buf);
+  declassify_all(buf);
+  EXPECT_EQ(buf[3], 7u);
+}
+
+TEST_F(CtCheckTest, RecorderCountsAndDrains) {
+  EXPECT_EQ(violation_count(), 0u);
+  report_violation(ViolationKind::kBranch, "test-branch");
+  report_violation(ViolationKind::kIndex, "test-index");
+  report_violation(ViolationKind::kIndex, "test-index");
+  EXPECT_EQ(violation_count(), 3u);
+  EXPECT_EQ(violation_count(ViolationKind::kBranch), 1u);
+  EXPECT_EQ(violation_count(ViolationKind::kIndex), 2u);
+  const auto log = take_violations();
+  ASSERT_EQ(log.size(), 3u);
+  EXPECT_EQ(log[0].kind, ViolationKind::kBranch);
+  EXPECT_STREQ(log[0].site, "test-branch");
+  EXPECT_EQ(violation_count(), 0u);  // drained
+}
+
+TEST_F(CtCheckTest, DeclassifyScopeSuppressesRecording) {
+  {
+    DeclassifyScope scope;
+    EXPECT_TRUE(declassified());
+    report_violation(ViolationKind::kBranch, "blinded");
+    {
+      DeclassifyScope nested;
+      report_violation(ViolationKind::kIndex, "blinded");
+    }
+    EXPECT_TRUE(declassified());  // outer scope still active
+  }
+  EXPECT_FALSE(declassified());
+  EXPECT_EQ(violation_count(), 0u);
+  report_violation(ViolationKind::kBranch, "live");
+  EXPECT_EQ(violation_count(), 1u);
+}
+
+TEST_F(CtCheckTest, TaintPropagatesThroughArithmetic) {
+  const TW32 s(5u, true);
+  const TW32 p(7u, false);
+  EXPECT_EQ((s + p).v, 12u);
+  EXPECT_TRUE((s + p).secret);
+  EXPECT_TRUE((p - s).secret);
+  EXPECT_FALSE((p * p).secret);
+  EXPECT_TRUE((s ^ 3u).secret);   // mixed with a plain integral
+  EXPECT_TRUE((1u + s).secret);
+  EXPECT_TRUE((s << 2).secret);
+  EXPECT_TRUE(w64(s).secret);
+  EXPECT_TRUE(lo32(TW64(1u, true)).secret);
+  // is_nonzero is a value computation (setcc, not a jump): legal on
+  // secrets, result stays tainted.
+  EXPECT_EQ(is_nonzero(s).v, 1u);
+  EXPECT_TRUE(is_nonzero(s).secret);
+  EXPECT_EQ(is_nonzero(TW32(0u, true)).v, 0u);
+  EXPECT_EQ(violation_count(), 0u);  // arithmetic alone never records
+}
+
+TEST_F(CtCheckTest, TaintedBoolBranchRecords) {
+  const TBool sb(true, true);
+  if (sb) {  // contextual conversion of a secret bool = the leak
+  }
+  EXPECT_EQ(violation_count(ViolationKind::kBranch), 1u);
+  const TBool pb(true, false);
+  if (pb) {  // public bool: fine
+  }
+  EXPECT_EQ(violation_count(), 1u);
+  if (!sb) {  // negation keeps the taint
+  }
+  EXPECT_EQ(violation_count(ViolationKind::kBranch), 2u);
+}
+
+TEST_F(CtCheckTest, TaintedIndexRecords) {
+  EXPECT_EQ(index_value(TW32(3u, false)), 3u);
+  EXPECT_EQ(violation_count(), 0u);
+  EXPECT_EQ(index_value(TW32(3u, true)), 3u);  // record-and-continue
+  EXPECT_EQ(violation_count(ViolationKind::kIndex), 1u);
+}
+
+// ---- Layer 2: positive certification ------------------------------------
+
+TEST_F(CtCheckTest, TaintedKernelsMatchNativeMulSqr) {
+  const rsa::PrivateKey& key = rsa::test_key(256);
+  const BigInt& m = key.pub.n;
+  TaintCtx32 tctx(m);
+  util::Rng rng(42);
+  TaintCtx32::Rep out;
+  TaintCtx32::Workspace ws;
+  for (int i = 0; i < 8; ++i) {
+    const BigInt a = BigInt::random_below(m, rng);
+    const BigInt b = BigInt::random_below(m, rng);
+    const TaintCtx32::Rep ta = tctx.to_mont(a, /*secret_value=*/true);
+    const TaintCtx32::Rep tb = tctx.to_mont(b, /*secret_value=*/true);
+    tctx.mul(ta, tb, out, ws);
+    EXPECT_EQ(tctx.from_mont_clear(out), (a * b).mod(m));
+    tctx.sqr(ta, out, ws);
+    EXPECT_EQ(tctx.from_mont_clear(out), (a * a).mod(m));
+  }
+  // CIOS, the squaring kernel, REDC and the conditional subtract ran on
+  // fully secret operands without a single secret-dependent branch/index.
+  EXPECT_EQ(violation_count(), 0u);
+}
+
+TEST_F(CtCheckTest, FixedWindowModexpIsConstantTime) {
+  const rsa::PrivateKey& key = rsa::test_key(256);
+  const BigInt& m = key.pub.n;
+  TaintCtx32 tctx(m);
+  util::Rng rng(7);
+  const BigInt base = BigInt::random_below(m, rng);
+  const TaintCtx32::Rep base_m = tctx.to_mont(base, /*secret_value=*/true);
+  TaintCtx32::Rep out;
+  mont::ExpWorkspace<TaintCtx32> ws;
+  for (const int window : {1, 3, 4, 5}) {
+    mont::fixed_window_exp_rep(tctx, base_m, SecretExp(key.d), window, out,
+                               ws);
+    EXPECT_EQ(violation_count(), 0u)
+        << "secret-dependent branch/index in fixed-window schedule, w="
+        << window;
+    EXPECT_EQ(tctx.from_mont_clear(out), base.mod_pow(key.d, m));
+  }
+}
+
+TEST_F(CtCheckTest, FixedWindowWithSecretPrimeModulus) {
+  // CRT half: modulus (prime p), n0, every residue AND the exponent dp
+  // are all private key material.
+  const rsa::PrivateKey& key = rsa::test_key(256);
+  TaintCtx32 tctx(key.p, /*secret_modulus=*/true);
+  util::Rng rng(8);
+  const BigInt base = BigInt::random_below(key.p, rng);
+  const TaintCtx32::Rep base_m = tctx.to_mont(base, /*secret_value=*/true);
+  TaintCtx32::Rep out;
+  mont::ExpWorkspace<TaintCtx32> ws;
+  mont::fixed_window_exp_rep(tctx, base_m, SecretExp(key.dp), 4, out, ws);
+  EXPECT_EQ(violation_count(), 0u);
+  EXPECT_EQ(tctx.from_mont_clear(out), base.mod_pow(key.dp, key.p));
+}
+
+TEST_F(CtCheckTest, CrtPrivateOpUnderTaint) {
+  // Full CRT private operation replayed under taint: both half-size
+  // exponentiations run strictly checked over secret primes/exponents;
+  // the BigInt reduction and Garner recombination are declassified per
+  // the blinding policy (they run on blinded values in production —
+  // docs/STATIC_ANALYSIS.md, "Declassification policy").
+  const rsa::PrivateKey& key = rsa::test_key(256);
+  const BigInt& n = key.pub.n;
+  util::Rng rng(9);
+  const BigInt x = BigInt::random_below(n, rng);
+
+  TaintCtx32 ctx_p(key.p, /*secret_modulus=*/true);
+  TaintCtx32 ctx_q(key.q, /*secret_modulus=*/true);
+
+  BigInt xp, xq, quot;
+  {
+    DeclassifyScope blinded;
+    BigInt::divmod(x, key.p, quot, xp);
+    BigInt::divmod(x, key.q, quot, xq);
+  }
+
+  TaintCtx32::Rep m1r, m2r;
+  mont::ExpWorkspace<TaintCtx32> wsp, wsq;
+  mont::fixed_window_exp_rep(ctx_p, ctx_p.to_mont(xp, true),
+                             SecretExp(key.dp), 4, m1r, wsp);
+  mont::fixed_window_exp_rep(ctx_q, ctx_q.to_mont(xq, true),
+                             SecretExp(key.dq), 4, m2r, wsq);
+  EXPECT_EQ(violation_count(), 0u)
+      << "leak in a strictly-checked CRT exponentiation half";
+
+  BigInt out;
+  {
+    DeclassifyScope blinded;
+    const BigInt m1 = ctx_p.from_mont_clear(m1r);
+    const BigInt m2 = ctx_q.from_mont_clear(m2r);
+    // Garner recombination, mirroring Engine::private_op_crt_into.
+    BigInt t;
+    const bool diff_neg = m1 < m2;
+    if (diff_neg) {
+      t = m2;
+      t -= m1;
+    } else {
+      t = m1;
+      t -= m2;
+    }
+    BigInt h = (key.qinv * t).mod(key.p);
+    if (diff_neg && !h.is_zero()) {
+      t = key.p;
+      t -= h;
+      h = t;
+    }
+    out = h * key.q;
+    out += m2;
+  }
+  EXPECT_EQ(out, x.mod_pow(key.d, n));
+  EXPECT_EQ(violation_count(), 0u);
+}
+
+// ---- Layer 3: negative controls -----------------------------------------
+
+TEST_F(CtCheckTest, SlidingWindowIsFlaggedVariableTime) {
+  // The sliding-window schedule branches on exponent bits by design
+  // (that's why production private ops use fixed windows). The checker
+  // must see that — and record-and-continue must keep the result right.
+  const rsa::PrivateKey& key = rsa::test_key(256);
+  const BigInt& m = key.pub.n;
+  TaintCtx32 tctx(m);
+  util::Rng rng(10);
+  const BigInt base = BigInt::random_below(m, rng);
+  const TaintCtx32::Rep base_m = tctx.to_mont(base, true);
+  TaintCtx32::Rep out;
+  mont::ExpWorkspace<TaintCtx32> ws;
+  mont::sliding_window_exp_rep(tctx, base_m, SecretExp(key.d), 4, out, ws);
+  EXPECT_GT(violation_count(ViolationKind::kBranch), 0u);
+  EXPECT_EQ(tctx.from_mont_clear(out), base.mod_pow(key.d, m));
+}
+
+TEST_F(CtCheckTest, LeakySquareAndMultiplyIsDetected) {
+  const rsa::PrivateKey& key = rsa::test_key(256);
+  const BigInt& m = key.pub.n;
+  TaintCtx32 tctx(m);
+  util::Rng rng(11);
+  const BigInt base = BigInt::random_below(m, rng);
+  const TaintCtx32::Rep base_m = tctx.to_mont(base, true);
+  TaintCtx32::Rep out;
+  mont::ExpWorkspace<TaintCtx32> ws;
+  leaky_square_and_multiply(tctx, base_m, SecretExp(key.d), out, ws);
+  // One kBranch per examined bit: the branch is evaluated whether or not
+  // it is taken.
+  EXPECT_EQ(violation_count(ViolationKind::kBranch), key.d.bit_length());
+  EXPECT_EQ(violation_count(ViolationKind::kIndex), 0u);
+  EXPECT_EQ(tctx.from_mont_clear(out), base.mod_pow(key.d, m));
+}
+
+TEST_F(CtCheckTest, LeakyFixedWindowIsDetected) {
+  const rsa::PrivateKey& key = rsa::test_key(256);
+  const BigInt& m = key.pub.n;
+  TaintCtx32 tctx(m);
+  util::Rng rng(12);
+  const BigInt base = BigInt::random_below(m, rng);
+  const TaintCtx32::Rep base_m = tctx.to_mont(base, true);
+  TaintCtx32::Rep out;
+  mont::ExpWorkspace<TaintCtx32> ws;
+  const std::size_t w = 4;
+  const std::size_t nwin = (key.d.bit_length() + w - 1) / w;
+  leaky_fixed_window(tctx, base_m, SecretExp(key.d), static_cast<int>(w),
+                     out, ws);
+  // One kIndex per window: same schedule as the hardened version, but a
+  // direct table[index] load instead of the masked gather.
+  EXPECT_EQ(violation_count(ViolationKind::kIndex), nwin);
+  EXPECT_EQ(violation_count(ViolationKind::kBranch), 0u);
+  EXPECT_EQ(tctx.from_mont_clear(out), base.mod_pow(key.d, m));
+}
+
+TEST_F(CtCheckTest, DeclassifyScopeSuppressesKernelViolations) {
+  const rsa::PrivateKey& key = rsa::test_key(128);
+  const BigInt& m = key.pub.n;
+  TaintCtx32 tctx(m);
+  util::Rng rng(13);
+  const BigInt base = BigInt::random_below(m, rng);
+  const TaintCtx32::Rep base_m = tctx.to_mont(base, true);
+  TaintCtx32::Rep out;
+  mont::ExpWorkspace<TaintCtx32> ws;
+  DeclassifyScope blinded;
+  leaky_square_and_multiply(tctx, base_m, SecretExp(key.d), out, ws);
+  EXPECT_EQ(violation_count(), 0u);
+}
+
+// ---- Dynamic-backend drivers (all four production contexts) -------------
+
+// Poisons a BigInt's limb storage in place. Marking bytes secret is not a
+// write, so casting away const here is sound; the harness unpoisons
+// before anything reads the value on a non-poisoning backend's behalf.
+void poison_bigint(const BigInt& x) {
+  const auto limbs = x.limbs();
+  if (!limbs.empty()) {
+    secret(const_cast<std::uint32_t*>(limbs.data()),
+           limbs.size() * sizeof(std::uint32_t));
+  }
+}
+
+void unpoison_bigint(const BigInt& x) {
+  const auto limbs = x.limbs();
+  if (!limbs.empty()) {
+    declassify(const_cast<std::uint32_t*>(limbs.data()),
+               limbs.size() * sizeof(std::uint32_t));
+  }
+}
+
+// Runs ctx's fixed-window modexp with the exponent limbs poisoned and the
+// schedule length padded to the modulus size (PaddedExp: the loop trip
+// count never reads secret bytes). Shadow backend: a correctness smoke.
+// MSan/valgrind (PHISSL_CTCHECK builds): faults on any secret-dependent
+// branch or index inside the context's kernels.
+template <typename Ctx>
+void run_poisoned_padded(const Ctx& ctx, const BigInt& base, const BigInt& exp,
+                         const BigInt& expected) {
+  const BigInt e = exp;  // private copy whose storage we poison
+  mont::ExpWorkspace<Ctx> ws;
+  typename Ctx::Rep out;
+  poison_bigint(e);
+  mont::fixed_window_exp_rep(ctx, ctx.to_mont(base),
+                             PaddedExp(e, ctx.modulus().bit_length()), 4, out,
+                             ws);
+  unpoison_bigint(e);
+  declassify_all(out);  // result is secret-derived; declassify to compare
+  EXPECT_EQ(ctx.from_mont(out), expected);
+}
+
+TEST_F(CtCheckTest, PoisonedExponentDriverScalar32) {
+  const rsa::PrivateKey& key = rsa::test_key(256);
+  util::Rng rng(14);
+  const BigInt base = BigInt::random_below(key.pub.n, rng);
+  run_poisoned_padded(mont::MontCtx32(key.pub.n), base, key.d,
+                      base.mod_pow(key.d, key.pub.n));
+  EXPECT_EQ(violation_count(), 0u);
+}
+
+TEST_F(CtCheckTest, PoisonedExponentDriverScalar64) {
+  const rsa::PrivateKey& key = rsa::test_key(256);
+  util::Rng rng(15);
+  const BigInt base = BigInt::random_below(key.pub.n, rng);
+  run_poisoned_padded(mont::MontCtx64(key.pub.n), base, key.d,
+                      base.mod_pow(key.d, key.pub.n));
+  EXPECT_EQ(violation_count(), 0u);
+}
+
+TEST_F(CtCheckTest, PoisonedExponentDriverVector) {
+  const rsa::PrivateKey& key = rsa::test_key(256);
+  util::Rng rng(16);
+  const BigInt base = BigInt::random_below(key.pub.n, rng);
+  run_poisoned_padded(mont::VectorMontCtx(key.pub.n), base, key.d,
+                      base.mod_pow(key.d, key.pub.n));
+  EXPECT_EQ(violation_count(), 0u);
+}
+
+TEST_F(CtCheckTest, PoisonedExponentDriverBatch) {
+  const rsa::PrivateKey& key = rsa::test_key(256);
+  const BigInt& m = key.pub.n;
+  util::Rng rng(17);
+  const mont::BatchVectorMontCtx ctx(m);
+  std::array<BigInt, mont::BatchVectorMontCtx::kBatch> bases;
+  for (auto& b : bases) b = BigInt::random_below(m, rng);
+  const BigInt e = key.d;
+  mont::ExpWorkspace<mont::BatchVectorMontCtx> ws;
+  mont::BatchVectorMontCtx::Rep out;
+  poison_bigint(e);
+  mont::fixed_window_exp_rep(ctx, ctx.to_mont(bases),
+                             PaddedExp(e, m.bit_length()), 4, out, ws);
+  unpoison_bigint(e);
+  declassify_all(out);
+  const auto results = ctx.from_mont(out);
+  for (std::size_t lane = 0; lane < results.size(); ++lane) {
+    EXPECT_EQ(results[lane], bases[lane].mod_pow(key.d, m)) << lane;
+  }
+  EXPECT_EQ(violation_count(), 0u);
+}
+
+TEST_F(CtCheckTest, PoisonedCrtDriver) {
+  // CRT with poisoned private material: the reduction/recombination
+  // halves run on declassified (policy: blinded) values; the two modexp
+  // halves run with dp/dq poisoned.
+  const rsa::PrivateKey& key = rsa::test_key(256);
+  const BigInt& n = key.pub.n;
+  util::Rng rng(18);
+  const BigInt x = BigInt::random_below(n, rng);
+
+  BigInt xp, xq, quot;
+  BigInt::divmod(x, key.p, quot, xp);
+  BigInt::divmod(x, key.q, quot, xq);
+
+  const mont::MontCtx32 ctx_p(key.p);
+  const mont::MontCtx64 ctx_q(key.q);
+  mont::ExpWorkspace<mont::MontCtx32> wsp;
+  mont::ExpWorkspace<mont::MontCtx64> wsq;
+  mont::MontCtx32::Rep m1r;
+  mont::MontCtx64::Rep m2r;
+  poison_bigint(key.dp);
+  poison_bigint(key.dq);
+  mont::fixed_window_exp_rep(ctx_p, ctx_p.to_mont(xp),
+                             PaddedExp(key.dp, key.p.bit_length()), 4, m1r,
+                             wsp);
+  mont::fixed_window_exp_rep(ctx_q, ctx_q.to_mont(xq),
+                             PaddedExp(key.dq, key.q.bit_length()), 4, m2r,
+                             wsq);
+  unpoison_bigint(key.dp);
+  unpoison_bigint(key.dq);
+  declassify_all(m1r);
+  declassify_all(m2r);
+
+  const BigInt m1 = ctx_p.from_mont(m1r);
+  const BigInt m2 = ctx_q.from_mont(m2r);
+  BigInt t;
+  const bool diff_neg = m1 < m2;
+  if (diff_neg) {
+    t = m2;
+    t -= m1;
+  } else {
+    t = m1;
+    t -= m2;
+  }
+  BigInt h = (key.qinv * t).mod(key.p);
+  if (diff_neg && !h.is_zero()) {
+    t = key.p;
+    t -= h;
+    h = t;
+  }
+  BigInt out = h * key.q;
+  out += m2;
+  EXPECT_EQ(out, x.mod_pow(key.d, n));
+  EXPECT_EQ(violation_count(), 0u);
+}
+
+}  // namespace
+}  // namespace phissl::ct

@@ -1,0 +1,215 @@
+// Finalize conditional-subtract edge tests.
+//
+// Every Montgomery context ends mul/sqr with a constant-time conditional
+// subtract: the reduced value t lands in [0, 2m) and must come out as
+// t mod m via a branch-free mask select. The mask logic has two classic
+// failure shapes:
+//
+//   - the t >= m decision (top word | no-borrow) mis-evaluated at the
+//     boundary t == m, t == m-1, or when the comparison borrow ripples
+//     through a run of equal limbs;
+//   - the subtraction borrow chain mishandled when it must propagate
+//     across every limb (modulus limbs of 0xffffffff).
+//
+// Part 1 unit-tests the shared scalar32 kernel (s32::ct_sub_mod) directly
+// with crafted (t, top, n) triples against a BigInt reference. Part 2
+// drives all four production contexts (mont32/mont64/vector/batch)
+// through mul/sqr over operand grids chosen to pin the finalize input to
+// the boundary — x, y in {0, 1, 2, m-2, m-1, ...} with moduli shaped to
+// maximize (all limbs 0xffffffff) and minimize (low limb 1) carry
+// pressure — and checks bit-exact agreement with BigInt arithmetic.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "bigint/bigint.hpp"
+#include "mont/batch.hpp"
+#include "mont/mont32.hpp"
+#include "mont/mont64.hpp"
+#include "mont/scalar32_kernel.hpp"
+#include "mont/vector_mont.hpp"
+#include "util/random.hpp"
+
+namespace phissl::mont {
+namespace {
+
+using bigint::BigInt;
+
+BigInt from_words(const std::vector<std::uint32_t>& w, std::uint32_t top = 0) {
+  std::vector<std::uint32_t> digits = w;
+  digits.push_back(top);
+  BigInt out;
+  out.assign_from_digits(digits, 32);
+  return out;
+}
+
+// Runs s32::ct_sub_mod on (t, top, n) and checks against the BigInt
+// reference reduction. Precondition (kernel contract): t_full < 2n.
+void check_ct_sub(const std::vector<std::uint32_t>& t, std::uint32_t top,
+                  const std::vector<std::uint32_t>& n) {
+  const BigInt tv = from_words(t, top);
+  const BigInt nv = from_words(n);
+  ASSERT_LT(tv, nv + nv) << "bad test input: t must be < 2n";
+  std::vector<std::uint32_t> out;
+  s32::ct_sub_mod(t.data(), top, n.data(), t.size(), out);
+  BigInt expected = tv;
+  if (tv >= nv) expected -= nv;
+  EXPECT_EQ(from_words(out), expected)
+      << "t=" << tv.to_hex() << " top=" << top << " n=" << nv.to_hex();
+}
+
+TEST(CtSubMod, AllOnesModulusBorrowChain) {
+  // n = 2^128 - 1: every limb 0xffffffff, so the compare borrow and the
+  // subtract borrow both ripple through all four limbs.
+  const std::vector<std::uint32_t> n(4, 0xffffffffu);
+  check_ct_sub({0, 0, 0, 0}, 0, n);                    // t = 0
+  check_ct_sub({1, 0, 0, 0}, 0, n);                    // t = 1
+  std::vector<std::uint32_t> t(4, 0xffffffffu);
+  t[0] = 0xfffffffeu;
+  check_ct_sub(t, 0, n);                               // t = n-1: no subtract
+  check_ct_sub(n, 0, n);                               // t = n: exact -> 0
+  check_ct_sub({0, 0, 0, 0}, 1, n);                    // t = 2^128 -> 1
+  t[0] = 0xfffffffdu;
+  check_ct_sub(t, 1, n);  // t = 2^128+n-2 = 2n-1 (max legal) -> n-1
+}
+
+TEST(CtSubMod, SparseModulusTopWordDecides) {
+  // n = 2^96 + 1: interior limbs zero, so the t >= n decision hinges on
+  // the top limb and the final borrow.
+  const std::vector<std::uint32_t> n = {1, 0, 0, 1};
+  check_ct_sub({0, 0, 0, 1}, 0, n);  // t = 2^96  = n-1: no subtract
+  check_ct_sub({1, 0, 0, 1}, 0, n);  // t = n: exact -> 0
+  check_ct_sub({2, 0, 0, 1}, 0, n);  // t = n+1 -> 1
+  check_ct_sub({0, 0, 0, 2}, 0, n);  // t = 2^97 -> 2^96 - 1
+  check_ct_sub({0xffffffffu, 0xffffffffu, 0xffffffffu, 1}, 0, n);
+}
+
+TEST(CtSubMod, SingleLimb) {
+  const std::vector<std::uint32_t> n = {0xffffffffu};
+  check_ct_sub({0xfffffffeu}, 0, n);  // n-1
+  check_ct_sub({0xffffffffu}, 0, n);  // n -> 0
+  check_ct_sub({0}, 1, n);            // 2^32 -> 1
+  check_ct_sub({0xfffffffdu}, 1, n);  // 2^32 + n - 2 -> n - 1... one below 2n
+}
+
+TEST(CtSubMod, MidModulusRandomizedAgainstReference) {
+  // Randomized sweep near the boundary: t drawn from [n-2, n+2] and
+  // [2n-3, 2n) for random 6-limb odd moduli.
+  util::Rng rng(2024);
+  for (int iter = 0; iter < 50; ++iter) {
+    BigInt nv = BigInt::random_below(BigInt{1} << 192, rng);
+    if (nv.is_zero()) continue;
+    if ((nv.limbs()[0] & 1u) == 0) nv += BigInt{1};
+    if (nv.bit_length() < 160) continue;  // keep 6 meaningful limbs
+    const std::size_t len = 6;
+    std::vector<std::uint32_t> n(len, 0);
+    for (std::size_t i = 0; i < nv.limbs().size() && i < len; ++i) {
+      n[i] = nv.limbs()[i];
+    }
+    for (int delta = -2; delta <= 2; ++delta) {
+      BigInt tv = nv;
+      if (delta < 0) tv -= BigInt{static_cast<std::uint32_t>(-delta)};
+      if (delta > 0) tv += BigInt{static_cast<std::uint32_t>(delta)};
+      std::vector<std::uint32_t> t(len + 1, 0);
+      for (std::size_t i = 0; i < tv.limbs().size(); ++i) t[i] = tv.limbs()[i];
+      const std::uint32_t top = t[len];
+      t.resize(len);
+      check_ct_sub(t, top, n);
+    }
+  }
+}
+
+// ---- Part 2: finalize edges through all four production contexts -------
+
+// Operand grid hugging the reduction boundary for modulus m.
+std::vector<BigInt> edge_values(const BigInt& m) {
+  std::vector<BigInt> vals = {BigInt{}, BigInt{1}, BigInt{2}};
+  BigInt v = m;
+  v -= BigInt{1};
+  vals.push_back(v);  // m-1
+  v -= BigInt{1};
+  vals.push_back(v);  // m-2
+  util::Rng rng(77);
+  vals.push_back(BigInt::random_below(m, rng));
+  return vals;
+}
+
+// Moduli shaped to stress the finalize: dense limbs (2^k - small: the
+// subtract fires often and borrows ripple), sparse limbs (2^k + 1), a
+// single max limb, and a generic RSA-shaped odd modulus.
+std::vector<BigInt> edge_moduli() {
+  std::vector<BigInt> ms;
+  BigInt dense = BigInt{1} << 256;
+  dense -= BigInt{189};
+  ms.push_back(dense);
+  BigInt sparse = BigInt{1} << 224;
+  sparse += BigInt{1};
+  ms.push_back(sparse);
+  ms.push_back(BigInt{0xffffffffu});
+  util::Rng rng(31337);
+  BigInt generic = BigInt::random_below(BigInt{1} << 192, rng);
+  if ((generic.limbs()[0] & 1u) == 0) generic += BigInt{1};
+  ms.push_back(generic);
+  return ms;
+}
+
+template <typename Ctx>
+void exercise_context_edges() {
+  for (const BigInt& m : edge_moduli()) {
+    const Ctx ctx(m);
+    const std::vector<BigInt> vals = edge_values(m);
+    for (const BigInt& a : vals) {
+      const auto am = ctx.to_mont(a);
+      typename Ctx::Rep out;
+      ctx.sqr(am, out);
+      EXPECT_EQ(ctx.from_mont(out), (a * a).mod(m))
+          << "sqr a=" << a.to_hex() << " m=" << m.to_hex();
+      for (const BigInt& b : vals) {
+        const auto bm = ctx.to_mont(b);
+        ctx.mul(am, bm, out);
+        EXPECT_EQ(ctx.from_mont(out), (a * b).mod(m))
+            << "mul a=" << a.to_hex() << " b=" << b.to_hex()
+            << " m=" << m.to_hex();
+      }
+    }
+  }
+}
+
+TEST(FinalizeEdges, Scalar32) { exercise_context_edges<MontCtx32>(); }
+TEST(FinalizeEdges, Scalar64) { exercise_context_edges<MontCtx64>(); }
+TEST(FinalizeEdges, Vector) { exercise_context_edges<VectorMontCtx>(); }
+
+TEST(FinalizeEdges, Batch) {
+  // 16 independent lanes: spread the edge grid across lanes so a single
+  // mul exercises subtract-taken and subtract-not-taken lanes at once
+  // (the per-lane masks in finalize_lanes must not bleed across lanes).
+  for (const BigInt& m : edge_moduli()) {
+    const BatchVectorMontCtx ctx(m);
+    const std::vector<BigInt> vals = edge_values(m);
+    std::array<BigInt, BatchVectorMontCtx::kBatch> as, bs;
+    for (std::size_t lane = 0; lane < BatchVectorMontCtx::kBatch; ++lane) {
+      as[lane] = vals[lane % vals.size()];
+      bs[lane] = vals[(lane / vals.size()) % vals.size()];
+    }
+    const auto am = ctx.to_mont(as);
+    const auto bm = ctx.to_mont(bs);
+    BatchVectorMontCtx::Rep out;
+    ctx.mul(am, bm, out);
+    auto products = ctx.from_mont(out);
+    for (std::size_t lane = 0; lane < BatchVectorMontCtx::kBatch; ++lane) {
+      EXPECT_EQ(products[lane], (as[lane] * bs[lane]).mod(m))
+          << "lane " << lane << " m=" << m.to_hex();
+    }
+    ctx.sqr(am, out);
+    auto squares = ctx.from_mont(out);
+    for (std::size_t lane = 0; lane < BatchVectorMontCtx::kBatch; ++lane) {
+      EXPECT_EQ(squares[lane], (as[lane] * as[lane]).mod(m))
+          << "lane " << lane << " m=" << m.to_hex();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace phissl::mont
