@@ -1,7 +1,22 @@
 // E10: SSL handshake throughput. Full RSA-key-transport handshakes for the
 // three systems across key sizes — the end-to-end workload the paper's
 // introduction motivates (handshake throughput limited by RSA private ops).
+//
+// Usage:
+//   ./bench_handshake [--smoke] [--json [path]]
+//
+// The termination sweep (threads x resumption ratio x scalar/batched)
+// measures the lane-coalescing ClientKeyExchange path: with
+// batch_private_ops on, concurrent full handshakes fill 16-lane SIMD
+// batches through the shared BatchDecryptService instead of each running
+// a scalar CRT decryption. The scalar rows of the same run are the
+// baseline the batched rows are judged against.
+//
+// --smoke shrinks everything to a seconds-long CI run (512-bit key, small
+// counts, legacy tables skipped) while keeping every code path exercised.
 #include <cstdio>
+#include <cstring>
+#include <vector>
 
 #include "baseline/systems.hpp"
 #include "bench/harness.hpp"
@@ -13,122 +28,208 @@
 #include "rsa/key.hpp"
 #include "ssl/driver.hpp"
 
-int main() {
+namespace {
+
+// One sweep cell: runs the driver and reports + records one row.
+void sweep_cell(phissl::bench::JsonReporter& json, const phissl::rsa::Engine& engine,
+                bool batched, std::size_t threads, double ratio,
+                std::size_t handshakes) {
   using namespace phissl;
+  ssl::DriverConfig cfg;
+  cfg.num_handshakes = handshakes;
+  cfg.num_threads = threads;
+  cfg.resumption_ratio = ratio;
+  cfg.batch_private_ops = batched;
+  const ssl::DriverReport r = ssl::run_handshakes(engine, cfg);
+
+  char name[64];
+  std::snprintf(name, sizeof(name), "%s_t%zu_r%.1f",
+                batched ? "batched" : "scalar", threads, ratio);
+  std::printf("%-8s %4zu %6.1f %12.1f %10.0f %10.0f %7.2f %6zu/%zu\n",
+              batched ? "batched" : "scalar", threads, ratio,
+              r.handshakes_per_s, r.latency_us.median, r.latency_us.p99,
+              r.batch_lane_occupancy, r.resumed, r.completed);
+  if (r.failed != 0) std::printf("  (FAILED %zu)\n", r.failed);
+  json.add_row("termination_sweep", name,
+               {{"threads", static_cast<double>(threads)},
+                {"resumption_ratio", ratio},
+                {"batched", batched ? 1.0 : 0.0},
+                {"hs_per_s", r.handshakes_per_s},
+                {"p50_us", r.latency_us.median},
+                {"p99_us", r.latency_us.p99},
+                {"completed", static_cast<double>(r.completed)},
+                {"failed", static_cast<double>(r.failed)},
+                {"resumed", static_cast<double>(r.resumed)},
+                {"cache_hits", static_cast<double>(r.cache_hits)},
+                {"cache_misses", static_cast<double>(r.cache_misses)},
+                {"cache_evictions", static_cast<double>(r.cache_evictions)},
+                {"batches", static_cast<double>(r.batches)},
+                {"lane_occupancy", r.batch_lane_occupancy}});
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace phissl;
+
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  auto json = bench::JsonReporter::from_args("bench_handshake", argc, argv);
 
   bench::print_header("E10 bench_handshake",
                       "SSL handshake throughput, three systems");
 
-  std::printf("\n(a) measured on this host [handshakes/s | p50 latency us], "
-              "2 worker threads\n");
-  std::printf("%8s", "bits");
-  for (const auto s : baseline::all_systems()) {
-    std::printf(" %24s", baseline::name(s));
-  }
-  std::printf("\n");
-  for (const std::size_t bits : {1024u, 2048u}) {
-    const rsa::PrivateKey& key = rsa::test_key(bits);
-    std::printf("%8zu", bits);
-    for (const auto s : baseline::all_systems()) {
-      const rsa::Engine engine = baseline::make_engine(s, key);
-      ssl::DriverConfig cfg;
-      cfg.num_handshakes = bits >= 2048 ? 12 : 24;
-      cfg.num_threads = 2;
-      const auto r = ssl::run_handshakes(engine, cfg);
-      std::printf(" %12.1f | %9.0f", r.handshakes_per_s, r.latency_us.median);
-      if (r.failed != 0) std::printf("(FAILED %zu)", r.failed);
-    }
-    std::printf("\n");
-  }
-
-  // DHE-RSA (forward secrecy): server cost = RSA sign + 2 DH exps.
-  // Single-threaded latency comparison against plain RSA key transport.
-  std::printf("\n    key-exchange comparison, RSA-2048 cert, host-measured "
-              "[median handshake ms]\n");
-  std::printf("%-18s %14s %20s\n", "system", "RSA transport",
-              "DHE-RSA (1024 grp)");
-  {
-    const rsa::PrivateKey& key = rsa::test_key(2048);
-    for (const auto s : baseline::all_systems()) {
-      const rsa::Engine server_engine = baseline::make_engine(s, key);
-      const rsa::Engine client_engine(key.pub, server_engine.options());
-      const dh::Dh group(dh::rfc2409_group2(),
-                         baseline::options_for(s).kernel);
-      util::Rng rng(9);
-
-      const double rsa_ms =
-          bench::time_op_ms(
-              [&] {
-                ssl::ServerHandshake server(server_engine, rng);
-                ssl::ClientHandshake client(client_engine, rng);
-                const auto flight = server.on_client_hello(client.start());
-                const auto kex = client.on_server_hello(
-                    flight.value().hello, *flight.value().certificate);
-                const auto fin = server.on_key_exchange(kex.value().first,
-                                                        kex.value().second);
-                (void)client.on_server_finished(fin.value());
-              },
-              3, 0.2, 60)
-              .median;
-      const double dhe_ms =
-          bench::time_op_ms(
-              [&] {
-                ssl::DheServerHandshake server(server_engine, group, rng);
-                ssl::DheClientHandshake client(client_engine, rng);
-                const auto flight = server.on_client_hello(client.start());
-                const auto kex = client.on_server_flight(
-                    flight.value().hello, flight.value().certificate,
-                    flight.value().key_exchange);
-                const auto fin = server.on_key_exchange(kex.value().first,
-                                                        kex.value().second);
-                (void)client.on_server_finished(fin.value());
-              },
-              3, 0.2, 60)
-              .median;
-      std::printf("%-18s %14.2f %20.2f\n", baseline::name(s), rsa_ms, dhe_ms);
-    }
-  }
-
-  // Session-resumption sweep: abbreviated handshakes skip the RSA private
-  // op entirely, so throughput rises steeply with the resumption ratio —
-  // and the advantage of a faster private op shrinks, which bounds how
-  // much PhiOpenSSL can help a resumption-heavy terminator.
-  std::printf("\n    resumption-ratio sweep, RSA-2048, PhiOpenSSL, "
-              "host-measured [hs/s | %% resumed]\n");
-  std::printf("%8s %14s %12s\n", "ratio", "hs/s", "resumed");
+  // --- Termination sweep: threads x resumption ratio, scalar vs batched.
+  // Both modes run the SAME sweep in the SAME process, so the batched
+  // rows are compared against a baseline captured under identical
+  // conditions. Handshake counts scale with the thread count so every
+  // configuration gives each worker enough work to fill batches.
+  const std::size_t sweep_bits = smoke ? 512 : 2048;
+  // 16 and 32 threads matter even on small hosts: a handshake thread
+  // BLOCKS while its decryption waits in a batch, so the number of
+  // threads bounds the number of lanes a batch can fill (8 threads can
+  // never fill more than half a 16-lane batch). The batched path's
+  // crossover therefore appears once threads >= the batch width.
+  const std::vector<std::size_t> sweep_threads =
+      smoke ? std::vector<std::size_t>{1, 2}
+            : std::vector<std::size_t>{1, 2, 4, 8, 16, 32};
+  const std::vector<double> sweep_ratios =
+      smoke ? std::vector<double>{0.0} : std::vector<double>{0.0, 0.5, 0.9};
+  std::printf("\n    termination sweep, RSA-%zu, PhiOpenSSL engine "
+              "[hs/s | p50 us | p99 us | lane occ | resumed]\n",
+              sweep_bits);
+  std::printf("%-8s %4s %6s %12s %10s %10s %7s %9s\n", "mode", "thr",
+              "ratio", "hs/s", "p50_us", "p99_us", "occ", "resumed");
   {
     const rsa::Engine engine = baseline::make_engine(
-        baseline::System::kPhiOpenSSL, rsa::test_key(2048));
-    for (const double ratio : {0.0, 0.5, 0.9, 1.0}) {
-      ssl::DriverConfig cfg;
-      cfg.num_handshakes = 24;
-      cfg.num_threads = 2;
-      cfg.resumption_ratio = ratio;
-      const auto r = ssl::run_handshakes(engine, cfg);
-      std::printf("%8.2f %14.1f %9zu/%zu\n", ratio, r.handshakes_per_s,
-                  r.resumed, r.completed);
+        baseline::System::kPhiOpenSSL, rsa::test_key(sweep_bits));
+    for (const bool batched : {false, true}) {
+      for (const std::size_t threads : sweep_threads) {
+        for (const double ratio : sweep_ratios) {
+          const std::size_t handshakes =
+              smoke ? 6 * threads : (sweep_bits >= 2048 ? 12 : 24) * threads;
+          sweep_cell(json, engine, batched, threads, ratio, handshakes);
+        }
+      }
     }
   }
 
-  // The handshake is one private op plus one public op plus hashing; the
-  // KNC projection uses the private-op profile (dominant term) at full
-  // chip occupancy.
-  std::printf("\n(b) simulated KNC chip at 240 threads "
-              "[handshakes/s, private-op bound]\n");
-  std::printf("%8s", "bits");
-  for (const auto s : baseline::all_systems()) {
-    std::printf(" %18s", baseline::name(s));
-  }
-  std::printf("\n");
-  const phisim::ChipModel chip;
-  for (const std::size_t bits : {1024u, 2048u, 4096u}) {
-    std::printf("%8zu", bits);
+  if (!smoke) {
+    std::printf("\n(a) measured on this host [handshakes/s | p50 latency us], "
+                "2 worker threads\n");
+    std::printf("%8s", "bits");
     for (const auto s : baseline::all_systems()) {
-      const auto priv =
-          phisim::profile_rsa_private(bits, baseline::options_for(s));
-      std::printf(" %18.1f", chip.throughput_ops_s(priv, 240));
+      std::printf(" %24s", baseline::name(s));
     }
     std::printf("\n");
+    for (const std::size_t bits : {1024u, 2048u}) {
+      const rsa::PrivateKey& key = rsa::test_key(bits);
+      std::printf("%8zu", bits);
+      for (const auto s : baseline::all_systems()) {
+        const rsa::Engine engine = baseline::make_engine(s, key);
+        ssl::DriverConfig cfg;
+        cfg.num_handshakes = bits >= 2048 ? 12 : 24;
+        cfg.num_threads = 2;
+        const auto r = ssl::run_handshakes(engine, cfg);
+        std::printf(" %12.1f | %9.0f", r.handshakes_per_s, r.latency_us.median);
+        if (r.failed != 0) std::printf("(FAILED %zu)", r.failed);
+      }
+      std::printf("\n");
+    }
+
+    // DHE-RSA (forward secrecy): server cost = RSA sign + 2 DH exps.
+    // Single-threaded latency comparison against plain RSA key transport.
+    std::printf("\n    key-exchange comparison, RSA-2048 cert, host-measured "
+                "[median handshake ms]\n");
+    std::printf("%-18s %14s %20s\n", "system", "RSA transport",
+                "DHE-RSA (1024 grp)");
+    {
+      const rsa::PrivateKey& key = rsa::test_key(2048);
+      for (const auto s : baseline::all_systems()) {
+        const rsa::Engine server_engine = baseline::make_engine(s, key);
+        const rsa::Engine client_engine(key.pub, server_engine.options());
+        const dh::Dh group(dh::rfc2409_group2(),
+                           baseline::options_for(s).kernel);
+        util::Rng rng(9);
+
+        const double rsa_ms =
+            bench::time_op_ms(
+                [&] {
+                  ssl::ServerHandshake server(server_engine, rng);
+                  ssl::ClientHandshake client(client_engine, rng);
+                  const auto flight = server.on_client_hello(client.start());
+                  const auto kex = client.on_server_hello(
+                      flight.value().hello, *flight.value().certificate);
+                  const auto fin = server.on_key_exchange(kex.value().first,
+                                                          kex.value().second);
+                  (void)client.on_server_finished(fin.value());
+                },
+                3, 0.2, 60)
+                .median;
+        const double dhe_ms =
+            bench::time_op_ms(
+                [&] {
+                  ssl::DheServerHandshake server(server_engine, group, rng);
+                  ssl::DheClientHandshake client(client_engine, rng);
+                  const auto flight = server.on_client_hello(client.start());
+                  const auto kex = client.on_server_flight(
+                      flight.value().hello, flight.value().certificate,
+                      flight.value().key_exchange);
+                  const auto fin = server.on_key_exchange(kex.value().first,
+                                                          kex.value().second);
+                  (void)client.on_server_finished(fin.value());
+                },
+                3, 0.2, 60)
+                .median;
+        std::printf("%-18s %14.2f %20.2f\n", baseline::name(s), rsa_ms,
+                    dhe_ms);
+      }
+    }
+
+    // Session-resumption sweep: abbreviated handshakes skip the RSA private
+    // op entirely, so throughput rises steeply with the resumption ratio —
+    // and the advantage of a faster private op shrinks, which bounds how
+    // much PhiOpenSSL can help a resumption-heavy terminator.
+    std::printf("\n    resumption-ratio sweep, RSA-2048, PhiOpenSSL, "
+                "host-measured [hs/s | %% resumed]\n");
+    std::printf("%8s %14s %12s\n", "ratio", "hs/s", "resumed");
+    {
+      const rsa::Engine engine = baseline::make_engine(
+          baseline::System::kPhiOpenSSL, rsa::test_key(2048));
+      for (const double ratio : {0.0, 0.5, 0.9, 1.0}) {
+        ssl::DriverConfig cfg;
+        cfg.num_handshakes = 24;
+        cfg.num_threads = 2;
+        cfg.resumption_ratio = ratio;
+        const auto r = ssl::run_handshakes(engine, cfg);
+        std::printf("%8.2f %14.1f %9zu/%zu\n", ratio, r.handshakes_per_s,
+                    r.resumed, r.completed);
+      }
+    }
+
+    // The handshake is one private op plus one public op plus hashing; the
+    // KNC projection uses the private-op profile (dominant term) at full
+    // chip occupancy.
+    std::printf("\n(b) simulated KNC chip at 240 threads "
+                "[handshakes/s, private-op bound]\n");
+    std::printf("%8s", "bits");
+    for (const auto s : baseline::all_systems()) {
+      std::printf(" %18s", baseline::name(s));
+    }
+    std::printf("\n");
+    const phisim::ChipModel chip;
+    for (const std::size_t bits : {1024u, 2048u, 4096u}) {
+      std::printf("%8zu", bits);
+      for (const auto s : baseline::all_systems()) {
+        const auto priv =
+            phisim::profile_rsa_private(bits, baseline::options_for(s));
+        std::printf(" %18.1f", chip.throughput_ops_s(priv, 240));
+      }
+      std::printf("\n");
+    }
   }
-  return 0;
+
+  return json.write() ? 0 : 1;
 }

@@ -86,6 +86,13 @@ Engine::Engine(PublicKey key, EngineOptions opts)
   ctx_n_ = std::make_unique<AnyCtx>(make_ctx(pub_.n));
 }
 
+const PrivateKey& Engine::priv() const {
+  if (!priv_.has_value()) {
+    throw std::logic_error("Engine::priv: public-only engine has no key");
+  }
+  return *priv_;
+}
+
 BigInt Engine::public_op(const BigInt& x) const {
   if (x.is_negative() || x >= pub_.n) {
     throw std::invalid_argument("Engine::public_op: x must be in [0, n)");

@@ -82,6 +82,12 @@ class Engine {
   [[nodiscard]] const EngineOptions& options() const { return opts_; }
   [[nodiscard]] bool has_private() const { return priv_.has_value(); }
 
+  /// The private key this engine was constructed over. Throws
+  /// std::logic_error for a public-only engine. Callers use it to build
+  /// sibling contexts over the same key — e.g. the TLS driver seeding a
+  /// 16-lane BatchEngine for coalesced handshake decryptions.
+  [[nodiscard]] const PrivateKey& priv() const;
+
   /// RSA public operation: x^e mod n. x must be in [0, n).
   [[nodiscard]] bigint::BigInt public_op(const bigint::BigInt& x) const;
 

@@ -117,6 +117,11 @@ std::optional<std::vector<std::uint8_t>> decrypt_pkcs1(
   } catch (const std::length_error&) {
     return std::nullopt;
   }
+  return rsaes_pkcs1_v15_unpad(em);
+}
+
+std::optional<std::vector<std::uint8_t>> rsaes_pkcs1_v15_unpad(
+    std::span<const std::uint8_t> em) {
   // 0x00 0x02 <at least 8 nonzero bytes> 0x00 <message>
   if (em.size() < 11 || em[0] != 0x00 || em[1] != 0x02) return std::nullopt;
   std::size_t sep = 0;

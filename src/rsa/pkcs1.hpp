@@ -50,4 +50,12 @@ std::optional<std::vector<std::uint8_t>> decrypt_pkcs1(
     const Engine& engine, std::span<const std::uint8_t> ciphertext,
     util::Rng* rng = nullptr);
 
+/// RSAES-PKCS1-v1_5 unpadding of an already-decrypted k-byte block
+/// (RFC 8017 §7.2.2 steps 3-4): nullopt unless em is
+/// 0x00 0x02 <at least 8 nonzero bytes> 0x00 <message>. Factored out of
+/// decrypt_pkcs1 so the batched private-op path (which runs the modular
+/// exponentiation elsewhere, 16 lanes at a time) shares one unpadder.
+std::optional<std::vector<std::uint8_t>> rsaes_pkcs1_v15_unpad(
+    std::span<const std::uint8_t> em);
+
 }  // namespace phissl::rsa

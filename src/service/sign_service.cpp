@@ -151,6 +151,27 @@ std::future<SignResult> SignService::sign(
   Pending p;
   p.x = BigInt::from_bytes_be(rsa::emsa_pkcs1_v15_from_digest(digest, shard.k));
   p.submitted = Clock::now();
+  return enqueue(shard, std::move(p));
+}
+
+std::future<SignResult> SignService::private_op(
+    const std::string& key_id, std::span<const std::uint8_t> input_be) {
+  PHISSL_OBS_SPAN("svc.private_op");
+  Shard& shard = find_shard(key_id);
+  if (input_be.size() != shard.k) {
+    throw std::invalid_argument(
+        "SignService::private_op: input must be exactly k bytes");
+  }
+  Pending p;
+  p.x = BigInt::from_bytes_be(input_be);
+  if (p.x >= shard.engine.pub().n) {
+    throw std::invalid_argument("SignService::private_op: input >= modulus");
+  }
+  p.submitted = Clock::now();
+  return enqueue(shard, std::move(p));
+}
+
+std::future<SignResult> SignService::enqueue(Shard& shard, Pending&& p) {
   std::future<SignResult> fut = p.promise.get_future();
 
   std::vector<Pending> batch;

@@ -131,6 +131,20 @@ class SignService {
   std::future<SignResult> sign(const std::string& key_id,
                                std::span<const std::uint8_t> digest);
 
+  /// Queues one RAW private-key operation: `input_be` must be exactly the
+  /// modulus size (k bytes, big-endian) with value < n, and the returned
+  /// future resolves to x^d mod n as a k-byte block in
+  /// SignResult::signature (no EMSA encoding on the way in, no padding
+  /// interpretation on the way out). This is the TLS-termination on-ramp:
+  /// ClientKeyExchange decryptions from many concurrent connections
+  /// coalesce into the same adaptive 16-lane batches as signing traffic,
+  /// sharing the linger/backpressure scheduler and the per-key
+  /// BatchEngine shard. Thread-safe. Throws std::invalid_argument for an
+  /// unknown key, a wrong-size block, or a value >= n, and
+  /// std::runtime_error after stop().
+  std::future<SignResult> private_op(const std::string& key_id,
+                                     std::span<const std::uint8_t> input_be);
+
   /// Counter snapshot; safe to call concurrently with sign()/dispatches.
   [[nodiscard]] StatsSnapshot stats() const;
 
@@ -148,6 +162,10 @@ class SignService {
   enum class FlushReason { kFull, kLinger, kDrain };
 
   Shard& find_shard(const std::string& key_id) const;
+  /// Shared submission tail for sign()/private_op(): queues the encoded
+  /// request, dispatches a full batch immediately, or arms the linger
+  /// timer for a fresh partial.
+  std::future<SignResult> enqueue(Shard& shard, Pending&& p);
   void dispatch(Shard& shard, std::vector<Pending>&& batch, FlushReason why);
   void linger_loop();
 

@@ -1,0 +1,47 @@
+#include "ssl/batch_decrypt.hpp"
+
+#include <utility>
+
+#include "obs/trace.hpp"
+#include "rsa/pkcs1.hpp"
+
+namespace phissl::ssl {
+
+namespace {
+constexpr char kKeyId[] = "kex";
+}  // namespace
+
+BatchDecryptService::BatchDecryptService(rsa::PrivateKey key,
+                                         BatchDecryptConfig config)
+    : k_(key.pub.byte_size()),
+      n_(key.pub.n),
+      svc_(service::SignServiceConfig{
+          .dispatch_threads = config.dispatch_threads,
+          .max_linger = config.max_linger,
+          .full_batches_only = config.full_batches_only,
+          .digit_bits = config.digit_bits,
+      }) {
+  svc_.add_key(kKeyId, std::move(key));
+}
+
+std::optional<std::vector<std::uint8_t>> BatchDecryptService::decrypt_premaster(
+    std::span<const std::uint8_t> ciphertext) {
+  PHISSL_OBS_SPAN("ssl.batch_kex_decrypt");
+  // Public checks first (ciphertext length and range are not secrets):
+  // private_op throws on these, but a malformed wire ciphertext is a
+  // normal protocol event, not a caller bug — report it as the same
+  // nullopt the unpad failure below produces.
+  if (ciphertext.size() != k_) return std::nullopt;
+  if (bigint::BigInt::from_bytes_be(ciphertext) >= n_) return std::nullopt;
+
+  // Blocks this handshake thread until the 16-lane batch containing this
+  // request runs (at most ~max_linger of added wait at light load).
+  auto fut = svc_.private_op(kKeyId, ciphertext);
+  const service::SignResult result = fut.get();
+
+  // EME-PKCS1-v1_5 unpadding of the raw k-byte block, on the caller —
+  // the batch kernel stays a pure modular exponentiation.
+  return rsa::rsaes_pkcs1_v15_unpad(result.signature);
+}
+
+}  // namespace phissl::ssl

@@ -1,0 +1,71 @@
+// Lane-coalescing ClientKeyExchange decryption for the TLS terminator.
+//
+// A full TLS 1.2 RSA-key-transport handshake costs one private-key
+// decryption, and a terminator runs many handshakes concurrently — the
+// same irregular-arrivals-vs-16-wide-kernel mismatch the signing service
+// solves. This adapter closes the loop for the DECRYPT direction: it owns
+// a single-key service::SignService (whose raw private_op() path shares
+// the adaptive linger/backpressure scheduler and the 16-lane BatchEngine
+// with signing traffic) and exposes it through the ssl::KexDecrypter
+// interface, so ServerHandshake::on_key_exchange calls from concurrent
+// connections fill whole SIMD batches instead of each running a scalar
+// CRT exponentiation.
+//
+// decrypt_premaster() blocks the calling handshake thread until its
+// batch completes — at most ~max_linger longer than a scalar call at
+// light load, and strictly higher throughput once enough connections are
+// in flight to fill lanes (the bench_handshake sweep measures exactly
+// this crossover). PKCS#1 v1.5 unpadding runs on the caller after the
+// batch returns the raw k-byte block; a padding failure here is reported
+// as nullopt and absorbed by the handshake's random-premaster
+// substitution like any scalar-path failure.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "bigint/bigint.hpp"
+#include "rsa/key.hpp"
+#include "service/sign_service.hpp"
+#include "ssl/handshake.hpp"
+
+namespace phissl::ssl {
+
+/// Tuning knobs, forwarded to the underlying SignService.
+struct BatchDecryptConfig {
+  /// Workers running whole 16-lane batches. The handshake threads block
+  /// in decrypt_premaster(), so one or two dispatch workers suffice.
+  std::size_t dispatch_threads = 1;
+  /// Partial-batch linger bound (see SignServiceConfig::max_linger).
+  std::chrono::microseconds max_linger{500};
+  /// Forced-full baseline: only dispatch 16-lane batches.
+  bool full_batches_only = false;
+  /// Redundant-radix digit width for the batch contexts.
+  unsigned digit_bits = 27;
+};
+
+class BatchDecryptService final : public KexDecrypter {
+ public:
+  explicit BatchDecryptService(rsa::PrivateKey key,
+                               BatchDecryptConfig config = {});
+
+  /// Coalesced RSAES-PKCS1-v1_5 decryption: enqueues the raw private op,
+  /// blocks until its batch runs, unpads on this thread. nullopt on a
+  /// wrong-size ciphertext, a value >= n, or invalid PKCS#1 padding.
+  std::optional<std::vector<std::uint8_t>> decrypt_premaster(
+      std::span<const std::uint8_t> ciphertext) override;
+
+  /// Scheduler counters of the underlying service (lane occupancy,
+  /// batch/padded-lane counts, queue-wait quantiles).
+  [[nodiscard]] service::StatsSnapshot stats() const { return svc_.stats(); }
+
+ private:
+  std::size_t k_;      // modulus size in bytes
+  bigint::BigInt n_;   // modulus, for the public range check
+  service::SignService svc_;
+};
+
+}  // namespace phissl::ssl

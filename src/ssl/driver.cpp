@@ -1,11 +1,13 @@
 #include "ssl/driver.hpp"
 
 #include <atomic>
-#include <mutex>
+#include <memory>
 #include <optional>
 #include <stdexcept>
 #include <vector>
 
+#include "obs/trace.hpp"
+#include "ssl/batch_decrypt.hpp"
 #include "ssl/handshake.hpp"
 #include "ssl/record.hpp"
 #include "ssl/session_cache.hpp"
@@ -29,8 +31,9 @@ HandshakeOutcome one_handshake(const rsa::Engine& server_engine,
                                const rsa::Engine& client_engine,
                                SessionCache& cache, util::Rng& rng,
                                std::optional<ResumableSession>& last_session,
-                               bool try_resume) {
-  ServerHandshake server(server_engine, rng, &cache);
+                               bool try_resume, KexDecrypter* decrypter) {
+  PHISSL_OBS_SPAN("ssl.handshake");
+  ServerHandshake server(server_engine, rng, &cache, decrypter);
   ClientHandshake client(client_engine, rng);
 
   const ClientHello ch =
@@ -86,20 +89,35 @@ DriverReport run_handshakes(const rsa::Engine& server_engine,
   // Client-side public engine built once (clients pin the server key).
   const rsa::Engine client_engine(server_engine.pub(),
                                   server_engine.options());
-  SessionCache cache(4096);
+  SessionCache cache(SessionCacheConfig{.capacity = cfg.cache_capacity,
+                                        .shards = cfg.cache_shards});
+
+  // The batched-decrypt service is shared by every connection, exactly as
+  // a terminator would share it: that sharing is what lets concurrent
+  // on_key_exchange calls land in the same 16-lane batch.
+  std::unique_ptr<BatchDecryptService> batch_svc;
+  if (cfg.batch_private_ops) {
+    batch_svc = std::make_unique<BatchDecryptService>(
+        server_engine.priv(),
+        BatchDecryptConfig{
+            .dispatch_threads = cfg.batch_dispatch_threads,
+            .max_linger = cfg.batch_linger,
+            .digit_bits = server_engine.options().digit_bits,
+        });
+  }
 
   std::atomic<std::size_t> completed{0};
   std::atomic<std::size_t> failed{0};
   std::atomic<std::size_t> resumed{0};
-  std::mutex lat_mu;
-  std::vector<double> latencies_us;
-  latencies_us.reserve(cfg.num_handshakes);
 
   util::ThreadPool pool(cfg.num_threads);
   util::Stopwatch wall;
 
-  // Each worker slot gets an independent RNG stream and its own resumable
-  // session handle.
+  // Each worker slot gets an independent RNG stream, its own resumable
+  // session handle, and its own latency buffer. The buffers are merged
+  // after the pool drains — the previous design pushed every sample
+  // through one global mutex, which at high thread counts serialized the
+  // very handshake path the measurement was trying to observe.
   const std::size_t slots = pool.size();
   std::vector<util::Rng> rngs;
   rngs.reserve(slots);
@@ -107,6 +125,7 @@ DriverReport run_handshakes(const rsa::Engine& server_engine,
     rngs.emplace_back(cfg.seed * 0x9e3779b97f4a7c15ULL + s + 1);
   }
   std::vector<std::optional<ResumableSession>> sessions(slots);
+  std::vector<std::vector<double>> slot_latencies(slots);
   std::atomic<std::size_t> next_slot{0};
 
   const std::uint64_t resume_threshold =
@@ -114,16 +133,20 @@ DriverReport run_handshakes(const rsa::Engine& server_engine,
 
   pool.parallel_for(cfg.num_handshakes, [&](std::size_t lo, std::size_t hi) {
     // One chunk = one slot: chunks never outnumber pool.size() == slots, so
-    // each running chunk owns its RNG stream and session handle exclusively.
+    // each running chunk owns its RNG stream, session handle, and latency
+    // buffer exclusively — no lock anywhere on the measurement path.
     const std::size_t slot = next_slot++ % slots;
     util::Rng& rng = rngs[slot];
+    std::vector<double>& lats = slot_latencies[slot];
+    lats.reserve(hi - lo);
 
     for (std::size_t i = lo; i < hi; ++i) {
       const bool try_resume = sessions[slot].has_value() &&
                               rng.next_u32() < resume_threshold;
       util::Stopwatch sw;
-      const HandshakeOutcome outcome = one_handshake(
-          server_engine, client_engine, cache, rng, sessions[slot], try_resume);
+      const HandshakeOutcome outcome =
+          one_handshake(server_engine, client_engine, cache, rng,
+                        sessions[slot], try_resume, batch_svc.get());
       const double us = static_cast<double>(sw.elapsed_ns()) * 1e-3;
       if (outcome.ok) {
         completed++;
@@ -131,8 +154,7 @@ DriverReport run_handshakes(const rsa::Engine& server_engine,
       } else {
         failed++;
       }
-      std::lock_guard<std::mutex> lock(lat_mu);
-      latencies_us.push_back(us);
+      lats.push_back(us);
     }
   });
 
@@ -145,7 +167,22 @@ DriverReport run_handshakes(const rsa::Engine& server_engine,
       report.wall_seconds > 0
           ? static_cast<double>(report.completed) / report.wall_seconds
           : 0.0;
+  std::vector<double> latencies_us;
+  latencies_us.reserve(cfg.num_handshakes);
+  for (auto& slot : slot_latencies) {
+    latencies_us.insert(latencies_us.end(), slot.begin(), slot.end());
+  }
   report.latency_us = util::summarize(std::move(latencies_us));
+
+  const SessionCacheStats cs = cache.stats();
+  report.cache_hits = cs.hits;
+  report.cache_misses = cs.misses;
+  report.cache_evictions = cs.evictions;
+  if (batch_svc) {
+    const service::StatsSnapshot ss = batch_svc->stats();
+    report.batches = ss.batches;
+    report.batch_lane_occupancy = ss.mean_lane_occupancy;
+  }
   return report;
 }
 

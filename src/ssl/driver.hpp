@@ -4,7 +4,9 @@
 // termination throughput limited by RSA).
 #pragma once
 
+#include <chrono>
 #include <cstddef>
+#include <cstdint>
 
 #include "rsa/engine.hpp"
 #include "util/stats.hpp"
@@ -18,6 +20,20 @@ struct DriverConfig {
   /// Fraction of handshakes that attempt session resumption (each worker
   /// reuses its most recent full session). 0.0 = all full handshakes.
   double resumption_ratio = 0.0;
+
+  /// Route ClientKeyExchange decryptions through a BatchDecryptService so
+  /// concurrent full handshakes fill 16-lane SIMD batches, instead of
+  /// each connection running its own scalar CRT exponentiation.
+  bool batch_private_ops = false;
+  /// Partial-batch linger bound for the batched path.
+  std::chrono::microseconds batch_linger{500};
+  /// Dispatch workers for the batched path (the handshake threads block
+  /// awaiting their lane, so 1 is usually right).
+  std::size_t batch_dispatch_threads = 1;
+
+  /// Shared session-cache geometry (see SessionCacheConfig).
+  std::size_t cache_capacity = 4096;
+  std::size_t cache_shards = 16;
 };
 
 struct DriverReport {
@@ -27,13 +43,23 @@ struct DriverReport {
   double wall_seconds = 0.0;    ///< total wall-clock time
   double handshakes_per_s = 0.0;
   util::Summary latency_us;     ///< per-handshake latency distribution
+
+  // Session-cache effectiveness over the run.
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t cache_evictions = 0;
+
+  // Batched-decrypt scheduler counters (zero when batch_private_ops off).
+  std::uint64_t batches = 0;            ///< 16-lane dispatches issued
+  double batch_lane_occupancy = 0.0;    ///< real requests per dispatched lane
 };
 
 /// Runs cfg.num_handshakes full (or resumed) handshakes, each ending with
 /// one protected application-data echo, against a server using
 /// `server_engine` (must hold a private key). Each worker thread owns its
-/// own RNG and client state; the server engine and session cache are
-/// shared, matching a real TLS terminator.
+/// own RNG and client state; the server engine, the session cache, and
+/// (when enabled) the batched decrypt service are shared, matching a real
+/// TLS terminator.
 DriverReport run_handshakes(const rsa::Engine& server_engine,
                             const DriverConfig& cfg);
 

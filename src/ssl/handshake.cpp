@@ -4,6 +4,7 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "obs/trace.hpp"
 #include "rsa/pkcs1.hpp"
 #include "ssl/prf.hpp"
 
@@ -88,8 +89,10 @@ std::array<std::uint8_t, kVerifyDataSize> compute_verify_data(
 // --- Server -----------------------------------------------------------------
 
 ServerHandshake::ServerHandshake(const rsa::Engine& engine, util::Rng& rng,
-                                 SessionCache* cache)
-    : engine_(engine), rng_(rng), cache_(cache) {}
+                                 SessionCache* cache,
+                                 KexDecrypter* kex_decrypter)
+    : engine_(engine), rng_(rng), cache_(cache),
+      kex_decrypter_(kex_decrypter) {}
 
 Result<ServerFlight1> ServerHandshake::on_client_hello(
     const ClientHello& hello) {
@@ -143,19 +146,37 @@ Result<Finished> ServerHandshake::on_key_exchange(const ClientKeyExchange& kex,
                                                   const Finished& client_fin) {
   if (state_ != State::kExpectKeyExchange) return Alert::kUnexpectedMessage;
 
-  // The handshake's dominant cost: the RSA private-key decryption.
-  const auto premaster = rsa::decrypt_pkcs1(engine_, kex.encrypted_premaster,
-                                            &rng_);
-  if (!premaster.has_value() || premaster->size() != kPremasterSize) {
-    state_ = State::kExpectHello;
-    return Alert::kDecryptError;
+  // Bleichenbacher countermeasure (RFC 5246 §7.4.7.1): draw the random
+  // fallback premaster BEFORE decrypting, then substitute it on ANY
+  // decryption failure — bad PKCS#1 padding and a wrong premaster length
+  // alike — instead of returning a distinct alert. The handshake then
+  // proceeds with a premaster the client cannot know, so every malformed
+  // ClientKeyExchange fails the SAME way a well-formed-but-wrong one
+  // does: at the Finished check, with kBadFinished. A distinct
+  // decrypt_error alert here would be a million-message oracle revealing
+  // whether a chosen ciphertext is PKCS#1-conforming under the server
+  // key.
+  std::vector<std::uint8_t> premaster(kPremasterSize);
+  rng_.fill_bytes(premaster.data(), premaster.size());
+  {
+    PHISSL_OBS_SPAN("ssl.kex_decrypt");
+    // The handshake's dominant cost: the RSA private-key decryption —
+    // batched across connections when a KexDecrypter is plugged in,
+    // scalar CRT on this thread otherwise.
+    const auto decrypted =
+        kex_decrypter_ != nullptr
+            ? kex_decrypter_->decrypt_premaster(kex.encrypted_premaster)
+            : rsa::decrypt_pkcs1(engine_, kex.encrypted_premaster, &rng_);
+    if (decrypted.has_value() && decrypted->size() == kPremasterSize) {
+      std::copy(decrypted->begin(), decrypted->end(), premaster.begin());
+    }
   }
 
   absorb(transcript_, "client_key_exchange");
   absorb(transcript_, kex.encrypted_premaster);
   const util::Sha256::Digest transcript_hash = util::Sha256(transcript_).finish();
 
-  const auto master = derive_master(*premaster, client_random_, server_random_);
+  const auto master = derive_master(premaster, client_random_, server_random_);
   const auto expected = compute_verify_data(master, transcript_hash, false);
   if (!ct_equal(expected, client_fin.verify_data)) {
     state_ = State::kExpectHello;

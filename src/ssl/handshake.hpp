@@ -17,8 +17,11 @@
 //   verify_* = PRF(master, "client|server finished", transcript_hash)[0..12)
 #pragma once
 
+#include <cstdint>
 #include <optional>
+#include <span>
 #include <utility>
+#include <vector>
 
 #include "rsa/engine.hpp"
 #include "ssl/messages.hpp"
@@ -50,14 +53,33 @@ struct ServerFlight1 {
   std::optional<Finished> finished;        // resumption only
 };
 
+/// Pluggable ClientKeyExchange decryption backend. The default (null)
+/// backend runs a scalar CRT decryption on the calling thread; a
+/// BatchDecryptService (ssl/batch_decrypt.hpp) instead coalesces
+/// concurrent connections' decryptions into 16-lane SIMD batches.
+class KexDecrypter {
+ public:
+  virtual ~KexDecrypter() = default;
+
+  /// Decrypts one RSAES-PKCS1-v1_5 ciphertext; nullopt on any padding or
+  /// format failure. May block (e.g. on a batch linger window). Must be
+  /// safe to call from many handshake threads concurrently.
+  virtual std::optional<std::vector<std::uint8_t>> decrypt_premaster(
+      std::span<const std::uint8_t> ciphertext) = 0;
+};
+
 /// Server side of the handshake. One instance per connection; the RSA
-/// engine and the session cache are shared across connections.
+/// engine, the session cache, and the kex decrypter are shared across
+/// connections.
 class ServerHandshake {
  public:
-  /// engine must hold the server's private key. cache may be null
-  /// (resumption offers are then ignored and sessions are not cached).
+  /// engine must hold the server's private key (even when kex_decrypter
+  /// is set — the engine still serves the certificate's public half).
+  /// cache may be null (resumption offers are then ignored and sessions
+  /// are not cached). kex_decrypter may be null (scalar decryption).
   ServerHandshake(const rsa::Engine& engine, util::Rng& rng,
-                  SessionCache* cache = nullptr);
+                  SessionCache* cache = nullptr,
+                  KexDecrypter* kex_decrypter = nullptr);
 
   /// Step 1: consume ClientHello. Decides full vs. resumed.
   Result<ServerFlight1> on_client_hello(const ClientHello& hello);
@@ -93,6 +115,7 @@ class ServerHandshake {
   const rsa::Engine& engine_;
   util::Rng& rng_;
   SessionCache* cache_;
+  KexDecrypter* kex_decrypter_;
   State state_ = State::kExpectHello;
   bool resumed_ = false;
   SessionId session_id_{};

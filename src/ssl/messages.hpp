@@ -60,7 +60,12 @@ struct Finished {
 /// Alert sent when a handshake step fails.
 enum class Alert {
   kHandshakeFailure,   ///< no common cipher suite
-  kDecryptError,       ///< ClientKeyExchange did not decrypt/parse
+  /// Retained for ABI/test stability but no longer emitted by the
+  /// server: a ClientKeyExchange that fails to decrypt is absorbed by
+  /// the RFC 5246 §7.4.7.1 random-premaster substitution and surfaces
+  /// as kBadFinished, indistinguishable from a wrong-but-well-formed
+  /// premaster (Bleichenbacher countermeasure).
+  kDecryptError,
   kBadFinished,        ///< Finished verify_data mismatch
   kUnexpectedMessage,  ///< message out of state-machine order
 };

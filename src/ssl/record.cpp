@@ -1,6 +1,7 @@
 #include "ssl/record.hpp"
 
 #include <cstring>
+#include <stdexcept>
 
 #include "ssl/prf.hpp"
 #include "util/hmac.hpp"
@@ -38,6 +39,12 @@ std::array<std::uint8_t, 32> RecordChannel::mac_header(
 std::vector<std::uint8_t> RecordChannel::seal(
     std::uint8_t content_type, std::span<const std::uint8_t> plaintext,
     util::Rng& rng) {
+  if (seal_seq_ >= kSeqLimit) {
+    // Fail closed rather than wrap: a wrapped counter would reuse
+    // (key, seq) MAC inputs and turn old captured records into replays.
+    throw std::runtime_error(
+        "RecordChannel::seal: send sequence space exhausted");
+  }
   const auto mac = mac_header(seal_seq_++, content_type, plaintext.size(),
                               plaintext.data(), plaintext.size());
   std::vector<std::uint8_t> payload(plaintext.begin(), plaintext.end());
@@ -54,15 +61,31 @@ std::vector<std::uint8_t> RecordChannel::seal(
 
 std::optional<std::vector<std::uint8_t>> RecordChannel::open(
     std::uint8_t content_type, std::span<const std::uint8_t> record) {
-  if (record.size() < kIvSize + util::Aes::kBlockSize ||
+  if (open_seq_ >= kSeqLimit) return std::nullopt;  // fail closed, no wrap
+  // Length checks depend only on the (public) record size. The minimum
+  // well-formed record carries MAC (32) plus at least one byte of padding,
+  // i.e. a 48-byte ciphertext; rejecting shorter ones here — before any
+  // decryption — guarantees every record that reaches the padding check
+  // also reaches the MAC check below, whatever the padding says.
+  constexpr std::size_t kMinCt =
+      util::Sha256::kDigestSize + util::Aes::kBlockSize;
+  if (record.size() < kIvSize + kMinCt ||
       (record.size() - kIvSize) % util::Aes::kBlockSize != 0) {
     return std::nullopt;
   }
   const auto iv = record.subspan(0, kIvSize);
   const auto ct = record.subspan(kIvSize);
+
+  // Padding-oracle countermeasure (RFC 5246 §6.2.3.2): the padding check
+  // is branch-free inside aes_cbc_decrypt, and on a bad pad `payload`
+  // holds the whole decrypted buffer (as if the pad length were zero) so
+  // the HMAC below ALWAYS runs — over data of a length determined only by
+  // the public record size in the bad-pad case. Both failure causes merge
+  // into one `ok` bit and one return path, so an attacker mauling
+  // ciphertexts sees the same rejection whether the padding or the MAC
+  // was what failed.
   std::vector<std::uint8_t> payload;
-  if (!util::aes_cbc_decrypt(cipher_, iv, ct, payload)) return std::nullopt;
-  if (payload.size() < util::Sha256::kDigestSize) return std::nullopt;
+  const bool pad_ok = util::aes_cbc_decrypt(cipher_, iv, ct, payload);
 
   const std::size_t pt_len = payload.size() - util::Sha256::kDigestSize;
   const auto expected =
@@ -72,7 +95,8 @@ std::optional<std::vector<std::uint8_t>> RecordChannel::open(
   for (std::size_t i = 0; i < expected.size(); ++i) {
     diff |= expected[i] ^ payload[pt_len + i];
   }
-  if (diff != 0) return std::nullopt;
+  const bool ok = pad_ok & (diff == 0);
+  if (!ok) return std::nullopt;
 
   ++open_seq_;
   payload.resize(pt_len);

@@ -25,22 +25,40 @@ constexpr std::size_t kIvSize = 16;
 /// maintained internally; records must be opened in the order sealed.
 class RecordChannel {
  public:
+  /// Sequence numbers never reach this value: reusing a (key, seq) MAC
+  /// input after a 2^64 wrap would let old records replay, so both
+  /// directions fail closed one short of the wrap (RFC 5246 §6.1 requires
+  /// renegotiation before the space is exhausted).
+  static constexpr std::uint64_t kSeqLimit = ~std::uint64_t{0};
+
   RecordChannel(std::span<const std::uint8_t> enc_key,
                 std::span<const std::uint8_t> mac_key);
 
   /// Protects one record: returns explicit_iv || CBC(plaintext || MAC).
-  /// `rng` supplies the per-record IV.
+  /// `rng` supplies the per-record IV. Throws std::runtime_error once the
+  /// send sequence space is exhausted (fail closed; see kSeqLimit).
   std::vector<std::uint8_t> seal(std::uint8_t content_type,
                                  std::span<const std::uint8_t> plaintext,
                                  util::Rng& rng);
 
   /// Unprotects one record; returns nullopt on any authentication or
-  /// format failure (single error signal).
+  /// format failure (single error signal — invalid CBC padding and a MAC
+  /// mismatch follow the same code path: the MAC is always computed and
+  /// compared in constant time before either failure is reported), and on
+  /// receive-sequence exhaustion (fail closed, never wraps).
   std::optional<std::vector<std::uint8_t>> open(
       std::uint8_t content_type, std::span<const std::uint8_t> record);
 
   [[nodiscard]] std::uint64_t seal_seq() const { return seal_seq_; }
   [[nodiscard]] std::uint64_t open_seq() const { return open_seq_; }
+
+  /// Test seam: pre-positions both sequence counters so the kSeqLimit
+  /// fail-closed behavior is reachable without 2^64 records.
+  void seq_override_for_testing(std::uint64_t seal_seq,
+                                std::uint64_t open_seq) {
+    seal_seq_ = seal_seq;
+    open_seq_ = open_seq;
+  }
 
  private:
   std::array<std::uint8_t, 32> mac_header(std::uint64_t seq,

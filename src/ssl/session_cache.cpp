@@ -2,34 +2,145 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
+
 namespace phissl::ssl {
 
-SessionCache::SessionCache(std::size_t capacity)
-    : capacity_(std::max<std::size_t>(1, capacity)) {}
+namespace {
 
-void SessionCache::put(const SessionId& id, const MasterSecret& master) {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (entries_.size() >= capacity_ && !entries_.contains(id)) {
-    // Evict the oldest ticket.
-    auto oldest = entries_.begin();
-    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
-      if (it->second.second < oldest->second.second) oldest = it;
-    }
-    entries_.erase(oldest);
+// Global registry counters mirroring the per-instance totals, so a
+// Prometheus scrape of a running terminator sees cache effectiveness
+// without plumbing a stats() call through the server.
+void obs_count(const char* result) {
+  if (result[0] == 'h') {
+    PHISSL_OBS_COUNT_NAMED("phissl_session_cache_lookups_total",
+                           "Session cache lookups", "result=\"hit\"", 1);
+  } else {
+    PHISSL_OBS_COUNT_NAMED("phissl_session_cache_lookups_total",
+                           "Session cache lookups", "result=\"miss\"", 1);
   }
-  entries_[id] = {master, next_ticket_++};
 }
 
-std::optional<MasterSecret> SessionCache::get(const SessionId& id) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  const auto it = entries_.find(id);
-  if (it == entries_.end()) return std::nullopt;
-  return it->second.first;
+}  // namespace
+
+SessionCache::SessionCache(SessionCacheConfig config) : ttl_(config.ttl) {
+  const std::size_t capacity = std::max<std::size_t>(1, config.capacity);
+  const std::size_t shards =
+      std::clamp<std::size_t>(config.shards, 1, capacity);
+  per_shard_capacity_ = std::max<std::size_t>(1, capacity / shards);
+  shards_.reserve(shards);
+  for (std::size_t i = 0; i < shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+SessionCache::Shard& SessionCache::shard_for(const SessionId& id) const {
+  // Fold the LAST sizeof(size_t) id bytes; the in-shard hash folds the
+  // first ones, so shard index and bucket index use disjoint entropy.
+  std::size_t h = 0;
+  for (std::size_t i = kSessionIdSize - sizeof(std::size_t);
+       i < kSessionIdSize; ++i) {
+    h = (h << 8) | id[i];
+  }
+  return *shards_[h % shards_.size()];
+}
+
+void SessionCache::detach(Shard& s, Node* n) {
+  if (n->prev != nullptr) {
+    n->prev->next = n->next;
+  } else {
+    s.head = n->next;
+  }
+  if (n->next != nullptr) {
+    n->next->prev = n->prev;
+  } else {
+    s.tail = n->prev;
+  }
+  n->prev = n->next = nullptr;
+}
+
+void SessionCache::push_front(Shard& s, Node* n) {
+  n->prev = nullptr;
+  n->next = s.head;
+  if (s.head != nullptr) s.head->prev = n;
+  s.head = n;
+  if (s.tail == nullptr) s.tail = n;
+}
+
+void SessionCache::put(const SessionId& id, const MasterSecret& master) {
+  Shard& s = shard_for(id);
+  const auto expires = ttl_.count() > 0 ? Clock::now() + ttl_
+                                        : Clock::time_point::max();
+  std::lock_guard<std::mutex> lock(s.mu);
+  ++s.puts;
+  if (const auto it = s.map.find(id); it != s.map.end()) {
+    // Refresh in place and promote to most recently used.
+    it->second.master = master;
+    it->second.expires_at = expires;
+    detach(s, &it->second);
+    push_front(s, &it->second);
+    return;
+  }
+  if (s.map.size() >= per_shard_capacity_) {
+    // Evict the shard's least recently used entry: O(1) via the list
+    // tail, whose `key` points back at its own map slot.
+    Node* victim = s.tail;
+    detach(s, victim);
+    s.map.erase(*victim->key);
+    ++s.evictions;
+  }
+  const auto [it, inserted] = s.map.try_emplace(id);
+  it->second.master = master;
+  it->second.expires_at = expires;
+  it->second.key = &it->first;
+  push_front(s, &it->second);
+}
+
+std::optional<MasterSecret> SessionCache::get(const SessionId& id) {
+  Shard& s = shard_for(id);
+  std::lock_guard<std::mutex> lock(s.mu);
+  const auto it = s.map.find(id);
+  if (it == s.map.end()) {
+    ++s.misses;
+    obs_count("miss");
+    return std::nullopt;
+  }
+  if (ttl_.count() > 0 && Clock::now() >= it->second.expires_at) {
+    // Lazy expiry: collect the dead entry on the lookup that finds it.
+    detach(s, &it->second);
+    s.map.erase(it);
+    ++s.expirations;
+    ++s.misses;
+    obs_count("miss");
+    return std::nullopt;
+  }
+  detach(s, &it->second);
+  push_front(s, &it->second);
+  ++s.hits;
+  obs_count("hit");
+  return it->second.master;
 }
 
 std::size_t SessionCache::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return entries_.size();
+  std::size_t total = 0;
+  for (const auto& s : shards_) {
+    std::lock_guard<std::mutex> lock(s->mu);
+    total += s->map.size();
+  }
+  return total;
+}
+
+SessionCacheStats SessionCache::stats() const {
+  SessionCacheStats out;
+  for (const auto& s : shards_) {
+    std::lock_guard<std::mutex> lock(s->mu);
+    out.hits += s->hits;
+    out.misses += s->misses;
+    out.evictions += s->evictions;
+    out.expirations += s->expirations;
+    out.puts += s->puts;
+  }
+  return out;
 }
 
 }  // namespace phissl::ssl

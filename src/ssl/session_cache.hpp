@@ -5,13 +5,25 @@
 // dominates handshake cost. Real SSL terminators rely on this heavily,
 // which is why the resumption-ratio sweep is part of the handshake
 // throughput experiment.
+//
+// The cache is sharded to keep it off the termination path's critical
+// section: session ids are uniformly random, so folding id bytes picks a
+// shard uniformly and concurrent handshakes contend only 1/N of the time.
+// Each shard is an unordered_map whose values are intrusively linked into
+// a per-shard recency list, giving true LRU with O(1) put/get/evict (the
+// previous implementation scanned the whole map on every eviction, an
+// O(capacity) stall under exactly the full-cache steady state a busy
+// terminator lives in). An optional TTL expires entries lazily on lookup.
 #pragma once
 
 #include <array>
+#include <chrono>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <unordered_map>
+#include <vector>
 
 #include "ssl/messages.hpp"
 
@@ -20,24 +32,78 @@ namespace phissl::ssl {
 constexpr std::size_t kSessionIdSize = 32;
 using SessionId = std::array<std::uint8_t, kSessionIdSize>;
 
-/// Thread-safe bounded map from session id to master secret. Eviction is
-/// FIFO by insertion order (good enough for a benchmark server).
+/// Geometry and policy knobs for a SessionCache.
+struct SessionCacheConfig {
+  /// Total entries across all shards; each shard holds capacity/shards.
+  std::size_t capacity = 1024;
+  /// Lock stripes. Clamped to [1, capacity] so every shard can hold at
+  /// least one entry. Powers of two divide the random id bytes evenly,
+  /// but any count works.
+  std::size_t shards = 16;
+  /// Entry lifetime; zero means entries never expire (eviction only by
+  /// LRU capacity pressure). Expiry is lazy: a dead entry is collected by
+  /// the get() that finds it (or pushed out by LRU like any other entry).
+  std::chrono::milliseconds ttl{0};
+};
+
+/// Counter snapshot; see SessionCache::stats().
+struct SessionCacheStats {
+  std::uint64_t hits = 0;         ///< get() found a live entry
+  std::uint64_t misses = 0;       ///< get() found nothing usable
+  std::uint64_t evictions = 0;    ///< LRU entries displaced by put()
+  std::uint64_t expirations = 0;  ///< TTL-dead entries collected by get()
+  std::uint64_t puts = 0;         ///< put() calls (inserts and updates)
+};
+
+/// Thread-safe bounded map from session id to master secret with
+/// per-shard LRU eviction and optional TTL expiry.
 class SessionCache {
  public:
-  explicit SessionCache(std::size_t capacity = 1024);
+  explicit SessionCache(SessionCacheConfig config);
+  /// Convenience: capacity-only construction with default sharding.
+  explicit SessionCache(std::size_t capacity = 1024)
+      : SessionCache(SessionCacheConfig{.capacity = capacity}) {}
 
-  /// Stores a session; evicts the oldest entry when full.
+  SessionCache(const SessionCache&) = delete;
+  SessionCache& operator=(const SessionCache&) = delete;
+
+  /// Stores (or refreshes) a session; evicts the shard's least recently
+  /// used entry when the shard is full. O(1).
   void put(const SessionId& id, const MasterSecret& master);
 
-  /// Looks up a session; nullopt if unknown (or evicted).
-  [[nodiscard]] std::optional<MasterSecret> get(const SessionId& id) const;
+  /// Looks up a session; nullopt if unknown, evicted, or expired. A hit
+  /// moves the entry to the front of its shard's recency list. O(1).
+  [[nodiscard]] std::optional<MasterSecret> get(const SessionId& id);
 
+  /// Live entries across all shards (TTL-dead but uncollected entries
+  /// still count — expiry is lazy).
   [[nodiscard]] std::size_t size() const;
 
+  /// Point-in-time counter totals; cheap and safe under concurrent use.
+  [[nodiscard]] SessionCacheStats stats() const;
+
+  [[nodiscard]] std::size_t shard_count() const { return shards_.size(); }
+
  private:
+  using Clock = std::chrono::steady_clock;
+
+  /// Map value, intrusively linked into the shard's recency list. Node
+  /// addresses are stable (unordered_map never moves elements), and `key`
+  /// points at the node's own map key so eviction can erase by key
+  /// without a second lookup.
+  struct Node {
+    MasterSecret master{};
+    Clock::time_point expires_at{};
+    const SessionId* key = nullptr;
+    Node* prev = nullptr;  // toward most recently used
+    Node* next = nullptr;  // toward least recently used
+  };
+
   struct Hash {
     std::size_t operator()(const SessionId& id) const {
-      // Session ids are uniformly random; fold the first bytes.
+      // Session ids are uniformly random; fold the first bytes. (Shard
+      // selection folds the LAST bytes — see shard_for — so the in-shard
+      // hash stays decorrelated from the shard index.)
       std::size_t h = 0;
       for (std::size_t i = 0; i < sizeof(std::size_t); ++i) {
         h = (h << 8) | id[i];
@@ -46,11 +112,29 @@ class SessionCache {
     }
   };
 
-  mutable std::mutex mu_;
-  std::size_t capacity_;
-  std::uint64_t next_ticket_ = 0;
-  std::unordered_map<SessionId, std::pair<MasterSecret, std::uint64_t>, Hash>
-      entries_;
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<SessionId, Node, Hash> map;
+    Node* head = nullptr;  // most recently used
+    Node* tail = nullptr;  // least recently used
+    // Shard-local counters, summed by stats(). Plain integers under the
+    // shard mutex: every touch already holds it, so atomics buy nothing.
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t expirations = 0;
+    std::uint64_t puts = 0;
+  };
+
+  Shard& shard_for(const SessionId& id) const;
+  // List helpers; caller holds the shard mutex.
+  static void detach(Shard& s, Node* n);
+  static void push_front(Shard& s, Node* n);
+
+  std::size_t per_shard_capacity_;
+  std::chrono::milliseconds ttl_;
+  // unique_ptr keeps Shard (with its mutex) non-movable-safe in a vector.
+  std::vector<std::unique_ptr<Shard>> shards_;
 };
 
 }  // namespace phissl::ssl

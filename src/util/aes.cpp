@@ -232,15 +232,31 @@ bool aes_cbc_decrypt(const Aes& cipher, std::span<const std::uint8_t> iv,
     for (std::size_t i = 0; i < Aes::kBlockSize; ++i) buf[off + i] ^= chain[i];
     std::memcpy(chain, &ciphertext[off], Aes::kBlockSize);
   }
-  // PKCS#7 unpad with a single failure signal.
-  const std::uint8_t pad = buf.back();
-  if (pad == 0 || pad > Aes::kBlockSize) return false;
-  for (std::size_t i = buf.size() - pad; i < buf.size(); ++i) {
-    if (buf[i] != pad) return false;
+  // Branch-free PKCS#7 unpad (phissl:ct-kernel). The classic padding
+  // oracle (Vaudenay 2002) needs the validator to stop at the first bad
+  // pad byte; here the validity of every candidate pad position is folded
+  // into one accumulator with no data-dependent branch or early exit, so
+  // all invalid paddings cost the same. pad_valid is 1 iff 1 <= pad <= 16
+  // and the trailing `pad` bytes all equal `pad`.
+  const std::uint32_t pad = buf.back();
+  // Bit 31 of (pad-1) flags pad == 0; bit 31 of (16-pad) flags pad > 16.
+  const std::uint32_t range_bad =
+      ((pad - 1u) | (static_cast<std::uint32_t>(Aes::kBlockSize) - pad)) >> 31;
+  std::uint32_t diff = 0;
+  for (std::size_t i = 1; i <= Aes::kBlockSize; ++i) {
+    // in_pad = all-ones mask when this tail position lies inside the pad.
+    const std::uint32_t in_pad =
+        0u - ((static_cast<std::uint32_t>(i) - 1u - pad) >> 31);
+    diff |= in_pad & (static_cast<std::uint32_t>(buf[buf.size() - i]) ^ pad);
   }
-  buf.resize(buf.size() - pad);
+  const bool pad_valid = ((range_bad | diff) == 0);
+  // RFC 5246 §6.2.3.2 countermeasure shape: on invalid padding, hand back
+  // the WHOLE decrypted buffer (zero-length-pad semantics) instead of
+  // nothing, so a MAC-then-encrypt caller can still run its constant-time
+  // MAC check and fail on that single, uniform signal.
+  buf.resize(buf.size() - (pad_valid ? pad : 0));
   out = std::move(buf);
-  return true;
+  return pad_valid;
 }
 
 }  // namespace phissl::util

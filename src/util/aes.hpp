@@ -39,8 +39,13 @@ std::vector<std::uint8_t> aes_cbc_encrypt(const Aes& cipher,
                                           std::span<const std::uint8_t> iv,
                                           std::span<const std::uint8_t> plaintext);
 
-/// CBC decryption; returns empty optional-like: throws std::invalid_argument
-/// on bad length; returns false + leaves out empty on bad padding.
+/// CBC decryption with a branch-free PKCS#7 unpad (no early exit on the
+/// first bad pad byte — see the padding-oracle note in the .cpp). Throws
+/// std::invalid_argument on a bad length. Returns true with the unpadded
+/// plaintext in `out` when the padding validates; returns false with the
+/// WHOLE decrypted buffer in `out` (zero-length-pad semantics, RFC 5246
+/// §6.2.3.2) so MAC-then-encrypt callers can run their MAC check either
+/// way and reject on one uniform signal.
 bool aes_cbc_decrypt(const Aes& cipher, std::span<const std::uint8_t> iv,
                      std::span<const std::uint8_t> ciphertext,
                      std::vector<std::uint8_t>& out);

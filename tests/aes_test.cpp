@@ -2,6 +2,7 @@
 // round-trips and padding failure injection.
 #include <gtest/gtest.h>
 
+#include <array>
 #include <vector>
 
 #include "util/aes.hpp"
@@ -138,6 +139,57 @@ TEST(AesCbc, BadLengthsThrow) {
   EXPECT_THROW(aes_cbc_decrypt(aes, iv, {}, out), std::invalid_argument);
   EXPECT_THROW(aes_cbc_encrypt(aes, rng.bytes(8), rng.bytes(16)),
                std::invalid_argument);
+}
+
+TEST(AesCbc, InvalidPadReturnsWholeBufferForMac) {
+  // Zero-length-pad semantics (RFC 5246 §6.2.3.2): on a bad pad the
+  // decryptor must hand back the ENTIRE decrypted buffer so a
+  // MAC-then-encrypt caller can still run its MAC over something of
+  // pad-independent length, instead of branching on the pad first.
+  Rng rng(7);
+  const Aes aes(rng.bytes(16));
+  const auto iv = rng.bytes(16);
+  const auto pt = rng.bytes(40);
+  auto ct = aes_cbc_encrypt(aes, iv, pt);  // 48 bytes, pad = 8
+  // Force the final plaintext byte to an impossible pad length by
+  // flipping a high bit through the previous ciphertext block.
+  ct[ct.size() - 17] ^= 0x80;
+  std::vector<std::uint8_t> out;
+  EXPECT_FALSE(aes_cbc_decrypt(aes, iv, ct, out));
+  EXPECT_EQ(out.size(), ct.size());  // whole buffer, not truncated/empty
+}
+
+TEST(AesCbc, PadBoundaryValuesRoundTrip) {
+  // pad = 1 (15-byte tail) and pad = 16 (full pad block) are the edges
+  // the branch-free range check must accept.
+  Rng rng(8);
+  const Aes aes(rng.bytes(16));
+  for (std::size_t len : {15u, 16u}) {
+    const auto iv = rng.bytes(16);
+    const auto pt = rng.bytes(len);
+    const auto ct = aes_cbc_encrypt(aes, iv, pt);
+    std::vector<std::uint8_t> out;
+    ASSERT_TRUE(aes_cbc_decrypt(aes, iv, ct, out)) << len;
+    EXPECT_EQ(out, pt) << len;
+  }
+}
+
+TEST(AesCbc, ZeroPadByteRejected) {
+  // A trailing 0x00 is outside PKCS#7's [1, 16] range; the masked range
+  // check must catch it without wrapping (pad - 1 underflows to 2^32-1).
+  Rng rng(9);
+  const Aes aes(rng.bytes(16));
+  const auto iv = rng.bytes(16);
+  auto block = rng.bytes(48);
+  // Build a ciphertext whose decryption ends in 0x00 by construction
+  // (CBC: pt[i] = D(ct[i]) ^ ct[i-1], so the penultimate ciphertext
+  // block's last byte steers the final plaintext byte).
+  std::array<std::uint8_t, 16> dec{};
+  aes.decrypt_block(block.data() + 32, dec.data());
+  block[31] = dec[15];  // last pt byte = dec[15] ^ block[31] = 0x00
+  std::vector<std::uint8_t> out;
+  EXPECT_FALSE(aes_cbc_decrypt(aes, iv, block, out));
+  EXPECT_EQ(out.size(), block.size());
 }
 
 TEST(AesCbc, WrongIvFailsOrGarbles) {

@@ -2,6 +2,8 @@
 // discipline, tampering, truncation, and cross-side key agreement.
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
 #include "ssl/gcm_record.hpp"
 #include "ssl/record.hpp"
 #include "util/random.hpp"
@@ -133,6 +135,67 @@ TEST_F(RecordTest, EmptyPayloadAllowed) {
   const auto got = server.receive(wire);
   ASSERT_TRUE(got.has_value());
   EXPECT_TRUE(got->empty());
+}
+
+TEST_F(RecordTest, PaddingAndMacFailuresIndistinguishable) {
+  // Vaudenay regression: a receiver must reject a record whose CBC
+  // padding was corrupted the same way it rejects one whose padding is
+  // intact but whose MAC fails — one signal, one code path. A 16-byte
+  // plaintext + 32-byte MAC pads with a full block (pad = 16), so
+  // flipping the last byte of the LAST ciphertext block corrupts the pad
+  // itself, while flipping an IV byte garbles only plaintext byte 0 and
+  // leaves the padding valid (MAC failure). Both must read as nullopt.
+  RecordChannel sender(keys_.client_enc_key, keys_.client_mac_key);
+  const std::vector<std::uint8_t> msg(16, 0x11);
+  const auto wire = sender.seal(kContentApplicationData, msg, rng_);
+
+  auto pad_corrupt = wire;
+  pad_corrupt.back() ^= 0x01;  // hits the padding block
+  RecordChannel r1(keys_.client_enc_key, keys_.client_mac_key);
+  EXPECT_EQ(r1.open(kContentApplicationData, pad_corrupt), std::nullopt);
+
+  auto mac_fail = wire;
+  mac_fail[0] ^= 0x01;  // IV bit flip: padding stays valid, MAC fails
+  RecordChannel r2(keys_.client_enc_key, keys_.client_mac_key);
+  EXPECT_EQ(r2.open(kContentApplicationData, mac_fail), std::nullopt);
+
+  // Neither failure advanced the sequence: the intact record still opens.
+  EXPECT_TRUE(r1.open(kContentApplicationData, wire).has_value());
+  EXPECT_TRUE(r2.open(kContentApplicationData, wire).has_value());
+}
+
+TEST_F(RecordTest, TooShortForMacRejectedBeforeDecryption) {
+  // 2 ciphertext blocks (32 bytes) can never hold MAC + >=1 pad byte;
+  // the public length check must reject them so the MAC-always-runs
+  // invariant never sees an undersized buffer.
+  RecordChannel receiver(keys_.client_enc_key, keys_.client_mac_key);
+  std::vector<std::uint8_t> runt(kIvSize + 32, 0);
+  EXPECT_FALSE(receiver.open(kContentApplicationData, runt).has_value());
+  EXPECT_EQ(receiver.open_seq(), 0u);
+}
+
+TEST_F(RecordTest, SequenceExhaustionFailsClosed) {
+  RecordChannel sender(keys_.client_enc_key, keys_.client_mac_key);
+  RecordChannel receiver(keys_.client_enc_key, keys_.client_mac_key);
+  const std::vector<std::uint8_t> msg = {1, 2, 3};
+
+  // One from the limit: the last usable sequence number still works.
+  sender.seq_override_for_testing(RecordChannel::kSeqLimit - 1, 0);
+  receiver.seq_override_for_testing(0, RecordChannel::kSeqLimit - 1);
+  const auto last = sender.seal(kContentApplicationData, msg, rng_);
+  EXPECT_EQ(sender.seal_seq(), RecordChannel::kSeqLimit);
+  const auto got = receiver.open(kContentApplicationData, last);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, msg);
+  EXPECT_EQ(receiver.open_seq(), RecordChannel::kSeqLimit);
+
+  // At the limit: seal fails closed (throws), open fails closed
+  // (nullopt), and neither counter wraps back to reusable values.
+  EXPECT_THROW(sender.seal(kContentApplicationData, msg, rng_),
+               std::runtime_error);
+  EXPECT_EQ(sender.seal_seq(), RecordChannel::kSeqLimit);
+  EXPECT_FALSE(receiver.open(kContentApplicationData, last).has_value());
+  EXPECT_EQ(receiver.open_seq(), RecordChannel::kSeqLimit);
 }
 
 }  // namespace

@@ -139,6 +139,75 @@ TEST(SignService, MatchesSynchronousEngineSignature) {
   EXPECT_TRUE(rsa::verify_sha256(engine, bytes, r.signature));
 }
 
+TEST(SignService, RawPrivateOpMatchesEngine) {
+  // private_op must compute exactly x^d mod n for a caller-chosen block —
+  // no EMSA encoding on the way in, no interpretation on the way out —
+  // so the TLS path can run RSAES decryptions through the same batches.
+  const rsa::PrivateKey& key = rsa::test_key(512);
+  const std::size_t k = key.pub.byte_size();
+  SignService svc;
+  svc.add_key("k", key);
+
+  util::Rng rng(4242);
+  std::vector<std::uint8_t> block(k);
+  rng.fill_bytes(block.data(), block.size());
+  block[0] = 0;  // keep the value comfortably below n
+
+  const SignResult r = svc.private_op("k", block).get();
+  const rsa::Engine engine(key, rsa::EngineOptions{});
+  const auto expected =
+      engine.private_op(bigint::BigInt::from_bytes_be(block)).to_bytes_be(k);
+  EXPECT_EQ(r.signature, expected);
+  EXPECT_GE(r.completed_at, r.submitted_at);
+}
+
+TEST(SignService, RawPrivateOpAndSignSharePipeline) {
+  // Mixed traffic on one key: raw blocks and digests interleave in the
+  // same shard and both come back correct.
+  const rsa::PrivateKey& key = rsa::test_key(512);
+  const std::size_t k = key.pub.byte_size();
+  SignService svc;
+  svc.add_key("k", key);
+  const rsa::Engine engine(key, rsa::EngineOptions{});
+
+  std::vector<std::future<SignResult>> raw_futs, sign_futs;
+  std::vector<std::vector<std::uint8_t>> blocks;
+  util::Rng rng(777);
+  for (int i = 0; i < 6; ++i) {
+    std::vector<std::uint8_t> block(k);
+    rng.fill_bytes(block.data(), block.size());
+    block[0] = 0;
+    blocks.push_back(block);
+    raw_futs.push_back(svc.private_op("k", block));
+    sign_futs.push_back(svc.sign("k", digest_of(900 + i)));
+  }
+  for (int i = 0; i < 6; ++i) {
+    const auto expected =
+        engine.private_op(bigint::BigInt::from_bytes_be(blocks[i]))
+            .to_bytes_be(k);
+    EXPECT_EQ(raw_futs[i].get().signature, expected) << i;
+    EXPECT_TRUE(verifies(svc.public_key("k"), digest_of(900 + i),
+                         sign_futs[i].get().signature))
+        << i;
+  }
+}
+
+TEST(SignService, RawPrivateOpRejectsBadInput) {
+  const rsa::PrivateKey& key = rsa::test_key(512);
+  const std::size_t k = key.pub.byte_size();
+  SignService svc;
+  svc.add_key("k", key);
+  // Wrong size.
+  EXPECT_THROW(svc.private_op("k", std::vector<std::uint8_t>(k - 1, 0)),
+               std::invalid_argument);
+  // Value >= n.
+  EXPECT_THROW(svc.private_op("k", std::vector<std::uint8_t>(k, 0xff)),
+               std::invalid_argument);
+  // Unknown key.
+  EXPECT_THROW(svc.private_op("nope", std::vector<std::uint8_t>(k, 0)),
+               std::invalid_argument);
+}
+
 TEST(SignService, CrossKeyRouting) {
   util::Rng rng_a(1001), rng_b(2002);
   const rsa::PrivateKey key_a = rsa::generate_key(512, rng_a);

@@ -4,8 +4,13 @@
 // session cache, and the multithreaded driver.
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <thread>
+
 #include "baseline/systems.hpp"
 #include "rsa/key.hpp"
+#include "rsa/pkcs1.hpp"
+#include "ssl/batch_decrypt.hpp"
 #include "ssl/driver.hpp"
 #include "ssl/handshake.hpp"
 #include "ssl/session_cache.hpp"
@@ -128,6 +133,79 @@ TEST_F(HandshakeTest, UnknownSessionIdFallsBackToFull) {
   ASSERT_TRUE(kex.ok());
 }
 
+TEST_F(HandshakeTest, ResumptionAfterEvictionFallsBackToFull) {
+  // A ticket the cache has since evicted is a valid-looking offer the
+  // server no longer knows: it must silently run a full handshake (new
+  // session id, certificate, RSA key exchange), not fail.
+  SessionCache cache(SessionCacheConfig{.capacity = 1, .shards = 1});
+  const ResumableSession ticket = full_handshake(&cache);
+  full_handshake(&cache);  // second session evicts the first
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_GE(cache.stats().evictions, 1u);
+
+  ServerHandshake server(server_engine_, rng_, &cache);
+  ClientHandshake client(client_engine_, rng_);
+  const auto flight = server.on_client_hello(client.start(ticket));
+  ASSERT_TRUE(flight.ok());
+  EXPECT_FALSE(flight.value().hello.resumed);
+  ASSERT_TRUE(flight.value().certificate.has_value());
+  EXPECT_NE(flight.value().hello.session_id, ticket.id);
+  const auto kex = client.on_server_hello(flight.value().hello,
+                                          *flight.value().certificate);
+  ASSERT_TRUE(kex.ok());
+  const auto fin =
+      server.on_key_exchange(kex.value().first, kex.value().second);
+  ASSERT_TRUE(fin.ok());
+  EXPECT_TRUE(client.on_server_finished(fin.value()).ok());
+  EXPECT_FALSE(server.resumed());
+}
+
+TEST_F(HandshakeTest, BatchedDecrypterCompletesFullHandshake) {
+  BatchDecryptService svc(rsa::test_key(1024),
+                          BatchDecryptConfig{.dispatch_threads = 1});
+  ServerHandshake server(server_engine_, rng_, nullptr, &svc);
+  ClientHandshake client(client_engine_, rng_);
+  const auto flight = server.on_client_hello(client.start());
+  ASSERT_TRUE(flight.ok());
+  const auto kex = client.on_server_hello(flight.value().hello,
+                                          *flight.value().certificate);
+  ASSERT_TRUE(kex.ok());
+  const auto fin =
+      server.on_key_exchange(kex.value().first, kex.value().second);
+  ASSERT_TRUE(fin.ok());
+  EXPECT_TRUE(client.on_server_finished(fin.value()).ok());
+  EXPECT_EQ(*client.master(), *server.master());
+  const auto st = svc.stats();
+  EXPECT_EQ(st.requests, 1u);
+  EXPECT_GE(st.batches, 1u);
+}
+
+TEST_F(HandshakeTest, BatchedDecrypterRejectsMalformedUniformly) {
+  BatchDecryptService svc(rsa::test_key(1024), BatchDecryptConfig{});
+  const std::size_t k = server_engine_.pub().byte_size();
+  // Wrong size, value >= n, and bad padding all surface as nullopt.
+  EXPECT_FALSE(svc.decrypt_premaster(std::vector<std::uint8_t>(k - 1, 0))
+                   .has_value());
+  EXPECT_FALSE(svc.decrypt_premaster(std::vector<std::uint8_t>(k, 0xff))
+                   .has_value());
+  std::vector<std::uint8_t> one(k, 0);
+  one.back() = 1;
+  EXPECT_FALSE(svc.decrypt_premaster(one).has_value());
+  // And through the handshake they are all kBadFinished.
+  ServerHandshake server(server_engine_, rng_, nullptr, &svc);
+  ClientHandshake client(client_engine_, rng_);
+  const auto flight = server.on_client_hello(client.start());
+  auto kex = client.on_server_hello(flight.value().hello,
+                                    *flight.value().certificate);
+  ASSERT_TRUE(kex.ok());
+  ClientKeyExchange mauled = kex.value().first;
+  mauled.encrypted_premaster.assign(k, 0);
+  mauled.encrypted_premaster.back() = 1;
+  const auto fin = server.on_key_exchange(mauled, kex.value().second);
+  ASSERT_FALSE(fin.ok());
+  EXPECT_EQ(fin.alert(), Alert::kBadFinished);
+}
+
 TEST_F(HandshakeTest, ResumptionWithWrongMasterRejected) {
   SessionCache cache;
   ResumableSession ticket = full_handshake(&cache);
@@ -179,6 +257,47 @@ TEST_F(HandshakeTest, ServerRejectsCorruptedKeyExchange) {
   ASSERT_FALSE(fin.ok());
   EXPECT_TRUE(fin.alert() == Alert::kDecryptError ||
               fin.alert() == Alert::kBadFinished);
+}
+
+TEST_F(HandshakeTest, BleichenbacherUniformAlert) {
+  // RFC 5246 §7.4.7.1 regression: every way a ClientKeyExchange can be
+  // wrong — non-conforming PKCS#1 padding, conforming padding around a
+  // wrong-length premaster, conforming padding around a wrong-but-right-
+  // length premaster — must fail identically, at the Finished check,
+  // with kBadFinished. A distinct alert for the padding cases is a
+  // Bleichenbacher decryption oracle.
+  const std::size_t k = server_engine_.pub().byte_size();
+
+  // (a) Non-conforming padding: the k-byte encoding of 1 decrypts to
+  // em = 00..01, which does not start 00 02.
+  std::vector<std::uint8_t> bad_padding(k, 0);
+  bad_padding.back() = 1;
+  // (b) Conforming padding, wrong premaster length (10 != 48 bytes).
+  std::vector<std::uint8_t> short_premaster(10, 0xab);
+  // (c) Conforming padding, right length, wrong bytes.
+  std::vector<std::uint8_t> wrong_premaster(kPremasterSize, 0xcd);
+
+  const std::vector<std::vector<std::uint8_t>> ciphertexts = {
+      bad_padding,
+      rsa::encrypt_pkcs1(client_engine_, short_premaster, rng_),
+      rsa::encrypt_pkcs1(client_engine_, wrong_premaster, rng_),
+  };
+
+  for (std::size_t i = 0; i < ciphertexts.size(); ++i) {
+    ServerHandshake server(server_engine_, rng_);
+    ClientHandshake client(client_engine_, rng_);
+    const auto flight = server.on_client_hello(client.start());
+    ASSERT_TRUE(flight.ok());
+    auto kex = client.on_server_hello(flight.value().hello,
+                                      *flight.value().certificate);
+    ASSERT_TRUE(kex.ok());
+    ClientKeyExchange mauled = kex.value().first;
+    mauled.encrypted_premaster = ciphertexts[i];
+    const auto fin = server.on_key_exchange(mauled, kex.value().second);
+    ASSERT_FALSE(fin.ok()) << "case " << i;
+    // Exactly kBadFinished — never kDecryptError — for every case.
+    EXPECT_EQ(fin.alert(), Alert::kBadFinished) << "case " << i;
+  }
 }
 
 TEST_F(HandshakeTest, ServerRejectsBadClientFinished) {
@@ -253,7 +372,8 @@ TEST_F(HandshakeTest, SessionsHaveDistinctMasters) {
 }
 
 TEST(SessionCacheTest, PutGetEvict) {
-  SessionCache cache(2);
+  // Single shard so all three ids compete for the same capacity.
+  SessionCache cache(SessionCacheConfig{.capacity = 2, .shards = 1});
   SessionId a{}, b{}, c{};
   a[0] = 1;
   b[0] = 2;
@@ -263,18 +383,89 @@ TEST(SessionCacheTest, PutGetEvict) {
   cache.put(a, m);
   cache.put(b, m);
   EXPECT_EQ(cache.size(), 2u);
-  EXPECT_TRUE(cache.get(a).has_value());
-  cache.put(c, m);  // evicts the oldest (a)
+  EXPECT_TRUE(cache.get(a).has_value());  // touches a: b is now the LRU
+  cache.put(c, m);                        // evicts the LRU (b)
   EXPECT_EQ(cache.size(), 2u);
-  EXPECT_FALSE(cache.get(a).has_value());
-  EXPECT_TRUE(cache.get(b).has_value());
+  EXPECT_TRUE(cache.get(a).has_value());
+  EXPECT_FALSE(cache.get(b).has_value());
   EXPECT_TRUE(cache.get(c).has_value());
   // Re-put of an existing id is an update, not an insert.
   MasterSecret m2{};
   m2[0] = 7;
-  cache.put(b, m2);
+  cache.put(a, m2);
   EXPECT_EQ(cache.size(), 2u);
-  EXPECT_EQ((*cache.get(b))[0], 7);
+  EXPECT_EQ((*cache.get(a))[0], 7);
+}
+
+TEST(SessionCacheTest, LruOrderFollowsRecency) {
+  SessionCache cache(SessionCacheConfig{.capacity = 3, .shards = 1});
+  MasterSecret m{};
+  SessionId ids[4] = {};
+  for (int i = 0; i < 4; ++i) ids[i][0] = static_cast<std::uint8_t>(i + 1);
+  cache.put(ids[0], m);
+  cache.put(ids[1], m);
+  cache.put(ids[2], m);
+  // Recency now [2, 1, 0]; re-putting 0 promotes it -> [0, 2, 1].
+  cache.put(ids[0], m);
+  cache.put(ids[3], m);  // evicts 1
+  EXPECT_TRUE(cache.get(ids[0]).has_value());
+  EXPECT_FALSE(cache.get(ids[1]).has_value());
+  EXPECT_TRUE(cache.get(ids[2]).has_value());
+  EXPECT_TRUE(cache.get(ids[3]).has_value());
+  EXPECT_EQ(cache.stats().evictions, 1u);
+}
+
+TEST(SessionCacheTest, ShardsPartitionCapacityAndCountStats) {
+  // 4 shards x 2 entries. Shard selection folds the LAST id bytes, so
+  // vary the final byte to spread ids and a middle byte to vary keys.
+  SessionCache cache(SessionCacheConfig{.capacity = 8, .shards = 4});
+  EXPECT_EQ(cache.shard_count(), 4u);
+  MasterSecret m{};
+  // Three ids landing in the SAME shard (identical last bytes): the
+  // shard's 2-entry budget must evict, even though the cache is far
+  // from its total capacity.
+  SessionId s1{}, s2{}, s3{};
+  s1[0] = 1;
+  s2[0] = 2;
+  s3[0] = 3;
+  cache.put(s1, m);
+  cache.put(s2, m);
+  cache.put(s3, m);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_FALSE(cache.get(s1).has_value());  // the shard's LRU was s1
+  const SessionCacheStats st = cache.stats();
+  EXPECT_EQ(st.puts, 3u);
+  EXPECT_EQ(st.misses, 1u);
+  // Ids differing in the last byte scatter across shards: all four fit
+  // even though one shard only holds two.
+  SessionId spread[4] = {};
+  for (int i = 0; i < 4; ++i) {
+    spread[i][kSessionIdSize - 1] = static_cast<std::uint8_t>(i);
+  }
+  for (const auto& id : spread) cache.put(id, m);
+  for (const auto& id : spread) EXPECT_TRUE(cache.get(id).has_value());
+}
+
+TEST(SessionCacheTest, TtlExpiresEntriesLazily) {
+  SessionCache cache(SessionCacheConfig{
+      .capacity = 4, .shards = 1, .ttl = std::chrono::milliseconds(1)});
+  SessionId id{};
+  id[0] = 1;
+  MasterSecret m{};
+  m[0] = 5;
+  cache.put(id, m);
+  EXPECT_EQ(cache.size(), 1u);  // lazy: still counted until a get() finds it
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_FALSE(cache.get(id).has_value());
+  EXPECT_EQ(cache.size(), 0u);  // collected by the failed lookup
+  const SessionCacheStats st = cache.stats();
+  EXPECT_EQ(st.expirations, 1u);
+  EXPECT_EQ(st.misses, 1u);
+  EXPECT_EQ(st.hits, 0u);
+  // A fresh put is alive again.
+  cache.put(id, m);
+  EXPECT_TRUE(cache.get(id).has_value());
 }
 
 TEST(AlertNames, AllDistinct) {
@@ -307,6 +498,38 @@ TEST(Driver, MultithreadedCompletesAll) {
   const DriverReport r = run_handshakes(engine, cfg);
   EXPECT_EQ(r.completed, 32u);
   EXPECT_EQ(r.failed, 0u);
+}
+
+TEST(Driver, BatchedPrivateOpsCompleteAll) {
+  const rsa::Engine engine(rsa::test_key(512),
+                           baseline::options_for(baseline::System::kPhiOpenSSL));
+  DriverConfig cfg;
+  cfg.num_handshakes = 16;
+  cfg.num_threads = 4;
+  cfg.batch_private_ops = true;
+  cfg.batch_linger = std::chrono::microseconds(200);
+  const DriverReport r = run_handshakes(engine, cfg);
+  EXPECT_EQ(r.completed, 16u);
+  EXPECT_EQ(r.failed, 0u);
+  EXPECT_GE(r.batches, 1u);  // the decryptions went through the service
+  EXPECT_GT(r.batch_lane_occupancy, 0.0);
+  EXPECT_EQ(r.latency_us.count, 16u);
+  // All full handshakes: 16 cache inserts, no hit.
+  EXPECT_EQ(r.cache_hits, 0u);
+}
+
+TEST(Driver, ReportsCacheCounters) {
+  const rsa::Engine engine(rsa::test_key(512),
+                           baseline::options_for(baseline::System::kPhiOpenSSL));
+  DriverConfig cfg;
+  cfg.num_handshakes = 24;
+  cfg.num_threads = 2;
+  cfg.resumption_ratio = 1.0;
+  const DriverReport r = run_handshakes(engine, cfg);
+  EXPECT_EQ(r.completed, 24u);
+  // Every resumed handshake is a cache hit.
+  EXPECT_EQ(r.cache_hits, r.resumed);
+  EXPECT_GE(r.resumed, 24u - 2 * cfg.num_threads);
 }
 
 TEST(Driver, ResumptionRatioRespected) {
