@@ -33,13 +33,14 @@ namespace {
 // One sweep cell: runs the driver and reports + records one row.
 void sweep_cell(phissl::bench::JsonReporter& json, const phissl::rsa::Engine& engine,
                 bool batched, std::size_t threads, double ratio,
-                std::size_t handshakes) {
+                std::size_t handshakes, phissl::rsa::Backend batch_backend) {
   using namespace phissl;
   ssl::DriverConfig cfg;
   cfg.num_handshakes = handshakes;
   cfg.num_threads = threads;
   cfg.resumption_ratio = ratio;
   cfg.batch_private_ops = batched;
+  cfg.batch_backend = batch_backend;
   const ssl::DriverReport r = ssl::run_handshakes(engine, cfg);
 
   char name[64];
@@ -73,8 +74,21 @@ int main(int argc, char** argv) {
   using namespace phissl;
 
   bool smoke = false;
+  // --backend pins the termination sweep's Montgomery backend: both the
+  // server engine's scalar kernel and the batched-decrypt contexts, so
+  // scalar and batched rows stay an apples-to-apples A/B.
+  rsa::Backend backend = rsa::Backend::kKncVec;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (std::strcmp(argv[i], "--backend") == 0 && i + 1 < argc) {
+      const auto b = rsa::backend_from_string(argv[i + 1]);
+      if (!b) {
+        std::fprintf(stderr, "unknown --backend %s (knc_vec|ifma52|scalar64)\n",
+                     argv[i + 1]);
+        return 2;
+      }
+      backend = *b;
+    }
   }
   auto json = bench::JsonReporter::from_args("bench_handshake", argc, argv);
 
@@ -97,20 +111,23 @@ int main(int argc, char** argv) {
             : std::vector<std::size_t>{1, 2, 4, 8, 16, 32};
   const std::vector<double> sweep_ratios =
       smoke ? std::vector<double>{0.0} : std::vector<double>{0.0, 0.5, 0.9};
-  std::printf("\n    termination sweep, RSA-%zu, PhiOpenSSL engine "
+  std::printf("\n    termination sweep, RSA-%zu, backend %s "
               "[hs/s | p50 us | p99 us | lane occ | resumed]\n",
-              sweep_bits);
+              sweep_bits, rsa::to_string(backend));
   std::printf("%-8s %4s %6s %12s %10s %10s %7s %9s\n", "mode", "thr",
               "ratio", "hs/s", "p50_us", "p99_us", "occ", "resumed");
   {
-    const rsa::Engine engine = baseline::make_engine(
-        baseline::System::kPhiOpenSSL, rsa::test_key(sweep_bits));
+    rsa::EngineOptions opts =
+        baseline::options_for(baseline::System::kPhiOpenSSL);
+    opts.kernel = rsa::kernel_for(backend);
+    const rsa::Engine engine(rsa::test_key(sweep_bits), opts);
     for (const bool batched : {false, true}) {
       for (const std::size_t threads : sweep_threads) {
         for (const double ratio : sweep_ratios) {
           const std::size_t handshakes =
               smoke ? 6 * threads : (sweep_bits >= 2048 ? 12 : 24) * threads;
-          sweep_cell(json, engine, batched, threads, ratio, handshakes);
+          sweep_cell(json, engine, batched, threads, ratio, handshakes,
+                     backend);
         }
       }
     }

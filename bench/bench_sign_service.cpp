@@ -118,8 +118,18 @@ CellResult run_cell(const rsa::PrivateKey& key, double rate_rps,
 
 int main(int argc, char** argv) {
   bool smoke = false;
+  rsa::Backend backend = rsa::Backend::kKncVec;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (std::strcmp(argv[i], "--backend") == 0 && i + 1 < argc) {
+      const auto b = rsa::backend_from_string(argv[i + 1]);
+      if (!b) {
+        std::fprintf(stderr, "unknown --backend %s (knc_vec|ifma52|scalar64)\n",
+                     argv[i + 1]);
+        return 2;
+      }
+      backend = *b;
+    }
   }
 
   bench::print_header("E13 bench_sign_service",
@@ -134,7 +144,9 @@ int main(int argc, char** argv) {
 
   // Capacity calibration: the service cannot sign faster than back-to-back
   // full batches, so rates are expressed against 16 / t_batch.
-  const rsa::BatchEngine cal(key);
+  const rsa::BatchEngine cal(key, backend);
+  std::printf("\nbatch backend: %s (requested %s)\n",
+              rsa::to_string(cal.backend()), rsa::to_string(backend));
   util::Rng rng(7);
   std::array<bigint::BigInt, rsa::BatchEngine::kBatch> xs;
   for (auto& x : xs) x = bigint::BigInt::random_below(key.pub.n, rng);
@@ -162,6 +174,7 @@ int main(int argc, char** argv) {
   {
     service::SignServiceConfig base;
     base.dispatch_threads = 1;  // 1-core host: one batch in flight
+    base.backend = backend;
     Policy small{"linger_200us", base};
     small.cfg.max_linger = std::chrono::microseconds(200);
     Policy mid{"linger_1000us", base};

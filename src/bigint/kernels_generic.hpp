@@ -52,6 +52,34 @@ constexpr std::uint32_t is_nonzero(std::uint32_t x) noexcept {
 constexpr std::uint32_t peek32(std::uint32_t x) noexcept { return x; }
 constexpr std::uint64_t peek64(std::uint64_t x) noexcept { return x; }
 
+/// 128-bit widening map for the radix-52 kernels (mont/radix52_kernel.hpp):
+/// W64 -> the word that holds a 52x52 -> 104-bit product plus accumulation
+/// headroom. The shadow-taint word types add their own specialization.
+template <typename W64>
+struct Wide128Word;
+
+template <>
+struct Wide128Word<std::uint64_t> {
+  using type = unsigned __int128;
+};
+
+template <typename W64>
+using wide128_t = typename Wide128Word<W64>::type;
+
+/// Native 64/128-bit hooks, mirrored by ct::Tainted overloads.
+constexpr unsigned __int128 w128(std::uint64_t x) noexcept { return x; }
+constexpr std::uint64_t lo64(unsigned __int128 x) noexcept {
+  return static_cast<std::uint64_t>(x);
+}
+/// Full 64x64 -> 128 widening product as a value.
+constexpr unsigned __int128 wmul128(std::uint64_t a, std::uint64_t b) noexcept {
+  return static_cast<unsigned __int128>(a) * b;
+}
+/// 1 iff x != 0, as a value (setcc, not a branch).
+constexpr std::uint64_t is_nonzero64(std::uint64_t x) noexcept {
+  return static_cast<std::uint64_t>(x != 0);
+}
+
 /// Writes the full double-width square of a[0..n) into out[0..2n), which
 /// must be zeroed by the caller. Off-diagonal products are computed once
 /// and doubled, then the diagonal is added (~n^2/2 multiplies instead of

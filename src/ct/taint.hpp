@@ -30,7 +30,11 @@ namespace phissl::ct {
 
 template <typename T>
 struct Tainted {
-  static_assert(std::is_unsigned_v<T>, "taint words are unsigned");
+  // unsigned __int128 fails is_unsigned under strict -std=c++20 (the trait
+  // only admits it with GNU extensions on), but it is exactly the column
+  // word the radix-52 kernels accumulate in — named explicitly.
+  static_assert(std::is_unsigned_v<T> || std::is_same_v<T, unsigned __int128>,
+                "taint words are unsigned");
   using value_type = T;
 
   T v{};
@@ -39,6 +43,11 @@ struct Tainted {
   constexpr Tainted() = default;
   constexpr explicit Tainted(T value, bool is_secret = false) noexcept
       : v(value), secret(is_secret) {}
+  /// Width conversion keeps the mark (ct_table_select casts the window
+  /// index to the residue word type; a secret stays secret when widened).
+  template <typename U>
+  constexpr explicit Tainted(Tainted<U> x) noexcept
+      : v(static_cast<T>(x.v)), secret(x.secret) {}
 
 // Secrecy joins under every binary op; mixed forms keep the tainted
 // operand's mark (a plain integral is public by definition). Hidden
@@ -104,6 +113,7 @@ struct Tainted<bool> {
 
 using TW32 = Tainted<std::uint32_t>;
 using TW64 = Tainted<std::uint64_t>;
+using TW128 = Tainted<unsigned __int128>;
 using TBool = Tainted<bool>;
 
 // ---- Word hooks (tainted overloads of bigint/kernels_generic.hpp) ------
@@ -122,6 +132,27 @@ constexpr TW32 is_nonzero(TW32 x) noexcept {
 /// part of the data-dependent control flow contract; NDEBUG removes it).
 constexpr std::uint32_t peek32(TW32 x) noexcept { return x.v; }
 constexpr std::uint64_t peek64(TW64 x) noexcept { return x.v; }
+
+// ---- 64/128-bit hooks (the radix-52 kernel word family) -----------------
+// Tainted mirrors of the native w128/lo64/wmul128/is_nonzero64 hooks in
+// bigint/kernels_generic.hpp, for mont/radix52_kernel.hpp's instantiation
+// with TW64/TW128 (ct::TaintCtx52).
+
+constexpr TW128 w128(TW64 x) noexcept {
+  return TW128(static_cast<unsigned __int128>(x.v), x.secret);
+}
+constexpr TW64 lo64(TW128 x) noexcept {
+  return TW64(static_cast<std::uint64_t>(x.v), x.secret);
+}
+/// Full 64x64 -> 128 widening product as a value; secrecy joins.
+constexpr TW128 wmul128(TW64 a, TW64 b) noexcept {
+  return TW128(static_cast<unsigned __int128>(a.v) * b.v,
+               a.secret || b.secret);
+}
+/// Value computation (setcc, not a jump): legal on secrets, stays tainted.
+constexpr TW64 is_nonzero64(TW64 x) noexcept {
+  return TW64(static_cast<std::uint64_t>(x.v != 0), x.secret);
+}
 
 /// Extracts a memory index from a word. On a tainted word the address of
 /// the subsequent load becomes secret-dependent — a cache-timing leak —
@@ -146,6 +177,12 @@ struct WideWord<ct::TW32> {
   using type = ct::TW64;
 };
 
+/// 128-bit widening map for the tainted radix-52 word family.
+template <>
+struct Wide128Word<ct::TW64> {
+  using type = ct::TW128;
+};
+
 }  // namespace phissl::bigint::kernels
 
 namespace phissl::mont {
@@ -158,6 +195,12 @@ struct WordTraits;
 template <>
 struct WordTraits<ct::TW32> {
   static constexpr unsigned bits = 32;
+};
+
+/// Likewise a tainted u64 residue word (TaintCtx52's Rep).
+template <>
+struct WordTraits<ct::TW64> {
+  static constexpr unsigned bits = 64;
 };
 
 }  // namespace phissl::mont

@@ -82,6 +82,10 @@ Dh::Dh(Params params, rsa::Kernel kernel) : params_(std::move(params)) {
       ctx_ = std::make_unique<AnyCtx>(std::in_place_type<mont::VectorMontCtx>,
                                       params_.p);
       break;
+    case rsa::Kernel::kIfma52:
+      ctx_ = std::make_unique<AnyCtx>(std::in_place_type<mont::IfmaMontCtx>,
+                                      params_.p);
+      break;
   }
 }
 

@@ -63,8 +63,8 @@ class Dh {
                          const bigint::BigInt& exp) const;
 
   Params params_;
-  using AnyCtx =
-      std::variant<mont::MontCtx32, mont::MontCtx64, mont::VectorMontCtx>;
+  using AnyCtx = std::variant<mont::MontCtx32, mont::MontCtx64,
+                              mont::VectorMontCtx, mont::IfmaMontCtx>;
   std::unique_ptr<AnyCtx> ctx_;
 };
 

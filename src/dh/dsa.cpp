@@ -60,6 +60,10 @@ Dsa::Dsa(Params params, rsa::Kernel kernel) : params_(std::move(params)) {
       ctx_p_ = std::make_unique<AnyCtx>(
           std::in_place_type<mont::VectorMontCtx>, params_.p);
       break;
+    case rsa::Kernel::kIfma52:
+      ctx_p_ = std::make_unique<AnyCtx>(std::in_place_type<mont::IfmaMontCtx>,
+                                        params_.p);
+      break;
   }
 }
 

@@ -63,8 +63,8 @@ class Dsa {
   bigint::BigInt hash_to_z(std::span<const std::uint8_t> message) const;
 
   Params params_;
-  using AnyCtx =
-      std::variant<mont::MontCtx32, mont::MontCtx64, mont::VectorMontCtx>;
+  using AnyCtx = std::variant<mont::MontCtx32, mont::MontCtx64,
+                              mont::VectorMontCtx, mont::IfmaMontCtx>;
   std::unique_ptr<AnyCtx> ctx_p_;
 };
 

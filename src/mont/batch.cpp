@@ -1,12 +1,17 @@
 #include "mont/batch.hpp"
 
 #include <cassert>
+#include <cstdlib>
+#include <cstring>
 #include <stdexcept>
 
+#include "mont/ifma_kernels.hpp"
 #include "mont/modexp.hpp"
 #include "mont/mont32.hpp"  // neg_inv_u32
+#include "mont/radix52_kernel.hpp"
 #include "obs/metrics.hpp"
 #include "simd/vec.hpp"
+#include "util/cpu.hpp"
 
 namespace phissl::mont {
 
@@ -334,6 +339,237 @@ void BatchVectorMontCtx::mod_exp(std::span<const bigint::BigInt> bases,
                                  std::span<bigint::BigInt> out,
                                  ExpWorkspace<BatchVectorMontCtx>& ws,
                                  int window) const {
+  if (window <= 0) window = choose_window(exp.bit_length());
+  to_mont(bases, ws.base_m, ws.kernel);
+  fixed_window_exp_rep(*this, ws.base_m, exp, window, ws.res, ws);
+  from_mont(ws.res, out, ws.kernel);
+}
+
+// -- BatchIfmaMontCtx ------------------------------------------------------
+
+#if PHISSL_OBS_ENABLED
+namespace {
+obs::MontKernelCounters& ifma_batch_counters() {
+  static obs::MontKernelCounters k("ifma52-batch");
+  return k;
+}
+}  // namespace
+#endif
+
+namespace {
+
+constexpr unsigned kDb52 = r52::kDigitBits;
+
+BatchIfmaMontCtx::Workspace& ifma_tls_workspace() {
+  static thread_local BatchIfmaMontCtx::Workspace ws;
+  return ws;
+}
+
+bool batch_env_forces_portable() {
+  const char* v = std::getenv("PHISSL_FORCE_BACKEND");
+  return v != nullptr && std::strcmp(v, "ifma52-portable") == 0;
+}
+
+}  // namespace
+
+BatchIfmaMontCtx::BatchIfmaMontCtx(const bigint::BigInt& m,
+                                   bool force_portable)
+    : m_(m) {
+  if (m.is_negative() || m <= bigint::BigInt{1} || m.is_even()) {
+    throw std::invalid_argument(
+        "BatchIfmaMontCtx: modulus must be odd and > 1");
+  }
+  d_ = (m.bit_length() + kDb52 - 1) / kDb52;
+  if (d_ < 3) d_ = 3;  // the truncated REDC reads columns d-3 .. d-1
+  use_ifma_ = !force_portable && ifma::compiled() &&
+              util::cpu_features().avx512ifma && !batch_env_forces_portable();
+
+  const auto pack_plain = [this](const bigint::BigInt& x,
+                                 std::vector<std::uint64_t>& out) {
+    out.assign(d_, 0);
+    for (std::size_t j = 0; j < d_; ++j) {
+      const std::size_t lo = j * kDb52;
+      out[j] = x.bits_window(lo, 32) |
+               (static_cast<std::uint64_t>(x.bits_window(lo + 32, 20)) << 32);
+    }
+  };
+  pack_plain(m, n52_);
+  bigint::BigInt r{1};
+  r <<= kDb52 * d_;
+  pack_plain(r - m.mod_inverse(r), mu52_);
+
+  std::vector<std::uint64_t> rr_digits, om_digits;
+  pack_plain((r * r).mod(m_), rr_digits);
+  pack_plain(r.mod(m_), om_digits);
+  rr_rep_.assign(d_ * kBatch, 0);
+  one_plain_.assign(d_ * kBatch, 0);
+  one_m_.assign(d_ * kBatch, 0);
+  for (std::size_t j = 0; j < d_; ++j) {
+    for (std::size_t l = 0; l < kBatch; ++l) {
+      rr_rep_[j * kBatch + l] = rr_digits[j];
+      one_m_[j * kBatch + l] = om_digits[j];
+    }
+  }
+  for (std::size_t l = 0; l < kBatch; ++l) one_plain_[l] = 1;
+}
+
+void BatchIfmaMontCtx::prepare(Workspace& ws) const {
+  if (use_ifma_) {
+    const std::size_t acc_len = (2 * d_ + 1) * kBatch;
+    if (ws.acc_lo.size() < acc_len) ws.acc_lo.resize(acc_len);
+    if (ws.acc_hi.size() < acc_len) ws.acc_hi.resize(acc_len);
+    if (ws.t.size() < 2 * d_ * kBatch) ws.t.resize(2 * d_ * kBatch);
+    if (ws.q.size() < d_ * kBatch) ws.q.resize(d_ * kBatch);
+    if (ws.c3.size() < kBatch) ws.c3.resize(kBatch);
+  } else {
+    if (ws.cols.size() < 2 * d_) ws.cols.resize(2 * d_);
+    if (ws.la.size() < d_) ws.la.resize(d_);
+    if (ws.lb.size() < d_) ws.lb.resize(d_);
+    if (ws.lt.size() < 2 * d_) ws.lt.resize(2 * d_);
+    if (ws.lq.size() < d_) ws.lq.resize(d_);
+  }
+}
+
+void BatchIfmaMontCtx::pack_lane(const bigint::BigInt& x, std::size_t lane,
+                                 Rep& out) const {
+  for (std::size_t j = 0; j < d_; ++j) {
+    const std::size_t lo = j * kDb52;
+    out[j * kBatch + lane] =
+        x.bits_window(lo, 32) |
+        (static_cast<std::uint64_t>(x.bits_window(lo + 32, 20)) << 32);
+  }
+}
+
+BatchIfmaMontCtx::Rep BatchIfmaMontCtx::to_mont(
+    std::span<const bigint::BigInt> xs) const {
+  Rep out;
+  to_mont(xs, out, ifma_tls_workspace());
+  return out;
+}
+
+void BatchIfmaMontCtx::to_mont(std::span<const bigint::BigInt> xs, Rep& out,
+                               Workspace& ws) const {
+  if (xs.size() != kBatch) {
+    throw std::invalid_argument("BatchIfmaMontCtx::to_mont: need 16 values");
+  }
+  ws.rep.assign(d_ * kBatch, 0);
+  for (std::size_t l = 0; l < kBatch; ++l) {
+    if (xs[l].is_negative() || xs[l] >= m_) {
+      throw std::invalid_argument(
+          "BatchIfmaMontCtx::to_mont: values must be in [0, m)");
+    }
+    pack_lane(xs[l], l, ws.rep);
+  }
+  mul(ws.rep, rr_rep_, out, ws);
+}
+
+std::array<bigint::BigInt, BatchIfmaMontCtx::kBatch>
+BatchIfmaMontCtx::from_mont(const Rep& a) const {
+  std::array<bigint::BigInt, kBatch> out;
+  from_mont(a, out, ifma_tls_workspace());
+  return out;
+}
+
+void BatchIfmaMontCtx::from_mont(const Rep& a, std::span<bigint::BigInt> out,
+                                 Workspace& ws) const {
+  if (out.size() != kBatch) {
+    throw std::invalid_argument(
+        "BatchIfmaMontCtx::from_mont: need 16 outputs");
+  }
+  mul(a, one_plain_, ws.rep, ws);
+  // assign_from_digits caps digits at 32 bits: two 26-bit halves per digit.
+  ws.u32.assign(2 * d_, 0);
+  constexpr std::uint32_t kHalfMask = (1u << 26) - 1;
+  for (std::size_t l = 0; l < kBatch; ++l) {
+    for (std::size_t j = 0; j < d_; ++j) {
+      const std::uint64_t dig = ws.rep[j * kBatch + l];
+      ws.u32[2 * j] = static_cast<std::uint32_t>(dig) & kHalfMask;
+      ws.u32[2 * j + 1] = static_cast<std::uint32_t>(dig >> 26) & kHalfMask;
+    }
+    out[l].assign_from_digits(ws.u32, 26);
+  }
+}
+
+void BatchIfmaMontCtx::mul(const Rep& a, const Rep& b, Rep& out) const {
+  mul(a, b, out, ifma_tls_workspace());
+}
+
+void BatchIfmaMontCtx::mul(const Rep& a, const Rep& b, Rep& out,
+                           Workspace& ws) const {
+#if PHISSL_OBS_ENABLED
+  ifma_batch_counters().mul.inc();
+  ifma_batch_counters().redc.inc();
+#endif
+  assert(a.size() == d_ * kBatch && b.size() == d_ * kBatch);
+  prepare(ws);
+  out.resize(d_ * kBatch);
+  if (use_ifma_) {
+    ifma::batch_mul(a.data(), b.data(), n52_.data(), mu52_.data(), d_,
+                    ws.acc_lo.data(), ws.acc_hi.data(), ws.t.data(),
+                    ws.q.data(), ws.c3.data(), out.data());
+  } else {
+    // Gather each lane contiguously, run the verified generic kernel,
+    // scatter back — O(d) shuffling around the O(d^2) kernel.
+    for (std::size_t l = 0; l < kBatch; ++l) {
+      for (std::size_t j = 0; j < d_; ++j) {
+        ws.la[j] = a[j * kBatch + l];
+        ws.lb[j] = b[j * kBatch + l];
+      }
+      r52::mont_mul_g(ws.la.data(), ws.lb.data(), n52_.data(), mu52_.data(),
+                      d_, ws.cols.data(), ws.lt.data(), ws.lq.data(),
+                      ws.la.data());
+      for (std::size_t j = 0; j < d_; ++j) out[j * kBatch + l] = ws.la[j];
+    }
+  }
+}
+
+void BatchIfmaMontCtx::sqr(const Rep& a, Rep& out) const {
+  sqr(a, out, ifma_tls_workspace());
+}
+
+void BatchIfmaMontCtx::sqr(const Rep& a, Rep& out, Workspace& ws) const {
+#if PHISSL_OBS_ENABLED
+  ifma_batch_counters().sqr.inc();
+  ifma_batch_counters().redc.inc();
+#endif
+  assert(a.size() == d_ * kBatch);
+  prepare(ws);
+  out.resize(d_ * kBatch);
+  if (use_ifma_) {
+    ifma::batch_sqr(a.data(), n52_.data(), mu52_.data(), d_,
+                    ws.acc_lo.data(), ws.acc_hi.data(), ws.t.data(),
+                    ws.q.data(), ws.c3.data(), out.data());
+  } else {
+    for (std::size_t l = 0; l < kBatch; ++l) {
+      for (std::size_t j = 0; j < d_; ++j) ws.la[j] = a[j * kBatch + l];
+      r52::mont_sqr_g(ws.la.data(), n52_.data(), mu52_.data(), d_,
+                      ws.cols.data(), ws.lt.data(), ws.lq.data(),
+                      ws.la.data());
+      for (std::size_t j = 0; j < d_; ++j) out[j * kBatch + l] = ws.la[j];
+    }
+  }
+}
+
+BatchIfmaMontCtx::Rep BatchIfmaMontCtx::fixed_window_exp(
+    const Rep& base, const bigint::BigInt& exp, int window) const {
+  if (window <= 0) window = choose_window(exp.bit_length());
+  return fixed_window_exp_rep(*this, base, exp, window);
+}
+
+std::array<bigint::BigInt, BatchIfmaMontCtx::kBatch>
+BatchIfmaMontCtx::mod_exp(std::span<const bigint::BigInt> bases,
+                          const bigint::BigInt& exp, int window) const {
+  ExpWorkspace<BatchIfmaMontCtx> ws;
+  std::array<bigint::BigInt, kBatch> out;
+  mod_exp(bases, exp, out, ws, window);
+  return out;
+}
+
+void BatchIfmaMontCtx::mod_exp(std::span<const bigint::BigInt> bases,
+                               const bigint::BigInt& exp,
+                               std::span<bigint::BigInt> out,
+                               ExpWorkspace<BatchIfmaMontCtx>& ws,
+                               int window) const {
   if (window <= 0) window = choose_window(exp.bit_length());
   to_mont(bases, ws.base_m, ws.kernel);
   fixed_window_exp_rep(*this, ws.base_m, exp, window, ws.res, ws);

@@ -1,0 +1,483 @@
+#include "mont/ifma_kernels.hpp"
+
+#if defined(__AVX512IFMA__) && defined(__AVX512F__)
+#define PHISSL_IFMA_LIVE 1
+#else
+#define PHISSL_IFMA_LIVE 0
+#endif
+
+#if PHISSL_IFMA_LIVE
+
+#include <immintrin.h>
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+#include "mont/radix52_kernel.hpp"
+
+namespace phissl::mont::ifma {
+
+bool compiled() { return true; }
+
+namespace {
+
+constexpr std::uint64_t kMask = r52::kDigitMask;
+constexpr unsigned kDb = r52::kDigitBits;
+
+inline __m512i bcast(std::uint64_t x) {
+  return _mm512_set1_epi64(static_cast<long long>(x));
+}
+inline __m512i load(const std::uint64_t* p) {
+  return _mm512_loadu_si512(static_cast<const void*>(p));
+}
+inline void store(std::uint64_t* p, __m512i v) {
+  _mm512_storeu_si512(static_cast<void*>(p), v);
+}
+
+inline std::size_t round_up8(std::size_t x) {
+  return (x + 7) & ~std::size_t{7};
+}
+
+// -- Latency mode ---------------------------------------------------------
+//
+// All three product sweeps (full A*B, quotient T_lo*mu, upper Q*N) are
+// COLUMN-blocked: each 8-column block accumulates its entire value in four
+// register chains and stores once, so no store-to-load forwarding chain
+// connects the rows (the row-major formulation serializes on exactly that
+// and runs several times slower). Column k of the block takes low halves
+// of the digit products at band k (operand offset c-i) and high halves of
+// band k-1 (offset c-i-1); the load operand is padded with zeros on both
+// sides so every offset is in bounds and out-of-range digits vanish.
+
+// cols[c..c+8) = column sums of bc * ld for every block c in
+// [c_begin, c_end), blocks overwritten (not accumulated). bc: d plain
+// digits, broadcast per row. ld: padded pointer (see header contract).
+void product_blocks(const std::uint64_t* bc, const std::uint64_t* ld,
+                    std::ptrdiff_t d, std::size_t c_begin, std::size_t c_end,
+                    std::uint64_t* cols) {
+  for (std::size_t c = c_begin; c < c_end; c += 8) {
+    const std::ptrdiff_t sc = static_cast<std::ptrdiff_t>(c);
+    std::ptrdiff_t i = sc >= d ? sc - d : 0;
+    const std::ptrdiff_t i1 = std::min(d - 1, sc + 7);
+    __m512i a0lo = _mm512_setzero_si512();
+    __m512i a0hi = a0lo, a1lo = a0lo, a1hi = a0lo;
+    for (; i + 1 <= i1; i += 2) {
+      const __m512i va0 = bcast(bc[i]);
+      const __m512i va1 = bcast(bc[i + 1]);
+      const __m512i v0 = load(ld + (sc - i));
+      const __m512i v1 = load(ld + (sc - i - 1));  // band k-1 for row i,
+      const __m512i v2 = load(ld + (sc - i - 2));  // band k for row i+1
+      a0lo = _mm512_madd52lo_epu64(a0lo, va0, v0);
+      a0hi = _mm512_madd52hi_epu64(a0hi, va0, v1);
+      a1lo = _mm512_madd52lo_epu64(a1lo, va1, v1);
+      a1hi = _mm512_madd52hi_epu64(a1hi, va1, v2);
+    }
+    if (i == i1) {
+      const __m512i va = bcast(bc[i]);
+      a0lo = _mm512_madd52lo_epu64(a0lo, va, load(ld + (sc - i)));
+      a0hi = _mm512_madd52hi_epu64(a0hi, va, load(ld + (sc - i - 1)));
+    }
+    store(cols + c, _mm512_add_epi64(_mm512_add_epi64(a0lo, a1lo),
+                                     _mm512_add_epi64(a0hi, a1hi)));
+  }
+}
+
+// Carry-normalizes `count` column sums into 52-bit digits; returns the
+// final carry.
+std::uint64_t normalize_cols(const std::uint64_t* cols, std::size_t count,
+                             std::uint64_t* t) {
+  std::uint64_t carry = 0;
+  for (std::size_t k = 0; k < count; ++k) {
+    const std::uint64_t v = cols[k] + carry;
+    t[k] = v & kMask;
+    carry = v >> kDb;
+  }
+  return carry;
+}
+
+// Shared truncated REDC over the normalized product digits t[0..2d).
+void redc(const std::uint64_t* t, const std::uint64_t* np,
+          const std::uint64_t* mup, std::size_t d, std::uint64_t* cols,
+          std::uint64_t* q, std::uint64_t* out) {
+  const std::ptrdiff_t sd = static_cast<std::ptrdiff_t>(d);
+
+  // Q = T_lo * mu mod R: columns < d only; the final carry is dropped.
+  product_blocks(t, mup, sd, 0, round_up8(d), cols);
+  {
+    std::uint64_t carry = 0;
+    for (std::size_t k = 0; k < d; ++k) {
+      const std::uint64_t v = cols[k] + carry;
+      q[k] = v & kMask;
+      carry = v >> kDb;  // dropped past column d-1: mod R
+    }
+  }
+
+  // Upper product Q*N: only the blocks from the one containing column d-2
+  // upward — columns below it are never read.
+  product_blocks(q, np, sd, (d - 2) & ~std::size_t{7}, round_up8(2 * d),
+                 cols);
+
+  // Exact low-half carry c3 = ceil of the two-column fixed-point estimate
+  // (see radix52_kernel.hpp: the dropped tail is < 2d/2^52 < 1 and the
+  // true carry is an integer, so the ceiling is exact).
+  const std::uint64_t x = cols[d - 2] + t[d - 2];
+  const std::uint64_t y = cols[d - 1] + t[d - 1];
+  const unsigned __int128 s =
+      (static_cast<unsigned __int128>(y & kMask) << kDb) + x;
+  const std::uint64_t frac_low = static_cast<std::uint64_t>(s);
+  const std::uint64_t frac_mid = static_cast<std::uint64_t>(s >> 64) &
+                                 ((std::uint64_t{1} << 40) - 1);
+  const std::uint64_t c3 = (y >> kDb) + static_cast<std::uint64_t>(s >> 104) +
+                           static_cast<std::uint64_t>((frac_low | frac_mid) != 0);
+
+  // result = T_hi + floor(Q*N / R) + c3, then one conditional subtract.
+  std::uint64_t carry = c3;
+  for (std::size_t k = 0; k < d; ++k) {
+    const std::uint64_t v = cols[d + k] + t[d + k] + carry;
+    out[k] = v & kMask;
+    carry = v >> kDb;
+  }
+  assert(carry <= 1);
+  r52::ct_sub_mod52_g(out, carry, np, d);
+}
+
+}  // namespace
+
+void mul(const std::uint64_t* a, const std::uint64_t* bp,
+         const std::uint64_t* np, const std::uint64_t* mup, std::size_t d,
+         std::uint64_t* cols, std::uint64_t* t, std::uint64_t* q,
+         std::uint64_t* out) {
+  product_blocks(a, bp, static_cast<std::ptrdiff_t>(d), 0, round_up8(2 * d),
+                 cols);
+  [[maybe_unused]] const std::uint64_t top = normalize_cols(cols, 2 * d, t);
+  assert(top == 0);
+  redc(t, np, mup, d, cols, q, out);
+}
+
+void sqr(const std::uint64_t* ap, const std::uint64_t* np,
+         const std::uint64_t* mup, std::size_t d, std::uint64_t* cols,
+         std::uint64_t* t, std::uint64_t* q, std::uint64_t* out) {
+  const std::ptrdiff_t sd = static_cast<std::ptrdiff_t>(d);
+
+  // Off-diagonal products (j > i) accumulated once per block, the block
+  // doubled in registers, then the diagonal a_i^2 added scalar. 2*a_i
+  // cannot be fed to vpmadd52 (it reads only 52 operand bits), so the
+  // doubling happens on the accumulated sums, where headroom is free.
+  // Rows are unmasked while 2i+2 <= c (every block lane is a j > i pair)
+  // and finish with per-row masks at the diagonal boundary.
+  for (std::size_t c = 0; c < round_up8(2 * d); c += 8) {
+    const std::ptrdiff_t sc = static_cast<std::ptrdiff_t>(c);
+    std::ptrdiff_t i = sc >= sd ? sc - sd : 0;
+    const std::ptrdiff_t i1 = std::min(sd - 1, (sc + 6) / 2);
+    const std::ptrdiff_t fe = std::min(i1, (sc - 2) / 2);
+    __m512i a0lo = _mm512_setzero_si512();
+    __m512i a0hi = a0lo, a1lo = a0lo, a1hi = a0lo;
+    for (; i + 1 <= fe; i += 2) {
+      const __m512i va0 = bcast(ap[i]);
+      const __m512i va1 = bcast(ap[i + 1]);
+      const __m512i v0 = load(ap + (sc - i));
+      const __m512i v1 = load(ap + (sc - i - 1));
+      const __m512i v2 = load(ap + (sc - i - 2));
+      a0lo = _mm512_madd52lo_epu64(a0lo, va0, v0);
+      a0hi = _mm512_madd52hi_epu64(a0hi, va0, v1);
+      a1lo = _mm512_madd52lo_epu64(a1lo, va1, v1);
+      a1hi = _mm512_madd52hi_epu64(a1hi, va1, v2);
+    }
+    if (i == fe) {
+      const __m512i va = bcast(ap[i]);
+      a0lo = _mm512_madd52lo_epu64(a0lo, va, load(ap + (sc - i)));
+      a0hi = _mm512_madd52hi_epu64(a0hi, va, load(ap + (sc - i - 1)));
+      ++i;
+    }
+    for (; i <= i1; ++i) {
+      const __m512i va = bcast(ap[i]);
+      const std::ptrdiff_t s_lo = 2 * i + 1 - sc;  // lanes k >= 2i+1: j > i
+      if (s_lo <= 7) {
+        a0lo = _mm512_mask_madd52lo_epu64(
+            a0lo, static_cast<__mmask8>(0xFFu << s_lo), va,
+            load(ap + (sc - i)));
+      }
+      const std::ptrdiff_t s_hi = s_lo + 1;  // high halves sit one lane up
+      if (s_hi <= 7) {
+        a0hi = _mm512_mask_madd52hi_epu64(
+            a0hi, static_cast<__mmask8>(0xFFu << s_hi), va,
+            load(ap + (sc - i - 1)));
+      }
+    }
+    const __m512i sum = _mm512_add_epi64(_mm512_add_epi64(a0lo, a1lo),
+                                         _mm512_add_epi64(a0hi, a1hi));
+    store(cols + c, _mm512_add_epi64(sum, sum));
+  }
+  for (std::size_t i = 0; i < d; ++i) {
+    const unsigned __int128 p =
+        static_cast<unsigned __int128>(ap[i]) * ap[i];
+    cols[2 * i] += static_cast<std::uint64_t>(p) & kMask;
+    cols[2 * i + 1] += static_cast<std::uint64_t>(p >> kDb);
+  }
+  [[maybe_unused]] const std::uint64_t top = normalize_cols(cols, 2 * d, t);
+  assert(top == 0);
+  redc(t, np, mup, d, cols, q, out);
+}
+
+// -- Batch mode -----------------------------------------------------------
+
+namespace {
+
+constexpr std::size_t kB = 16;  // lanes per batch (2 x 8-lane registers)
+
+// Lane-wise acc[(i+j)] += a_i[l] * b_j[l]: no broadcast — operands differ
+// per lane, which is the whole point of batch mode.
+void batch_product_rows(const std::uint64_t* a, const std::uint64_t* b,
+                        std::size_t d, std::uint64_t* acc_lo,
+                        std::uint64_t* acc_hi) {
+  for (std::size_t i = 0; i < d; ++i) {
+    const __m512i va0 = load(a + i * kB);
+    const __m512i va1 = load(a + i * kB + 8);
+    for (std::size_t j = 0; j < d; ++j) {
+      const __m512i vb0 = load(b + j * kB);
+      const __m512i vb1 = load(b + j * kB + 8);
+      std::uint64_t* lo = acc_lo + (i + j) * kB;
+      std::uint64_t* hi = acc_hi + (i + j + 1) * kB;
+      store(lo, _mm512_madd52lo_epu64(load(lo), va0, vb0));
+      store(lo + 8, _mm512_madd52lo_epu64(load(lo + 8), va1, vb1));
+      store(hi, _mm512_madd52hi_epu64(load(hi), va0, vb0));
+      store(hi + 8, _mm512_madd52hi_epu64(load(hi + 8), va1, vb1));
+    }
+  }
+}
+
+// Lane-wise carry-normalization of `count` column rows into digit rows.
+void batch_normalize(const std::uint64_t* acc_lo, const std::uint64_t* acc_hi,
+                     std::size_t count, std::uint64_t* t) {
+  const __m512i vmask = bcast(kMask);
+  __m512i c0 = _mm512_setzero_si512();
+  __m512i c1 = _mm512_setzero_si512();
+  for (std::size_t k = 0; k < count; ++k) {
+    const __m512i v0 = _mm512_add_epi64(
+        _mm512_add_epi64(load(acc_lo + k * kB), load(acc_hi + k * kB)), c0);
+    const __m512i v1 = _mm512_add_epi64(
+        _mm512_add_epi64(load(acc_lo + k * kB + 8), load(acc_hi + k * kB + 8)),
+        c1);
+    store(t + k * kB, _mm512_and_si512(v0, vmask));
+    store(t + k * kB + 8, _mm512_and_si512(v1, vmask));
+    c0 = _mm512_srli_epi64(v0, kDb);
+    c1 = _mm512_srli_epi64(v1, kDb);
+  }
+}
+
+void batch_redc(const std::uint64_t* t, const std::uint64_t* n,
+                const std::uint64_t* mu, std::size_t d, std::uint64_t* acc_lo,
+                std::uint64_t* acc_hi, std::uint64_t* q, std::uint64_t* c3,
+                std::uint64_t* out) {
+  const std::size_t acc_len = (2 * d + 1) * kB;
+  std::memset(acc_lo, 0, acc_len * sizeof(std::uint64_t));
+  std::memset(acc_hi, 0, acc_len * sizeof(std::uint64_t));
+
+  // Q = T_lo * mu mod R, lower triangle; mu is shared so IT is broadcast.
+  for (std::size_t i = 0; i < d; ++i) {
+    const __m512i va0 = load(t + i * kB);
+    const __m512i va1 = load(t + i * kB + 8);
+    const std::size_t jmax = d - i;
+    for (std::size_t j = 0; j < jmax; ++j) {
+      const __m512i vb = bcast(mu[j]);
+      std::uint64_t* lo = acc_lo + (i + j) * kB;
+      std::uint64_t* hi = acc_hi + (i + j + 1) * kB;
+      store(lo, _mm512_madd52lo_epu64(load(lo), va0, vb));
+      store(lo + 8, _mm512_madd52lo_epu64(load(lo + 8), va1, vb));
+      store(hi, _mm512_madd52hi_epu64(load(hi), va0, vb));
+      store(hi + 8, _mm512_madd52hi_epu64(load(hi + 8), va1, vb));
+    }
+  }
+  batch_normalize(acc_lo, acc_hi, d, q);
+
+  std::memset(acc_lo, 0, acc_len * sizeof(std::uint64_t));
+  std::memset(acc_hi, 0, acc_len * sizeof(std::uint64_t));
+  // Upper product Q*N from bands >= d-3 (row granularity: no overshoot).
+  for (std::size_t i = 0; i < d; ++i) {
+    const __m512i va0 = load(q + i * kB);
+    const __m512i va1 = load(q + i * kB + 8);
+    const std::size_t j0 = (i + 3 >= d) ? 0 : d - 3 - i;
+    for (std::size_t j = j0; j < d; ++j) {
+      const __m512i vb = bcast(n[j]);
+      std::uint64_t* lo = acc_lo + (i + j) * kB;
+      std::uint64_t* hi = acc_hi + (i + j + 1) * kB;
+      store(lo, _mm512_madd52lo_epu64(load(lo), va0, vb));
+      store(lo + 8, _mm512_madd52lo_epu64(load(lo + 8), va1, vb));
+      store(hi, _mm512_madd52hi_epu64(load(hi), va0, vb));
+      store(hi + 8, _mm512_madd52hi_epu64(load(hi + 8), va1, vb));
+    }
+  }
+
+  // Per-lane exact low-half carry (scalar 128-bit; 16 lanes is negligible
+  // next to the d^2 sweeps above).
+  for (std::size_t l = 0; l < kB; ++l) {
+    const std::size_t i2 = (d - 2) * kB + l;
+    const std::size_t i1 = (d - 1) * kB + l;
+    const std::uint64_t x = acc_lo[i2] + acc_hi[i2] + t[i2];
+    const std::uint64_t y = acc_lo[i1] + acc_hi[i1] + t[i1];
+    const unsigned __int128 s =
+        (static_cast<unsigned __int128>(y & kMask) << kDb) + x;
+    const std::uint64_t frac_low = static_cast<std::uint64_t>(s);
+    const std::uint64_t frac_mid = static_cast<std::uint64_t>(s >> 64) &
+                                   ((std::uint64_t{1} << 40) - 1);
+    c3[l] = (y >> kDb) + static_cast<std::uint64_t>(s >> 104) +
+            static_cast<std::uint64_t>((frac_low | frac_mid) != 0);
+  }
+
+  // Result rows + lane-wise constant-time conditional subtract.
+  const __m512i vmask = bcast(kMask);
+  const __m512i vone = bcast(1);
+  __m512i carry0 = load(c3);
+  __m512i carry1 = load(c3 + 8);
+  for (std::size_t k = 0; k < d; ++k) {
+    const std::size_t row = (d + k) * kB;
+    const __m512i v0 = _mm512_add_epi64(
+        _mm512_add_epi64(_mm512_add_epi64(load(acc_lo + row),
+                                          load(acc_hi + row)),
+                         load(t + row)),
+        carry0);
+    const __m512i v1 = _mm512_add_epi64(
+        _mm512_add_epi64(_mm512_add_epi64(load(acc_lo + row + 8),
+                                          load(acc_hi + row + 8)),
+                         load(t + row + 8)),
+        carry1);
+    store(out + k * kB, _mm512_and_si512(v0, vmask));
+    store(out + k * kB + 8, _mm512_and_si512(v1, vmask));
+    carry0 = _mm512_srli_epi64(v0, kDb);
+    carry1 = _mm512_srli_epi64(v1, kDb);
+  }
+  const __m512i top0 = carry0;  // 0 or 1 per lane
+  const __m512i top1 = carry1;
+
+  __m512i borrow0 = _mm512_setzero_si512();
+  __m512i borrow1 = _mm512_setzero_si512();
+  for (std::size_t j = 0; j < d; ++j) {
+    const __m512i vn = bcast(n[j]);
+    const __m512i d0 = _mm512_sub_epi64(
+        _mm512_sub_epi64(load(out + j * kB), vn), borrow0);
+    const __m512i d1 = _mm512_sub_epi64(
+        _mm512_sub_epi64(load(out + j * kB + 8), vn), borrow1);
+    borrow0 = _mm512_srli_epi64(d0, 63);
+    borrow1 = _mm512_srli_epi64(d1, 63);
+  }
+  // Subtract iff the overflow lane is set or out >= n (no borrow): both
+  // inputs are single-bit values, so OR gives 0/1 and 0 - ge is the mask.
+  const __m512i ge0 =
+      _mm512_or_si512(top0, _mm512_sub_epi64(vone, borrow0));
+  const __m512i ge1 =
+      _mm512_or_si512(top1, _mm512_sub_epi64(vone, borrow1));
+  const __m512i smask0 = _mm512_sub_epi64(_mm512_setzero_si512(), ge0);
+  const __m512i smask1 = _mm512_sub_epi64(_mm512_setzero_si512(), ge1);
+  borrow0 = _mm512_setzero_si512();
+  borrow1 = _mm512_setzero_si512();
+  for (std::size_t j = 0; j < d; ++j) {
+    const __m512i vn = bcast(n[j]);
+    const __m512i d0 = _mm512_sub_epi64(
+        _mm512_sub_epi64(load(out + j * kB), _mm512_and_si512(vn, smask0)),
+        borrow0);
+    const __m512i d1 = _mm512_sub_epi64(
+        _mm512_sub_epi64(load(out + j * kB + 8), _mm512_and_si512(vn, smask1)),
+        borrow1);
+    store(out + j * kB, _mm512_and_si512(d0, vmask));
+    store(out + j * kB + 8, _mm512_and_si512(d1, vmask));
+    borrow0 = _mm512_srli_epi64(d0, 63);
+    borrow1 = _mm512_srli_epi64(d1, 63);
+  }
+}
+
+}  // namespace
+
+void batch_mul(const std::uint64_t* a, const std::uint64_t* b,
+               const std::uint64_t* n, const std::uint64_t* mu, std::size_t d,
+               std::uint64_t* acc_lo, std::uint64_t* acc_hi, std::uint64_t* t,
+               std::uint64_t* q, std::uint64_t* c3, std::uint64_t* out) {
+  const std::size_t acc_len = (2 * d + 1) * kB;
+  std::memset(acc_lo, 0, acc_len * sizeof(std::uint64_t));
+  std::memset(acc_hi, 0, acc_len * sizeof(std::uint64_t));
+  batch_product_rows(a, b, d, acc_lo, acc_hi);
+  batch_normalize(acc_lo, acc_hi, 2 * d, t);
+  batch_redc(t, n, mu, d, acc_lo, acc_hi, q, c3, out);
+}
+
+void batch_sqr(const std::uint64_t* a, const std::uint64_t* n,
+               const std::uint64_t* mu, std::size_t d, std::uint64_t* acc_lo,
+               std::uint64_t* acc_hi, std::uint64_t* t, std::uint64_t* q,
+               std::uint64_t* c3, std::uint64_t* out) {
+  const std::size_t acc_len = (2 * d + 1) * kB;
+  std::memset(acc_lo, 0, acc_len * sizeof(std::uint64_t));
+  std::memset(acc_hi, 0, acc_len * sizeof(std::uint64_t));
+  // Off-diagonal once, double the accumulators, then the diagonal — same
+  // scheme as the latency-mode sqr, lane-wise.
+  for (std::size_t i = 0; i < d; ++i) {
+    const __m512i va0 = load(a + i * kB);
+    const __m512i va1 = load(a + i * kB + 8);
+    for (std::size_t j = i + 1; j < d; ++j) {
+      const __m512i vb0 = load(a + j * kB);
+      const __m512i vb1 = load(a + j * kB + 8);
+      std::uint64_t* lo = acc_lo + (i + j) * kB;
+      std::uint64_t* hi = acc_hi + (i + j + 1) * kB;
+      store(lo, _mm512_madd52lo_epu64(load(lo), va0, vb0));
+      store(lo + 8, _mm512_madd52lo_epu64(load(lo + 8), va1, vb1));
+      store(hi, _mm512_madd52hi_epu64(load(hi), va0, vb0));
+      store(hi + 8, _mm512_madd52hi_epu64(load(hi + 8), va1, vb1));
+    }
+  }
+  for (std::size_t k = 0; k < acc_len; ++k) acc_lo[k] <<= 1;
+  for (std::size_t k = 0; k < acc_len; ++k) acc_hi[k] <<= 1;
+  for (std::size_t i = 0; i < d; ++i) {
+    std::uint64_t* lo = acc_lo + 2 * i * kB;
+    std::uint64_t* hi = acc_hi + (2 * i + 1) * kB;
+    const __m512i va0 = load(a + i * kB);
+    const __m512i va1 = load(a + i * kB + 8);
+    store(lo, _mm512_madd52lo_epu64(load(lo), va0, va0));
+    store(lo + 8, _mm512_madd52lo_epu64(load(lo + 8), va1, va1));
+    store(hi, _mm512_madd52hi_epu64(load(hi), va0, va0));
+    store(hi + 8, _mm512_madd52hi_epu64(load(hi + 8), va1, va1));
+  }
+  batch_normalize(acc_lo, acc_hi, 2 * d, t);
+  batch_redc(t, n, mu, d, acc_lo, acc_hi, q, c3, out);
+}
+
+}  // namespace phissl::mont::ifma
+
+#else  // !PHISSL_IFMA_LIVE
+
+#include <cstdlib>
+
+namespace phissl::mont::ifma {
+
+bool compiled() { return false; }
+
+// The dispatch layer (IfmaMontCtx) never calls these when compiled() is
+// false; aborting keeps any future misuse loud instead of silently wrong.
+namespace {
+[[noreturn]] void unavailable() { std::abort(); }
+}  // namespace
+
+void mul(const std::uint64_t*, const std::uint64_t*, const std::uint64_t*,
+         const std::uint64_t*, std::size_t, std::uint64_t*, std::uint64_t*,
+         std::uint64_t*, std::uint64_t*) {
+  unavailable();
+}
+void sqr(const std::uint64_t*, const std::uint64_t*, const std::uint64_t*,
+         std::size_t, std::uint64_t*, std::uint64_t*, std::uint64_t*,
+         std::uint64_t*) {
+  unavailable();
+}
+void batch_mul(const std::uint64_t*, const std::uint64_t*,
+               const std::uint64_t*, const std::uint64_t*, std::size_t,
+               std::uint64_t*, std::uint64_t*, std::uint64_t*, std::uint64_t*,
+               std::uint64_t*, std::uint64_t*) {
+  unavailable();
+}
+void batch_sqr(const std::uint64_t*, const std::uint64_t*,
+               const std::uint64_t*, std::size_t, std::uint64_t*,
+               std::uint64_t*, std::uint64_t*, std::uint64_t*, std::uint64_t*,
+               std::uint64_t*) {
+  unavailable();
+}
+
+}  // namespace phissl::mont::ifma
+
+#endif  // PHISSL_IFMA_LIVE

@@ -1,0 +1,59 @@
+// vpmadd52-based radix-52 Montgomery kernels (internal).
+//
+// These are the AVX-512 IFMA instantiations of the truncated-REDC
+// algorithm in radix52_kernel.hpp, kept in their own translation unit so
+// the build can compile them with -mavx512ifma even when the rest of the
+// tree targets a baseline ISA. Nothing here may be called unless BOTH
+// compiled() returns true AND util::cpu_features().avx512ifma is set —
+// mont::IfmaMontCtx / mont::BatchIfmaMontCtx own that dispatch.
+//
+// Representation: 52-bit digits in 64-bit words. Products are accumulated
+// SPLIT — low-52 halves of the digit products land in their own column,
+// high-52 halves one column up (vpmadd52huq's band) — so no carry
+// propagates inside the product sweeps; one scalar normalization pass per
+// sweep recovers the 52-bit digits.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace phissl::mont::ifma {
+
+/// True iff this binary contains the real vpmadd52 kernels (the TU was
+/// compiled with AVX-512 IFMA support).
+bool compiled();
+
+// -- Latency mode: one operand set, column-blocked register accumulation. --
+// Broadcast operands (a for mul; q/t internally) are plain d-digit arrays.
+// PADDED operands (bp, np, mup, and ap for sqr) point 16 words into a
+// buffer laid out as [16 zero words][d digits][zero words through index
+// 16 + pd + 7] (pd = d rounded up to 8), so the column-blocked sweeps can
+// issue unmasked loads at any offset in [-16, pd]. cols: round_up(2d, 8)
+// words of column scratch. t: 2d words. q: d words. out: d digits written
+// only at the end, so it may alias any operand.
+
+void mul(const std::uint64_t* a, const std::uint64_t* bp,
+         const std::uint64_t* np, const std::uint64_t* mup, std::size_t d,
+         std::uint64_t* cols, std::uint64_t* t, std::uint64_t* q,
+         std::uint64_t* out);
+
+void sqr(const std::uint64_t* ap, const std::uint64_t* np,
+         const std::uint64_t* mup, std::size_t d, std::uint64_t* cols,
+         std::uint64_t* t, std::uint64_t* q, std::uint64_t* out);
+
+// -- Batch mode: 16 independent lanes, two 8-lane registers per digit ----
+// row, digit-major transposed layout rep[j*16 + l]. n and mu are shared
+// (plain d-word digit vectors). acc_lo / acc_hi: (2*d + 1) * 16 words.
+// t: 2*d*16. q: d*16. c3: 16. out: d*16; may alias a or b.
+
+void batch_mul(const std::uint64_t* a, const std::uint64_t* b,
+               const std::uint64_t* n, const std::uint64_t* mu, std::size_t d,
+               std::uint64_t* acc_lo, std::uint64_t* acc_hi, std::uint64_t* t,
+               std::uint64_t* q, std::uint64_t* c3, std::uint64_t* out);
+
+void batch_sqr(const std::uint64_t* a, const std::uint64_t* n,
+               const std::uint64_t* mu, std::size_t d, std::uint64_t* acc_lo,
+               std::uint64_t* acc_hi, std::uint64_t* t, std::uint64_t* q,
+               std::uint64_t* c3, std::uint64_t* out);
+
+}  // namespace phissl::mont::ifma

@@ -225,6 +225,13 @@ void VectorMontCtx::sqr(const Rep& a, Rep& out) const {
 }
 
 void VectorMontCtx::sqr(const Rep& a, Rep& out, Workspace& ws) const {
+  if (sqr_uses_mul()) {
+    // Small-modulus regression guard (see kSqrMinDigits): the general
+    // multiply IS the faster squaring here, and it counts as a mul in the
+    // kernel counters since that is the kernel that ran.
+    mul(a, a, out, ws);
+    return;
+  }
 #if PHISSL_OBS_ENABLED
   kernel_counters().sqr.inc();
   kernel_counters().redc.inc();

@@ -50,6 +50,16 @@ class VectorMontCtx {
   /// lanes (rep_size() long). Value < modulus.
   using Rep = std::vector<std::uint32_t>;
 
+  /// Below this many significant digits sqr() routes through the general
+  /// multiply instead of the dedicated squaring kernel. At small d the
+  /// off-diagonal row spans so few vector blocks that sqr's per-iteration
+  /// overhead (the masked partial first block plus the scalar diagonal)
+  /// outweighs the ~1/4 multiply saving — measured as a net regression at
+  /// 512 bits / 27-bit digits (d = 19, two blocks), break-even around a
+  /// pd of two-to-three full blocks past the mask. bench_mont_exp's
+  /// sqr-ratio check guards this from regressing again.
+  static constexpr std::size_t kSqrMinDigits = 24;
+
   /// Reusable scratch for mul/sqr/to_mont/from_mont. Not thread-safe;
   /// resized per call (capacity retained), so one workspace may serve
   /// contexts of different sizes.
@@ -88,9 +98,14 @@ class VectorMontCtx {
   void mul(const Rep& a, const Rep& b, Rep& out) const;
   void mul(const Rep& a, const Rep& b, Rep& out, Workspace& ws) const;
 
-  /// out = a*a*R^-1 mod m, vectorized squaring (see file comment).
+  /// out = a*a*R^-1 mod m, vectorized squaring (see file comment). Falls
+  /// back to mul(a, a) below kSqrMinDigits — see sqr_uses_mul().
   void sqr(const Rep& a, Rep& out) const;
   void sqr(const Rep& a, Rep& out, Workspace& ws) const;
+
+  /// True when sqr() forwards to the general multiply for this modulus
+  /// (digits() < kSqrMinDigits).
+  [[nodiscard]] bool sqr_uses_mul() const { return d_ < kSqrMinDigits; }
 
   /// Same column algorithm in plain scalar u64 arithmetic. Identical
   /// results to mul(); kept as the differential-testing reference and for

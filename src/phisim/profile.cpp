@@ -81,6 +81,34 @@ KernelProfile profile_scalar64_mont_mul(std::size_t bits) {
   return p;
 }
 
+KernelProfile profile_ifma52_mont_mul(std::size_t bits) {
+  // Mirrors the column-blocked ifma_kernels.cpp mul: two product sweeps
+  // (a*b and the truncated q*n REDC) of ~d rows x pd/8 column blocks,
+  // each row contributing 2 vpmadd52 ops + 3 loads into register
+  // accumulators, one store per block; plus two scalar normalization
+  // passes and the scalar quotient loop (multiplies folded into the
+  // sweeps — there is NO serial quotient recurrence, which is what drops
+  // serial_fraction well below the CIOS kernels').
+  const double d = std::ceil(static_cast<double>(bits) / 52.0);
+  const double pd = std::ceil(d / 8.0) * 8.0;
+  const double blocks = pd / 8.0;
+
+  KernelProfile p;
+  p.label = "ifma52_mont_mul_" + std::to_string(bits);
+  const double rows = 2.0 * d * blocks;  // both sweeps
+  p.vec_mul = rows * 2.0;                // vpmadd52lo + vpmadd52hi
+  p.vec_load = rows * 3.0;
+  p.vec_alu = rows * 1.0 + 2.0 * blocks * 3.0;  // chain merges + block sums
+  p.vec_store = 2.0 * blocks;
+  p.scalar_alu = 4.0 * d * 4.0;  // two normalize passes + q + result loops
+  p.scalar_ldst = 4.0 * d * 2.0;
+  // Only the normalization/carry passes between sweeps are serial; the
+  // sweeps themselves run 4 independent accumulator chains per block.
+  p.serial_fraction = 0.15;
+  p.bytes_touched = (6.0 * pd + 2.0 * d) * 8.0;
+  return p;
+}
+
 KernelProfile profile_modexp(const KernelProfile& mul, std::size_t exp_bits,
                              rsa::Schedule schedule, int window) {
   if (window <= 0) window = mont::choose_window(exp_bits);
@@ -125,6 +153,9 @@ KernelProfile profile_rsa_private(std::size_t bits,
     case rsa::Kernel::kVector:
       mul = profile_vector_mont_mul(mod_bits, opts.digit_bits);
       break;
+    case rsa::Kernel::kIfma52:
+      mul = profile_ifma52_mont_mul(mod_bits);
+      break;
   }
   KernelProfile p;
   if (opts.use_crt) {
@@ -157,6 +188,9 @@ KernelProfile profile_rsa_public(std::size_t bits,
       break;
     case rsa::Kernel::kVector:
       mul = profile_vector_mont_mul(bits, opts.digit_bits);
+      break;
+    case rsa::Kernel::kIfma52:
+      mul = profile_ifma52_mont_mul(bits);
       break;
   }
   // e = 65537 = 2^16 + 1: 16 squarings + 1 multiply + conversions.

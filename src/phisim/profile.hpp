@@ -49,6 +49,11 @@ KernelProfile profile_scalar32_mont_mul(std::size_t bits);
 /// Profile of one scalar CIOS Montgomery multiplication with 64-bit limbs.
 KernelProfile profile_scalar64_mont_mul(std::size_t bits);
 
+/// Profile of one radix-2^52 truncated-REDC Montgomery multiplication
+/// (IfmaMontCtx::mul on the vpmadd52 path: column-blocked product sweeps,
+/// no serial quotient chain).
+KernelProfile profile_ifma52_mont_mul(std::size_t bits);
+
 /// Profile of a full modular exponentiation: `exp_bits`-bit exponent over
 /// the given per-multiply profile and schedule.
 KernelProfile profile_modexp(const KernelProfile& mul, std::size_t exp_bits,

@@ -1,6 +1,7 @@
 #include "rsa/batch_engine.hpp"
 
 #include <stdexcept>
+#include <type_traits>
 
 #include "mont/modexp.hpp"
 #include "obs/trace.hpp"
@@ -13,24 +14,45 @@ namespace {
 
 // Per-thread intermediates (see CrtScratch in engine.cpp): all BigInts and
 // workspaces retain capacity, so a warmed-up batched private_op allocates
-// nothing.
+// nothing. One instance per context type per thread — an engine on the
+// ifma52 backend and one on knc_vec can interleave on the same thread
+// without evicting each other's window tables.
+template <typename Ctx>
 struct BatchScratch {
   std::array<BigInt, BatchEngine::kBatch> xp, xq, m1, m2;
   BigInt quot, t, t2, h;
-  mont::ExpWorkspace<mont::BatchVectorMontCtx> wsp, wsq;
+  mont::ExpWorkspace<Ctx> wsp, wsq;
 };
 
-BatchScratch& batch_scratch() {
-  static thread_local BatchScratch s;
+template <typename Ctx>
+BatchScratch<Ctx>& batch_scratch() {
+  static thread_local BatchScratch<Ctx> s;
   return s;
 }
 
 }  // namespace
 
+BatchEngine::AnyCtxPair BatchEngine::make_ctxs(const PrivateKey& key,
+                                               Backend backend,
+                                               unsigned digit_bits) {
+  if (backend == Backend::kIfma52) {
+    return AnyCtxPair{CtxPair<mont::BatchIfmaMontCtx>{
+        mont::BatchIfmaMontCtx(key.p), mont::BatchIfmaMontCtx(key.q)}};
+  }
+  return AnyCtxPair{CtxPair<mont::BatchVectorMontCtx>{
+      mont::BatchVectorMontCtx(key.p, digit_bits),
+      mont::BatchVectorMontCtx(key.q, digit_bits)}};
+}
+
 BatchEngine::BatchEngine(PrivateKey key, unsigned digit_bits)
+    : BatchEngine(std::move(key), Backend::kKncVec, digit_bits) {}
+
+BatchEngine::BatchEngine(PrivateKey key, Backend backend, unsigned digit_bits)
     : key_(std::move(key)),
-      ctx_p_(key_.p, digit_bits),
-      ctx_q_(key_.q, digit_bits) {}
+      backend_(resolve_backend(backend) == Backend::kScalar64
+                   ? Backend::kKncVec
+                   : resolve_backend(backend)),
+      ctxs_(make_ctxs(key_, backend_, digit_bits)) {}
 
 std::array<BigInt, BatchEngine::kBatch> BatchEngine::private_op(
     std::span<const BigInt> xs) const {
@@ -46,50 +68,55 @@ void BatchEngine::private_op(std::span<const BigInt> xs,
         "BatchEngine::private_op: need 16 inputs and 16 outputs");
   }
   PHISSL_OBS_SPAN("rsa.batch_private_op");
-  BatchScratch& s = batch_scratch();
-  {
-    PHISSL_OBS_SPAN("rsa.crt_reduce");
-    for (std::size_t l = 0; l < kBatch; ++l) {
-      if (xs[l].is_negative() || xs[l] >= key_.pub.n) {
-        throw std::invalid_argument(
-            "BatchEngine::private_op: inputs must be in [0, n)");
-      }
-      BigInt::divmod(xs[l], key_.p, s.quot, s.xp[l]);
-      BigInt::divmod(xs[l], key_.q, s.quot, s.xq[l]);
-    }
-  }
-  // Two batched half-size exponentiations (shared exponents dp, dq).
-  {
-    PHISSL_OBS_SPAN("rsa.mod_exp_p");
-    ctx_p_.mod_exp(s.xp, key_.dp, s.m1, s.wsp);
-  }
-  {
-    PHISSL_OBS_SPAN("rsa.mod_exp_q");
-    ctx_q_.mod_exp(s.xq, key_.dq, s.m2, s.wsq);
-  }
-  // Garner recombination per lane (scalar; cheap next to the modexps).
-  // Sign-tracked so the magnitude subtraction runs largest-first in place
-  // (see Engine::private_op_crt_into).
-  PHISSL_OBS_SPAN("rsa.crt_recombine");
-  for (std::size_t l = 0; l < kBatch; ++l) {
-    const bool diff_neg = s.m1[l] < s.m2[l];
-    if (diff_neg) {
-      s.t = s.m2[l];
-      s.t -= s.m1[l];
-    } else {
-      s.t = s.m1[l];
-      s.t -= s.m2[l];
-    }
-    BigInt::mul_to(key_.qinv, s.t, s.t2);
-    BigInt::divmod(s.t2, key_.p, s.quot, s.h);
-    if (diff_neg && !s.h.is_zero()) {
-      s.t = key_.p;
-      s.t -= s.h;
-      s.h = s.t;
-    }
-    BigInt::mul_to(s.h, key_.q, out[l]);
-    out[l] += s.m2[l];
-  }
+  std::visit(
+      [&](const auto& cp) {
+        using Ctx = std::decay_t<decltype(cp.p)>;
+        BatchScratch<Ctx>& s = batch_scratch<Ctx>();
+        {
+          PHISSL_OBS_SPAN("rsa.crt_reduce");
+          for (std::size_t l = 0; l < kBatch; ++l) {
+            if (xs[l].is_negative() || xs[l] >= key_.pub.n) {
+              throw std::invalid_argument(
+                  "BatchEngine::private_op: inputs must be in [0, n)");
+            }
+            BigInt::divmod(xs[l], key_.p, s.quot, s.xp[l]);
+            BigInt::divmod(xs[l], key_.q, s.quot, s.xq[l]);
+          }
+        }
+        // Two batched half-size exponentiations (shared exponents dp, dq).
+        {
+          PHISSL_OBS_SPAN("rsa.mod_exp_p");
+          cp.p.mod_exp(s.xp, key_.dp, s.m1, s.wsp);
+        }
+        {
+          PHISSL_OBS_SPAN("rsa.mod_exp_q");
+          cp.q.mod_exp(s.xq, key_.dq, s.m2, s.wsq);
+        }
+        // Garner recombination per lane (scalar; cheap next to the
+        // modexps). Sign-tracked so the magnitude subtraction runs
+        // largest-first in place (see Engine::private_op_crt_into).
+        PHISSL_OBS_SPAN("rsa.crt_recombine");
+        for (std::size_t l = 0; l < kBatch; ++l) {
+          const bool diff_neg = s.m1[l] < s.m2[l];
+          if (diff_neg) {
+            s.t = s.m2[l];
+            s.t -= s.m1[l];
+          } else {
+            s.t = s.m1[l];
+            s.t -= s.m2[l];
+          }
+          BigInt::mul_to(key_.qinv, s.t, s.t2);
+          BigInt::divmod(s.t2, key_.p, s.quot, s.h);
+          if (diff_neg && !s.h.is_zero()) {
+            s.t = key_.p;
+            s.t -= s.h;
+            s.h = s.t;
+          }
+          BigInt::mul_to(s.h, key_.q, out[l]);
+          out[l] += s.m2[l];
+        }
+      },
+      ctxs_);
 }
 
 }  // namespace phissl::rsa

@@ -2,12 +2,19 @@
 // lane, sharing the key (and therefore the CRT exponents dp/dq across
 // lanes). This is the batched signing mode of experiment E9 — the natural
 // server workload for a 16-lane vector unit.
+//
+// Two batched Montgomery backends implement the lane math (see
+// rsa/backend.hpp): the KNC-faithful redundant-radix kernels and the
+// host-side radix-2^52 truncated-REDC kernels. The choice is made at
+// construction and is invisible to callers — private_op has one shape.
 #pragma once
 
 #include <array>
 #include <span>
+#include <variant>
 
 #include "mont/batch.hpp"
+#include "rsa/backend.hpp"
 #include "rsa/key.hpp"
 
 namespace phissl::rsa {
@@ -15,11 +22,23 @@ namespace phissl::rsa {
 class BatchEngine {
  public:
   static constexpr std::size_t kBatch = mont::BatchVectorMontCtx::kBatch;
+  static_assert(kBatch == mont::BatchIfmaMontCtx::kBatch);
 
-  /// Precomputes the batched Montgomery contexts for p and q.
+  /// Precomputes the batched Montgomery contexts for p and q over the
+  /// KNC-style vector backend (subject to PHISSL_FORCE_BACKEND).
   explicit BatchEngine(PrivateKey key, unsigned digit_bits = 27);
 
+  /// Same, over an explicit backend. kScalar64 has no batched kernel —
+  /// batching IS the vectorization — so it falls back to kKncVec;
+  /// backend() reports the fallback. digit_bits only affects kKncVec
+  /// (the ifma52 radix is fixed at 52).
+  BatchEngine(PrivateKey key, Backend backend, unsigned digit_bits = 27);
+
   [[nodiscard]] const PublicKey& pub() const { return key_.pub; }
+
+  /// The backend the lane contexts actually run, after the
+  /// PHISSL_FORCE_BACKEND override and the kScalar64 fallback.
+  [[nodiscard]] Backend backend() const { return backend_; }
 
   /// 16 private ops (x^d mod n via CRT), lane-parallel.
   /// Every x must be in [0, n).
@@ -33,9 +52,19 @@ class BatchEngine {
                   std::span<bigint::BigInt> out) const;
 
  private:
+  template <typename Ctx>
+  struct CtxPair {
+    Ctx p, q;
+  };
+  using AnyCtxPair = std::variant<CtxPair<mont::BatchVectorMontCtx>,
+                                  CtxPair<mont::BatchIfmaMontCtx>>;
+
+  static AnyCtxPair make_ctxs(const PrivateKey& key, Backend backend,
+                              unsigned digit_bits);
+
   PrivateKey key_;
-  mont::BatchVectorMontCtx ctx_p_;
-  mont::BatchVectorMontCtx ctx_q_;
+  Backend backend_;
+  AnyCtxPair ctxs_;
 };
 
 }  // namespace phissl::rsa

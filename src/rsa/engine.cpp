@@ -19,8 +19,22 @@ const char* to_string(Kernel k) {
       return "scalar64";
     case Kernel::kVector:
       return "vector";
+    case Kernel::kIfma52:
+      return "ifma52";
   }
   return "?";
+}
+
+Kernel kernel_for(Backend b) {
+  switch (b) {
+    case Backend::kKncVec:
+      return Kernel::kVector;
+    case Backend::kIfma52:
+      return Kernel::kIfma52;
+    case Backend::kScalar64:
+      return Kernel::kScalar64;
+  }
+  return Kernel::kVector;
 }
 
 const char* to_string(Schedule s) {
@@ -42,6 +56,8 @@ Engine::AnyCtx Engine::make_ctx(const BigInt& modulus) const {
     case Kernel::kVector:
       return AnyCtx{std::in_place_type<mont::VectorMontCtx>, modulus,
                     opts_.digit_bits};
+    case Kernel::kIfma52:
+      return AnyCtx{std::in_place_type<mont::IfmaMontCtx>, modulus};
   }
   throw std::logic_error("Engine: unknown kernel");
 }
@@ -74,6 +90,7 @@ void Engine::mod_exp_into(const AnyCtx& ctx, const BigInt& base,
 
 Engine::Engine(PrivateKey key, EngineOptions opts)
     : pub_(key.pub), priv_(std::move(key)), opts_(opts) {
+  if (const auto fb = forced_backend()) opts_.kernel = kernel_for(*fb);
   ctx_n_ = std::make_unique<AnyCtx>(make_ctx(pub_.n));
   if (opts_.use_crt) {
     ctx_p_ = std::make_unique<AnyCtx>(make_ctx(priv_->p));
@@ -83,6 +100,7 @@ Engine::Engine(PrivateKey key, EngineOptions opts)
 
 Engine::Engine(PublicKey key, EngineOptions opts)
     : pub_(std::move(key)), opts_(opts) {
+  if (const auto fb = forced_backend()) opts_.kernel = kernel_for(*fb);
   ctx_n_ = std::make_unique<AnyCtx>(make_ctx(pub_.n));
 }
 

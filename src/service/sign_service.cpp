@@ -88,8 +88,9 @@ struct SignService::Pending {
 
 /// Per-key shard: one BatchEngine plus its (sub-16) submission queue.
 struct SignService::Shard {
-  Shard(rsa::PrivateKey key, unsigned digit_bits)
-      : engine(std::move(key), digit_bits), k(engine.pub().byte_size()) {
+  Shard(rsa::PrivateKey key, rsa::Backend backend, unsigned digit_bits)
+      : engine(std::move(key), backend, digit_bits),
+        k(engine.pub().byte_size()) {
     // Dummy input for padded lanes: the EMSA encoding of an all-zero
     // digest. Any EMSA block starts 0x00 0x01, so its value is < 2^(8k-8)
     // <= n — always a valid private_op input. Using one fixed value keeps
@@ -121,7 +122,8 @@ void SignService::add_key(const std::string& key_id, rsa::PrivateKey key) {
   if (!accepting_.load()) {
     throw std::runtime_error("SignService::add_key after stop()");
   }
-  auto shard = std::make_unique<Shard>(std::move(key), config_.digit_bits);
+  auto shard = std::make_unique<Shard>(std::move(key), config_.backend,
+                                       config_.digit_bits);
   std::lock_guard<std::mutex> lock(shards_mu_);
   if (!shards_.emplace(key_id, std::move(shard)).second) {
     throw std::invalid_argument("SignService::add_key: duplicate key id \"" +

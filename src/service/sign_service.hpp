@@ -71,8 +71,12 @@ struct SignServiceConfig {
   /// forced-full baseline bench_sign_service compares against — maximal
   /// occupancy, unbounded queueing latency at light load.
   bool full_batches_only = false;
-  /// Redundant-radix digit width for the underlying batch contexts.
+  /// Redundant-radix digit width for the underlying batch contexts
+  /// (knc_vec backend only; the ifma52 radix is fixed at 52).
   unsigned digit_bits = 27;
+  /// Montgomery backend for every per-key BatchEngine shard. Subject to
+  /// the process-wide PHISSL_FORCE_BACKEND override (see rsa/backend.hpp).
+  rsa::Backend backend = rsa::Backend::kKncVec;
 };
 
 /// A completed signing request: the PKCS#1 v1.5 signature block plus the

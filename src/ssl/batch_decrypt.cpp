@@ -20,6 +20,7 @@ BatchDecryptService::BatchDecryptService(rsa::PrivateKey key,
           .max_linger = config.max_linger,
           .full_batches_only = config.full_batches_only,
           .digit_bits = config.digit_bits,
+          .backend = config.backend,
       }) {
   svc_.add_key(kKeyId, std::move(key));
 }

@@ -43,8 +43,10 @@ struct BatchDecryptConfig {
   std::chrono::microseconds max_linger{500};
   /// Forced-full baseline: only dispatch 16-lane batches.
   bool full_batches_only = false;
-  /// Redundant-radix digit width for the batch contexts.
+  /// Redundant-radix digit width for the batch contexts (knc_vec only).
   unsigned digit_bits = 27;
+  /// Montgomery backend for the batched private ops (see rsa/backend.hpp).
+  rsa::Backend backend = rsa::Backend::kKncVec;
 };
 
 class BatchDecryptService final : public KexDecrypter {

@@ -103,6 +103,7 @@ DriverReport run_handshakes(const rsa::Engine& server_engine,
             .dispatch_threads = cfg.batch_dispatch_threads,
             .max_linger = cfg.batch_linger,
             .digit_bits = server_engine.options().digit_bits,
+            .backend = cfg.batch_backend,
         });
   }
 

@@ -30,6 +30,9 @@ struct DriverConfig {
   /// Dispatch workers for the batched path (the handshake threads block
   /// awaiting their lane, so 1 is usually right).
   std::size_t batch_dispatch_threads = 1;
+  /// Montgomery backend for the batched private ops (see rsa/backend.hpp);
+  /// the scalar handshake path follows the server engine's kernel instead.
+  rsa::Backend batch_backend = rsa::Backend::kKncVec;
 
   /// Shared session-cache geometry (see SessionCacheConfig).
   std::size_t cache_capacity = 4096;

@@ -1,0 +1,24 @@
+#include "util/cpu.hpp"
+
+namespace phissl::util {
+
+namespace {
+
+CpuFeatures probe() {
+  CpuFeatures f;
+#if (defined(__x86_64__) || defined(__i386__)) && \
+    (defined(__GNUC__) || defined(__clang__))
+  f.avx512f = __builtin_cpu_supports("avx512f") != 0;
+  f.avx512ifma = __builtin_cpu_supports("avx512ifma") != 0;
+#endif
+  return f;
+}
+
+}  // namespace
+
+const CpuFeatures& cpu_features() {
+  static const CpuFeatures f = probe();
+  return f;
+}
+
+}  // namespace phissl::util

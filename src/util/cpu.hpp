@@ -1,0 +1,21 @@
+// Runtime CPU feature probe for kernel backend selection.
+//
+// The build may compile several Montgomery backends (the KNC-faithful
+// 27-bit vector path, the radix-52 IFMA path, the scalar references); which
+// one actually runs is decided at context-construction time from this
+// probe plus the PHISSL_FORCE_BACKEND override (see rsa/backend.hpp). The
+// probe is evaluated once per process and cached.
+#pragma once
+
+namespace phissl::util {
+
+struct CpuFeatures {
+  bool avx512f = false;     ///< AVX-512 Foundation (512-bit vectors)
+  bool avx512ifma = false;  ///< vpmadd52luq / vpmadd52huq available
+};
+
+/// Cached one-time probe of the machine this process runs on. On non-x86
+/// builds every feature reads false and the portable emulation paths run.
+const CpuFeatures& cpu_features();
+
+}  // namespace phissl::util

@@ -9,6 +9,7 @@
 #include "mont/batch.hpp"
 #include "mont/modexp.hpp"
 #include "mont/vector_mont.hpp"
+#include "rsa/backend.hpp"
 #include "rsa/batch_engine.hpp"
 #include "rsa/batch_sign.hpp"
 #include "rsa/pkcs1.hpp"
@@ -196,6 +197,68 @@ TEST(BatchMont, DifferentDigitWidthsAgree) {
   for (std::size_t l = 0; l < kB; ++l) EXPECT_EQ(r27[l], r20[l]) << l;
 }
 
+// ---- Batched radix-52 context -------------------------------------------
+
+TEST(BatchIfmaMont, MulAndSqrMatchOraclePerLane) {
+  static_assert(BatchIfmaMontCtx::kBatch == BatchVectorMontCtx::kBatch);
+  util::Rng rng(22);
+  for (std::size_t bits : {128u, 1024u, 2048u}) {
+    const BigInt m = BigInt::random_odd_exact_bits(bits, rng);
+    const BatchIfmaMontCtx ctx(m);
+    auto xs = random_lanes(m, rng);
+    auto ys = random_lanes(m, rng);
+    xs[0] = BigInt{};
+    xs[1] = BigInt{1};
+    xs[2] = m - BigInt{1};
+    ys[2] = m - BigInt{1};
+    BatchIfmaMontCtx::Rep out, s, p;
+    const auto xm = ctx.to_mont(xs);
+    ctx.mul(xm, ctx.to_mont(ys), out);
+    const auto got = ctx.from_mont(out);
+    ctx.sqr(xm, s);
+    ctx.mul(xm, xm, p);
+    EXPECT_EQ(s, p) << "bits=" << bits;
+    const auto got_sqr = ctx.from_mont(s);
+    for (std::size_t l = 0; l < kB; ++l) {
+      EXPECT_EQ(got[l], (xs[l] * ys[l]).mod(m)) << "bits=" << bits
+                                                << " lane=" << l;
+      EXPECT_EQ(got_sqr[l], (xs[l] * xs[l]).mod(m)) << "bits=" << bits
+                                                    << " lane=" << l;
+    }
+  }
+}
+
+TEST(BatchIfmaMont, PortableLanesMatchDispatchedLanes) {
+  util::Rng rng(23);
+  const BigInt m = BigInt::random_odd_exact_bits(768, rng);
+  const BatchIfmaMontCtx dispatched(m);
+  const BatchIfmaMontCtx portable(m, /*force_portable=*/true);
+  const auto xs = random_lanes(m, rng);
+  const auto ys = random_lanes(m, rng);
+  BatchIfmaMontCtx::Rep od, op;
+  dispatched.mul(dispatched.to_mont(xs), dispatched.to_mont(ys), od);
+  portable.mul(portable.to_mont(xs), portable.to_mont(ys), op);
+  EXPECT_EQ(od, op);  // bit-identical residues, not merely congruent
+}
+
+TEST(BatchIfmaMont, SharedExponentExpMatchesSingleStream) {
+  // The batched radix-52 schedule against the single-stream IfmaMontCtx
+  // and the KNC-style batch — all three must agree lane-wise.
+  util::Rng rng(24);
+  const BigInt m = BigInt::random_odd_exact_bits(512, rng);
+  const BatchIfmaMontCtx batch(m);
+  const BatchVectorMontCtx knc(m);
+  const IfmaMontCtx single(m);
+  const auto xs = random_lanes(m, rng);
+  const BigInt exp = BigInt::random_bits(512, rng);
+  const auto got = batch.mod_exp(xs, exp);
+  const auto knc_got = knc.mod_exp(xs, exp);
+  for (std::size_t l = 0; l < kB; ++l) {
+    EXPECT_EQ(got[l], fixed_window_exp(single, xs[l], exp)) << l;
+    EXPECT_EQ(got[l], knc_got[l]) << l;
+  }
+}
+
 }  // namespace
 }  // namespace phissl::mont
 
@@ -216,6 +279,46 @@ TEST(BatchEngine, MatchesScalarEnginePerLane) {
   for (std::size_t l = 0; l < kB; ++l) {
     EXPECT_EQ(sigs[l], scalar.private_op(msgs[l])) << l;
     EXPECT_EQ(scalar.public_op(sigs[l]), msgs[l]) << l;
+  }
+}
+
+TEST(BatchEngine, BackendsAgreePerLane) {
+  // The ifma52 batched contexts and the KNC-style vector contexts must
+  // produce identical CRT results lane-for-lane, both equal to the scalar
+  // engine; kScalar64 has no batched kernel and falls back to kKncVec.
+  const PrivateKey& key = test_key(1024);
+  const Engine scalar(key, EngineOptions{});
+  util::Rng rng(25);
+  std::array<BigInt, kB> msgs;
+  for (auto& m : msgs) m = BigInt::random_below(key.pub.n, rng);
+  std::array<BigInt, kB> reference;
+  for (std::size_t l = 0; l < kB; ++l) reference[l] = scalar.private_op(msgs[l]);
+  for (const Backend b :
+       {Backend::kKncVec, Backend::kIfma52, Backend::kScalar64}) {
+    const BatchEngine batch(key, b);
+    const auto sigs = batch.private_op(msgs);
+    for (std::size_t l = 0; l < kB; ++l) {
+      EXPECT_EQ(sigs[l], reference[l]) << to_string(b) << " lane " << l;
+    }
+  }
+}
+
+TEST(BatchEngine, ReportsResolvedBackend) {
+  const PrivateKey& key = test_key(512);
+  // With no PHISSL_FORCE_BACKEND override in the test environment, the
+  // requested backend is what runs — except kScalar64, which resolves to
+  // the kKncVec batch (batching IS the vectorization; there is no batched
+  // scalar kernel).
+  if (!forced_backend()) {
+    EXPECT_EQ(BatchEngine(key, Backend::kIfma52).backend(), Backend::kIfma52);
+    EXPECT_EQ(BatchEngine(key, Backend::kKncVec).backend(), Backend::kKncVec);
+    EXPECT_EQ(BatchEngine(key, Backend::kScalar64).backend(),
+              Backend::kKncVec);
+    EXPECT_EQ(BatchEngine(key).backend(), Backend::kKncVec);
+  } else {
+    // Under a forced backend every engine must report the override.
+    EXPECT_EQ(BatchEngine(key, Backend::kKncVec).backend(),
+              resolve_backend(Backend::kKncVec));
   }
 }
 

@@ -4,7 +4,9 @@
 // boundaries.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstddef>
+#include <cstdint>
 #include <tuple>
 
 #include "bigint/bigint.hpp"
@@ -144,6 +146,46 @@ TEST_P(BigIntProperty, ModInverseRoundTrip) {
     EXPECT_EQ((a * inv).mod(p), BigInt{1});
     EXPECT_LT(inv, p);
   }
+}
+
+TEST_P(BigIntProperty, Radix52DigitDecomposition) {
+  // The radix-2^52 backend packs digits as bits_window(lo, 32) |
+  // bits_window(lo+32, 20) << 32 — 52-bit reads are never limb-aligned
+  // (gcd(52, 32) = 4), so every digit position stresses a different
+  // straddle of the 32-bit limb array. Recomposing the digits must give
+  // back the value exactly.
+  const std::size_t bits = GetParam();
+  const BigInt beta = BigInt{1} << 52;
+  for (int i = 0; i < 5; ++i) {
+    const BigInt a = rand_bits(bits);
+    const std::size_t d = (a.bit_length() + 51) / 52;
+    BigInt recomposed{};
+    for (std::size_t k = d; k-- > 0;) {
+      const std::uint64_t digit =
+          static_cast<std::uint64_t>(a.bits_window(52 * k, 32)) |
+          (static_cast<std::uint64_t>(a.bits_window(52 * k + 32, 20)) << 32);
+      EXPECT_LT(digit, std::uint64_t{1} << 52);
+      recomposed = recomposed * beta + BigInt::from_u64(digit);
+    }
+    EXPECT_EQ(recomposed, a);
+  }
+}
+
+TEST_P(BigIntProperty, SaturatedRadix52DigitArithmetic) {
+  // beta^k - 1 has every 52-bit digit saturated; its square has the
+  // closed form beta^2k - 2*beta^k + 1. Exercises the longest carry
+  // chains the radix-52 kernels can produce, through the BigInt oracle
+  // the Montgomery differential tests compare against.
+  const std::size_t bits = GetParam();
+  const std::size_t k = std::max<std::size_t>(bits / 52, 1);
+  const BigInt beta_k = BigInt{1} << (52 * k);
+  const BigInt sat = beta_k - BigInt{1};
+  EXPECT_EQ(sat.squared(), sat * sat);
+  EXPECT_EQ(sat * sat,
+            (beta_k * beta_k) - beta_k - beta_k + BigInt{1});
+  // And one mixed product against the distributive law.
+  const BigInt r = rand_bits(bits);
+  EXPECT_EQ(sat * r, beta_k * r - r);
 }
 
 TEST_P(BigIntProperty, GcdLinearity) {

@@ -30,7 +30,9 @@
 #include "ct/secret_exp.hpp"
 #include "ct/taint.hpp"
 #include "ct/taint_mont.hpp"
+#include "ct/taint_mont52.hpp"
 #include "mont/batch.hpp"
+#include "mont/ifma_mont.hpp"
 #include "mont/modexp.hpp"
 #include "mont/mont32.hpp"
 #include "mont/mont64.hpp"
@@ -137,6 +139,27 @@ TEST_F(CtCheckTest, TaintedIndexRecords) {
   EXPECT_EQ(violation_count(), 0u);
   EXPECT_EQ(index_value(TW32(3u, true)), 3u);  // record-and-continue
   EXPECT_EQ(violation_count(ViolationKind::kIndex), 1u);
+}
+
+TEST_F(CtCheckTest, TaintPropagatesThroughWideHooks) {
+  // The 64/128-bit word family the radix-52 kernels instantiate with.
+  const TW64 s(5u, true);
+  const TW64 p(7u, false);
+  EXPECT_TRUE(w128(s).secret);
+  EXPECT_FALSE(w128(p).secret);
+  EXPECT_TRUE(lo64(wmul128(s, p)).secret);
+  EXPECT_FALSE(wmul128(p, p).secret);
+  EXPECT_EQ(lo64(wmul128(s, p)).v, 35u);
+  EXPECT_EQ(is_nonzero64(s).v, 1u);
+  EXPECT_TRUE(is_nonzero64(s).secret);
+  EXPECT_EQ(is_nonzero64(TW64(0u, true)).v, 0u);
+  // 128-bit arithmetic joins secrecy like every other width.
+  EXPECT_TRUE((w128(s) + w128(p)).secret);
+  EXPECT_TRUE(((w128(s) << 52) & 7u).secret);
+  // Width casts keep the mark (ct_table_select widens the window index).
+  EXPECT_TRUE(TW64(TW32(3u, true)).secret);
+  EXPECT_FALSE(TW64(TW32(3u, false)).secret);
+  EXPECT_EQ(violation_count(), 0u);  // arithmetic alone never records
 }
 
 // ---- Layer 2: positive certification ------------------------------------
@@ -255,6 +278,108 @@ TEST_F(CtCheckTest, CrtPrivateOpUnderTaint) {
   EXPECT_EQ(violation_count(), 0u);
 }
 
+// ---- Layer 2b: the radix-52 truncated-REDC kernels (TaintCtx52) ---------
+
+TEST_F(CtCheckTest, TaintedRadix52KernelsMatchNativeMulSqr) {
+  const rsa::PrivateKey& key = rsa::test_key(256);
+  const BigInt& m = key.pub.n;
+  TaintCtx52 tctx(m);
+  util::Rng rng(19);
+  TaintCtx52::Rep out;
+  TaintCtx52::Workspace ws;
+  for (int i = 0; i < 8; ++i) {
+    const BigInt a = BigInt::random_below(m, rng);
+    const BigInt b = BigInt::random_below(m, rng);
+    const TaintCtx52::Rep ta = tctx.to_mont(a, /*secret_value=*/true);
+    const TaintCtx52::Rep tb = tctx.to_mont(b, /*secret_value=*/true);
+    tctx.mul(ta, tb, out, ws);
+    EXPECT_EQ(tctx.from_mont_clear(out), (a * b).mod(m));
+    tctx.sqr(ta, out, ws);
+    EXPECT_EQ(tctx.from_mont_clear(out), (a * a).mod(m));
+  }
+  // The column products, the truncated REDC (including the ceiling-trick
+  // carry recovery, whose is_nonzero64 is a value computation) and the
+  // masked conditional subtract ran on fully secret operands without a
+  // single secret-dependent branch or index.
+  EXPECT_EQ(violation_count(), 0u);
+}
+
+TEST_F(CtCheckTest, FixedWindowModexpIsConstantTimeRadix52) {
+  const rsa::PrivateKey& key = rsa::test_key(256);
+  const BigInt& m = key.pub.n;
+  TaintCtx52 tctx(m);
+  util::Rng rng(20);
+  const BigInt base = BigInt::random_below(m, rng);
+  const TaintCtx52::Rep base_m = tctx.to_mont(base, /*secret_value=*/true);
+  TaintCtx52::Rep out;
+  mont::ExpWorkspace<TaintCtx52> ws;
+  for (const int window : {1, 3, 4, 5}) {
+    mont::fixed_window_exp_rep(tctx, base_m, SecretExp(key.d), window, out,
+                               ws);
+    EXPECT_EQ(violation_count(), 0u)
+        << "secret-dependent branch/index in fixed-window schedule over "
+           "radix-52, w="
+        << window;
+    EXPECT_EQ(tctx.from_mont_clear(out), base.mod_pow(key.d, m));
+  }
+}
+
+TEST_F(CtCheckTest, Radix52CrtPrivateOpUnderTaint) {
+  // Both CRT exponentiation halves over secret prime moduli (modulus, mu,
+  // residues and exponents all tainted), mirroring what rsa::Engine runs
+  // when the ifma52 kernel is selected; recombination declassified per
+  // the blinding policy, exactly like the 32-bit CRT test above.
+  const rsa::PrivateKey& key = rsa::test_key(256);
+  const BigInt& n = key.pub.n;
+  util::Rng rng(21);
+  const BigInt x = BigInt::random_below(n, rng);
+
+  TaintCtx52 ctx_p(key.p, /*secret_modulus=*/true);
+  TaintCtx52 ctx_q(key.q, /*secret_modulus=*/true);
+
+  BigInt xp, xq, quot;
+  {
+    DeclassifyScope blinded;
+    BigInt::divmod(x, key.p, quot, xp);
+    BigInt::divmod(x, key.q, quot, xq);
+  }
+
+  TaintCtx52::Rep m1r, m2r;
+  mont::ExpWorkspace<TaintCtx52> wsp, wsq;
+  mont::fixed_window_exp_rep(ctx_p, ctx_p.to_mont(xp, true),
+                             SecretExp(key.dp), 4, m1r, wsp);
+  mont::fixed_window_exp_rep(ctx_q, ctx_q.to_mont(xq, true),
+                             SecretExp(key.dq), 4, m2r, wsq);
+  EXPECT_EQ(violation_count(), 0u)
+      << "leak in a strictly-checked radix-52 CRT exponentiation half";
+
+  BigInt out;
+  {
+    DeclassifyScope blinded;
+    const BigInt m1 = ctx_p.from_mont_clear(m1r);
+    const BigInt m2 = ctx_q.from_mont_clear(m2r);
+    BigInt t;
+    const bool diff_neg = m1 < m2;
+    if (diff_neg) {
+      t = m2;
+      t -= m1;
+    } else {
+      t = m1;
+      t -= m2;
+    }
+    BigInt h = (key.qinv * t).mod(key.p);
+    if (diff_neg && !h.is_zero()) {
+      t = key.p;
+      t -= h;
+      h = t;
+    }
+    out = h * key.q;
+    out += m2;
+  }
+  EXPECT_EQ(out, x.mod_pow(key.d, n));
+  EXPECT_EQ(violation_count(), 0u);
+}
+
 // ---- Layer 3: negative controls -----------------------------------------
 
 TEST_F(CtCheckTest, SlidingWindowIsFlaggedVariableTime) {
@@ -306,6 +431,41 @@ TEST_F(CtCheckTest, LeakyFixedWindowIsDetected) {
                      out, ws);
   // One kIndex per window: same schedule as the hardened version, but a
   // direct table[index] load instead of the masked gather.
+  EXPECT_EQ(violation_count(ViolationKind::kIndex), nwin);
+  EXPECT_EQ(violation_count(ViolationKind::kBranch), 0u);
+  EXPECT_EQ(tctx.from_mont_clear(out), base.mod_pow(key.d, m));
+}
+
+TEST_F(CtCheckTest, SlidingWindowIsFlaggedVariableTimeRadix52) {
+  // Same negative control over the radix-52 context: a checker extension
+  // that certified the new kernels but could no longer see the schedule's
+  // bit-branches would be worthless.
+  const rsa::PrivateKey& key = rsa::test_key(256);
+  const BigInt& m = key.pub.n;
+  TaintCtx52 tctx(m);
+  util::Rng rng(22);
+  const BigInt base = BigInt::random_below(m, rng);
+  const TaintCtx52::Rep base_m = tctx.to_mont(base, true);
+  TaintCtx52::Rep out;
+  mont::ExpWorkspace<TaintCtx52> ws;
+  mont::sliding_window_exp_rep(tctx, base_m, SecretExp(key.d), 4, out, ws);
+  EXPECT_GT(violation_count(ViolationKind::kBranch), 0u);
+  EXPECT_EQ(tctx.from_mont_clear(out), base.mod_pow(key.d, m));
+}
+
+TEST_F(CtCheckTest, LeakyFixedWindowIsDetectedRadix52) {
+  const rsa::PrivateKey& key = rsa::test_key(256);
+  const BigInt& m = key.pub.n;
+  TaintCtx52 tctx(m);
+  util::Rng rng(23);
+  const BigInt base = BigInt::random_below(m, rng);
+  const TaintCtx52::Rep base_m = tctx.to_mont(base, true);
+  TaintCtx52::Rep out;
+  mont::ExpWorkspace<TaintCtx52> ws;
+  const std::size_t w = 4;
+  const std::size_t nwin = (key.d.bit_length() + w - 1) / w;
+  leaky_fixed_window(tctx, base_m, SecretExp(key.d), static_cast<int>(w),
+                     out, ws);
   EXPECT_EQ(violation_count(ViolationKind::kIndex), nwin);
   EXPECT_EQ(violation_count(ViolationKind::kBranch), 0u);
   EXPECT_EQ(tctx.from_mont_clear(out), base.mod_pow(key.d, m));
@@ -412,6 +572,29 @@ TEST_F(CtCheckTest, PoisonedExponentDriverBatch) {
   for (std::size_t lane = 0; lane < results.size(); ++lane) {
     EXPECT_EQ(results[lane], bases[lane].mod_pow(key.d, m)) << lane;
   }
+  EXPECT_EQ(violation_count(), 0u);
+}
+
+TEST_F(CtCheckTest, PoisonedExponentDriverIfma52) {
+  // Whichever kernel the host dispatches (vpmadd52 or portable u128) runs
+  // the poisoned fixed-window schedule.
+  const rsa::PrivateKey& key = rsa::test_key(256);
+  util::Rng rng(24);
+  const BigInt base = BigInt::random_below(key.pub.n, rng);
+  run_poisoned_padded(mont::IfmaMontCtx(key.pub.n), base, key.d,
+                      base.mod_pow(key.d, key.pub.n));
+  EXPECT_EQ(violation_count(), 0u);
+}
+
+TEST_F(CtCheckTest, PoisonedExponentDriverIfma52Portable) {
+  // Pinned portable path: the instantiation TaintCtx52 replays, so the
+  // sanitizer backends exercise the exact generic-kernel code the shadow
+  // checker certifies.
+  const rsa::PrivateKey& key = rsa::test_key(256);
+  util::Rng rng(25);
+  const BigInt base = BigInt::random_below(key.pub.n, rng);
+  run_poisoned_padded(mont::IfmaMontCtx(key.pub.n, /*force_portable=*/true),
+                      base, key.d, base.mod_pow(key.d, key.pub.n));
   EXPECT_EQ(violation_count(), 0u);
 }
 

@@ -1,14 +1,17 @@
 // Unit + differential tests for the Montgomery contexts.
 //
-// Every context (32-bit scalar, 64-bit scalar, vectorized redundant-radix)
-// is checked against the BigInt division-based oracle, and against each
-// other, on randomized inputs across modulus sizes.
+// Every context (32-bit scalar, 64-bit scalar, vectorized redundant-radix,
+// radix-52 truncated-REDC) is checked against the BigInt division-based
+// oracle, and against each other, on randomized inputs across modulus
+// sizes.
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <stdexcept>
 #include <vector>
 
 #include "bigint/bigint.hpp"
+#include "mont/ifma_mont.hpp"
 #include "mont/mont32.hpp"
 #include "mont/mont64.hpp"
 #include "mont/vector_mont.hpp"
@@ -108,7 +111,8 @@ TEST(MontCtx32, ToMontRejectsOutOfRange) {
 template <typename Ctx>
 class MontDifferential : public ::testing::Test {};
 
-using CtxTypes = ::testing::Types<MontCtx32, MontCtx64, VectorMontCtx>;
+using CtxTypes =
+    ::testing::Types<MontCtx32, MontCtx64, VectorMontCtx, IfmaMontCtx>;
 TYPED_TEST_SUITE(MontDifferential, CtxTypes);
 
 TYPED_TEST(MontDifferential, MulMatchesOracleAcrossSizes) {
@@ -231,6 +235,121 @@ TYPED_TEST(MontDifferential, DenseModulus) {
   }
 }
 
+TEST(IfmaMont, RejectsBadModulus) {
+  EXPECT_THROW(IfmaMontCtx(BigInt{4}), std::invalid_argument);
+  EXPECT_THROW(IfmaMontCtx(BigInt{1}), std::invalid_argument);
+  EXPECT_THROW(IfmaMontCtx(BigInt{-7}), std::invalid_argument);
+  EXPECT_THROW(IfmaMontCtx(BigInt{}), std::invalid_argument);
+}
+
+TEST(IfmaMont, PortablePathMatchesDispatchedPath) {
+  // The vpmadd52 kernels (when the host dispatches them) and the portable
+  // u128-column instantiation implement the same truncated REDC: their
+  // residue representations must be bit-identical, not merely congruent.
+  util::Rng rng(31);
+  for (std::size_t bits : {128u, 512u, 2048u}) {
+    const BigInt m = random_odd_modulus(bits, rng);
+    const IfmaMontCtx dispatched(m);
+    const IfmaMontCtx portable(m, /*force_portable=*/true);
+    for (int i = 0; i < 6; ++i) {
+      const BigInt x = BigInt::random_below(m, rng);
+      const BigInt y = BigInt::random_below(m, rng);
+      IfmaMontCtx::Rep od, op, sd, sp;
+      dispatched.mul(dispatched.to_mont(x), dispatched.to_mont(y), od);
+      portable.mul(portable.to_mont(x), portable.to_mont(y), op);
+      EXPECT_EQ(od, op) << "bits=" << bits;
+      dispatched.sqr(dispatched.to_mont(x), sd);
+      portable.sqr(portable.to_mont(x), sp);
+      EXPECT_EQ(sd, sp) << "bits=" << bits;
+      EXPECT_EQ(dispatched.from_mont(od), (x * y).mod(m));
+    }
+  }
+}
+
+TEST(IfmaMont, DigitEdgeValues) {
+  // Operands and moduli sitting on 52-bit digit boundaries: single-digit
+  // saturation (2^52 - 1), the digit rollover (2^52, 2^52 + 1), two-digit
+  // saturation (2^104 - 1), and a dense modulus — the patterns that stress
+  // the 52-bit masking, the column carries, and the ceiling-trick carry
+  // recovery in the truncated REDC.
+  const BigInt beta = BigInt{1} << 52;
+  for (const BigInt& m : {(BigInt{1} << 416) - BigInt{189},   // dense
+                          (BigInt{1} << 208) + BigInt{1},     // 4 digits + 1
+                          (beta * beta) * beta - BigInt{1}}) {  // beta^3 - 1
+    ASSERT_TRUE(m.is_odd());
+    const IfmaMontCtx ctx(m);
+    const IfmaMontCtx pctx(m, /*force_portable=*/true);
+    std::vector<BigInt> edges = {BigInt{},        BigInt{1},
+                                 beta - BigInt{1}, beta,
+                                 beta + BigInt{1}, beta * beta - BigInt{1},
+                                 m - BigInt{1}};
+    // Every-digit-saturated value below m.
+    BigInt sat = BigInt{1};
+    while (sat * beta <= m) sat = sat * beta;
+    edges.push_back(sat - BigInt{1});
+    for (const BigInt& x : edges) {
+      if (x >= m) continue;
+      for (const BigInt& y : edges) {
+        if (y >= m) continue;
+        IfmaMontCtx::Rep out, pout;
+        ctx.mul(ctx.to_mont(x), ctx.to_mont(y), out);
+        pctx.mul(pctx.to_mont(x), pctx.to_mont(y), pout);
+        const BigInt expected = (x * y).mod(m);
+        EXPECT_EQ(ctx.from_mont(out), expected)
+            << "x=" << x.to_hex() << " y=" << y.to_hex();
+        EXPECT_EQ(pctx.from_mont(pout), expected);
+      }
+      IfmaMontCtx::Rep s;
+      ctx.sqr(ctx.to_mont(x), s);
+      EXPECT_EQ(ctx.from_mont(s), (x * x).mod(m)) << x.to_hex();
+    }
+  }
+}
+
+TEST(IfmaMont, CrossBackendAgreementAcrossSizes) {
+  // Randomized ifma52 (both paths) vs scalar64 vs the KNC-style vector
+  // backend at every RSA-relevant size, against the division oracle.
+  util::Rng rng(32);
+  for (std::size_t bits : {512u, 1024u, 2048u, 4096u}) {
+    const BigInt m = random_odd_modulus(bits, rng);
+    const MontCtx64 c64(m);
+    const VectorMontCtx cv(m);
+    const IfmaMontCtx ci(m);
+    const IfmaMontCtx cp(m, /*force_portable=*/true);
+    for (int i = 0; i < 4; ++i) {
+      const BigInt x = BigInt::random_below(m, rng);
+      const BigInt y = BigInt::random_below(m, rng);
+      MontCtx64::Rep o64;
+      VectorMontCtx::Rep ov;
+      IfmaMontCtx::Rep oi, op;
+      c64.mul(c64.to_mont(x), c64.to_mont(y), o64);
+      cv.mul(cv.to_mont(x), cv.to_mont(y), ov);
+      ci.mul(ci.to_mont(x), ci.to_mont(y), oi);
+      cp.mul(cp.to_mont(x), cp.to_mont(y), op);
+      const BigInt expected = (x * y).mod(m);
+      EXPECT_EQ(c64.from_mont(o64), expected) << "bits=" << bits;
+      EXPECT_EQ(cv.from_mont(ov), expected) << "bits=" << bits;
+      EXPECT_EQ(ci.from_mont(oi), expected) << "bits=" << bits;
+      EXPECT_EQ(cp.from_mont(op), expected) << "bits=" << bits;
+    }
+  }
+}
+
+TEST(IfmaMont, MulAllowsAliasedOutput) {
+  util::Rng rng(33);
+  const BigInt m = random_odd_modulus(512, rng);
+  const IfmaMontCtx ctx(m);
+  const BigInt x = BigInt::random_below(m, rng);
+  const BigInt y = BigInt::random_below(m, rng);
+  auto xm = ctx.to_mont(x);
+  const auto ym = ctx.to_mont(y);
+  ctx.mul(xm, ym, xm);  // out aliases a
+  EXPECT_EQ(ctx.from_mont(xm), (x * y).mod(m));
+  auto zm = ctx.to_mont(x);
+  ctx.sqr(zm, zm);  // out aliases a in sqr too
+  EXPECT_EQ(ctx.from_mont(zm), (x * x).mod(m));
+}
+
 TEST(VectorMont, VectorMatchesScalarRefAcrossDigitWidths) {
   util::Rng rng(12);
   for (unsigned db : {8u, 13u, 20u, 24u, 26u, 27u}) {
@@ -271,6 +390,19 @@ TEST(VectorMont, CrossContextAgreement) {
       EXPECT_EQ(cv.from_mont(ov), expected);
     }
   }
+}
+
+TEST(VectorMont, SqrFallbackThresholdIsStructural) {
+  // Below kSqrMinDigits the dedicated squaring kernel loses to the plain
+  // multiply (bench_mont_exp's sqr-ratio check measured the regression),
+  // so sqr() must route through mul there and report it via sqr_uses_mul.
+  util::Rng rng(16);
+  const VectorMontCtx small(random_odd_modulus(512, rng));   // d = 19
+  const VectorMontCtx large(random_odd_modulus(2048, rng));  // d = 76
+  EXPECT_LT(small.digits(), VectorMontCtx::kSqrMinDigits);
+  EXPECT_TRUE(small.sqr_uses_mul());
+  EXPECT_GE(large.digits(), VectorMontCtx::kSqrMinDigits);
+  EXPECT_FALSE(large.sqr_uses_mul());
 }
 
 TEST(VectorMont, MulAllowsAliasedOutput) {

@@ -6,6 +6,7 @@
 
 #include <stdexcept>
 
+#include "rsa/backend.hpp"
 #include "rsa/engine.hpp"
 #include "rsa/key.hpp"
 #include "util/random.hpp"
@@ -100,7 +101,11 @@ INSTANTIATE_TEST_SUITE_P(
         EngineConfig{Kernel::kScalar32, Schedule::kSlidingWindow, true, false},
         EngineConfig{Kernel::kScalar32, Schedule::kFixedWindow, false, false},
         EngineConfig{Kernel::kScalar64, Schedule::kSlidingWindow, true, false},
-        EngineConfig{Kernel::kScalar64, Schedule::kFixedWindow, true, true}),
+        EngineConfig{Kernel::kScalar64, Schedule::kFixedWindow, true, true},
+        EngineConfig{Kernel::kIfma52, Schedule::kFixedWindow, true, false},
+        EngineConfig{Kernel::kIfma52, Schedule::kFixedWindow, false, false},
+        EngineConfig{Kernel::kIfma52, Schedule::kSlidingWindow, true, false},
+        EngineConfig{Kernel::kIfma52, Schedule::kFixedWindow, true, true}),
     [](const auto& param_info) {
       const EngineConfig& c = param_info.param;
       std::string name = to_string(c.kernel);
@@ -120,7 +125,8 @@ TEST(Engine, AllKernelsAgreeOnPrivateOp) {
 
   BigInt reference;
   bool first = true;
-  for (const Kernel k : {Kernel::kScalar32, Kernel::kScalar64, Kernel::kVector}) {
+  for (const Kernel k : {Kernel::kScalar32, Kernel::kScalar64, Kernel::kVector,
+                         Kernel::kIfma52}) {
     for (const Schedule s : {Schedule::kFixedWindow, Schedule::kSlidingWindow}) {
       for (const bool crt : {false, true}) {
         EngineOptions opts;
@@ -191,8 +197,39 @@ TEST(Engine, KernelAndScheduleNames) {
   EXPECT_STREQ(to_string(Kernel::kVector), "vector");
   EXPECT_STREQ(to_string(Kernel::kScalar32), "scalar32");
   EXPECT_STREQ(to_string(Kernel::kScalar64), "scalar64");
+  EXPECT_STREQ(to_string(Kernel::kIfma52), "ifma52");
   EXPECT_STREQ(to_string(Schedule::kFixedWindow), "fixed-window");
   EXPECT_STREQ(to_string(Schedule::kSlidingWindow), "sliding-window");
+}
+
+TEST(Backend, NamesRoundTrip) {
+  EXPECT_STREQ(to_string(Backend::kKncVec), "knc_vec");
+  EXPECT_STREQ(to_string(Backend::kIfma52), "ifma52");
+  EXPECT_STREQ(to_string(Backend::kScalar64), "scalar64");
+  EXPECT_EQ(backend_from_string("knc_vec"), Backend::kKncVec);
+  EXPECT_EQ(backend_from_string("ifma52"), Backend::kIfma52);
+  // The portable spelling selects the same backend; IfmaMontCtx itself
+  // re-reads the env var to pin the u128 path.
+  EXPECT_EQ(backend_from_string("ifma52-portable"), Backend::kIfma52);
+  EXPECT_EQ(backend_from_string("scalar64"), Backend::kScalar64);
+  EXPECT_FALSE(backend_from_string("avx2").has_value());
+  EXPECT_FALSE(backend_from_string("").has_value());
+}
+
+TEST(Backend, KernelMapping) {
+  EXPECT_EQ(kernel_for(Backend::kKncVec), Kernel::kVector);
+  EXPECT_EQ(kernel_for(Backend::kIfma52), Kernel::kIfma52);
+  EXPECT_EQ(kernel_for(Backend::kScalar64), Kernel::kScalar64);
+}
+
+TEST(Backend, ResolveHonorsEnvironment) {
+  // In the plain test environment resolve_backend is the identity; under
+  // a PHISSL_FORCE_BACKEND CI leg it must report the override for every
+  // request (the sanitizer legs rely on this to pin ifma52 everywhere).
+  for (const Backend b :
+       {Backend::kKncVec, Backend::kIfma52, Backend::kScalar64}) {
+    EXPECT_EQ(resolve_backend(b), forced_backend().value_or(b));
+  }
 }
 
 }  // namespace
