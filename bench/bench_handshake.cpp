@@ -15,6 +15,7 @@
 // --smoke shrinks everything to a seconds-long CI run (512-bit key, small
 // counts, legacy tables skipped) while keeping every code path exercised.
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <vector>
 
@@ -83,11 +84,21 @@ int main(int argc, char** argv) {
     if (std::strcmp(argv[i], "--backend") == 0 && i + 1 < argc) {
       const auto b = rsa::backend_from_string(argv[i + 1]);
       if (!b) {
-        std::fprintf(stderr, "unknown --backend %s (knc_vec|ifma52|scalar64)\n",
+        std::fprintf(stderr,
+                     "unknown --backend %s "
+                     "(knc_vec|ifma52|ifma52-portable|scalar64)\n",
                      argv[i + 1]);
         return 2;
       }
       backend = *b;
+      // The portable spelling maps to the same Backend enum value; the
+      // portable-vs-vpmadd52 pin lives in the context constructors, which
+      // read PHISSL_FORCE_BACKEND. Export it here (before any engine is
+      // built) so --backend ifma52-portable really measures the portable
+      // kernels on IFMA hardware instead of silently running vpmadd52.
+      if (std::strcmp(argv[i + 1], "ifma52-portable") == 0) {
+        setenv("PHISSL_FORCE_BACKEND", "ifma52-portable", 1);
+      }
     }
   }
   auto json = bench::JsonReporter::from_args("bench_handshake", argc, argv);

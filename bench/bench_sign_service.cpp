@@ -29,6 +29,7 @@
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <thread>
@@ -124,11 +125,20 @@ int main(int argc, char** argv) {
     if (std::strcmp(argv[i], "--backend") == 0 && i + 1 < argc) {
       const auto b = rsa::backend_from_string(argv[i + 1]);
       if (!b) {
-        std::fprintf(stderr, "unknown --backend %s (knc_vec|ifma52|scalar64)\n",
+        std::fprintf(stderr,
+                     "unknown --backend %s "
+                     "(knc_vec|ifma52|ifma52-portable|scalar64)\n",
                      argv[i + 1]);
         return 2;
       }
       backend = *b;
+      // The portable-vs-vpmadd52 pin lives in the context constructors,
+      // which read PHISSL_FORCE_BACKEND; export it here (before any engine
+      // is built) so --backend ifma52-portable really measures the
+      // portable kernels on IFMA hardware.
+      if (std::strcmp(argv[i + 1], "ifma52-portable") == 0) {
+        setenv("PHISSL_FORCE_BACKEND", "ifma52-portable", 1);
+      }
     }
   }
 

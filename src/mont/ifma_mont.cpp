@@ -73,10 +73,17 @@ IfmaMontCtx::IfmaMontCtx(const bigint::BigInt& m, bool force_portable)
 
 const std::uint64_t* IfmaMontCtx::pad_operand(const Rep& x,
                                               Workspace& ws) const {
-  // ws.opad keeps its zero padding across calls; only the digit window is
-  // rewritten (Rep digits above d are already zero).
-  std::memcpy(ws.opad.data() + 16, x.data(), pd_ * sizeof(std::uint64_t));
-  return ws.opad.data() + 16;
+  // The 16 leading words stay zero (nothing ever writes below +16), but a
+  // workspace can be shared by contexts of different geometry — e.g. the
+  // thread_local ExpWorkspace in rsa::Engine serves both the full-size
+  // public ctx and the half-size CRT ctxs — so the words past this
+  // context's pd_ may hold a larger context's stale digits. The
+  // column-blocked kernels issue unmasked 8-word loads at offsets up to
+  // pd_, so re-zero [pd_, pd_ + 8) on every call.
+  std::uint64_t* w = ws.opad.data() + 16;
+  std::memcpy(w, x.data(), pd_ * sizeof(std::uint64_t));
+  std::memset(w + pd_, 0, 8 * sizeof(std::uint64_t));
+  return w;
 }
 
 void IfmaMontCtx::pack(const bigint::BigInt& x, Rep& out) const {

@@ -1,5 +1,6 @@
 #include "rsa/batch_engine.hpp"
 
+#include <cstdio>
 #include <stdexcept>
 #include <type_traits>
 
@@ -11,6 +12,25 @@ namespace phissl::rsa {
 using bigint::BigInt;
 
 namespace {
+
+// There is no batched scalar backend (batching is what the SIMD lanes are
+// for), so a scalar64 request falls back to knc_vec. Warn when the request
+// came from PHISSL_FORCE_BACKEND: forced-baseline runs (sanitizers, A/B
+// floors) must not silently measure a SIMD backend instead.
+Backend batch_backend(Backend requested) {
+  const Backend resolved = resolve_backend(requested);
+  if (resolved != Backend::kScalar64) return resolved;
+  if (forced_backend() == Backend::kScalar64) {
+    static const bool warned = [] {
+      std::fprintf(stderr,
+                   "phissl: PHISSL_FORCE_BACKEND=scalar64 has no batched "
+                   "implementation; BatchEngine falls back to knc_vec\n");
+      return true;
+    }();
+    (void)warned;
+  }
+  return Backend::kKncVec;
+}
 
 // Per-thread intermediates (see CrtScratch in engine.cpp): all BigInts and
 // workspaces retain capacity, so a warmed-up batched private_op allocates
@@ -49,9 +69,7 @@ BatchEngine::BatchEngine(PrivateKey key, unsigned digit_bits)
 
 BatchEngine::BatchEngine(PrivateKey key, Backend backend, unsigned digit_bits)
     : key_(std::move(key)),
-      backend_(resolve_backend(backend) == Backend::kScalar64
-                   ? Backend::kKncVec
-                   : resolve_backend(backend)),
+      backend_(batch_backend(backend)),
       ctxs_(make_ctxs(key_, backend_, digit_bits)) {}
 
 std::array<BigInt, BatchEngine::kBatch> BatchEngine::private_op(

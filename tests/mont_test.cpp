@@ -350,6 +350,68 @@ TEST(IfmaMont, MulAllowsAliasedOutput) {
   EXPECT_EQ(ctx.from_mont(zm), (x * x).mod(m));
 }
 
+TEST(IfmaMont, SharedWorkspaceAcrossGeometries) {
+  // Regression: one Workspace serves contexts of different digit geometry
+  // (rsa::Engine keeps a single thread_local ExpWorkspace<IfmaMontCtx>
+  // that is shared between the full-size public ctx and the half-size CRT
+  // ctxs). A mul mod the big modulus used to leave its digits in ws.opad
+  // past the small context's padded_digits(), exactly where the
+  // column-blocked IFMA kernels issue unmasked 8-word loads — the small
+  // context must re-zero that tail on every call.
+  util::Rng rng(34);
+  const BigInt mbig = random_odd_modulus(2048, rng);
+  const BigInt mhalf = random_odd_modulus(1024, rng);
+  for (const bool portable : {false, true}) {
+    const IfmaMontCtx big(mbig, portable);
+    const IfmaMontCtx half(mhalf, portable);
+    IfmaMontCtx::Workspace ws;
+    BigInt got;
+    for (int i = 0; i < 4; ++i) {
+      const BigInt a = BigInt::random_below(mbig, rng);
+      const BigInt b = BigInt::random_below(mbig, rng);
+      const BigInt x = BigInt::random_below(mhalf, rng);
+      const BigInt y = BigInt::random_below(mhalf, rng);
+      IfmaMontCtx::Rep am, bm, o, xm, ym;
+      // Big-geometry traffic first: fills the shared scratch (opad
+      // included) with the large modulus' digits.
+      big.to_mont(a, am, ws);
+      big.to_mont(b, bm, ws);
+      big.mul(am, bm, o, ws);
+      big.from_mont(o, got, ws);
+      EXPECT_EQ(got, (a * b).mod(mbig)) << "portable=" << portable;
+      // Then half-size traffic through the SAME workspace.
+      half.to_mont(x, xm, ws);
+      half.to_mont(y, ym, ws);
+      half.mul(xm, ym, o, ws);
+      half.from_mont(o, got, ws);
+      EXPECT_EQ(got, (x * y).mod(mhalf)) << "portable=" << portable;
+      half.sqr(xm, o, ws);
+      half.from_mont(o, got, ws);
+      EXPECT_EQ(got, (x * x).mod(mhalf)) << "portable=" << portable;
+    }
+    // Same hazard made deterministic: dirty every word past the half-size
+    // context's digit window (the region big-geometry traffic leaves
+    // stale) and check the half-size results are unaffected.
+    const BigInt x = BigInt::random_below(mhalf, rng);
+    const BigInt y = BigInt::random_below(mhalf, rng);
+    IfmaMontCtx::Rep xm, ym, o;
+    half.to_mont(x, xm, ws);
+    half.to_mont(y, ym, ws);
+    for (std::size_t k = 16 + half.padded_digits(); k < ws.opad.size(); ++k) {
+      ws.opad[k] = (std::uint64_t{1} << 52) - 1;
+    }
+    half.mul(xm, ym, o, ws);
+    half.from_mont(o, got, ws);
+    EXPECT_EQ(got, (x * y).mod(mhalf)) << "portable=" << portable;
+    for (std::size_t k = 16 + half.padded_digits(); k < ws.opad.size(); ++k) {
+      ws.opad[k] = (std::uint64_t{1} << 52) - 1;
+    }
+    half.sqr(xm, o, ws);
+    half.from_mont(o, got, ws);
+    EXPECT_EQ(got, (x * x).mod(mhalf)) << "portable=" << portable;
+  }
+}
+
 TEST(VectorMont, VectorMatchesScalarRefAcrossDigitWidths) {
   util::Rng rng(12);
   for (unsigned db : {8u, 13u, 20u, 24u, 26u, 27u}) {
