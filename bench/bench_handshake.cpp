@@ -3,7 +3,7 @@
 // introduction motivates (handshake throughput limited by RSA private ops).
 //
 // Usage:
-//   ./bench_handshake [--smoke] [--json [path]]
+//   ./bench_handshake [--smoke] [--json [path]] [--frontend threaded|event|both]
 //
 // The termination sweep (threads x resumption ratio x scalar/batched)
 // measures the lane-coalescing ClientKeyExchange path: with
@@ -12,8 +12,17 @@
 // a scalar CRT decryption. The scalar rows of the same run are the
 // baseline the batched rows are judged against.
 //
+// The event sweep (connections x reactor workers) measures the
+// event-driven frontend: parked connections, not blocked threads, fill
+// the batches — so lane occupancy should saturate from a handful of
+// workers where the threaded frontend needs >= 16 threads. Extra rows
+// inject overload (admission cap, expect nonzero shed with bounded p99),
+// a resumption mix, and a DHE mix.
+//
 // --smoke shrinks everything to a seconds-long CI run (512-bit key, small
 // counts, legacy tables skipped) while keeping every code path exercised.
+// --frontend selects which sweeps run (default both).
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -69,18 +78,85 @@ void sweep_cell(phissl::bench::JsonReporter& json, const phissl::rsa::Engine& en
                 {"lane_occupancy", r.batch_lane_occupancy}});
 }
 
+// One event-sweep cell: runs the reactor frontend and reports one row.
+void event_cell(phissl::bench::JsonReporter& json,
+                const phissl::rsa::Engine& engine, std::size_t conns,
+                std::size_t workers, double ratio, double dhe_ratio,
+                std::size_t max_pending, phissl::rsa::Backend batch_backend) {
+  using namespace phissl;
+  ssl::DriverConfig cfg;
+  cfg.frontend = ssl::Frontend::kEvent;
+  cfg.num_handshakes = conns;
+  cfg.event_workers = workers;
+  // Slot table bound: everything up to 16k connections runs fully open;
+  // beyond that, further connections start as slots free up.
+  cfg.max_open_connections = std::min<std::size_t>(conns, 16384);
+  if (ratio > 0.0) {
+    // Resumption needs churn: a full handshake must complete and bank its
+    // session before a later connection with the same identity opens. With
+    // every connection open up front nothing can ever resume, so the resume
+    // cell runs with a window well below the run length.
+    cfg.max_open_connections = std::max<std::size_t>(workers * 16, conns / 8);
+  }
+  cfg.resumption_ratio = ratio;
+  cfg.event_dhe_ratio = dhe_ratio;
+  cfg.admission.max_pending_ops = max_pending;
+  cfg.batch_backend = batch_backend;
+  const ssl::DriverReport r = ssl::run_handshakes(engine, cfg);
+
+  char name[96];
+  std::snprintf(name, sizeof(name), "event_c%zu_w%zu%s%s%s", conns, workers,
+                max_pending != 0 ? "_overload" : "",
+                ratio > 0.0 ? "_resume" : "", dhe_ratio > 0.0 ? "_dhe" : "");
+  std::printf("%7zu %3zu %10.1f %9.0f %9.0f %6.2f %7zu %6.1f %7zu/%zu\n",
+              conns, workers, r.handshakes_per_s, r.latency_us.median,
+              r.latency_us.p99, r.batch_lane_occupancy, r.shed,
+              r.resumptions_per_wakeup, r.completed, conns);
+  if (r.failed != 0) std::printf("  (FAILED %zu)\n", r.failed);
+  json.add_row("event_sweep", name,
+               {{"connections", static_cast<double>(conns)},
+                {"workers", static_cast<double>(workers)},
+                {"resumption_ratio", ratio},
+                {"dhe_ratio", dhe_ratio},
+                {"max_pending_ops", static_cast<double>(max_pending)},
+                {"hs_per_s", r.handshakes_per_s},
+                {"p50_us", r.latency_us.median},
+                {"p99_us", r.latency_us.p99},
+                {"completed", static_cast<double>(r.completed)},
+                {"failed", static_cast<double>(r.failed)},
+                {"shed", static_cast<double>(r.shed)},
+                {"resumed", static_cast<double>(r.resumed)},
+                {"batches", static_cast<double>(r.batches)},
+                {"lane_occupancy", r.batch_lane_occupancy},
+                {"resumptions_per_wakeup", r.resumptions_per_wakeup}});
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace phissl;
 
   bool smoke = false;
+  bool run_threaded = true;
+  bool run_event = true;
   // --backend pins the termination sweep's Montgomery backend: both the
   // server engine's scalar kernel and the batched-decrypt contexts, so
   // scalar and batched rows stay an apples-to-apples A/B.
   rsa::Backend backend = rsa::Backend::kKncVec;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (std::strcmp(argv[i], "--frontend") == 0 && i + 1 < argc) {
+      const char* f = argv[i + 1];
+      if (std::strcmp(f, "threaded") == 0) {
+        run_event = false;
+      } else if (std::strcmp(f, "event") == 0) {
+        run_threaded = false;
+      } else if (std::strcmp(f, "both") != 0) {
+        std::fprintf(stderr, "unknown --frontend %s (threaded|event|both)\n",
+                     f);
+        return 2;
+      }
+    }
     if (std::strcmp(argv[i], "--backend") == 0 && i + 1 < argc) {
       const auto b = rsa::backend_from_string(argv[i + 1]);
       if (!b) {
@@ -122,29 +198,70 @@ int main(int argc, char** argv) {
             : std::vector<std::size_t>{1, 2, 4, 8, 16, 32};
   const std::vector<double> sweep_ratios =
       smoke ? std::vector<double>{0.0} : std::vector<double>{0.0, 0.5, 0.9};
-  std::printf("\n    termination sweep, RSA-%zu, backend %s "
-              "[hs/s | p50 us | p99 us | lane occ | resumed]\n",
-              sweep_bits, rsa::to_string(backend));
-  std::printf("%-8s %4s %6s %12s %10s %10s %7s %9s\n", "mode", "thr",
-              "ratio", "hs/s", "p50_us", "p99_us", "occ", "resumed");
-  {
-    rsa::EngineOptions opts =
-        baseline::options_for(baseline::System::kPhiOpenSSL);
-    opts.kernel = rsa::kernel_for(backend);
-    const rsa::Engine engine(rsa::test_key(sweep_bits), opts);
+  rsa::EngineOptions sweep_opts =
+      baseline::options_for(baseline::System::kPhiOpenSSL);
+  sweep_opts.kernel = rsa::kernel_for(backend);
+  const rsa::Engine sweep_engine(rsa::test_key(sweep_bits), sweep_opts);
+
+  if (run_threaded) {
+    std::printf("\n    termination sweep, RSA-%zu, backend %s "
+                "[hs/s | p50 us | p99 us | lane occ | resumed]\n",
+                sweep_bits, rsa::to_string(backend));
+    std::printf("%-8s %4s %6s %12s %10s %10s %7s %9s\n", "mode", "thr",
+                "ratio", "hs/s", "p50_us", "p99_us", "occ", "resumed");
     for (const bool batched : {false, true}) {
       for (const std::size_t threads : sweep_threads) {
         for (const double ratio : sweep_ratios) {
           const std::size_t handshakes =
               smoke ? 6 * threads : (sweep_bits >= 2048 ? 12 : 24) * threads;
-          sweep_cell(json, engine, batched, threads, ratio, handshakes,
+          sweep_cell(json, sweep_engine, batched, threads, ratio, handshakes,
                      backend);
         }
       }
     }
   }
 
-  if (!smoke) {
+  // --- Event sweep: connections x reactor workers, always batched (the
+  // frontend exists to feed the batch service from parked connections).
+  // Occupancy here is decoupled from the worker count — the acceptance
+  // target is >= 0.9 from <= 4 workers at >= 1k connections, where the
+  // threaded sweep above needs >= 16 threads for the same occupancy.
+  if (run_event) {
+    std::printf("\n    event-frontend sweep, RSA-%zu, backend %s "
+                "[hs/s | p50 us | p99 us | lane occ | shed | res/wakeup]\n",
+                sweep_bits, rsa::to_string(backend));
+    std::printf("%7s %3s %10s %9s %9s %6s %7s %6s %9s\n", "conns", "wrk",
+                "hs/s", "p50_us", "p99_us", "occ", "shed", "r/w",
+                "completed");
+    const std::vector<std::size_t> event_conns =
+        smoke ? std::vector<std::size_t>{64, 256}
+              : std::vector<std::size_t>{1024, 4096, 16384};
+    const std::vector<std::size_t> event_workers =
+        smoke ? std::vector<std::size_t>{2} : std::vector<std::size_t>{2, 4, 8};
+    for (const std::size_t conns : event_conns) {
+      for (const std::size_t workers : event_workers) {
+        event_cell(json, sweep_engine, conns, workers, /*ratio=*/0.0,
+                   /*dhe_ratio=*/0.0, /*max_pending=*/0, backend);
+      }
+    }
+    if (!smoke) {
+      // 64k connections through 16k slots: the memory-bounded regime.
+      event_cell(json, sweep_engine, 65536, 4, 0.0, 0.0, 0, backend);
+    }
+    // Overload injection: the admission cap forces shedding; the row's
+    // point is that p99 stays bounded while shed goes nonzero, instead of
+    // the queue (and tail latency) diverging.
+    event_cell(json, sweep_engine, smoke ? 256 : 4096, smoke ? 2 : 4, 0.0,
+               0.0, /*max_pending=*/smoke ? 8 : 48, backend);
+    // Mixed workloads: resumption (abbreviated handshakes interleave with
+    // full ones) and DHE (signature ops share batches with decryptions).
+    event_cell(json, sweep_engine, smoke ? 64 : 4096, smoke ? 2 : 4,
+               /*ratio=*/0.5, 0.0, 0, backend);
+    event_cell(json, sweep_engine, smoke ? 64 : 1024, smoke ? 2 : 4, 0.0,
+               /*dhe_ratio=*/0.3, 0, backend);
+  }
+
+  if (!smoke && run_threaded) {
     std::printf("\n(a) measured on this host [handshakes/s | p50 latency us], "
                 "2 worker threads\n");
     std::printf("%8s", "bits");

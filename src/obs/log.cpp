@@ -1,0 +1,68 @@
+#include "obs/log.hpp"
+
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "obs/metrics.hpp"
+
+namespace phissl::obs {
+
+namespace {
+
+struct WarnEntry {
+  Counter* counter = nullptr;
+  bool logged = false;
+};
+
+// Process-lifetime tag table. warn_once is a cold path (it exists so hot
+// paths DON'T log), so one mutex around the map is fine; the counter
+// increment itself is the registry's lock-free path.
+std::mutex& warn_mu() {
+  static std::mutex mu;
+  return mu;
+}
+
+std::unordered_map<std::string, WarnEntry>& warn_table() {
+  static auto* table = new std::unordered_map<std::string, WarnEntry>();
+  return *table;
+}
+
+WarnEntry& entry_for(const char* tag) {
+  auto& table = warn_table();
+  auto it = table.find(tag);
+  if (it == table.end()) {
+    WarnEntry e;
+    e.counter = &Registry::global().counter(
+        "phissl_warn_total", "once-only operator warnings by tag",
+        std::string("tag=\"") + tag + "\"");
+    it = table.emplace(tag, e).first;
+  }
+  return it->second;
+}
+
+}  // namespace
+
+void warn_once(const char* tag, const char* message) noexcept {
+  bool log_now = false;
+  Counter* counter = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(warn_mu());
+    WarnEntry& e = entry_for(tag);
+    counter = e.counter;
+    if (!e.logged) {
+      e.logged = true;
+      log_now = true;
+    }
+  }
+  counter->inc();
+  if (log_now) std::fprintf(stderr, "phissl: %s\n", message);
+}
+
+unsigned long long warn_count(const char* tag) noexcept {
+  std::lock_guard<std::mutex> lock(warn_mu());
+  return entry_for(tag).counter->value();
+}
+
+}  // namespace phissl::obs

@@ -1,0 +1,24 @@
+// Once-only operator logging tied to the metrics registry.
+//
+// Hot paths and constructors must not spam stderr: a condition that holds
+// for the whole process (a forced backend falling back, a deprecated knob
+// in use) should be *visible* exactly once to a human and *countable*
+// forever by the scrape pipeline. warn_once() gives both: the first call
+// per tag writes the message to stderr, and every call increments
+// `phissl_warn_total{tag="<tag>"}` in the global registry, so dashboards
+// see the event rate even after the one-time line scrolled away.
+#pragma once
+
+namespace phissl::obs {
+
+/// Logs `message` to stderr the first time `tag` fires in this process
+/// and increments the `phissl_warn_total{tag="<tag>"}` counter on every
+/// call. `tag` and `message` must be static-lifetime strings (they are
+/// used to key a process-lifetime table). Thread-safe; the stderr write
+/// happens exactly once per tag across all threads.
+void warn_once(const char* tag, const char* message) noexcept;
+
+/// Times `tag` has fired (the counter behind warn_once), for tests.
+unsigned long long warn_count(const char* tag) noexcept;
+
+}  // namespace phissl::obs

@@ -1,10 +1,11 @@
 #include "rsa/batch_engine.hpp"
 
-#include <cstdio>
 #include <stdexcept>
 #include <type_traits>
 
 #include "mont/modexp.hpp"
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
 namespace phissl::rsa {
@@ -14,20 +15,22 @@ using bigint::BigInt;
 namespace {
 
 // There is no batched scalar backend (batching is what the SIMD lanes are
-// for), so a scalar64 request falls back to knc_vec. Warn when the request
-// came from PHISSL_FORCE_BACKEND: forced-baseline runs (sanitizers, A/B
-// floors) must not silently measure a SIMD backend instead.
+// for), so a scalar64 request falls back to knc_vec. The fallback is
+// counted per engine construction (phissl_backend_fallback_total) and,
+// when the request came from PHISSL_FORCE_BACKEND, logged once: a
+// forced-baseline run (sanitizers, A/B floors) must not silently measure
+// a SIMD backend instead, but a per-construction stderr line would drown
+// services that build engines per shard.
 Backend batch_backend(Backend requested) {
   const Backend resolved = resolve_backend(requested);
   if (resolved != Backend::kScalar64) return resolved;
+  PHISSL_OBS_COUNT_NAMED("phissl_backend_fallback_total",
+                         "batched scalar64 requests resolved to knc_vec",
+                         "from=\"scalar64\",to=\"knc_vec\"", 1);
   if (forced_backend() == Backend::kScalar64) {
-    static const bool warned = [] {
-      std::fprintf(stderr,
-                   "phissl: PHISSL_FORCE_BACKEND=scalar64 has no batched "
-                   "implementation; BatchEngine falls back to knc_vec\n");
-      return true;
-    }();
-    (void)warned;
+    obs::warn_once("batch_scalar64_fallback",
+                   "PHISSL_FORCE_BACKEND=scalar64 has no batched "
+                   "implementation; BatchEngine falls back to knc_vec");
   }
   return Backend::kKncVec;
 }

@@ -79,10 +79,13 @@ struct SignService::Metrics {
 };
 
 /// One queued request: the EMSA-encoded digest as an integer in [0, n),
-/// plus the promise the dispatch path fulfills.
+/// plus the promise OR completion callback the dispatch path fulfills
+/// (`done` set means the request came through an *_async submission and
+/// the promise is never touched).
 struct SignService::Pending {
   BigInt x;
   std::promise<SignResult> promise;
+  Completion done;
   Clock::time_point submitted;
 };
 
@@ -173,6 +176,38 @@ std::future<SignResult> SignService::private_op(
   return enqueue(shard, std::move(p));
 }
 
+void SignService::sign_async(const std::string& key_id,
+                             std::span<const std::uint8_t> digest,
+                             Completion done) {
+  PHISSL_OBS_SPAN("svc.sign_async");
+  Shard& shard = find_shard(key_id);
+  Pending p;
+  p.x = BigInt::from_bytes_be(rsa::emsa_pkcs1_v15_from_digest(digest, shard.k));
+  p.done = std::move(done);
+  p.submitted = Clock::now();
+  (void)enqueue(shard, std::move(p));
+}
+
+void SignService::private_op_async(const std::string& key_id,
+                                   std::span<const std::uint8_t> input_be,
+                                   Completion done) {
+  PHISSL_OBS_SPAN("svc.private_op_async");
+  Shard& shard = find_shard(key_id);
+  if (input_be.size() != shard.k) {
+    throw std::invalid_argument(
+        "SignService::private_op_async: input must be exactly k bytes");
+  }
+  Pending p;
+  p.x = BigInt::from_bytes_be(input_be);
+  if (p.x >= shard.engine.pub().n) {
+    throw std::invalid_argument(
+        "SignService::private_op_async: input >= modulus");
+  }
+  p.done = std::move(done);
+  p.submitted = Clock::now();
+  (void)enqueue(shard, std::move(p));
+}
+
 std::future<SignResult> SignService::enqueue(Shard& shard, Pending&& p) {
   std::future<SignResult> fut = p.promise.get_future();
 
@@ -260,13 +295,29 @@ void SignService::dispatch(Shard& shard, std::vector<Pending>&& batch,
         sigs[l] = out[l].to_bytes_be(shard.k);
       }
       for (std::size_t l = 0; l < work->size(); ++l) {
-        (*work)[l].promise.set_value(SignResult{
-            std::move(sigs[l]), (*work)[l].submitted, done});
+        SignResult r{std::move(sigs[l]), (*work)[l].submitted, done};
+        if ((*work)[l].done) {
+          // Async form: callback instead of future. A throwing completion
+          // is a caller bug; swallow it so sibling lanes still deliver.
+          try {
+            (*work)[l].done(std::move(r));
+          } catch (...) {
+          }
+        } else {
+          (*work)[l].promise.set_value(std::move(r));
+        }
       }
       metrics_->service_us.record(to_us(done - dispatch_time));
     } catch (...) {
       for (Pending& p : *work) {
-        p.promise.set_exception(std::current_exception());
+        if (p.done) {
+          try {
+            p.done(std::nullopt);
+          } catch (...) {
+          }
+        } else {
+          p.promise.set_exception(std::current_exception());
+        }
       }
     }
     // A dispatch slot just freed up: wake the linger timer so a partial

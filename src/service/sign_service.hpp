@@ -41,9 +41,11 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <future>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <span>
 #include <string>
 #include <thread>
@@ -110,6 +112,18 @@ class SignService {
  public:
   static constexpr std::size_t kBatch = rsa::BatchEngine::kBatch;
 
+  /// Completion callback for the non-blocking submission forms
+  /// (sign_async / private_op_async): invoked exactly once with the
+  /// result, or with nullopt if the batch dispatch failed. It runs on a
+  /// dispatch worker thread immediately after the batch completes, so it
+  /// must be cheap and must not block (the event-driven TLS frontend's
+  /// bridge, for example, only enqueues a resume event into its reactor —
+  /// see ssl/async/reactor.hpp). Re-entering the service from the
+  /// callback is allowed (submitting follow-up work is fine); blocking on
+  /// another future of the same service is not (it could deadlock the
+  /// dispatch pool).
+  using Completion = std::function<void(std::optional<SignResult>)>;
+
   explicit SignService(SignServiceConfig config = {});
 
   /// Stops the service (flushing and completing everything pending).
@@ -148,6 +162,21 @@ class SignService {
   /// std::runtime_error after stop().
   std::future<SignResult> private_op(const std::string& key_id,
                                      std::span<const std::uint8_t> input_be);
+
+  /// Non-blocking sibling of sign(): queues the request and delivers the
+  /// result through `done` (see Completion for the threading contract)
+  /// instead of a future, so callers multiplexing thousands of
+  /// connections never park a thread per request. Argument validation
+  /// still throws synchronously, exactly like sign().
+  void sign_async(const std::string& key_id,
+                  std::span<const std::uint8_t> digest, Completion done);
+
+  /// Non-blocking sibling of private_op(): same raw x^d mod n contract,
+  /// result delivered through `done`. Argument validation (unknown key,
+  /// wrong-size block, value >= n) still throws synchronously.
+  void private_op_async(const std::string& key_id,
+                        std::span<const std::uint8_t> input_be,
+                        Completion done);
 
   /// Counter snapshot; safe to call concurrently with sign()/dispatches.
   [[nodiscard]] StatsSnapshot stats() const;

@@ -1,0 +1,406 @@
+#include "ssl/async/reactor.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/timing.hpp"
+
+namespace phissl::ssl::async {
+
+using Clock = std::chrono::steady_clock;
+
+/// One open connection: the server machine, its simulated peer, and the
+/// bookkeeping for the crypto op it may be parked on. Owned by exactly
+/// one worker at a time (see the header's concurrency invariant), so none
+/// of this needs a lock. Latency samples accumulate per slot and merge
+/// after the run — nothing shared on the measurement path.
+struct Reactor::Slot {
+  std::optional<ServerConnection> server;
+  std::optional<ScriptedClient> client;
+  std::size_t conn_idx = 0;
+  std::size_t identity = 0;
+  bool offered_resume = false;
+  Clock::time_point started{};
+  // The op in flight, for admission feedback on resume.
+  std::size_t depth_at_admit = 0;
+  Clock::time_point op_submitted{};
+  std::vector<double> latencies_us;
+};
+
+struct Reactor::Event {
+  enum class Kind { kStart, kResume };
+  Kind kind{};
+  std::size_t slot = 0;
+  std::size_t conn_idx = 0;  // kStart only
+  std::optional<std::vector<std::uint8_t>> result;  // kResume only
+};
+
+namespace {
+
+// Deterministic per-connection coin flips (splitmix64 of the index), so a
+// run's resumption/DHE mix is reproducible regardless of scheduling.
+std::uint64_t mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+bool coin(std::uint64_t seed, std::size_t idx, std::uint32_t salt,
+          double ratio) {
+  if (ratio <= 0.0) return false;
+  const std::uint64_t h = mix(seed ^ mix(idx) ^ salt);
+  return static_cast<double>(h >> 11) * 0x1.0p-53 < ratio;
+}
+
+}  // namespace
+
+Reactor::Reactor(const rsa::Engine& server_engine, BatchDecryptService& svc,
+                 SessionCache& cache, AdmissionController& admission,
+                 const dh::Dh* dhe_group, ReactorConfig cfg)
+    : engine_(server_engine),
+      client_engine_(server_engine.pub(), server_engine.options()),
+      svc_(svc),
+      cache_(cache),
+      admission_(admission),
+      dhe_group_(dhe_group),
+      cfg_(std::move(cfg)),
+      open_gauge_(&obs::Registry::global().gauge(
+          "phissl_reactor_open_connections",
+          "connections currently open in the event frontend")),
+      shed_counter_(&obs::Registry::global().counter(
+          "phissl_reactor_shed_total",
+          "connections rejected by admission control")) {
+  if (cfg_.workers == 0) cfg_.workers = 1;
+  if (cfg_.max_open_connections == 0) cfg_.max_open_connections = 1;
+  if (cfg_.identity_pool == 0) cfg_.identity_pool = 1;
+  if (cfg_.dhe_ratio > 0.0 && dhe_group_ == nullptr) {
+    throw std::invalid_argument("Reactor: dhe_ratio needs a dhe_group");
+  }
+  const std::size_t open =
+      std::min(cfg_.max_open_connections, cfg_.total_connections);
+  slots_.reserve(open);
+  for (std::size_t i = 0; i < open; ++i) {
+    slots_.push_back(std::make_unique<Slot>());
+  }
+  identities_.resize(cfg_.identity_pool);
+}
+
+Reactor::~Reactor() = default;
+
+ReactorStats Reactor::run() {
+  PHISSL_OBS_SPAN("ssl.reactor_run");
+
+  // Seed the queue with one start per slot; every further connection is
+  // started inline by the worker that frees the slot.
+  {
+    std::lock_guard<std::mutex> l(mu_);
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+      const std::size_t conn = next_conn_.fetch_add(1);
+      if (conn >= cfg_.total_connections) break;
+      ready_.push_back(Event{Event::Kind::kStart, i, conn, std::nullopt});
+    }
+  }
+  if (cfg_.total_connections == 0) done_ = true;
+
+  std::vector<std::thread> workers;
+  workers.reserve(cfg_.workers);
+  for (std::size_t w = 0; w < cfg_.workers; ++w) {
+    workers.emplace_back([this] { worker_loop(); });
+  }
+  for (auto& t : workers) t.join();
+
+  ReactorStats stats;
+  stats.completed = completed_.load();
+  stats.failed = failed_.load();
+  stats.shed = shed_.load();
+  stats.resumed = resumed_.load();
+  stats.wakeups = wakeups_.load();
+  stats.resumptions = events_.load();
+  stats.resumptions_per_wakeup =
+      stats.wakeups > 0
+          ? static_cast<double>(stats.resumptions) / static_cast<double>(stats.wakeups)
+          : 0.0;
+  std::vector<double> lats;
+  lats.reserve(cfg_.total_connections);
+  for (const auto& s : slots_) {
+    lats.insert(lats.end(), s->latencies_us.begin(), s->latencies_us.end());
+  }
+  stats.latency_us = util::summarize(std::move(lats));
+  return stats;
+}
+
+void Reactor::worker_loop() {
+  auto& wakeup_counter = obs::Registry::global().counter(
+      "phissl_reactor_wakeups_total",
+      "reactor worker wakeups that resumed parked connections");
+  auto& resume_counter = obs::Registry::global().counter(
+      "phissl_reactor_resumptions_total",
+      "parked connections resumed by reactor workers");
+  for (;;) {
+    std::vector<Event> batch;
+    {
+      std::unique_lock<std::mutex> l(mu_);
+      cv_.wait(l, [this] { return done_ || !ready_.empty(); });
+      if (ready_.empty()) return;  // done_ and drained
+      // Take a bounded chunk, not the whole queue: the whole-queue grab
+      // would serialize everything onto one worker; a chunk still
+      // amortizes the wakeup across completions that landed together
+      // (typically lanemates of one 16-wide batch).
+      const std::size_t take =
+          std::min<std::size_t>(ready_.size(), std::max<std::size_t>(
+              std::size_t{1}, ready_.size() / cfg_.workers + 1));
+      batch.reserve(take);
+      for (std::size_t i = 0; i < take; ++i) {
+        batch.push_back(std::move(ready_.front()));
+        ready_.pop_front();
+      }
+    }
+    // Resumptions-per-wakeup counts crypto resumes only (starts would
+    // dilute the metric it exists to expose: how many lanemates of one
+    // 16-wide batch each wakeup brings back).
+    std::size_t resumes = 0;
+    for (const auto& ev : batch) {
+      if (ev.kind == Event::Kind::kResume) ++resumes;
+    }
+    if (resumes > 0) {
+      wakeups_.fetch_add(1, std::memory_order_relaxed);
+      events_.fetch_add(resumes, std::memory_order_relaxed);
+      wakeup_counter.inc();
+      resume_counter.inc(resumes);
+    }
+    for (auto& ev : batch) handle_event(std::move(ev));
+  }
+}
+
+void Reactor::handle_event(Event ev) {
+  Slot& slot = *slots_[ev.slot];
+  if (ev.kind == Event::Kind::kStart) {
+    start_connection(ev.slot, ev.conn_idx);
+    return;
+  }
+  // Resume: close the admission loop first (the pending-op slot frees
+  // before the connection runs on, so a waiting arrival can admit), then
+  // re-arm the state machine with the batch result.
+  const double latency_us =
+      std::chrono::duration<double, std::micro>(Clock::now() -
+                                                slot.op_submitted)
+          .count();
+  admission_.on_complete(slot.depth_at_admit, latency_us);
+  slot.server->on_crypto_result(std::move(ev.result));
+  pump(ev.slot);
+}
+
+void Reactor::start_connection(std::size_t slot_idx, std::size_t conn_idx) {
+  Slot& slot = *slots_[slot_idx];
+  slot.conn_idx = conn_idx;
+  slot.identity = conn_idx % cfg_.identity_pool;
+  slot.started = Clock::now();
+
+  const bool use_dhe = coin(cfg_.seed, conn_idx, 0xd4e5, cfg_.dhe_ratio);
+  std::optional<ResumableSession> resume;
+  if (!use_dhe && coin(cfg_.seed, conn_idx, 0x5e55, cfg_.resumption_ratio)) {
+    std::lock_guard<std::mutex> l(identities_mu_);
+    resume = identities_[slot.identity];  // may still be nullopt (cold)
+  }
+  slot.offered_resume = resume.has_value();
+
+  const std::uint64_t seed = mix(cfg_.seed) ^ mix(conn_idx + 1);
+  slot.server.emplace(engine_, seed, &cache_, &admission_,
+                      use_dhe ? dhe_group_ : nullptr);
+  slot.client.emplace(client_engine_, mix(seed), std::move(resume), use_dhe);
+  open_gauge_->add(1);
+  slot.client->start();
+  pump(slot_idx);
+}
+
+void Reactor::pump(std::size_t slot_idx) {
+  Slot& slot = *slots_[slot_idx];
+  for (;;) {
+    bool progressed = false;
+    // Client -> server. take_output() drains fully: the simulated
+    // transport never backpressures (partial reads/writes are covered by
+    // the connection unit tests; the reactor measures scheduling).
+    if (auto bytes = slot.client->take_output(); !bytes.empty()) {
+      slot.server->on_input(bytes);
+      progressed = true;
+    }
+    // Did the server park on a crypto step? Submit and yield the slot —
+    // the completion will bring it back through the ready queue.
+    if (auto op = slot.server->take_pending_op(); op.has_value()) {
+      submit(slot_idx, std::move(*op));
+      return;
+    }
+    // Server -> client.
+    if (auto bytes = slot.server->take_output(); !bytes.empty()) {
+      slot.client->on_server_bytes(bytes);
+      progressed = true;
+    }
+    const bool client_settled = slot.client->done() || slot.client->failed();
+    if (client_settled && slot.client->output_pending() == 0 &&
+        slot.server->output_pending() == 0) {
+      // Nothing further to deliver in either direction: the close (or
+      // alert) has fully round-tripped.
+      finish_connection(slot_idx);
+      return;
+    }
+    if (!progressed) {
+      // No bytes moved, no op pending, nobody settled: a protocol-level
+      // stall (state machine bug). Fail the connection rather than hang
+      // the reactor.
+      slot.client.reset();
+      failed_.fetch_add(1, std::memory_order_relaxed);
+      finish_connection(slot_idx);
+      return;
+    }
+  }
+}
+
+void Reactor::submit(std::size_t slot_idx, PendingOp op) {
+  Slot& slot = *slots_[slot_idx];
+  slot.depth_at_admit = op.depth_at_admit;
+  slot.op_submitted = Clock::now();
+  // The completion callback runs on a batch-service dispatch thread; per
+  // the Completion contract it only enqueues the resume event. Note it
+  // can also run INLINE (malformed ciphertext short-circuits before the
+  // service) — safe here because enqueue_resume never re-enters the slot.
+  auto done = [this, slot_idx](std::optional<std::vector<std::uint8_t>> r) {
+    enqueue_resume(slot_idx, std::move(r));
+  };
+  if (op.kind == PendingOp::Kind::kPrivateOp) {
+    svc_.decrypt_premaster_async(op.payload, std::move(done));
+  } else {
+    svc_.sign_digest_async(op.payload, std::move(done));
+  }
+}
+
+void Reactor::enqueue_resume(std::size_t slot_idx,
+                             std::optional<std::vector<std::uint8_t>> result) {
+  std::lock_guard<std::mutex> l(mu_);
+  ready_.push_back(
+      Event{Event::Kind::kResume, slot_idx, 0, std::move(result)});
+  cv_.notify_one();
+}
+
+void Reactor::finish_connection(std::size_t slot_idx) {
+  Slot& slot = *slots_[slot_idx];
+  slot.latencies_us.push_back(std::chrono::duration<double, std::micro>(
+                                  Clock::now() - slot.started)
+                                  .count());
+  if (slot.client.has_value()) {
+    if (slot.client->done()) {
+      completed_.fetch_add(1, std::memory_order_relaxed);
+      if (slot.client->resumed()) {
+        resumed_.fetch_add(1, std::memory_order_relaxed);
+      } else if (slot.client->has_resumable()) {
+        // Bank the fresh session for this identity's next connection
+        // (DHE sessions carry no resumable handle).
+        std::lock_guard<std::mutex> l(identities_mu_);
+        identities_[slot.identity] = slot.client->resumable();
+      }
+    } else if (slot.server->was_shed()) {
+      shed_.fetch_add(1, std::memory_order_relaxed);
+      shed_counter_->inc();
+    } else {
+      failed_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  slot.server.reset();
+  slot.client.reset();
+  open_gauge_->sub(1);
+
+  // Recycle the slot. The next connection goes through the ready queue
+  // rather than starting inline: a shed storm would otherwise recurse
+  // finish -> start -> pump -> finish thousands of frames deep.
+  const std::size_t conn = next_conn_.fetch_add(1);
+  const bool more = conn < cfg_.total_connections;
+  const std::size_t finished = finished_.fetch_add(1) + 1;
+  std::lock_guard<std::mutex> l(mu_);
+  if (more) {
+    ready_.push_back(Event{Event::Kind::kStart, slot_idx, conn, std::nullopt});
+    cv_.notify_one();
+  }
+  if (finished == cfg_.total_connections) {
+    done_ = true;
+    cv_.notify_all();
+  }
+}
+
+DriverReport run_event_handshakes(const rsa::Engine& server_engine,
+                                  const DriverConfig& cfg) {
+  if (!server_engine.has_private()) {
+    throw std::invalid_argument(
+        "run_event_handshakes: server engine needs a key");
+  }
+  if (cfg.resumption_ratio < 0.0 || cfg.resumption_ratio > 1.0 ||
+      cfg.event_dhe_ratio < 0.0 || cfg.event_dhe_ratio > 1.0) {
+    throw std::invalid_argument("run_event_handshakes: bad ratio");
+  }
+
+  // The event frontend exists to feed the batch service from parked
+  // connections, so unlike the threaded path it is not optional here.
+  BatchDecryptService svc(
+      server_engine.priv(),
+      BatchDecryptConfig{
+          .dispatch_threads = cfg.batch_dispatch_threads,
+          .max_linger = cfg.batch_linger,
+          .digit_bits = server_engine.options().digit_bits,
+          .backend = cfg.batch_backend,
+      });
+  SessionCache cache(SessionCacheConfig{.capacity = cfg.cache_capacity,
+                                        .shards = cfg.cache_shards});
+  AdmissionController admission(cfg.admission);
+  std::optional<dh::Dh> dhe_group;
+  if (cfg.event_dhe_ratio > 0.0) {
+    dhe_group.emplace(dh::rfc2409_group2(), server_engine.options().kernel);
+  }
+
+  Reactor reactor(server_engine, svc, cache, admission,
+                  dhe_group.has_value() ? &*dhe_group : nullptr,
+                  ReactorConfig{
+                      .workers = cfg.event_workers,
+                      .max_open_connections = cfg.max_open_connections,
+                      .total_connections = cfg.num_handshakes,
+                      .seed = cfg.seed,
+                      .resumption_ratio = cfg.resumption_ratio,
+                      .dhe_ratio = cfg.event_dhe_ratio,
+                      // Scale the repeat-visitor pool with the run so each
+                      // identity reconnects several times — a fixed pool
+                      // larger than the run would mean no identity ever
+                      // returns and resumption_ratio silently does nothing.
+                      .identity_pool = std::max<std::size_t>(
+                          1, std::min<std::size_t>(256,
+                                                   cfg.num_handshakes / 8)),
+                  });
+
+  util::Stopwatch wall;
+  const ReactorStats stats = reactor.run();
+
+  DriverReport report;
+  report.wall_seconds = wall.elapsed_s();
+  report.completed = stats.completed;
+  report.failed = stats.failed;
+  report.resumed = stats.resumed;
+  report.shed = stats.shed;
+  report.resumptions_per_wakeup = stats.resumptions_per_wakeup;
+  report.handshakes_per_s =
+      report.wall_seconds > 0
+          ? static_cast<double>(report.completed) / report.wall_seconds
+          : 0.0;
+  report.latency_us = stats.latency_us;
+
+  const SessionCacheStats cs = cache.stats();
+  report.cache_hits = cs.hits;
+  report.cache_misses = cs.misses;
+  report.cache_evictions = cs.evictions;
+  const service::StatsSnapshot ss = svc.stats();
+  report.batches = ss.batches;
+  report.batch_lane_occupancy = ss.mean_lane_occupancy;
+  return report;
+}
+
+}  // namespace phissl::ssl::async

@@ -1,0 +1,172 @@
+// Event loop for the TLS terminator: multiplexes thousands of
+// ServerConnection state machines over a small worker pool.
+//
+// The threaded frontend's scaling wall is structural: every connection
+// awaiting its 16-lane batch holds a parked thread, so lane occupancy is
+// bounded by thread count (occupancy = blocked_threads / 16 — the
+// BENCH_handshake.json termination sweep shows batching only beating
+// scalar from ~16 threads for exactly this reason). The Reactor removes
+// the thread from the wait: a connection that reaches a crypto step
+// yields a PendingOp, the reactor submits it to the shared
+// BatchDecryptService through the *_async completion bridge, and the
+// connection becomes a heap object in a slot table. When the batch
+// completes — on a service dispatch thread — the completion callback does
+// exactly one thing: it enqueues a resume event. Reactor workers drain
+// the ready queue in chunks, so one wakeup typically resumes several
+// connections whose ops completed in the same 16-lane batch
+// (resumptions-per-wakeup is a direct measure of that amortization).
+//
+// Concurrency invariant: at most one thread touches a given slot at a
+// time, with no per-connection lock. It holds because a slot is always in
+// exactly one place — being pumped by one worker, parked awaiting one
+// completion (which enqueues one event), or idle in the ready queue — and
+// the queue mutex orders the handoffs.
+//
+// The reactor also OWNS admission (admission.hpp): connections consult
+// the shared AdmissionController at their PendingOp creation point, and
+// shed connections never reach the batch service.
+//
+// run() simulates the transport: each slot pairs the server connection
+// with a ScriptedClient and shuttles byte buffers between them — the
+// framing, chunked reads, and flush scheduling are all real; only the
+// kernel socket is replaced by a vector swap (ROADMAP: the sockets/io
+// layer). This is the event-frontend counterpart of run_handshakes().
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "dh/dh.hpp"
+#include "rsa/engine.hpp"
+#include "ssl/async/admission.hpp"
+#include "ssl/async/connection.hpp"
+#include "obs/metrics.hpp"
+#include "ssl/batch_decrypt.hpp"
+#include "ssl/driver.hpp"
+#include "ssl/session_cache.hpp"
+#include "util/stats.hpp"
+
+namespace phissl::ssl::async {
+
+/// Reactor geometry and workload shape.
+struct ReactorConfig {
+  /// Event-loop worker threads (NOT one per connection — 2–4 suffice to
+  /// keep tens of thousands of connections moving).
+  std::size_t workers = 2;
+  /// Connection slots open concurrently; further connections start as
+  /// slots free up. This bounds memory, and is the "connections" axis of
+  /// the bench sweep.
+  std::size_t max_open_connections = 1024;
+  /// Total connections to terminate before run() returns.
+  std::size_t total_connections = 1024;
+  std::uint64_t seed = 1;
+  /// Fraction of connections that offer resumption of a previous session
+  /// (per client identity; see identity_pool).
+  double resumption_ratio = 0.0;
+  /// Fraction of connections negotiating DHE-RSA instead of RSA key
+  /// transport (their private op is a signature, coalescing into the
+  /// same batches as the decryptions). Requires a dhe_group.
+  double dhe_ratio = 0.0;
+  /// Distinct client identities cycling through the connection stream;
+  /// each remembers its latest resumable session.
+  std::size_t identity_pool = 256;
+};
+
+/// Outcome counters for one run() (merged into DriverReport by the
+/// driver frontend).
+struct ReactorStats {
+  std::size_t completed = 0;
+  std::size_t failed = 0;
+  std::size_t shed = 0;     ///< rejected by admission control
+  std::size_t resumed = 0;  ///< of completed, abbreviated handshakes
+  std::uint64_t wakeups = 0;
+  std::uint64_t resumptions = 0;  ///< events processed across all wakeups
+  /// Mean events per worker wakeup — >1 means batch completions are
+  /// amortizing wakeup cost across lanemates.
+  double resumptions_per_wakeup = 0.0;
+  util::Summary latency_us;  ///< per-connection accept-to-close latency
+};
+
+class Reactor {
+ public:
+  /// All dependencies are shared across every connection: the server
+  /// engine (certificate + key), the batch service (the completion
+  /// bridge target), the session cache, admission control, and the
+  /// optional DHE group (required if cfg.dhe_ratio > 0).
+  Reactor(const rsa::Engine& server_engine, BatchDecryptService& svc,
+          SessionCache& cache, AdmissionController& admission,
+          const dh::Dh* dhe_group, ReactorConfig cfg);
+  ~Reactor();
+
+  Reactor(const Reactor&) = delete;
+  Reactor& operator=(const Reactor&) = delete;
+
+  /// Terminates cfg.total_connections connections (each: handshake +
+  /// one protected echo + orderly close), blocking until all complete.
+  /// One-shot: a Reactor instance runs once.
+  ReactorStats run();
+
+ private:
+  struct Slot;
+  struct Event;
+
+  void worker_loop();
+  void handle_event(Event ev);
+  void start_connection(std::size_t slot_idx, std::size_t conn_idx);
+  void pump(std::size_t slot_idx);
+  void submit(std::size_t slot_idx, PendingOp op);
+  void enqueue_resume(std::size_t slot_idx,
+                      std::optional<std::vector<std::uint8_t>> result);
+  void finish_connection(std::size_t slot_idx);
+
+  const rsa::Engine& engine_;
+  const rsa::Engine client_engine_;  // public half, shared by all clients
+  BatchDecryptService& svc_;
+  SessionCache& cache_;
+  AdmissionController& admission_;
+  const dh::Dh* dhe_group_;
+  ReactorConfig cfg_;
+
+  std::vector<std::unique_ptr<Slot>> slots_;
+
+  // Client identities: identity i's latest resumable session, offered by
+  // the next connection drawn for that identity.
+  std::mutex identities_mu_;
+  std::vector<std::optional<ResumableSession>> identities_;
+
+  // Ready queue: completions and starts waiting for a worker.
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Event> ready_;
+  bool done_ = false;
+
+  std::atomic<std::size_t> next_conn_{0};
+  std::atomic<std::size_t> finished_{0};
+  std::atomic<std::size_t> completed_{0};
+  std::atomic<std::size_t> failed_{0};
+  std::atomic<std::size_t> shed_{0};
+  std::atomic<std::size_t> resumed_{0};
+  std::atomic<std::uint64_t> wakeups_{0};
+  std::atomic<std::uint64_t> events_{0};
+
+  // Cached registry handles (a by-name lookup per connection would put a
+  // map probe on the accept path).
+  obs::Gauge* open_gauge_;
+  obs::Counter* shed_counter_;
+};
+
+/// Event-frontend counterpart of run_handshakes(): builds the batch
+/// service, cache, admission controller, and (if event_dhe_ratio > 0)
+/// the DHE group from cfg, runs a Reactor over cfg.num_handshakes
+/// connections, and folds ReactorStats into the common DriverReport.
+/// Called through run_handshakes() when cfg.frontend == Frontend::kEvent.
+DriverReport run_event_handshakes(const rsa::Engine& server_engine,
+                                  const DriverConfig& cfg);
+
+}  // namespace phissl::ssl::async

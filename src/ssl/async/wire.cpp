@@ -1,0 +1,304 @@
+#include "ssl/async/wire.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "bigint/bigint.hpp"
+
+namespace phissl::ssl::async {
+
+using bigint::BigInt;
+
+namespace {
+
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+// 2-byte length prefix + magnitude bytes; injective for values < 2^(8*65535).
+void put_int(std::vector<std::uint8_t>& out, const BigInt& v) {
+  const auto bytes = v.to_bytes_be();
+  if (bytes.size() > 0xffff) {
+    throw std::invalid_argument("wire: integer too large");
+  }
+  put_u16(out, static_cast<std::uint16_t>(bytes.size()));
+  out.insert(out.end(), bytes.begin(), bytes.end());
+}
+
+void put_lp16(std::vector<std::uint8_t>& out,
+              std::span<const std::uint8_t> bytes) {
+  if (bytes.size() > 0xffff) {
+    throw std::invalid_argument("wire: field too large");
+  }
+  put_u16(out, static_cast<std::uint16_t>(bytes.size()));
+  out.insert(out.end(), bytes.begin(), bytes.end());
+}
+
+// Bounds-checked sequential reader over a frame body. Every read_* fails
+// sticky (ok() false) instead of throwing, so decoders reduce to a chain
+// of reads plus one final `ok() && done()` check.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  std::uint8_t read_u8() {
+    if (!need(1)) return 0;
+    return data_[pos_++];
+  }
+
+  std::uint16_t read_u16() {
+    if (!need(2)) return 0;
+    const std::uint16_t v =
+        static_cast<std::uint16_t>(data_[pos_] << 8) | data_[pos_ + 1];
+    pos_ += 2;
+    return v;
+  }
+
+  std::span<const std::uint8_t> read_bytes(std::size_t n) {
+    if (!need(n)) return {};
+    auto out = data_.subspan(pos_, n);
+    pos_ += n;
+    return out;
+  }
+
+  std::span<const std::uint8_t> read_lp16() {
+    const std::size_t n = read_u16();
+    return read_bytes(n);
+  }
+
+  BigInt read_int() {
+    const auto bytes = read_lp16();
+    if (!ok_) return BigInt{};
+    return BigInt::from_bytes_be(bytes);
+  }
+
+  [[nodiscard]] bool ok() const { return ok_; }
+  /// True when the body was consumed exactly (no trailing bytes).
+  [[nodiscard]] bool done() const { return ok_ && pos_ == data_.size(); }
+
+ private:
+  bool need(std::size_t n) {
+    if (!ok_ || data_.size() - pos_ < n) {
+      ok_ = false;
+      return false;
+    }
+    return true;
+  }
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace
+
+std::vector<std::uint8_t> frame(MsgType type,
+                                std::span<const std::uint8_t> body) {
+  if (body.size() > kMaxFrameBody) {
+    throw std::invalid_argument("wire: frame body too large");
+  }
+  std::vector<std::uint8_t> out;
+  out.reserve(4 + body.size());
+  out.push_back(static_cast<std::uint8_t>(type));
+  out.push_back(static_cast<std::uint8_t>(body.size() >> 16));
+  out.push_back(static_cast<std::uint8_t>(body.size() >> 8));
+  out.push_back(static_cast<std::uint8_t>(body.size()));
+  out.insert(out.end(), body.begin(), body.end());
+  return out;
+}
+
+std::vector<std::uint8_t> encode_client_hello(const ClientHello& m) {
+  std::vector<std::uint8_t> body;
+  body.insert(body.end(), m.client_random.begin(), m.client_random.end());
+  if (m.cipher_suites.size() > 0xff) {
+    throw std::invalid_argument("wire: too many cipher suites");
+  }
+  body.push_back(static_cast<std::uint8_t>(m.cipher_suites.size()));
+  for (const std::uint16_t s : m.cipher_suites) put_u16(body, s);
+  body.push_back(m.session_id.has_value() ? 1 : 0);
+  if (m.session_id.has_value()) {
+    body.insert(body.end(), m.session_id->begin(), m.session_id->end());
+  }
+  return frame(MsgType::kClientHello, body);
+}
+
+std::optional<ClientHello> decode_client_hello(
+    std::span<const std::uint8_t> body) {
+  ByteReader r(body);
+  ClientHello m;
+  const auto rnd = r.read_bytes(kRandomSize);
+  const std::size_t n_suites = r.read_u8();
+  m.cipher_suites.reserve(n_suites);
+  for (std::size_t i = 0; i < n_suites; ++i) {
+    m.cipher_suites.push_back(r.read_u16());
+  }
+  const std::uint8_t has_sid = r.read_u8();
+  if (has_sid > 1) return std::nullopt;
+  if (has_sid == 1) {
+    const auto sid = r.read_bytes(32);
+    if (!r.ok()) return std::nullopt;
+    m.session_id.emplace();
+    std::copy(sid.begin(), sid.end(), m.session_id->begin());
+  }
+  if (!r.done()) return std::nullopt;
+  std::copy(rnd.begin(), rnd.end(), m.client_random.begin());
+  return m;
+}
+
+std::vector<std::uint8_t> encode_server_hello(const ServerHello& m) {
+  std::vector<std::uint8_t> body;
+  body.insert(body.end(), m.server_random.begin(), m.server_random.end());
+  put_u16(body, m.chosen_suite);
+  body.insert(body.end(), m.session_id.begin(), m.session_id.end());
+  body.push_back(m.resumed ? 1 : 0);
+  return frame(MsgType::kServerHello, body);
+}
+
+std::optional<ServerHello> decode_server_hello(
+    std::span<const std::uint8_t> body) {
+  ByteReader r(body);
+  ServerHello m;
+  const auto rnd = r.read_bytes(kRandomSize);
+  m.chosen_suite = r.read_u16();
+  const auto sid = r.read_bytes(32);
+  const std::uint8_t resumed = r.read_u8();
+  if (!r.done() || resumed > 1) return std::nullopt;
+  std::copy(rnd.begin(), rnd.end(), m.server_random.begin());
+  std::copy(sid.begin(), sid.end(), m.session_id.begin());
+  m.resumed = resumed == 1;
+  return m;
+}
+
+std::vector<std::uint8_t> encode_certificate(const Certificate& m) {
+  std::vector<std::uint8_t> body;
+  put_int(body, m.server_key.n);
+  put_int(body, m.server_key.e);
+  return frame(MsgType::kCertificate, body);
+}
+
+std::optional<Certificate> decode_certificate(
+    std::span<const std::uint8_t> body) {
+  ByteReader r(body);
+  Certificate m;
+  m.server_key.n = r.read_int();
+  m.server_key.e = r.read_int();
+  if (!r.done()) return std::nullopt;
+  return m;
+}
+
+std::vector<std::uint8_t> encode_client_key_exchange(
+    const ClientKeyExchange& m) {
+  return frame(MsgType::kClientKeyExchange, m.encrypted_premaster);
+}
+
+std::optional<ClientKeyExchange> decode_client_key_exchange(
+    std::span<const std::uint8_t> body) {
+  ClientKeyExchange m;
+  m.encrypted_premaster.assign(body.begin(), body.end());
+  return m;
+}
+
+std::vector<std::uint8_t> encode_server_key_exchange(
+    const ServerKeyExchange& m) {
+  std::vector<std::uint8_t> body;
+  put_int(body, m.dh_p);
+  put_int(body, m.dh_g);
+  put_int(body, m.dh_ys);
+  put_lp16(body, m.signature);
+  return frame(MsgType::kServerKeyExchange, body);
+}
+
+std::optional<ServerKeyExchange> decode_server_key_exchange(
+    std::span<const std::uint8_t> body) {
+  ByteReader r(body);
+  ServerKeyExchange m;
+  m.dh_p = r.read_int();
+  m.dh_g = r.read_int();
+  m.dh_ys = r.read_int();
+  const auto sig = r.read_lp16();
+  if (!r.done()) return std::nullopt;
+  m.signature.assign(sig.begin(), sig.end());
+  return m;
+}
+
+std::vector<std::uint8_t> encode_dhe_client_key_exchange(
+    const DheClientKeyExchange& m) {
+  std::vector<std::uint8_t> body;
+  put_int(body, m.dh_yc);
+  return frame(MsgType::kDheClientKeyExchange, body);
+}
+
+std::optional<DheClientKeyExchange> decode_dhe_client_key_exchange(
+    std::span<const std::uint8_t> body) {
+  ByteReader r(body);
+  DheClientKeyExchange m;
+  m.dh_yc = r.read_int();
+  if (!r.done()) return std::nullopt;
+  return m;
+}
+
+std::vector<std::uint8_t> encode_finished(const Finished& m) {
+  return frame(MsgType::kFinished, m.verify_data);
+}
+
+std::optional<Finished> decode_finished(std::span<const std::uint8_t> body) {
+  if (body.size() != kVerifyDataSize) return std::nullopt;
+  Finished m;
+  std::copy(body.begin(), body.end(), m.verify_data.begin());
+  return m;
+}
+
+std::vector<std::uint8_t> encode_alert(Alert a) {
+  const std::uint8_t code = static_cast<std::uint8_t>(a);
+  return frame(MsgType::kAlert, std::span<const std::uint8_t>(&code, 1));
+}
+
+std::optional<Alert> decode_alert(std::span<const std::uint8_t> body) {
+  if (body.size() != 1 ||
+      body[0] > static_cast<std::uint8_t>(Alert::kUnexpectedMessage)) {
+    return std::nullopt;
+  }
+  return static_cast<Alert>(body[0]);
+}
+
+std::vector<std::uint8_t> encode_app_data(std::span<const std::uint8_t> rec) {
+  return frame(MsgType::kAppData, rec);
+}
+
+std::vector<std::uint8_t> encode_close() {
+  return frame(MsgType::kClose, {});
+}
+
+void FrameReader::feed(std::span<const std::uint8_t> bytes) {
+  if (bad_) return;  // poisoned: drop everything after the bad header
+  // Compact once the consumed prefix dominates, so long-lived
+  // connections don't grow their buffer without bound.
+  if (pos_ > 4096 && pos_ * 2 > buf_.size()) {
+    buf_.erase(buf_.begin(), buf_.begin() + static_cast<std::ptrdiff_t>(pos_));
+    pos_ = 0;
+  }
+  buf_.insert(buf_.end(), bytes.begin(), bytes.end());
+}
+
+std::optional<Frame> FrameReader::next() {
+  if (bad_) return std::nullopt;
+  const std::size_t avail = buf_.size() - pos_;
+  if (avail < 4) return std::nullopt;
+  const std::size_t len = (static_cast<std::size_t>(buf_[pos_ + 1]) << 16) |
+                          (static_cast<std::size_t>(buf_[pos_ + 2]) << 8) |
+                          buf_[pos_ + 3];
+  if (len > kMaxFrameBody) {
+    bad_ = true;
+    return std::nullopt;
+  }
+  if (avail < 4 + len) return std::nullopt;
+  Frame f;
+  f.type = static_cast<MsgType>(buf_[pos_]);
+  f.body.assign(buf_.begin() + static_cast<std::ptrdiff_t>(pos_ + 4),
+                buf_.begin() + static_cast<std::ptrdiff_t>(pos_ + 4 + len));
+  pos_ += 4 + len;
+  return f;
+}
+
+}  // namespace phissl::ssl::async

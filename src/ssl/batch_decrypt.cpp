@@ -45,4 +45,35 @@ std::optional<std::vector<std::uint8_t>> BatchDecryptService::decrypt_premaster(
   return rsa::rsaes_pkcs1_v15_unpad(result.signature);
 }
 
+void BatchDecryptService::decrypt_premaster_async(
+    std::span<const std::uint8_t> ciphertext, DecryptCompletion done) {
+  // Same public checks as the blocking form; a malformed wire ciphertext
+  // resolves inline — there is nothing to batch.
+  if (ciphertext.size() != k_ ||
+      bigint::BigInt::from_bytes_be(ciphertext) >= n_) {
+    done(std::nullopt);
+    return;
+  }
+  svc_.private_op_async(
+      kKeyId, ciphertext,
+      [done = std::move(done)](std::optional<service::SignResult> r) {
+        // Unpadding on the dispatch worker: a table-free scan of k bytes,
+        // well within the Completion cheapness contract.
+        done(r.has_value() ? rsa::rsaes_pkcs1_v15_unpad(r->signature)
+                           : std::nullopt);
+      });
+}
+
+void BatchDecryptService::sign_digest_async(
+    std::span<const std::uint8_t> digest, DecryptCompletion done) {
+  svc_.sign_async(kKeyId, digest,
+                  [done = std::move(done)](std::optional<service::SignResult> r) {
+                    if (r.has_value()) {
+                      done(std::move(r->signature));
+                    } else {
+                      done(std::nullopt);
+                    }
+                  });
+}
+
 }  // namespace phissl::ssl

@@ -23,6 +23,7 @@
 
 #include <chrono>
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <span>
 #include <vector>
@@ -59,6 +60,30 @@ class BatchDecryptService final : public KexDecrypter {
   /// wrong-size ciphertext, a value >= n, or invalid PKCS#1 padding.
   std::optional<std::vector<std::uint8_t>> decrypt_premaster(
       std::span<const std::uint8_t> ciphertext) override;
+
+  /// Result delivery for the non-blocking forms below. Invoked exactly
+  /// once; nullopt covers every failure (malformed ciphertext, bad
+  /// padding, batch dispatch failure) so the handshake's uniform-failure
+  /// discipline sees one shape. Runs on a SignService dispatch worker —
+  /// or INLINE, before the call returns, when the input fails the public
+  /// checks — so it must be cheap and must not block (see
+  /// service::SignService::Completion for the full contract).
+  using DecryptCompletion =
+      std::function<void(std::optional<std::vector<std::uint8_t>>)>;
+
+  /// Non-blocking sibling of decrypt_premaster() for event-driven
+  /// callers: instead of parking this thread for the linger window, the
+  /// unpadded premaster (or nullopt) is delivered through `done`.
+  void decrypt_premaster_async(std::span<const std::uint8_t> ciphertext,
+                               DecryptCompletion done);
+
+  /// Non-blocking RSASSA-PKCS1-v1_5 signature over a 32-byte SHA-256
+  /// digest, on the same key and through the same adaptive scheduler as
+  /// the decryptions — a terminator mixing DHE and RSA-kex connections
+  /// coalesces both operation kinds into shared 16-lane batches. `done`
+  /// receives the k-byte signature block, or nullopt on dispatch failure.
+  void sign_digest_async(std::span<const std::uint8_t> digest,
+                         DecryptCompletion done);
 
   /// Scheduler counters of the underlying service (lane occupancy,
   /// batch/padded-lane counts, queue-wait quantiles).

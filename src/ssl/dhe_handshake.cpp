@@ -80,6 +80,20 @@ DheServerHandshake::DheServerHandshake(const rsa::Engine& engine,
 
 Result<DheServerHandshake::Flight1> DheServerHandshake::on_client_hello(
     const ClientHello& hello) {
+  // The blocking form is begin + inline sign + complete. sign_sha256 and
+  // signing the _begin digest through a SignService produce the identical
+  // RSASSA-PKCS1-v1_5 block, so both forms interoperate with any client.
+  auto begun = on_client_hello_begin(hello);
+  if (!begun.ok()) return begun.alert();
+  const auto signed_content =
+      skx_signed_content(client_random_, server_random_, group_.params().p,
+                         group_.params().g, ephemeral_.y);
+  return on_client_hello_complete(
+      rsa::sign_sha256(engine_, signed_content, &rng_));
+}
+
+Result<util::Sha256::Digest> DheServerHandshake::on_client_hello_begin(
+    const ClientHello& hello) {
   if (state_ != State::kExpectHello) return Alert::kUnexpectedMessage;
   if (std::find(hello.cipher_suites.begin(), hello.cipher_suites.end(),
                 kCipherDheRsaWithSha256) == hello.cipher_suites.end()) {
@@ -93,7 +107,8 @@ Result<DheServerHandshake::Flight1> DheServerHandshake::on_client_hello(
   absorb(transcript_, "server_hello");
   absorb(transcript_, std::span<const std::uint8_t>(server_random_));
 
-  // Fresh ephemeral per connection (forward secrecy), signed with RSA.
+  // Fresh ephemeral per connection (forward secrecy); the signature over
+  // it is the one piece of the flight the caller supplies.
   ephemeral_ = group_.generate_keypair(rng_);
   Flight1 flight;
   flight.hello.server_random = server_random_;
@@ -102,11 +117,25 @@ Result<DheServerHandshake::Flight1> DheServerHandshake::on_client_hello(
   flight.key_exchange.dh_p = group_.params().p;
   flight.key_exchange.dh_g = group_.params().g;
   flight.key_exchange.dh_ys = ephemeral_.y;
+  pending_flight_ = std::move(flight);
+  state_ = State::kAwaitSignature;
+
   const auto signed_content =
       skx_signed_content(client_random_, server_random_, group_.params().p,
                          group_.params().g, ephemeral_.y);
-  flight.key_exchange.signature =
-      rsa::sign_sha256(engine_, signed_content, &rng_);
+  util::Sha256 h;
+  h.update(signed_content);
+  return h.finish();
+}
+
+Result<DheServerHandshake::Flight1> DheServerHandshake::on_client_hello_complete(
+    std::vector<std::uint8_t> signature) {
+  if (state_ != State::kAwaitSignature || !pending_flight_.has_value()) {
+    return Alert::kUnexpectedMessage;
+  }
+  Flight1 flight = std::move(*pending_flight_);
+  pending_flight_.reset();
+  flight.key_exchange.signature = std::move(signature);
 
   absorb_skx(transcript_, flight.key_exchange);
   state_ = State::kExpectKeyExchange;

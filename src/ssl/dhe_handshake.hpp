@@ -61,8 +61,23 @@ class DheServerHandshake {
   };
 
   /// Step 1: ClientHello in; hello + certificate + signed ephemeral out.
-  /// Runs one RSA sign and one DH exponentiation.
+  /// Runs one RSA sign and one DH exponentiation. Equivalent to
+  /// on_client_hello_begin + rsa::sign_sha256 + on_client_hello_complete.
   Result<Flight1> on_client_hello(const ClientHello& hello);
+
+  /// Step 1a (asynchronous form): consume the ClientHello, generate the
+  /// ephemeral, and return the SHA-256 digest of the ServerKeyExchange
+  /// signed content (randoms || params). The caller produces the
+  /// RSASSA-PKCS1-v1_5 signature over that digest however it likes — the
+  /// event-driven frontend submits it to the batched SignService, where
+  /// it coalesces into the same 16-lane batches as RSA-kex decryptions —
+  /// and finishes with on_client_hello_complete(). No other handshake
+  /// step may run in between.
+  Result<util::Sha256::Digest> on_client_hello_begin(const ClientHello& hello);
+
+  /// Step 1b: deliver the signature over the digest from _begin; emits
+  /// the completed first flight, exactly like on_client_hello().
+  Result<Flight1> on_client_hello_complete(std::vector<std::uint8_t> signature);
 
   /// Step 2: client's DH value + Finished in; server Finished out.
   /// Runs one DH exponentiation.
@@ -75,13 +90,20 @@ class DheServerHandshake {
   [[nodiscard]] SessionKeys session_keys() const;
 
  private:
-  enum class State { kExpectHello, kExpectKeyExchange, kEstablished };
+  enum class State {
+    kExpectHello,
+    kAwaitSignature,  // between on_client_hello_begin and _complete
+    kExpectKeyExchange,
+    kEstablished,
+  };
 
   const rsa::Engine& engine_;
   const dh::Dh& group_;
   util::Rng& rng_;
   State state_ = State::kExpectHello;
   dh::KeyPair ephemeral_{};
+  // Flight built by on_client_hello_begin, awaiting its signature.
+  std::optional<Flight1> pending_flight_;
   Random client_random_{};
   Random server_random_{};
   util::Sha256 transcript_;

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "obs/trace.hpp"
+#include "ssl/async/reactor.hpp"
 #include "ssl/batch_decrypt.hpp"
 #include "ssl/handshake.hpp"
 #include "ssl/record.hpp"
@@ -80,6 +81,9 @@ HandshakeOutcome one_handshake(const rsa::Engine& server_engine,
 
 DriverReport run_handshakes(const rsa::Engine& server_engine,
                             const DriverConfig& cfg) {
+  if (cfg.frontend == Frontend::kEvent) {
+    return async::run_event_handshakes(server_engine, cfg);
+  }
   if (!server_engine.has_private()) {
     throw std::invalid_argument("run_handshakes: server engine needs a key");
   }

@@ -9,13 +9,44 @@
 #include <cstdint>
 
 #include "rsa/engine.hpp"
+#include "ssl/async/admission.hpp"
 #include "util/stats.hpp"
 
 namespace phissl::ssl {
 
+/// How the terminator maps connections to threads.
+enum class Frontend {
+  /// Thread-per-connection: each worker runs one handshake end to end,
+  /// blocking inside the batch service while its lane lingers. Simple,
+  /// but lane occupancy is bounded by thread count (16 lanes need 16
+  /// parked threads).
+  kThreaded,
+  /// Event-driven (ssl/async/): nonblocking connection state machines
+  /// multiplexed over a small reactor worker pool; crypto steps resume
+  /// via completion callbacks. Occupancy is bounded by OPEN CONNECTIONS
+  /// instead of threads, and admission control sheds load before the
+  /// private op. Always routes private ops through the batch service.
+  kEvent,
+};
+
 struct DriverConfig {
   std::size_t num_handshakes = 64;  ///< total handshakes to run
   std::size_t num_threads = 1;      ///< worker threads (connections in flight)
+
+  /// Connection-to-thread mapping (see Frontend). The event frontend
+  /// ignores num_threads (its parallelism knobs are event_workers /
+  /// max_open_connections) and always batches private ops.
+  Frontend frontend = Frontend::kThreaded;
+  /// Event frontend: reactor worker threads.
+  std::size_t event_workers = 2;
+  /// Event frontend: concurrently open connection slots (the in-flight
+  /// bound; further connections start as slots free).
+  std::size_t max_open_connections = 1024;
+  /// Event frontend: fraction of connections negotiating DHE-RSA (their
+  /// ServerKeyExchange signature batches alongside the decryptions).
+  double event_dhe_ratio = 0.0;
+  /// Event frontend: admission-control bounds (default: admit all).
+  async::AdmissionConfig admission;
   std::uint64_t seed = 1;           ///< base RNG seed (per-thread derived)
   /// Fraction of handshakes that attempt session resumption (each worker
   /// reuses its most recent full session). 0.0 = all full handshakes.
@@ -55,6 +86,12 @@ struct DriverReport {
   // Batched-decrypt scheduler counters (zero when batch_private_ops off).
   std::uint64_t batches = 0;            ///< 16-lane dispatches issued
   double batch_lane_occupancy = 0.0;    ///< real requests per dispatched lane
+
+  // Event-frontend counters (zero under the threaded frontend).
+  std::uint64_t shed = 0;  ///< connections rejected by admission control
+  /// Mean parked connections resumed per reactor wakeup (>1 means one
+  /// batch completion is amortizing across its lanemates).
+  double resumptions_per_wakeup = 0.0;
 };
 
 /// Runs cfg.num_handshakes full (or resumed) handshakes, each ending with

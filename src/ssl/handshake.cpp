@@ -144,6 +144,27 @@ Result<ServerFlight1> ServerHandshake::on_client_hello(
 
 Result<Finished> ServerHandshake::on_key_exchange(const ClientKeyExchange& kex,
                                                   const Finished& client_fin) {
+  // The blocking form is begin + inline decrypt + complete; the copy of
+  // the ciphertext for the parked-connection case is the only delta.
+  if (auto begun = on_key_exchange_begin(kex); !begun.ok()) {
+    return begun.alert();
+  }
+  std::optional<std::vector<std::uint8_t>> decrypted;
+  {
+    PHISSL_OBS_SPAN("ssl.kex_decrypt");
+    // The handshake's dominant cost: the RSA private-key decryption —
+    // batched across connections when a KexDecrypter is plugged in,
+    // scalar CRT on this thread otherwise.
+    decrypted =
+        kex_decrypter_ != nullptr
+            ? kex_decrypter_->decrypt_premaster(kex.encrypted_premaster)
+            : rsa::decrypt_pkcs1(engine_, kex.encrypted_premaster, &rng_);
+  }
+  return on_key_exchange_complete(decrypted, client_fin);
+}
+
+Result<Unit> ServerHandshake::on_key_exchange_begin(
+    const ClientKeyExchange& kex) {
   if (state_ != State::kExpectKeyExchange) return Alert::kUnexpectedMessage;
 
   // Bleichenbacher countermeasure (RFC 5246 §7.4.7.1): draw the random
@@ -156,24 +177,24 @@ Result<Finished> ServerHandshake::on_key_exchange(const ClientKeyExchange& kex,
   // decrypt_error alert here would be a million-message oracle revealing
   // whether a chosen ciphertext is PKCS#1-conforming under the server
   // key.
-  std::vector<std::uint8_t> premaster(kPremasterSize);
-  rng_.fill_bytes(premaster.data(), premaster.size());
-  {
-    PHISSL_OBS_SPAN("ssl.kex_decrypt");
-    // The handshake's dominant cost: the RSA private-key decryption —
-    // batched across connections when a KexDecrypter is plugged in,
-    // scalar CRT on this thread otherwise.
-    const auto decrypted =
-        kex_decrypter_ != nullptr
-            ? kex_decrypter_->decrypt_premaster(kex.encrypted_premaster)
-            : rsa::decrypt_pkcs1(engine_, kex.encrypted_premaster, &rng_);
-    if (decrypted.has_value() && decrypted->size() == kPremasterSize) {
-      std::copy(decrypted->begin(), decrypted->end(), premaster.begin());
-    }
-  }
+  rng_.fill_bytes(fallback_premaster_.data(), fallback_premaster_.size());
 
   absorb(transcript_, "client_key_exchange");
   absorb(transcript_, kex.encrypted_premaster);
+  state_ = State::kAwaitKexCompletion;
+  return Unit{};
+}
+
+Result<Finished> ServerHandshake::on_key_exchange_complete(
+    const std::optional<std::vector<std::uint8_t>>& decrypted,
+    const Finished& client_fin) {
+  if (state_ != State::kAwaitKexCompletion) return Alert::kUnexpectedMessage;
+
+  std::vector<std::uint8_t> premaster(fallback_premaster_.begin(),
+                                      fallback_premaster_.end());
+  if (decrypted.has_value() && decrypted->size() == kPremasterSize) {
+    std::copy(decrypted->begin(), decrypted->end(), premaster.begin());
+  }
   const util::Sha256::Digest transcript_hash = util::Sha256(transcript_).finish();
 
   const auto master = derive_master(premaster, client_random_, server_random_);

@@ -86,8 +86,31 @@ class ServerHandshake {
 
   /// Step 2 (full path): consume ClientKeyExchange + client Finished;
   /// emits the server Finished. This is where the RSA private op runs.
+  /// Equivalent to on_key_exchange_begin + decrypt + _complete below,
+  /// with the decryption performed inline (via the kex decrypter when
+  /// one is plugged in, scalar CRT on this thread otherwise).
   Result<Finished> on_key_exchange(const ClientKeyExchange& kex,
                                    const Finished& client_fin);
+
+  /// Step 2a (full path, asynchronous form): consume the
+  /// ClientKeyExchange, absorb it into the transcript, and pre-draw the
+  /// Bleichenbacher fallback premaster (RFC 5246 §7.4.7.1 requires the
+  /// random substitute to exist BEFORE the decryption outcome is known).
+  /// The caller then decrypts kex.encrypted_premaster however it likes —
+  /// the event-driven frontend submits it to a BatchDecryptService and
+  /// parks the connection — and finishes with on_key_exchange_complete().
+  /// No other handshake step may run in between.
+  Result<Unit> on_key_exchange_begin(const ClientKeyExchange& kex);
+
+  /// Step 2b: deliver the decryption outcome (nullopt, or a block of the
+  /// wrong length, selects the pre-drawn random premaster — every failure
+  /// mode converges on the same kBadFinished the Bleichenbacher
+  /// countermeasure demands) together with the client Finished; emits the
+  /// server Finished and caches the session, exactly like the tail of
+  /// on_key_exchange().
+  Result<Finished> on_key_exchange_complete(
+      const std::optional<std::vector<std::uint8_t>>& decrypted,
+      const Finished& client_fin);
 
   /// Step 2 (resumed path): consume the client Finished.
   Result<Unit> on_resumed_client_finished(const Finished& client_fin);
@@ -108,6 +131,7 @@ class ServerHandshake {
   enum class State {
     kExpectHello,
     kExpectKeyExchange,
+    kAwaitKexCompletion,  // between on_key_exchange_begin and _complete
     kExpectResumedFinished,
     kEstablished,
   };
@@ -119,6 +143,9 @@ class ServerHandshake {
   State state_ = State::kExpectHello;
   bool resumed_ = false;
   SessionId session_id_{};
+  // Bleichenbacher fallback premaster, drawn in on_key_exchange_begin()
+  // before the decryption outcome exists (see on_key_exchange).
+  std::array<std::uint8_t, kPremasterSize> fallback_premaster_{};
   Random client_random_{};
   Random server_random_{};
   util::Sha256 transcript_;

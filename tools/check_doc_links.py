@@ -1,7 +1,11 @@
 #!/usr/bin/env python3
 """Checks that every relative markdown link in the top-level docs resolves
-to a file in the repository. External (http/mailto) links and pure
-#anchors are skipped. Exit code 1 lists every broken link."""
+to a file in the repository, and that every #anchor fragment — same-file
+or on a relative link to another markdown file — names a real heading in
+its target. Anchors are derived from headings the way GitHub does it
+(lowercase, punctuation stripped, spaces to dashes, duplicate slugs get
+-1/-2/... suffixes). External (http/mailto) links are skipped. Exit code
+1 lists every broken link or anchor."""
 import re
 import sys
 from pathlib import Path
@@ -10,23 +14,77 @@ ROOT = Path(__file__).resolve().parent.parent
 DOCS = [ROOT / "README.md", ROOT / "DESIGN.md", ROOT / "EXPERIMENTS.md",
         ROOT / "ROADMAP.md", *sorted((ROOT / "docs").glob("*.md"))]
 LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+HEADING = re.compile(r"^(#{1,6})\s+(.*)$")
+FENCE = re.compile(r"^\s*(```|~~~)")
+
+
+def slugify(heading: str) -> str:
+    """GitHub-style anchor slug: strip markdown decoration and
+    punctuation, lowercase, spaces/dashes to dashes."""
+    # Inline code/emphasis markers and links render to their text.
+    # Underscores stay: they are word characters in GitHub's slugs.
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", heading)
+    text = text.replace("`", "").replace("*", "")
+    text = text.strip().lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return re.sub(r"[ ]", "-", text)
+
+
+def anchors_of(path: Path, cache={}) -> set:
+    """All anchor slugs a markdown file exposes (headings only, with
+    GitHub's -N disambiguation for duplicates). Fenced code blocks are
+    skipped so a commented '# foo' inside ``` doesn't mint an anchor."""
+    if path not in cache:
+        slugs, counts, in_fence = set(), {}, False
+        for line in path.read_text().splitlines():
+            if FENCE.match(line):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            m = HEADING.match(line)
+            if not m:
+                continue
+            slug = slugify(m.group(2))
+            n = counts.get(slug, 0)
+            counts[slug] = n + 1
+            slugs.add(slug if n == 0 else f"{slug}-{n}")
+        cache[path] = slugs
+    return cache[path]
+
 
 broken = []
 checked = 0
+anchors_checked = 0
 for doc in DOCS:
     if not doc.exists():
         broken.append(f"{doc.relative_to(ROOT)}: file listed for checking is missing")
         continue
     for lineno, line in enumerate(doc.read_text().splitlines(), start=1):
         for target in LINK.findall(line):
-            if target.startswith(("http://", "https://", "mailto:", "#")):
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            if target.startswith("#"):
+                # Same-file anchor.
+                anchors_checked += 1
+                if target[1:] not in anchors_of(doc):
+                    broken.append(f"{doc.relative_to(ROOT)}:{lineno}: "
+                                  f"broken anchor -> {target}")
                 continue
             checked += 1
-            path = (doc.parent / target.split("#", 1)[0]).resolve()
+            rel, _, fragment = target.partition("#")
+            path = (doc.parent / rel).resolve()
             if not path.exists():
                 broken.append(f"{doc.relative_to(ROOT)}:{lineno}: broken link -> {target}")
+                continue
+            if fragment and path.suffix == ".md":
+                anchors_checked += 1
+                if fragment not in anchors_of(path):
+                    broken.append(f"{doc.relative_to(ROOT)}:{lineno}: "
+                                  f"broken anchor -> {target}")
 
 if broken:
     print("\n".join(broken))
     sys.exit(1)
-print(f"check_doc_links: {checked} relative links OK across {len(DOCS)} files")
+print(f"check_doc_links: {checked} relative links and {anchors_checked} "
+      f"anchors OK across {len(DOCS)} files")
