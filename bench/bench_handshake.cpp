@@ -4,6 +4,7 @@
 //
 // Usage:
 //   ./bench_handshake [--smoke] [--json [path]] [--frontend threaded|event|both]
+//                     [--trace [path]] [--metrics [path]] [--workload [path]]
 //
 // The termination sweep (threads x resumption ratio x scalar/batched)
 // measures the lane-coalescing ClientKeyExchange path: with
@@ -21,7 +22,10 @@
 //
 // --smoke shrinks everything to a seconds-long CI run (512-bit key, small
 // counts, legacy tables skipped) while keeping every code path exercised.
-// --frontend selects which sweeps run (default both).
+// --frontend selects which sweeps run (default both). The obs export
+// flags (src/obs/export.hpp) capture the run; --workload in particular
+// records the driver's shed/resumed/dhe_sign tagging for the autotuner
+// (docs/AUTOTUNE.md).
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -31,6 +35,7 @@
 #include "baseline/systems.hpp"
 #include "bench/harness.hpp"
 #include "dh/dh.hpp"
+#include "obs/export.hpp"
 #include "ssl/dhe_handshake.hpp"
 #include "ssl/handshake.hpp"
 #include "util/random.hpp"
@@ -178,6 +183,7 @@ int main(int argc, char** argv) {
     }
   }
   auto json = bench::JsonReporter::from_args("bench_handshake", argc, argv);
+  auto obs_out = obs::ExportConfig::from_args(argc, argv);
 
   bench::print_header("E10 bench_handshake",
                       "SSL handshake throughput, three systems");
@@ -376,5 +382,6 @@ int main(int argc, char** argv) {
     }
   }
 
-  return json.write() ? 0 : 1;
+  const bool wrote_obs = obs_out.write();
+  return json.write() && wrote_obs ? 0 : 1;
 }

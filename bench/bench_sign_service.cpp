@@ -20,12 +20,17 @@
 //
 //   ./bench_sign_service [--smoke] [--json [path]]
 //                        [--trace [path]] [--metrics [path]]
+//                        [--workload path]
 //
 // --smoke shrinks the sweep to a seconds-long CI run (512-bit key, few
 // requests); --json with no path writes bench_sign_service.json. --trace
 // enables span recording and writes a Chrome trace (chrome://tracing /
 // Perfetto); --metrics dumps the process metric registry in Prometheus
 // text format. Both are validated by tools/check_trace_json.py in CI.
+// --workload turns the workload trace recorder (obs/workload.hpp) on for
+// the whole sweep and writes the JSONL trace to `path` — the capture half
+// of the observe -> model -> tune loop; feed the file to phissl_autotune
+// (docs/AUTOTUNE.md).
 #include <chrono>
 #include <cmath>
 #include <cstdio>

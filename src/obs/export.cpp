@@ -6,6 +6,7 @@
 
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "obs/workload.hpp"
 
 namespace phissl::obs {
 
@@ -44,11 +45,16 @@ ExportConfig ExportConfig::from_args(int argc, char** argv) {
     if (parse_path_flag(argc, argv, i, "--trace", "trace.json",
                         cfg.trace_path, consumed) ||
         parse_path_flag(argc, argv, i, "--metrics", "metrics.prom",
-                        cfg.metrics_path, consumed)) {
+                        cfg.metrics_path, consumed) ||
+        parse_path_flag(argc, argv, i, "--workload", "workload.jsonl",
+                        cfg.workload_path, consumed)) {
       if (consumed) ++i;
     }
   }
   if (!cfg.trace_path.empty()) set_tracing(true);
+  if (!cfg.workload_path.empty()) {
+    WorkloadRecorder::global().set_recording(true);
+  }
   return cfg;
 }
 
@@ -58,6 +64,8 @@ bool ExportConfig::owns_arg(int argc, char** argv, int i,
   return parse_path_flag(argc, argv, i, "--trace", "", ignored,
                          consumed_next) ||
          parse_path_flag(argc, argv, i, "--metrics", "", ignored,
+                         consumed_next) ||
+         parse_path_flag(argc, argv, i, "--workload", "", ignored,
                          consumed_next);
 }
 
@@ -84,6 +92,17 @@ bool ExportConfig::write() const {
       render_prometheus(f);
       std::printf("wrote Prometheus metrics dump to %s\n",
                   metrics_path.c_str());
+    }
+  }
+  if (!workload_path.empty()) {
+    std::ofstream f(workload_path);
+    if (!f) {
+      std::fprintf(stderr, "obs: cannot open %s\n", workload_path.c_str());
+      ok = false;
+    } else {
+      WorkloadRecorder::global().export_jsonl(f);
+      std::printf("wrote workload trace to %s (replay with phissl_autotune)\n",
+                  workload_path.c_str());
     }
   }
   return ok;

@@ -1,16 +1,17 @@
 // CLI plumbing shared by bench harnesses and examples: parse
-// `--trace <path>` / `--metrics <path>` flags, enable span tracing when a
-// trace was requested, and write the Chrome trace + Prometheus dump next
-// to whatever else the program emits.
+// `--trace <path>` / `--metrics <path>` / `--workload <path>` flags,
+// enable span tracing / workload recording when the matching flag was
+// given, and write the Chrome trace + Prometheus dump + workload JSONL
+// next to whatever else the program emits.
 //
 //   auto obs_out = obs::ExportConfig::from_args(argc, argv);
 //   ... run the workload ...
 //   obs_out.write();  // no-op when neither flag was given
 //
-// Both flags accept `--flag <path>`, `--flag=<path>`, or a bare `--flag`
-// (default paths trace.json / metrics.prom), mirroring the bench
-// harness's --json contract. tools/check_trace_json.py validates both
-// output formats in CI.
+// All flags accept `--flag <path>`, `--flag=<path>`, or a bare `--flag`
+// (default paths trace.json / metrics.prom / workload.jsonl), mirroring
+// the bench harness's --json contract. tools/check_trace_json.py
+// validates all three output formats in CI.
 #pragma once
 
 #include <string>
@@ -18,11 +19,13 @@
 namespace phissl::obs {
 
 struct ExportConfig {
-  std::string trace_path;    // empty = no trace requested
-  std::string metrics_path;  // empty = no metrics dump requested
+  std::string trace_path;     // empty = no trace requested
+  std::string metrics_path;   // empty = no metrics dump requested
+  std::string workload_path;  // empty = no workload trace requested
 
-  /// Parses argv (ignoring unrelated flags) and calls set_tracing(true)
-  /// when a trace path was requested.
+  /// Parses argv (ignoring unrelated flags), calls set_tracing(true) when
+  /// a trace path was requested, and turns on the workload recorder when
+  /// a workload path was requested.
   static ExportConfig from_args(int argc, char** argv);
 
   /// True if argv[i] is one of our flags; `consumed_next` is set when the
@@ -31,12 +34,13 @@ struct ExportConfig {
   static bool owns_arg(int argc, char** argv, int i, bool& consumed_next);
 
   [[nodiscard]] bool enabled() const {
-    return !trace_path.empty() || !metrics_path.empty();
+    return !trace_path.empty() || !metrics_path.empty() ||
+           !workload_path.empty();
   }
 
-  /// Writes the requested files (Chrome trace JSON and/or Prometheus text
-  /// dump), printing each destination. Returns false after a diagnostic
-  /// if a file cannot be written.
+  /// Writes the requested files (Chrome trace JSON, Prometheus text dump,
+  /// and/or workload JSONL), printing each destination. Returns false
+  /// after a diagnostic if a file cannot be written.
   [[nodiscard]] bool write() const;
 };
 

@@ -150,6 +150,24 @@ struct Family {
   std::vector<Instance> instances;
 };
 
+// Exposition format: HELP text escapes backslash and newline (label
+// values would also escape `"`, but our label bodies are pre-formatted
+// literals). Anything else passes through.
+std::string help_escaped(const std::string& help) {
+  std::string out;
+  out.reserve(help.size());
+  for (const char c : help) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
 std::string label_suffix(const std::string& labels,
                          const std::string& extra = "") {
   if (labels.empty() && extra.empty()) return "";
@@ -227,7 +245,9 @@ void Registry::render_prometheus(std::ostream& os) const {
                   fam.instances.front().metric)
                   ? "gauge"
                   : "histogram";
-    if (!fam.help.empty()) os << "# HELP " << name << " " << fam.help << "\n";
+    if (!fam.help.empty()) {
+      os << "# HELP " << name << " " << help_escaped(fam.help) << "\n";
+    }
     os << "# TYPE " << name << " " << type << "\n";
     for (const Instance& inst : fam.instances) {
       if (const auto* c =

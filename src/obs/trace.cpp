@@ -1,5 +1,7 @@
 #include "obs/trace.hpp"
 
+#include "obs/metrics.hpp"
+
 #include <algorithm>
 #include <atomic>
 #include <cstdio>
@@ -84,6 +86,14 @@ void Tracer::record(const char* name, std::uint64_t start_ns,
                     std::uint64_t arg) noexcept {
   Ring& ring = impl_->local_ring();
   const std::uint64_t h = ring.head.load(std::memory_order_relaxed);
+  if (h >= kRingCapacity) {
+    // Overwriting the oldest span: surface the drop in metrics scrapes,
+    // not only in the drained Chrome-trace counter event.
+    static Counter& dropped = Registry::global().counter(
+        "phissl_trace_dropped_total",
+        "tracer spans overwritten by ring wraparound");
+    dropped.inc();
+  }
   SpanRecord& slot = ring.slots[h % kRingCapacity];
   slot.name = name;
   slot.arg_name = arg_name;

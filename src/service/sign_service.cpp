@@ -8,6 +8,8 @@
 
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "obs/workload.hpp"
+#include "util/timing.hpp"
 #include "rsa/pkcs1.hpp"
 #include "util/sha256.hpp"
 
@@ -87,6 +89,7 @@ struct SignService::Pending {
   std::promise<SignResult> promise;
   Completion done;
   Clock::time_point submitted;
+  obs::WorkloadOp op = obs::WorkloadOp::kSign;  // workload-trace tag
 };
 
 /// Per-key shard: one BatchEngine plus its (sub-16) submission queue.
@@ -106,6 +109,7 @@ struct SignService::Shard {
   rsa::BatchEngine engine;
   std::size_t k;  // modulus byte size (signature length)
   BigInt dummy;
+  std::uint32_t key_bits() const { return static_cast<std::uint32_t>(k * 8); }
 
   std::mutex mu;
   std::vector<Pending> pending;   // always < kBatch entries
@@ -116,6 +120,8 @@ SignService::SignService(SignServiceConfig config)
     : config_(config),
       metrics_(std::make_unique<Metrics>(next_svc_labels())),
       pool_(config.dispatch_threads) {
+  config_.max_batch_lanes =
+      std::clamp<std::size_t>(config_.max_batch_lanes, 1, kBatch);
   linger_thread_ = std::thread([this] { linger_loop(); });
 }
 
@@ -172,18 +178,20 @@ std::future<SignResult> SignService::private_op(
   if (p.x >= shard.engine.pub().n) {
     throw std::invalid_argument("SignService::private_op: input >= modulus");
   }
+  p.op = obs::WorkloadOp::kPrivateOp;
   p.submitted = Clock::now();
   return enqueue(shard, std::move(p));
 }
 
 void SignService::sign_async(const std::string& key_id,
                              std::span<const std::uint8_t> digest,
-                             Completion done) {
+                             Completion done, obs::WorkloadOp op) {
   PHISSL_OBS_SPAN("svc.sign_async");
   Shard& shard = find_shard(key_id);
   Pending p;
   p.x = BigInt::from_bytes_be(rsa::emsa_pkcs1_v15_from_digest(digest, shard.k));
   p.done = std::move(done);
+  p.op = op;
   p.submitted = Clock::now();
   (void)enqueue(shard, std::move(p));
 }
@@ -204,6 +212,7 @@ void SignService::private_op_async(const std::string& key_id,
         "SignService::private_op_async: input >= modulus");
   }
   p.done = std::move(done);
+  p.op = obs::WorkloadOp::kPrivateOp;
   p.submitted = Clock::now();
   (void)enqueue(shard, std::move(p));
 }
@@ -225,7 +234,7 @@ std::future<SignResult> SignService::enqueue(Shard& shard, Pending&& p) {
       first_pending = true;
     }
     shard.pending.push_back(std::move(p));
-    if (shard.pending.size() == kBatch) {
+    if (shard.pending.size() >= config_.max_batch_lanes) {
       batch = std::move(shard.pending);
       shard.pending.clear();
     }
@@ -275,6 +284,29 @@ void SignService::dispatch(Shard& shard, std::vector<Pending>&& batch,
   }
   for (const Pending& p : *work) {
     metrics_->queue_wait_us.record(to_us(dispatch_time - p.submitted));
+  }
+  if (PHISSL_OBS_WORKLOAD_ENABLED) {
+    // One workload event per REAL lane, all tagged with this dispatch's
+    // batch ordinal so the replay engine can reconstruct per-batch
+    // occupancy. Timestamps reuse the steady_clock values already taken.
+    obs::WorkloadRecorder& rec = obs::WorkloadRecorder::global();
+    const std::uint64_t batch_id = rec.next_batch_id();
+    for (const Pending& p : *work) {
+      obs::WorkloadEvent ev;
+      ev.arrival_ns = rec.rel_ns(static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              p.submitted.time_since_epoch())
+              .count()));
+      ev.queue_wait_ns = static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(dispatch_time -
+                                                               p.submitted)
+              .count());
+      ev.batch_id = batch_id;
+      ev.key_bits = shard.key_bits();
+      ev.op = p.op;
+      ev.lanes_filled = static_cast<std::uint8_t>(real);
+      rec.record(ev);
+    }
   }
 
   inflight_.fetch_add(1);

@@ -52,6 +52,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/workload.hpp"
 #include "rsa/batch_engine.hpp"
 #include "rsa/key.hpp"
 #include "util/stats.hpp"
@@ -68,6 +69,11 @@ struct SignServiceConfig {
   /// see the class comment). Smaller = lower tail latency at light load,
   /// lower lane occupancy. Ignored when full_batches_only.
   std::chrono::microseconds max_linger{500};
+  /// Real lanes that trigger an immediate ("full") dispatch. The vector
+  /// kernel always runs the fixed 16-lane shape — lowering this pads the
+  /// remainder with dummy lanes, trading occupancy for queue wait (an
+  /// autotuner output, not usually hand-set). Clamped to [1, 16].
+  std::size_t max_batch_lanes = 16;
   /// Never flush a partial batch on a deadline: dispatch only when 16
   /// requests are pending (plus a final drain at stop()). This is the
   /// forced-full baseline bench_sign_service compares against — maximal
@@ -168,8 +174,12 @@ class SignService {
   /// instead of a future, so callers multiplexing thousands of
   /// connections never park a thread per request. Argument validation
   /// still throws synchronously, exactly like sign().
+  /// `op` tags the request in the workload trace (obs/workload.hpp): the
+  /// DHE-RSA path passes kDheSign so the recorded op mix distinguishes
+  /// server-signature traffic from key-transport signing.
   void sign_async(const std::string& key_id,
-                  std::span<const std::uint8_t> digest, Completion done);
+                  std::span<const std::uint8_t> digest, Completion done,
+                  obs::WorkloadOp op = obs::WorkloadOp::kSign);
 
   /// Non-blocking sibling of private_op(): same raw x^d mod n contract,
   /// result delivered through `done`. Argument validation (unknown key,

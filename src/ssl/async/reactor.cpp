@@ -7,6 +7,7 @@
 
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "obs/workload.hpp"
 #include "util/timing.hpp"
 
 namespace phissl::ssl::async {
@@ -291,11 +292,30 @@ void Reactor::finish_connection(std::size_t slot_idx) {
   slot.latencies_us.push_back(std::chrono::duration<double, std::micro>(
                                   Clock::now() - slot.started)
                                   .count());
+  // Shed and resumed connections never reach the batch service, so the
+  // per-lane events SignService records can't cover them — the workload
+  // trace gets them here, arrival-stamped at connection start.
+  const auto record_outcome = [&](bool is_shed, bool is_resumed) {
+    if (!PHISSL_OBS_WORKLOAD_ENABLED) return;
+    obs::WorkloadRecorder& rec = obs::WorkloadRecorder::global();
+    obs::WorkloadEvent wev;
+    wev.arrival_ns = rec.rel_ns(static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            slot.started.time_since_epoch())
+            .count()));
+    wev.key_bits =
+        static_cast<std::uint32_t>(engine_.pub().byte_size() * 8);
+    wev.op = obs::WorkloadOp::kPrivateOp;
+    wev.shed = is_shed;
+    wev.resumed = is_resumed;
+    rec.record(wev);
+  };
   if (slot.client.has_value()) {
     if (slot.client->done()) {
       completed_.fetch_add(1, std::memory_order_relaxed);
       if (slot.client->resumed()) {
         resumed_.fetch_add(1, std::memory_order_relaxed);
+        record_outcome(/*is_shed=*/false, /*is_resumed=*/true);
       } else if (slot.client->has_resumable()) {
         // Bank the fresh session for this identity's next connection
         // (DHE sessions carry no resumable handle).
@@ -305,6 +325,7 @@ void Reactor::finish_connection(std::size_t slot_idx) {
     } else if (slot.server->was_shed()) {
       shed_.fetch_add(1, std::memory_order_relaxed);
       shed_counter_->inc();
+      record_outcome(/*is_shed=*/true, /*is_resumed=*/false);
     } else {
       failed_.fetch_add(1, std::memory_order_relaxed);
     }
@@ -348,6 +369,7 @@ DriverReport run_event_handshakes(const rsa::Engine& server_engine,
       BatchDecryptConfig{
           .dispatch_threads = cfg.batch_dispatch_threads,
           .max_linger = cfg.batch_linger,
+          .max_batch_lanes = cfg.batch_max_lanes,
           .digit_bits = server_engine.options().digit_bits,
           .backend = cfg.batch_backend,
       });

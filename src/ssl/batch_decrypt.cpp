@@ -18,6 +18,7 @@ BatchDecryptService::BatchDecryptService(rsa::PrivateKey key,
       svc_(service::SignServiceConfig{
           .dispatch_threads = config.dispatch_threads,
           .max_linger = config.max_linger,
+          .max_batch_lanes = config.max_batch_lanes,
           .full_batches_only = config.full_batches_only,
           .digit_bits = config.digit_bits,
           .backend = config.backend,
@@ -66,14 +67,18 @@ void BatchDecryptService::decrypt_premaster_async(
 
 void BatchDecryptService::sign_digest_async(
     std::span<const std::uint8_t> digest, DecryptCompletion done) {
-  svc_.sign_async(kKeyId, digest,
-                  [done = std::move(done)](std::optional<service::SignResult> r) {
-                    if (r.has_value()) {
-                      done(std::move(r->signature));
-                    } else {
-                      done(std::nullopt);
-                    }
-                  });
+  svc_.sign_async(
+      kKeyId, digest,
+      [done = std::move(done)](std::optional<service::SignResult> r) {
+        if (r.has_value()) {
+          done(std::move(r->signature));
+        } else {
+          done(std::nullopt);
+        }
+      },
+      // Everything through this entry point is a DHE ServerKeyExchange
+      // signature; tag it so the workload trace records the true op mix.
+      obs::WorkloadOp::kDheSign);
 }
 
 }  // namespace phissl::ssl

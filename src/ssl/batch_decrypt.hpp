@@ -42,6 +42,9 @@ struct BatchDecryptConfig {
   std::size_t dispatch_threads = 1;
   /// Partial-batch linger bound (see SignServiceConfig::max_linger).
   std::chrono::microseconds max_linger{500};
+  /// Real lanes that trigger an immediate dispatch (see
+  /// SignServiceConfig::max_batch_lanes). Clamped to [1, 16].
+  std::size_t max_batch_lanes = 16;
   /// Forced-full baseline: only dispatch 16-lane batches.
   bool full_batches_only = false;
   /// Redundant-radix digit width for the batch contexts (knc_vec only).

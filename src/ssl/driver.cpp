@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "obs/trace.hpp"
+#include "obs/workload.hpp"
 #include "ssl/async/reactor.hpp"
 #include "ssl/batch_decrypt.hpp"
 #include "ssl/handshake.hpp"
@@ -106,6 +107,7 @@ DriverReport run_handshakes(const rsa::Engine& server_engine,
         BatchDecryptConfig{
             .dispatch_threads = cfg.batch_dispatch_threads,
             .max_linger = cfg.batch_linger,
+            .max_batch_lanes = cfg.batch_max_lanes,
             .digit_bits = server_engine.options().digit_bits,
             .backend = cfg.batch_backend,
         });
@@ -149,6 +151,8 @@ DriverReport run_handshakes(const rsa::Engine& server_engine,
       const bool try_resume = sessions[slot].has_value() &&
                               rng.next_u32() < resume_threshold;
       util::Stopwatch sw;
+      const std::uint64_t arrival_abs =
+          PHISSL_OBS_WORKLOAD_ENABLED ? util::now_ns() : 0;
       const HandshakeOutcome outcome =
           one_handshake(server_engine, client_engine, cache, rng,
                         sessions[slot], try_resume, batch_svc.get());
@@ -158,6 +162,24 @@ DriverReport run_handshakes(const rsa::Engine& server_engine,
         if (outcome.resumed) resumed++;
       } else {
         failed++;
+      }
+      if (PHISSL_OBS_WORKLOAD_ENABLED && outcome.ok) {
+        // Resumptions always record here (the private op was AVOIDED, so
+        // no lower layer sees them). Scalar-path private ops record here
+        // too; batched ones are already recorded per lane by SignService,
+        // so skip them to keep the trace one-event-per-op.
+        obs::WorkloadRecorder& rec = obs::WorkloadRecorder::global();
+        obs::WorkloadEvent ev;
+        ev.arrival_ns = rec.rel_ns(arrival_abs);
+        ev.key_bits =
+            static_cast<std::uint32_t>(server_engine.pub().byte_size() * 8);
+        ev.op = obs::WorkloadOp::kPrivateOp;
+        if (outcome.resumed) {
+          ev.resumed = true;
+          rec.record(ev);
+        } else if (!batch_svc) {
+          rec.record(ev);  // scalar CRT path: batch_id 0, lanes 0
+        }
       }
       lats.push_back(us);
     }

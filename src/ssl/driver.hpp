@@ -58,6 +58,9 @@ struct DriverConfig {
   bool batch_private_ops = false;
   /// Partial-batch linger bound for the batched path.
   std::chrono::microseconds batch_linger{500};
+  /// Real lanes that trigger an immediate dispatch on the batched path
+  /// (see SignServiceConfig::max_batch_lanes). Clamped to [1, 16].
+  std::size_t batch_max_lanes = 16;
   /// Dispatch workers for the batched path (the handshake threads block
   /// awaiting their lane, so 1 is usually right).
   std::size_t batch_dispatch_threads = 1;

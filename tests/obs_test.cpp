@@ -1,15 +1,22 @@
 // Unit tests for src/obs: histogram bucket boundaries (edge values,
 // underflow/overflow), exact aggregates, quantile monotonicity, registry
-// identity and Prometheus rendering, tracer ring wraparound (oldest spans
+// identity and Prometheus rendering (including a small exposition-format
+// parser that checks scraper-facing invariants), tracer ring wraparound
+// (oldest spans
 // dropped, drop counter, drained JSON well-formed), the runtime tracing
 // toggle, record-path lock-freedom under thread contention, and the
 // --trace/--metrics flag parser.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cmath>
 #include <cstdint>
+#include <cstdlib>
+#include <cstring>
 #include <limits>
+#include <map>
+#include <set>
 #include <sstream>
 #include <stdexcept>
 #include <string>
@@ -177,6 +184,150 @@ TEST(Registry, RendersPrometheusTextFormat) {
     saw_bucket = true;
   }
   EXPECT_TRUE(saw_bucket);
+}
+
+namespace {
+
+/// Minimal Prometheus text-exposition parser: walks the rendered document
+/// line by line and enforces the format rules a scraper relies on.
+/// Populates `families_out` (when non-null) with the family names seen;
+/// EXPECT/ASSERTs fire on any violation (void return, as ASSERT requires).
+void parse_exposition(const std::string& text,
+                      std::set<std::string>* families_out = nullptr) {
+  std::set<std::string> families;            // names with a # TYPE line
+  std::map<std::string, std::string> types;  // family -> counter/gauge/...
+  std::map<std::string, std::string> help;   // family -> HELP text
+  std::string current;                       // family the samples belong to
+  std::map<std::string, std::uint64_t> inf_bucket, count_sample;
+  double prev_le = 0.0;
+  std::uint64_t prev_cum = 0;
+  bool first_bucket = true;
+
+  const auto base_family = [](std::string name) {
+    for (const char* suffix : {"_bucket", "_sum", "_count"}) {
+      if (name.size() > std::strlen(suffix) &&
+          name.compare(name.size() - std::strlen(suffix),
+                       std::strlen(suffix), suffix) == 0) {
+        return name.substr(0, name.size() - std::strlen(suffix));
+      }
+    }
+    return name;
+  };
+
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    ASSERT_FALSE(line.empty()) << "blank line in exposition";
+    if (line.rfind("# HELP ", 0) == 0) {
+      const std::size_t sp = line.find(' ', 7);
+      ASSERT_NE(sp, std::string::npos) << line;
+      const std::string name = line.substr(7, sp - 7);
+      EXPECT_EQ(types.count(name), 0u) << "# HELP after # TYPE: " << name;
+      help[name] = line.substr(sp + 1);
+      continue;
+    }
+    if (line.rfind("# TYPE ", 0) == 0) {
+      const std::size_t sp = line.find(' ', 7);
+      ASSERT_NE(sp, std::string::npos) << line;
+      const std::string name = line.substr(7, sp - 7);
+      const std::string type = line.substr(sp + 1);
+      EXPECT_TRUE(type == "counter" || type == "gauge" ||
+                  type == "histogram")
+          << line;
+      EXPECT_EQ(families.count(name), 0u) << "duplicate # TYPE: " << name;
+      families.insert(name);
+      types[name] = type;
+      current = name;
+      first_bucket = true;
+      prev_cum = 0;
+      continue;
+    }
+    ASSERT_NE(line[0], '#') << "unknown comment form: " << line;
+
+    // Sample line: name{labels} value | name value.
+    const std::size_t brace = line.find('{');
+    const std::size_t name_end = std::min(brace, line.find(' '));
+    ASSERT_NE(name_end, std::string::npos) << line;
+    const std::string name = line.substr(0, name_end);
+    const std::string family = base_family(name);
+    EXPECT_EQ(family, current)
+        << "sample " << name << " outside its family block";
+    ASSERT_EQ(types.count(family), 1u) << "sample before # TYPE: " << name;
+    const bool is_histogram = types[family] == "histogram";
+    EXPECT_EQ(name != family, is_histogram)
+        << "suffixed samples only (and always) for histograms: " << line;
+
+    const std::string value_str = line.substr(line.find_last_of(' ') + 1);
+    char* end = nullptr;
+    const double value = std::strtod(value_str.c_str(), &end);
+    EXPECT_EQ(*end, '\0') << "non-numeric sample value: " << line;
+
+    if (name == family + "_bucket") {
+      const std::size_t le_pos = line.find("le=\"");
+      ASSERT_NE(le_pos, std::string::npos) << line;
+      const std::size_t le_end = line.find('"', le_pos + 4);
+      const std::string le = line.substr(le_pos + 4, le_end - le_pos - 4);
+      const double le_val = le == "+Inf"
+                                ? std::numeric_limits<double>::infinity()
+                                : std::strtod(le.c_str(), nullptr);
+      if (!first_bucket) {
+        EXPECT_GT(le_val, prev_le) << "le edges not increasing: " << line;
+        EXPECT_GE(static_cast<std::uint64_t>(value), prev_cum)
+            << "cumulative buckets decreased: " << line;
+      }
+      first_bucket = false;
+      prev_le = le_val;
+      prev_cum = static_cast<std::uint64_t>(value);
+      if (le == "+Inf") {
+        inf_bucket[family] = static_cast<std::uint64_t>(value);
+      }
+    } else if (name == family + "_count") {
+      count_sample[family] = static_cast<std::uint64_t>(value);
+    }
+  }
+
+  // Histogram closing invariants: +Inf bucket present and equal to _count.
+  for (const auto& [fam, type] : types) {
+    if (type != "histogram") continue;
+    ASSERT_EQ(inf_bucket.count(fam), 1u) << fam << " missing +Inf bucket";
+    ASSERT_EQ(count_sample.count(fam), 1u) << fam << " missing _count";
+    EXPECT_EQ(inf_bucket[fam], count_sample[fam]) << fam;
+  }
+  if (families_out != nullptr) *families_out = std::move(families);
+}
+
+}  // namespace
+
+TEST(Registry, ExpositionParsesCleanly) {
+  Registry reg;
+  reg.counter("obs_expo_ops_total", "ops", "svc=\"a\"").inc(4);
+  reg.counter("obs_expo_ops_total", "ops", "svc=\"b\"").inc(2);
+  reg.gauge("obs_expo_depth", "queue depth").set(11);
+  Histogram& h = reg.histogram("obs_expo_wait_us", "wait");
+  for (double v : {0.2, 1.0, 7.5, 300.0, 1e6}) h.record(v);
+
+  std::ostringstream os;
+  reg.render_prometheus(os);
+  std::set<std::string> families;
+  parse_exposition(os.str(), &families);
+  EXPECT_EQ(families, (std::set<std::string>{
+                          "obs_expo_ops_total", "obs_expo_depth",
+                          "obs_expo_wait_us"}));
+}
+
+TEST(Registry, HelpTextIsEscaped) {
+  Registry reg;
+  reg.counter("obs_expo_escaped_total", "line one\nback\\slash").inc();
+  std::ostringstream os;
+  reg.render_prometheus(os);
+  const std::string text = os.str();
+  // The raw newline must not split the HELP line; both escapes must be
+  // spelled per the exposition format.
+  EXPECT_NE(
+      text.find("# HELP obs_expo_escaped_total line one\\nback\\\\slash\n"),
+      std::string::npos)
+      << text;
+  parse_exposition(text);  // still structurally valid
 }
 
 // --- tracer -----------------------------------------------------------------

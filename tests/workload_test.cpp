@@ -1,0 +1,215 @@
+// Unit tests for the workload trace recorder (src/obs/workload.hpp):
+// JSONL round-trip losslessness, the global recorder's record -> export ->
+// load pipeline, ring wraparound (oldest events overwritten, drop totals
+// and the registry drop counter advance), the recording toggle, and the
+// loader's line-numbered rejection of malformed documents.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/workload.hpp"
+
+namespace phissl::obs {
+namespace {
+
+WorkloadEvent make_event(std::uint64_t arrival, WorkloadOp op,
+                         std::uint8_t lanes) {
+  WorkloadEvent ev;
+  ev.arrival_ns = arrival;
+  ev.queue_wait_ns = arrival / 2;
+  ev.batch_id = arrival % 7;
+  ev.key_bits = 1024;
+  ev.op = op;
+  ev.lanes_filled = lanes;
+  return ev;
+}
+
+TEST(WorkloadOpNames, RoundTrip) {
+  for (WorkloadOp op : {WorkloadOp::kSign, WorkloadOp::kPrivateOp,
+                        WorkloadOp::kDheSign}) {
+    const auto back = workload_op_from_string(to_string(op));
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, op);
+  }
+  EXPECT_FALSE(workload_op_from_string("verify").has_value());
+  EXPECT_FALSE(workload_op_from_string("").has_value());
+}
+
+TEST(WorkloadJsonl, WriteLoadIsLossless) {
+  std::vector<WorkloadEvent> events;
+  events.push_back(make_event(0, WorkloadOp::kSign, 16));
+  events.push_back(make_event(1'000'000, WorkloadOp::kPrivateOp, 1));
+  events.push_back(make_event(2'500'000, WorkloadOp::kDheSign, 7));
+  WorkloadEvent shed;
+  shed.arrival_ns = 3'000'000;
+  shed.shed = true;
+  events.push_back(shed);
+  WorkloadEvent resumed;
+  resumed.arrival_ns = 4'000'000;
+  resumed.resumed = true;
+  events.push_back(resumed);
+  WorkloadEvent extremes;
+  extremes.arrival_ns = UINT64_MAX;
+  extremes.queue_wait_ns = UINT64_MAX;
+  extremes.batch_id = UINT64_MAX;
+  extremes.key_bits = UINT32_MAX;
+  extremes.lanes_filled = 255;
+  events.push_back(extremes);
+
+  std::stringstream ss;
+  write_workload_jsonl(ss, events);
+  const std::vector<WorkloadEvent> loaded = load_workload_jsonl(ss);
+  ASSERT_EQ(loaded.size(), events.size());
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(loaded[i], events[i]) << "event " << i;
+  }
+}
+
+TEST(WorkloadRecorder, RecordExportLoadRoundTrip) {
+  WorkloadRecorder& rec = WorkloadRecorder::global();
+  rec.set_recording(true);
+  rec.clear();
+
+  std::vector<WorkloadEvent> sent;
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    WorkloadEvent ev = make_event(i * 1000, WorkloadOp::kSign,
+                                  static_cast<std::uint8_t>(i % 16 + 1));
+    ev.batch_id = rec.next_batch_id();
+    EXPECT_NE(ev.batch_id, 0u);
+    rec.record(ev);
+    sent.push_back(ev);
+  }
+  EXPECT_GE(rec.recorded_total(), 100u);
+
+  std::stringstream ss;
+  rec.export_jsonl(ss);
+  const std::vector<WorkloadEvent> loaded = load_workload_jsonl(ss);
+  ASSERT_EQ(loaded.size(), sent.size());
+  // drain() sorts by arrival_ns; sent is already in arrival order.
+  for (std::size_t i = 0; i < sent.size(); ++i) {
+    EXPECT_EQ(loaded[i], sent[i]) << "event " << i;
+  }
+  rec.set_recording(false);
+  rec.clear();
+}
+
+TEST(WorkloadRecorder, RecordingToggle) {
+  WorkloadRecorder& rec = WorkloadRecorder::global();
+  rec.set_recording(false);
+  EXPECT_FALSE(rec.enabled());
+  rec.set_recording(true);
+  EXPECT_TRUE(rec.enabled());
+  rec.set_recording(false);
+  EXPECT_FALSE(rec.enabled());
+}
+
+TEST(WorkloadRecorder, RelNsSaturatesAtEpoch) {
+  WorkloadRecorder& rec = WorkloadRecorder::global();
+  EXPECT_EQ(rec.rel_ns(0), 0u);  // long before the epoch
+  const std::uint64_t now = rec.now_rel_ns();
+  // now_rel_ns is measured against the same epoch rel_ns subtracts.
+  EXPECT_GE(rec.now_rel_ns(), now);
+}
+
+TEST(WorkloadRecorder, RingWraparoundKeepsNewestAndCountsDrops) {
+  WorkloadRecorder& rec = WorkloadRecorder::global();
+  rec.set_recording(true);
+  rec.clear();
+  Counter& drop_counter = Registry::global().counter(
+      "phissl_workload_dropped_total", "");
+  const std::uint64_t counter_before = drop_counter.value();
+  const std::uint64_t dropped_before = rec.dropped_total();
+
+  const std::uint64_t extra = 123;
+  const std::uint64_t total = WorkloadRecorder::kRingCapacity + extra;
+  for (std::uint64_t i = 0; i < total; ++i) {
+    rec.record(make_event(i, WorkloadOp::kSign, 1));
+  }
+
+  const std::vector<WorkloadEvent> kept = rec.drain();
+  ASSERT_EQ(kept.size(), WorkloadRecorder::kRingCapacity);
+  // Oldest `extra` events were overwritten: the survivors are exactly
+  // [extra, total), still sorted by arrival.
+  EXPECT_EQ(kept.front().arrival_ns, extra);
+  EXPECT_EQ(kept.back().arrival_ns, total - 1);
+  for (std::size_t i = 1; i < kept.size(); ++i) {
+    EXPECT_EQ(kept[i].arrival_ns, kept[i - 1].arrival_ns + 1);
+  }
+
+  EXPECT_EQ(rec.dropped_total() - dropped_before, extra);
+  // The registry counter mirrors the drop total (and being monotone, it
+  // survives clear()).
+  EXPECT_EQ(drop_counter.value() - counter_before, extra);
+
+  rec.set_recording(false);
+  rec.clear();
+  EXPECT_TRUE(rec.drain().empty());
+}
+
+TEST(WorkloadJsonl, LoaderRejectsMalformedDocuments) {
+  const auto load = [](const std::string& doc) {
+    std::istringstream is(doc);
+    return load_workload_jsonl(is);
+  };
+  const std::string header =
+      "{\"schema\":\"phissl-workload-trace\",\"version\":1,\"events\":1}\n";
+  const std::string good_line =
+      "{\"arrival_ns\":1,\"op\":\"sign\",\"key_bits\":1024,"
+      "\"queue_wait_ns\":0,\"batch_id\":0,\"lanes_filled\":0,"
+      "\"shed\":0,\"resumed\":0}\n";
+
+  EXPECT_NO_THROW(load(header + good_line));
+  EXPECT_THROW(load(""), std::runtime_error);
+  EXPECT_THROW(load("not json\n"), std::runtime_error);
+  // Wrong schema name.
+  EXPECT_THROW(
+      load("{\"schema\":\"phissl-trace\",\"version\":1,\"events\":0}\n"),
+      std::runtime_error);
+  // Unsupported version.
+  EXPECT_THROW(
+      load("{\"schema\":\"phissl-workload-trace\",\"version\":99,"
+           "\"events\":0}\n"),
+      std::runtime_error);
+  // Unknown op name.
+  EXPECT_THROW(load(header + "{\"arrival_ns\":1,\"op\":\"verify\","
+                             "\"key_bits\":1024,\"queue_wait_ns\":0,"
+                             "\"batch_id\":0,\"lanes_filled\":0,"
+                             "\"shed\":0,\"resumed\":0}\n"),
+               std::runtime_error);
+  // Missing required field (no arrival_ns).
+  EXPECT_THROW(load(header + "{\"op\":\"sign\",\"key_bits\":1024,"
+                             "\"queue_wait_ns\":0,\"batch_id\":0,"
+                             "\"lanes_filled\":0,\"shed\":0,"
+                             "\"resumed\":0}\n"),
+               std::runtime_error);
+  // lanes_filled out of the uint8 range.
+  EXPECT_THROW(load(header + "{\"arrival_ns\":1,\"op\":\"sign\","
+                             "\"key_bits\":1024,\"queue_wait_ns\":0,"
+                             "\"batch_id\":0,\"lanes_filled\":256,"
+                             "\"shed\":0,\"resumed\":0}\n"),
+               std::runtime_error);
+}
+
+TEST(WorkloadJsonl, LoaderAcceptsFlagSpellings) {
+  const std::string header =
+      "{\"schema\":\"phissl-workload-trace\",\"version\":1,\"events\":1}\n";
+  std::istringstream is(header +
+                        "{\"arrival_ns\":5,\"op\":\"dhe_sign\","
+                        "\"key_bits\":2048,\"queue_wait_ns\":9,"
+                        "\"batch_id\":3,\"lanes_filled\":12,"
+                        "\"shed\":true,\"resumed\":false}\n");
+  const std::vector<WorkloadEvent> loaded = load_workload_jsonl(is);
+  ASSERT_EQ(loaded.size(), 1u);
+  EXPECT_TRUE(loaded[0].shed);
+  EXPECT_FALSE(loaded[0].resumed);
+  EXPECT_EQ(loaded[0].op, WorkloadOp::kDheSign);
+  EXPECT_EQ(loaded[0].lanes_filled, 12);
+}
+
+}  // namespace
+}  // namespace phissl::obs

@@ -1,19 +1,25 @@
 #!/usr/bin/env python3
 """Validates the observability export formats produced by the bench
-harnesses (`--trace` / `--metrics`, see src/obs/export.hpp):
+harnesses (`--trace` / `--metrics` / `--workload`, see src/obs/export.hpp):
 
   - the Chrome trace-event JSON must parse and every event must carry the
     fields chrome://tracing / Perfetto require ("X" complete events need a
     duration; the drop counter rides along as a "C" event);
   - the Prometheus text dump must parse line-by-line, histogram `le`
     buckets must be cumulative (monotone non-decreasing, capped by +Inf)
-    and `+Inf` must equal `_count`.
+    and `+Inf` must equal `_count`;
+  - the workload trace JSONL (src/obs/workload.hpp) must open with the
+    versioned schema header whose event count matches the body, and every
+    event line must carry the full field set with in-range values
+    (lanes_filled <= 16, 0/1 flags, non-decreasing arrival_ns — the
+    recorder drains rings sorted by arrival).
 
 Usage:
-  check_trace_json.py --trace trace.json --metrics metrics.prom
+  check_trace_json.py --trace trace.json --metrics metrics.prom \\
+                      --workload workload.jsonl
 
-Run by CI after `bench_sign_service --smoke --trace ... --metrics ...`.
-Exits non-zero with a diagnostic on the first violation.
+Run by CI after `bench_sign_service --smoke --trace ... --metrics ...
+--workload ...`. Exits non-zero with a diagnostic on the first violation.
 """
 
 import argparse
@@ -143,17 +149,79 @@ def check_metrics(path):
           f"series — OK")
 
 
+WORKLOAD_SCHEMA = "phissl-workload-trace"
+WORKLOAD_VERSION = 1
+WORKLOAD_OPS = ("sign", "private_op", "dhe_sign")
+WORKLOAD_U64_FIELDS = ("arrival_ns", "queue_wait_ns", "batch_id")
+
+
+def check_workload(path):
+    with open(path, encoding="utf-8") as f:
+        lines = [ln.rstrip("\n") for ln in f if ln.strip()]
+    if not lines:
+        fail(f"{path}: empty workload trace")
+    try:
+        header = json.loads(lines[0])
+    except json.JSONDecodeError as e:
+        fail(f"{path}:1: header is not valid JSON: {e}")
+    if header.get("schema") != WORKLOAD_SCHEMA:
+        fail(f"{path}:1: schema is {header.get('schema')!r}, "
+             f"expected {WORKLOAD_SCHEMA!r}")
+    if header.get("version") != WORKLOAD_VERSION:
+        fail(f"{path}:1: unsupported version {header.get('version')!r}")
+    declared = header.get("events")
+    if declared != len(lines) - 1:
+        fail(f"{path}:1: header declares {declared} events, "
+             f"body has {len(lines) - 1}")
+    prev_arrival = 0
+    for lineno, line in enumerate(lines[1:], 2):
+        try:
+            ev = json.loads(line)
+        except json.JSONDecodeError as e:
+            fail(f"{path}:{lineno}: not valid JSON: {e}")
+        for field in WORKLOAD_U64_FIELDS:
+            v = ev.get(field)
+            if not isinstance(v, int) or v < 0:
+                fail(f"{path}:{lineno}: '{field}' missing or not a "
+                     f"non-negative integer: {line}")
+        if ev.get("op") not in WORKLOAD_OPS:
+            fail(f"{path}:{lineno}: unknown op {ev.get('op')!r}")
+        key_bits = ev.get("key_bits")
+        if not isinstance(key_bits, int) or key_bits < 0:
+            fail(f"{path}:{lineno}: bad key_bits {key_bits!r}")
+        lanes = ev.get("lanes_filled")
+        if not isinstance(lanes, int) or not 0 <= lanes <= 16:
+            fail(f"{path}:{lineno}: lanes_filled {lanes!r} outside "
+                 f"[0, 16]")
+        for flag in ("shed", "resumed"):
+            if ev.get(flag) not in (0, 1, True, False):
+                fail(f"{path}:{lineno}: '{flag}' missing or not a 0/1 "
+                     f"flag: {line}")
+        if ev["arrival_ns"] < prev_arrival:
+            fail(f"{path}:{lineno}: arrival_ns went backwards "
+                 f"({ev['arrival_ns']} < {prev_arrival}) — the exporter "
+                 f"drains rings sorted by arrival")
+        prev_arrival = ev["arrival_ns"]
+    print(f"check_trace_json: {path}: {len(lines) - 1} workload events "
+          f"— OK")
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--trace", help="Chrome trace JSON file to validate")
     ap.add_argument("--metrics", help="Prometheus text dump to validate")
+    ap.add_argument("--workload",
+                    help="workload trace JSONL file to validate")
     args = ap.parse_args()
-    if not args.trace and not args.metrics:
-        ap.error("nothing to check: pass --trace and/or --metrics")
+    if not args.trace and not args.metrics and not args.workload:
+        ap.error("nothing to check: pass --trace, --metrics, and/or "
+                 "--workload")
     if args.trace:
         check_trace(args.trace)
     if args.metrics:
         check_metrics(args.metrics)
+    if args.workload:
+        check_workload(args.workload)
 
 
 if __name__ == "__main__":
