@@ -40,6 +40,49 @@ void leaky_square_and_multiply(const Ctx& ctx, const typename Ctx::Rep& base,
   }
 }
 
+// ---- Record-layer / key-transport negative controls ---------------------
+//
+// The byte-scanning shapes the branch-free kernels in util/ct_bytes.hpp
+// replaced. Each leaks in the textbook way its production counterpart is
+// certified not to; ct_check_test pins the exact violation kinds/counts.
+
+/// Branches on a secret word: the Tainted<bool> conversion records
+/// kBranch; the native overload lets fixtures compile both ways.
+inline bool nonzero_branch(std::uint32_t x) { return x != 0; }
+inline bool nonzero_branch(TW32 x) {
+  return static_cast<bool>(TBool(x.v != 0, x.secret));
+}
+
+/// Early-exit RSAES-PKCS1-v1_5 separator scan — the pre-hardening shape
+/// of rsaes_pkcs1_v15_unpad: stops at the first zero byte, so the number
+/// of bytes examined (and the timing) reveals the separator position
+/// (a Bleichenbacher refinement signal). Expect one kBranch per examined
+/// byte. Returns the separator index, 0 when none found.
+template <typename W>
+std::size_t leaky_pkcs1_unpad_scan(const W* em, std::size_t len) {
+  for (std::size_t i = 2; i < len; ++i) {
+    if (!nonzero_branch(em[i])) return i;  // LEAK: early exit on secret byte
+  }
+  return 0;
+}
+
+/// Classic early-exit PKCS#7 pad validator (the shape Vaudenay 2002
+/// attacks): extracts the pad length as a loop bound — a secret-derived
+/// index/count, kIndex — then compares pad bytes one at a time with an
+/// early exit, kBranch per byte examined.
+template <typename W>
+bool leaky_cbc_pad_check(const W* tail, std::size_t block) {
+  const std::size_t pad = index_value(tail[block - 1]);  // LEAK: kIndex
+  if (pad == 0 || pad > block) return false;
+  for (std::size_t i = 1; i <= pad; ++i) {
+    // LEAK: per-byte early exit on secret data.
+    if (nonzero_branch(tail[block - i] ^ static_cast<std::uint32_t>(pad))) {
+      return false;
+    }
+  }
+  return true;
+}
+
 /// Fixed-window schedule with a naive table[index] lookup: the load
 /// address depends on the window value, so index_value() records kIndex
 /// once per window under taint. Contrast with fixed_window_exp_rep,

@@ -1,0 +1,51 @@
+// libFuzzer entry point — the other compilation mode of the targets in
+// targets.cpp. One binary per target: CMake compiles this file once per
+// registered target with PHISSL_FUZZ_TARGET set to the target function
+// and PHISSL_FUZZ_FRAMED to whether the structure-aware frame mutators
+// apply (clang only; -DPHISSL_FUZZ_LIBFUZZER=ON).
+//
+// The custom mutator keeps libFuzzer's inputs structurally interesting:
+// most random byte edits die in the frame header, so for framed targets
+// half the mutations go through mutate_framed (field-granular edits with
+// length fixup) and the rest fall back to LLVMFuzzerMutate's generic
+// dictionary/byte machinery.
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+#include "fuzz/mutate.hpp"
+#include "fuzz/targets.hpp"
+
+#ifndef PHISSL_FUZZ_TARGET
+#error "compile with -DPHISSL_FUZZ_TARGET=<target function name>"
+#endif
+#ifndef PHISSL_FUZZ_FRAMED
+#define PHISSL_FUZZ_FRAMED 0
+#endif
+
+extern "C" std::size_t LLVMFuzzerMutate(std::uint8_t* data, std::size_t size,
+                                        std::size_t max_size);
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  phissl::fuzz::PHISSL_FUZZ_TARGET(
+      std::span<const std::uint8_t>(data, size));
+  return 0;
+}
+
+#if PHISSL_FUZZ_FRAMED
+extern "C" std::size_t LLVMFuzzerCustomMutator(std::uint8_t* data,
+                                               std::size_t size,
+                                               std::size_t max_size,
+                                               unsigned int seed) {
+  if ((seed & 1) == 0) {
+    return LLVMFuzzerMutate(data, size, max_size);
+  }
+  const auto mutant = phissl::fuzz::mutate_framed(
+      std::span<const std::uint8_t>(data, size), seed >> 1);
+  const std::size_t n = std::min(mutant.size(), max_size);
+  std::copy_n(mutant.begin(), n, data);
+  return n;
+}
+#endif

@@ -1,0 +1,42 @@
+// Structure-aware mutators for the [type:1][length:3 BE][body] frame
+// format (ssl/async/wire.hpp), plus a generic byte mutator for unframed
+// targets.
+//
+// Naive byte flips almost always corrupt a length prefix and die in the
+// framing layer; these mutators instead edit at field granularity — swap
+// a message type, truncate or extend at a frame boundary, corrupt a body
+// byte and then FIX UP the length fields so the mutant still parses deep
+// into the per-message decoders. All mutations are pure functions of
+// (input, k): replay is deterministic, and the libFuzzer custom mutator
+// reuses the same kernels keyed by its seed.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace phissl::fuzz {
+
+/// Offsets of each well-formed frame header in `data`, walking the stream
+/// like FrameReader would (stops at the first oversize/partial header).
+std::vector<std::size_t> frame_boundaries(std::span<const std::uint8_t> data);
+
+/// Rewrites every frame's 3-byte length so consecutive frames tile the
+/// buffer exactly: frame i's length spans up to frame i+1's header (the
+/// last frame spans to the end). Call after structural edits so mutants
+/// stay parseable. Returns the number of headers rewritten.
+std::size_t fixup_frame_lengths(std::vector<std::uint8_t>& buf);
+
+/// Deterministic structure-aware mutation #k of a framed stream: message
+/// type swaps, truncation/extension at frame and field boundaries, length
+/// off-by-ones, frame duplication/reordering, body corruption with length
+/// fixup. Identical (in, k) always yields the identical mutant.
+std::vector<std::uint8_t> mutate_framed(std::span<const std::uint8_t> in,
+                                        std::uint64_t k);
+
+/// Deterministic generic mutation #k: byte flips, truncation, extension,
+/// chunk duplication — for targets whose inputs are not frame streams.
+std::vector<std::uint8_t> mutate_bytes(std::span<const std::uint8_t> in,
+                                       std::uint64_t k);
+
+}  // namespace phissl::fuzz

@@ -1,0 +1,105 @@
+// Deterministic corpus replayer — the fuzz targets on toolchains without
+// libFuzzer. Runs every file in the given corpus directories through the
+// named target, then a fixed fan of deterministic structure-aware
+// mutations of each seed (mutate.hpp). Registered in ctest, so the corpus
+// regression-tests the parsers on every build; under clang the same
+// target functions additionally link as libFuzzer binaries.
+//
+//   fuzz_replay <target> [--mutations N] <file-or-dir>...
+//   fuzz_replay --list
+//
+// Exits 0 when every input ran to completion; any uncaught exception or
+// sanitizer report is a finding (nonzero / abort).
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "fuzz/mutate.hpp"
+#include "fuzz/targets.hpp"
+
+namespace fs = std::filesystem;
+using phissl::fuzz::find_target;
+using phissl::fuzz::mutate_bytes;
+using phissl::fuzz::mutate_framed;
+using phissl::fuzz::targets;
+
+namespace {
+
+std::vector<std::uint8_t> read_file(const fs::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  return std::vector<std::uint8_t>(std::istreambuf_iterator<char>(in),
+                                   std::istreambuf_iterator<char>());
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: fuzz_replay <target> [--mutations N] <file-or-dir>...\n"
+               "       fuzz_replay --list\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc >= 2 && std::strcmp(argv[1], "--list") == 0) {
+    for (const auto& t : targets()) {
+      std::printf("%.*s%s\n", static_cast<int>(t.name.size()), t.name.data(),
+                  t.framed ? " (framed)" : "");
+    }
+    return 0;
+  }
+  if (argc < 3) return usage();
+
+  const auto* target = find_target(argv[1]);
+  if (target == nullptr) {
+    std::fprintf(stderr, "fuzz_replay: unknown target '%s'\n", argv[1]);
+    return 2;
+  }
+
+  std::size_t mutations = 0;
+  std::vector<fs::path> inputs;
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--mutations") == 0) {
+      if (i + 1 >= argc) return usage();
+      mutations = static_cast<std::size_t>(std::stoul(argv[++i]));
+      continue;
+    }
+    const fs::path p(argv[i]);
+    if (fs::is_directory(p)) {
+      for (const auto& e : fs::directory_iterator(p)) {
+        if (e.is_regular_file()) inputs.push_back(e.path());
+      }
+    } else if (fs::is_regular_file(p)) {
+      inputs.push_back(p);
+    } else {
+      std::fprintf(stderr, "fuzz_replay: no such input: %s\n", argv[i]);
+      return 2;
+    }
+  }
+  if (inputs.empty()) {
+    std::fprintf(stderr, "fuzz_replay: empty corpus\n");
+    return 2;
+  }
+  // Directory iteration order is filesystem-dependent; sort for a stable
+  // replay order so a failure reproduces identically everywhere.
+  std::sort(inputs.begin(), inputs.end());
+
+  std::size_t mutants = 0;
+  for (const auto& p : inputs) {
+    const auto seed = read_file(p);
+    target->fn(seed);
+    for (std::size_t k = 0; k < mutations; ++k) {
+      const auto m = target->framed ? mutate_framed(seed, k)
+                                    : mutate_bytes(seed, k);
+      target->fn(m);
+      ++mutants;
+    }
+  }
+  std::printf("fuzz_replay: %zu seed(s) + %zu mutant(s) through %s: OK\n",
+              inputs.size(), mutants, argv[1]);
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Writes the deterministic seed corpus (seeds.cpp) to disk:
+//
+//   fuzz_seed_gen <corpus-root>
+//
+// creates <corpus-root>/<target>/seed_NN.bin for every registered target.
+// The checked-in tree under tests/corpus/ was produced by this tool;
+// rerunning it must be byte-identical (the corpus is a pure function of
+// the fixtures), so CI can diff instead of trusting the checkout.
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "fuzz/targets.hpp"
+
+namespace fs = std::filesystem;
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: fuzz_seed_gen <corpus-root>\n");
+    return 2;
+  }
+  const fs::path root(argv[1]);
+  std::size_t files = 0;
+  for (const auto& t : phissl::fuzz::targets()) {
+    const fs::path dir = root / t.name;
+    fs::create_directories(dir);
+    const auto seeds = phissl::fuzz::seed_inputs(t.name);
+    for (std::size_t i = 0; i < seeds.size(); ++i) {
+      char name[32];
+      std::snprintf(name, sizeof name, "seed_%02zu.bin", i);
+      std::ofstream out(dir / name, std::ios::binary | std::ios::trunc);
+      out.write(reinterpret_cast<const char*>(seeds[i].data()),
+                static_cast<std::streamsize>(seeds[i].size()));
+      if (!out) {
+        std::fprintf(stderr, "fuzz_seed_gen: write failed: %s\n",
+                     (dir / name).c_str());
+        return 1;
+      }
+      ++files;
+    }
+  }
+  std::printf("fuzz_seed_gen: wrote %zu seed file(s) under %s\n", files,
+              root.c_str());
+  return 0;
+}

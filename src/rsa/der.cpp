@@ -76,6 +76,12 @@ class Reader {
       len = (len << 8) | read_byte();
     }
     if (len < 0x80) throw std::invalid_argument("DER: non-minimal length");
+    if ((len >> (8 * (n - 1))) == 0) {
+      // Leading zero octet in a multi-byte length: the value fits in
+      // fewer bytes, so this encoding is not the DER-minimal one (and
+      // would break decode/encode canonicality).
+      throw std::invalid_argument("DER: non-minimal length");
+    }
     return len;
   }
 

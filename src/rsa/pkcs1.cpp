@@ -4,8 +4,10 @@
 #include <array>
 #include <stdexcept>
 
+#include "util/ct_bytes.hpp"
 #include "util/random.hpp"
 #include "util/sha256.hpp"
+#include "util/wipe.hpp"
 
 namespace phissl::rsa {
 
@@ -117,23 +119,32 @@ std::optional<std::vector<std::uint8_t>> decrypt_pkcs1(
   } catch (const std::length_error&) {
     return std::nullopt;
   }
-  return rsaes_pkcs1_v15_unpad(em);
+  auto out = rsaes_pkcs1_v15_unpad(em);
+  // em holds the padded premaster; don't leave it in freed heap memory.
+  util::secure_wipe_all(em);
+  return out;
 }
 
 std::optional<std::vector<std::uint8_t>> rsaes_pkcs1_v15_unpad(
     std::span<const std::uint8_t> em) {
-  // 0x00 0x02 <at least 8 nonzero bytes> 0x00 <message>
-  if (em.size() < 11 || em[0] != 0x00 || em[1] != 0x02) return std::nullopt;
-  std::size_t sep = 0;
-  for (std::size_t i = 2; i < em.size(); ++i) {
-    if (em[i] == 0x00) {
-      sep = i;
-      break;
-    }
-  }
-  if (sep == 0 || sep < 10) return std::nullopt;  // PS must be >= 8 bytes
-  return std::vector<std::uint8_t>(em.begin() + static_cast<std::ptrdiff_t>(sep + 1),
-                                   em.end());
+  // 0x00 0x02 <at least 8 nonzero bytes> 0x00 <message>. Only the length
+  // check is on public data (the modulus size); the header bytes and the
+  // separator search run through the branch-free scan kernel in
+  // util/ct_bytes.hpp — every byte examined on every input, no early
+  // exit. The first-zero early-exit loop this replaced leaked the
+  // separator position through timing (a Bleichenbacher refinement
+  // signal); it survives as the negative control in src/ct/leaky.hpp, and
+  // ct_check_test certifies this template over tainted words.
+  if (em.size() < 11) return std::nullopt;
+  std::vector<std::uint32_t> w(em.begin(), em.end());
+  const auto scan = util::ctb::pkcs1_unpad_scan(w.data(), w.size());
+  util::secure_wipe_all(w);
+  if (scan.ok_mask == 0) return std::nullopt;
+  // The separator becomes public here by policy: on failure the caller
+  // substitutes a random premaster (uniform-alert countermeasure), and on
+  // success the message length is revealed to the caller anyway.
+  return std::vector<std::uint8_t>(
+      em.begin() + static_cast<std::ptrdiff_t>(scan.msg_start), em.end());
 }
 
 }  // namespace phissl::rsa

@@ -289,7 +289,14 @@ std::optional<Frame> FrameReader::next() {
                           (static_cast<std::size_t>(buf_[pos_ + 2]) << 8) |
                           buf_[pos_ + 3];
   if (len > kMaxFrameBody) {
+    // Poison AND release: the buffered backlog (possibly sized by the
+    // hostile prefix itself) will never be parsed, so holding it would
+    // let a one-header attack pin up to kMaxFrameBody of heap per
+    // connection until teardown. Swap-with-empty actually frees the
+    // capacity — clear() alone would keep it.
     bad_ = true;
+    std::vector<std::uint8_t>().swap(buf_);
+    pos_ = 0;
     return std::nullopt;
   }
   if (avail < 4 + len) return std::nullopt;

@@ -99,8 +99,9 @@ class FrameReader {
 
   /// Pops the next complete frame, or nullopt if the buffer holds only a
   /// partial one. After a malformed header (body length > kMaxFrameBody)
-  /// the reader is poisoned: next() returns nullopt and bad() is true —
-  /// the connection should alert and close.
+  /// the reader is poisoned: next() returns nullopt, bad() is true, the
+  /// backlog buffer is released (buffered() == 0) and later feed()s are
+  /// dropped — the connection should alert and close.
   std::optional<Frame> next();
 
   /// True once a hostile/corrupt length prefix was seen.

@@ -4,7 +4,9 @@
 #include <stdexcept>
 
 #include "ssl/prf.hpp"
+#include "util/ct_bytes.hpp"
 #include "util/hmac.hpp"
+#include "util/wipe.hpp"
 
 namespace phissl::ssl {
 
@@ -16,6 +18,8 @@ constexpr std::uint8_t kVersionMinor = 3;
 RecordChannel::RecordChannel(std::span<const std::uint8_t> enc_key,
                              std::span<const std::uint8_t> mac_key)
     : cipher_(enc_key), mac_key_(mac_key.begin(), mac_key.end()) {}
+
+RecordChannel::~RecordChannel() { util::secure_wipe_all(mac_key_); }
 
 std::array<std::uint8_t, 32> RecordChannel::mac_header(
     std::uint64_t seq, std::uint8_t type, std::size_t len,
@@ -90,12 +94,18 @@ std::optional<std::vector<std::uint8_t>> RecordChannel::open(
   const std::size_t pt_len = payload.size() - util::Sha256::kDigestSize;
   const auto expected =
       mac_header(open_seq_, content_type, pt_len, payload.data(), pt_len);
-  // Constant-time MAC comparison.
-  unsigned diff = 0;
+  // Constant-time MAC comparison via the shared accumulate-XOR kernel
+  // (util/ct_bytes.hpp; the shadow-taint checker certifies the same
+  // template over tainted words in ct_check_test).
+  std::uint32_t got[util::Sha256::kDigestSize];
+  std::uint32_t want[util::Sha256::kDigestSize];
   for (std::size_t i = 0; i < expected.size(); ++i) {
-    diff |= expected[i] ^ payload[pt_len + i];
+    want[i] = expected[i];
+    got[i] = payload[pt_len + i];
   }
-  const bool ok = pad_ok & (diff == 0);
+  const bool mac_ok =
+      util::ctb::ct_eq_mask(got, want, expected.size()) != 0;
+  const bool ok = pad_ok & mac_ok;
   if (!ok) return std::nullopt;
 
   ++open_seq_;

@@ -34,6 +34,14 @@ class RecordChannel {
   RecordChannel(std::span<const std::uint8_t> enc_key,
                 std::span<const std::uint8_t> mac_key);
 
+  /// Wipes the MAC key (util::secure_wipe) before the buffer is freed.
+  ~RecordChannel();
+
+  RecordChannel(const RecordChannel&) = default;
+  RecordChannel& operator=(const RecordChannel&) = default;
+  RecordChannel(RecordChannel&&) = default;
+  RecordChannel& operator=(RecordChannel&&) = default;
+
   /// Protects one record: returns explicit_iv || CBC(plaintext || MAC).
   /// `rng` supplies the per-record IV. Throws std::runtime_error once the
   /// send sequence space is exhausted (fail closed; see kSeqLimit).

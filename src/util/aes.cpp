@@ -3,6 +3,8 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "util/ct_bytes.hpp"
+
 namespace phissl::util {
 
 namespace {
@@ -232,29 +234,25 @@ bool aes_cbc_decrypt(const Aes& cipher, std::span<const std::uint8_t> iv,
     for (std::size_t i = 0; i < Aes::kBlockSize; ++i) buf[off + i] ^= chain[i];
     std::memcpy(chain, &ciphertext[off], Aes::kBlockSize);
   }
-  // Branch-free PKCS#7 unpad (phissl:ct-kernel). The classic padding
-  // oracle (Vaudenay 2002) needs the validator to stop at the first bad
-  // pad byte; here the validity of every candidate pad position is folded
-  // into one accumulator with no data-dependent branch or early exit, so
-  // all invalid paddings cost the same. pad_valid is 1 iff 1 <= pad <= 16
-  // and the trailing `pad` bytes all equal `pad`.
-  const std::uint32_t pad = buf.back();
-  // Bit 31 of (pad-1) flags pad == 0; bit 31 of (16-pad) flags pad > 16.
-  const std::uint32_t range_bad =
-      ((pad - 1u) | (static_cast<std::uint32_t>(Aes::kBlockSize) - pad)) >> 31;
-  std::uint32_t diff = 0;
-  for (std::size_t i = 1; i <= Aes::kBlockSize; ++i) {
-    // in_pad = all-ones mask when this tail position lies inside the pad.
-    const std::uint32_t in_pad =
-        0u - ((static_cast<std::uint32_t>(i) - 1u - pad) >> 31);
-    diff |= in_pad & (static_cast<std::uint32_t>(buf[buf.size() - i]) ^ pad);
+  // Branch-free PKCS#7 unpad: the shared word-generic kernel in
+  // util/ct_bytes.hpp (the shadow-taint checker replays the same template
+  // with tainted words — ct_check_test certifies it branch- and
+  // index-free). The classic padding oracle (Vaudenay 2002) needs the
+  // validator to stop at the first bad pad byte; the kernel folds every
+  // candidate pad position into one accumulator instead, so all invalid
+  // paddings cost the same.
+  std::uint32_t tail[Aes::kBlockSize];
+  for (std::size_t i = 0; i < Aes::kBlockSize; ++i) {
+    tail[i] = buf[buf.size() - Aes::kBlockSize + i];
   }
-  const bool pad_valid = ((range_bad | diff) == 0);
+  const auto pc = ctb::cbc_pad_check(tail, Aes::kBlockSize);
+  const bool pad_valid = pc.valid_mask != 0;
   // RFC 5246 §6.2.3.2 countermeasure shape: on invalid padding, hand back
-  // the WHOLE decrypted buffer (zero-length-pad semantics) instead of
-  // nothing, so a MAC-then-encrypt caller can still run its constant-time
-  // MAC check and fail on that single, uniform signal.
-  buf.resize(buf.size() - (pad_valid ? pad : 0));
+  // the WHOLE decrypted buffer (zero-length-pad semantics — pc.strip is
+  // pre-masked to 0) instead of nothing, so a MAC-then-encrypt caller can
+  // still run its constant-time MAC check and fail on that single,
+  // uniform signal.
+  buf.resize(buf.size() - pc.strip);
   out = std::move(buf);
   return pad_valid;
 }

@@ -1,0 +1,123 @@
+// Word-generic branch-free byte-buffer kernels for the record and
+// key-transport parsing paths.
+//
+// These are the three secret-scanning loops the TLS termination path runs
+// over attacker-influenced *decrypted* bytes:
+//
+//   - cbc_pad_check:     PKCS#7 padding validation (RecordChannel::open)
+//   - ct_eq_mask:        accumulate-XOR equality (the record MAC compare)
+//   - pkcs1_unpad_scan:  RSAES-PKCS1-v1_5 separator scan (premaster unpad)
+//
+// Like bigint/kernels_generic.hpp, each kernel is written once over a
+// 32-bit word type W and instantiated twice: with std::uint32_t (the
+// production build — bytes are widened into words by the caller) and with
+// ct::Tainted<std::uint32_t> (the shadow-taint checker in src/ct/, which
+// replays the SAME loop while tracking secret-dependence). Everything is
+// mask arithmetic: no data-dependent branch, no data-dependent index, no
+// early exit — the certification tests in ct_check_test.cpp assert
+// exactly that, and the deliberately-leaky shapes these replaced live on
+// in src/ct/leaky.hpp as negative controls.
+//
+// All scanned values are byte-range (< 256) and all indices are small
+// (buffer lengths are public and < 2^24), so the (x - y) >> 31 sign-bit
+// comparison trick is always in range.
+//
+// phissl:ct-kernel — tools/phissl_lint.py bans raw index extraction here.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "bigint/kernels_generic.hpp"
+
+namespace phissl::util::ctb {
+
+/// All-ones mask iff x == 0 (x any value; relies on the branch-free
+/// is_nonzero hook shared with the bigint kernels).
+template <typename W>
+constexpr W eq0_mask(W x) noexcept {
+  using phissl::bigint::kernels::is_nonzero;
+  return W{} - (1u ^ is_nonzero(x));
+}
+
+/// All-ones mask iff x != 0.
+template <typename W>
+constexpr W ne0_mask(W x) noexcept {
+  using phissl::bigint::kernels::is_nonzero;
+  return W{} - is_nonzero(x);
+}
+
+/// Result of the PKCS#7 padding check.
+template <typename W>
+struct PadCheck {
+  W valid_mask;  ///< all-ones iff the padding validates, else 0
+  W strip;       ///< bytes to strip: the pad length when valid, else 0
+};
+
+/// Branch-free PKCS#7 pad validation over the LAST `block` bytes of a
+/// decrypted buffer, passed word-widened in tail[0..block). Valid iff
+/// 1 <= pad <= block and the trailing `pad` bytes all equal `pad`
+/// (pad = tail[block-1]). Every candidate position is folded into one
+/// accumulator — all invalid paddings cost the same (Vaudenay 2002 is the
+/// attack this shape defeats). `strip` is pre-masked so the caller's
+/// resize amount needs no branch on validity.
+template <typename W>
+PadCheck<W> cbc_pad_check(const W* tail, std::size_t block) {
+  const W pad = tail[block - 1];
+  // Bit 31 of (pad-1) flags pad == 0; bit 31 of (block-pad) flags
+  // pad > block.
+  const W range_bad =
+      ((pad - 1u) | (static_cast<std::uint32_t>(block) - pad)) >> 31;
+  W diff{};
+  for (std::size_t i = 1; i <= block; ++i) {
+    // in_pad = all-ones when this tail position lies inside the pad.
+    const W in_pad =
+        W{} - (((static_cast<std::uint32_t>(i) - 1u) - pad) >> 31);
+    diff = diff | (in_pad & (tail[block - i] ^ pad));
+  }
+  const W valid = eq0_mask(range_bad | diff);
+  return {valid, pad & valid};
+}
+
+/// Accumulate-XOR equality: all-ones mask iff a[0..n) == b[0..n). The
+/// shape every MAC/verify-data comparison in the repo uses (never memcmp,
+/// which early-exits on the first differing byte — lint rule CT001).
+template <typename W>
+W ct_eq_mask(const W* a, const W* b, std::size_t n) {
+  W diff{};
+  for (std::size_t i = 0; i < n; ++i) diff = diff | (a[i] ^ b[i]);
+  return eq0_mask(diff);
+}
+
+/// Result of the RSAES-PKCS1-v1_5 separator scan.
+template <typename W>
+struct UnpadScan {
+  W ok_mask;     ///< all-ones iff the block parses: 00 02 PS(>=8, nonzero) 00 M
+  W msg_start;   ///< index of the first message byte (separator + 1) when
+                 ///< ok, else masked to 0
+};
+
+/// Branch-free RSAES-PKCS1-v1_5 unpad scan over the whole word-widened
+/// encryption block em[0..len) (len public, >= 11 — enforced by the
+/// caller on the public modulus size). Finds the first zero byte at
+/// index >= 2 without early exit: `found` latches once a zero is seen and
+/// gates further index capture, so every byte is examined on every input
+/// (Bleichenbacher's oracle needs the scan to stop — this one never does).
+template <typename W>
+UnpadScan<W> pkcs1_unpad_scan(const W* em, std::size_t len) {
+  W found{};  // all-ones once some zero byte has been seen
+  W sep{};    // index of the FIRST zero byte at position >= 2
+  for (std::size_t i = 2; i < len; ++i) {
+    const W is_zero = eq0_mask(em[i]);
+    const W take = is_zero & eq0_mask(found & 1u);  // first zero only
+    sep = sep | (take & static_cast<std::uint32_t>(i));
+    found = found | is_zero;
+  }
+  const W header_ok = eq0_mask(em[0]) & eq0_mask(em[1] ^ 2u);
+  // PS must be at least 8 bytes: separator index >= 10.
+  const W ps_ok = W{} - ((9u - sep) >> 31);
+  const W ok = header_ok & found & ps_ok;
+  return {ok, (sep + 1u) & ok};
+}
+
+}  // namespace phissl::util::ctb

@@ -1,0 +1,33 @@
+// Compiler-barrier secret clearing.
+//
+// A plain memset (or fill with zeros) of a buffer that is about to die is
+// a no-op to the optimizer: dead-store elimination removes it, and the
+// key material lingers in freed memory for the next heap user or a core
+// dump to find. secure_wipe zeroes through a pointer the compiler must
+// assume escapes, so the stores cannot be elided. Lint rule SEC001
+// (tools/phissl_lint.py) flags plain memset clears in the secret-bearing
+// directories and points here.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace phissl::util {
+
+/// Zeroes [p, p+len) with stores the optimizer cannot remove.
+inline void secure_wipe(void* p, std::size_t len) noexcept {
+  auto* b = static_cast<volatile std::uint8_t*>(p);
+  for (std::size_t i = 0; i < len; ++i) b[i] = 0;
+  // Barrier: the asm claims to read *p, so the volatile stores above must
+  // have completed and cannot be proven dead even after inlining.
+  asm volatile("" : : "r"(p) : "memory");
+}
+
+/// Convenience: wipe a contiguous container's payload (the elements, not
+/// the container object itself).
+template <typename Vec>
+void secure_wipe_all(Vec& v) noexcept {
+  if (!v.empty()) secure_wipe(v.data(), v.size() * sizeof(*v.data()));
+}
+
+}  // namespace phissl::util

@@ -110,6 +110,61 @@ TEST(WireCodec, OversizedLengthPoisonsReader) {
   EXPECT_FALSE(r.next().has_value());
 }
 
+TEST(WireCodec, MaxFrameBodyBoundaryIsExact) {
+  // Exact threshold and both neighbors. A header claiming kMaxFrameBody
+  // is legal (the frame just isn't complete until the body arrives);
+  // kMaxFrameBody + 1 poisons; kMaxFrameBody - 1 parses end to end.
+  auto header_for = [](std::size_t len) {
+    return std::vector<std::uint8_t>{
+        static_cast<std::uint8_t>(MsgType::kAppData),
+        static_cast<std::uint8_t>(len >> 16),
+        static_cast<std::uint8_t>(len >> 8), static_cast<std::uint8_t>(len)};
+  };
+
+  {  // len == kMaxFrameBody: accepted, completes once the body lands.
+    FrameReader r;
+    r.feed(header_for(kMaxFrameBody));
+    EXPECT_FALSE(r.next().has_value());
+    EXPECT_FALSE(r.bad());
+    r.feed(std::vector<std::uint8_t>(kMaxFrameBody, 0x2a));
+    const auto f = r.next();
+    ASSERT_TRUE(f.has_value());
+    EXPECT_EQ(f->body.size(), kMaxFrameBody);
+    EXPECT_FALSE(r.bad());
+  }
+  {  // len == kMaxFrameBody + 1: poisoned on the header alone.
+    FrameReader r;
+    r.feed(header_for(kMaxFrameBody + 1));
+    EXPECT_FALSE(r.next().has_value());
+    EXPECT_TRUE(r.bad());
+  }
+  {  // len == kMaxFrameBody - 1: a plain big frame.
+    FrameReader r;
+    r.feed(header_for(kMaxFrameBody - 1));
+    r.feed(std::vector<std::uint8_t>(kMaxFrameBody - 1, 0x2a));
+    const auto f = r.next();
+    ASSERT_TRUE(f.has_value());
+    EXPECT_EQ(f->body.size(), kMaxFrameBody - 1);
+    EXPECT_FALSE(r.bad());
+  }
+}
+
+TEST(WireCodec, PoisonReleasesBufferedBytes) {
+  // A hostile length prefix must not pin the backlog: after poison the
+  // buffer is released (buffered() == 0) and later feeds are dropped, so
+  // one bad header can't hold kMaxFrameBody of heap until teardown.
+  FrameReader p;
+  p.feed(std::vector<std::uint8_t>{1, 0xff, 0xff, 0xff});  // 16 MiB claim
+  p.feed(std::vector<std::uint8_t>(8192, 0xab));  // backlog behind it
+  EXPECT_GT(p.buffered(), 0u);
+  EXPECT_FALSE(p.next().has_value());
+  EXPECT_TRUE(p.bad());
+  EXPECT_EQ(p.buffered(), 0u);
+  p.feed(std::vector<std::uint8_t>(1024, 0xcd));
+  EXPECT_EQ(p.buffered(), 0u);  // poisoned reader accepts nothing
+  EXPECT_FALSE(p.next().has_value());
+}
+
 TEST(WireCodec, BackToBackFramesBothDecode) {
   auto a = encode_close();
   const auto b = encode_alert(Alert::kBadFinished);

@@ -20,9 +20,13 @@
 // the suite is rebuilt with -DPHISSL_CTCHECK=ON under MSan or valgrind.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <array>
 #include <cstdint>
+#include <initializer_list>
+#include <span>
 #include <string>
+#include <vector>
 
 #include "bigint/bigint.hpp"
 #include "ct/ct.hpp"
@@ -38,6 +42,8 @@
 #include "mont/mont64.hpp"
 #include "mont/vector_mont.hpp"
 #include "rsa/key.hpp"
+#include "rsa/pkcs1.hpp"
+#include "util/ct_bytes.hpp"
 #include "util/random.hpp"
 
 namespace phissl::ct {
@@ -651,6 +657,190 @@ TEST_F(CtCheckTest, PoisonedCrtDriver) {
   out += m2;
   EXPECT_EQ(out, x.mod_pow(key.d, n));
   EXPECT_EQ(violation_count(), 0u);
+}
+
+// ---- Record-layer / key-transport certification -------------------------
+//
+// The byte-scanning kernels in util/ct_bytes.hpp run over DECRYPTED
+// attacker-influenced bytes (CBC padding, record MAC, PKCS#1 premaster
+// block). Replaying the same templates with tainted words certifies them
+// branch- and index-free; the early-exit shapes they replaced (leaky.hpp)
+// are the negative controls with pinned violation kinds and counts.
+
+namespace ctb = util::ctb;
+
+// Word-widens bytes into secret TW32 words.
+std::vector<TW32> taint_bytes(std::span<const std::uint8_t> bytes) {
+  std::vector<TW32> out;
+  out.reserve(bytes.size());
+  for (const std::uint8_t b : bytes) out.emplace_back(b, /*secret=*/true);
+  return out;
+}
+
+TEST_F(CtCheckTest, CbcPadCheckIsConstantTime) {
+  // Valid pads 1..16, a zero pad byte, an oversize pad byte, and a pad
+  // whose interior bytes mismatch — the tainted replay must record
+  // nothing on any of them and agree bit-for-bit with the native kernel.
+  std::vector<std::array<std::uint8_t, 16>> cases;
+  for (std::uint8_t pad = 1; pad <= 16; ++pad) {
+    std::array<std::uint8_t, 16> t{};
+    for (std::size_t i = 0; i < 16; ++i) {
+      t[i] = (i >= 16u - pad) ? pad : static_cast<std::uint8_t>(i + 1);
+    }
+    cases.push_back(t);
+  }
+  std::array<std::uint8_t, 16> zero{};
+  cases.push_back(zero);  // pad byte 0: out of range
+  std::array<std::uint8_t, 16> big{};
+  big.fill(0xee);  // pad byte 238: out of range
+  cases.push_back(big);
+  std::array<std::uint8_t, 16> mism{};
+  mism.fill(4);
+  mism[13] = 9;  // inside the claimed pad, wrong value
+  cases.push_back(mism);
+
+  for (const auto& t : cases) {
+    std::uint32_t native[16];
+    for (std::size_t i = 0; i < 16; ++i) native[i] = t[i];
+    const auto want = ctb::cbc_pad_check(native, 16);
+
+    const auto tw = taint_bytes(t);
+    const auto got = ctb::cbc_pad_check(tw.data(), 16);
+    EXPECT_EQ(violation_count(), 0u) << "pad byte " << int(t[15]);
+    EXPECT_EQ(peek32(got.valid_mask), want.valid_mask);
+    EXPECT_EQ(peek32(got.strip), want.strip);
+    // Secrecy must survive to the outputs: a result that lost its mark
+    // would let downstream code branch on it unnoticed.
+    EXPECT_TRUE(got.valid_mask.secret);
+  }
+}
+
+TEST_F(CtCheckTest, MacCompareIsConstantTime) {
+  std::array<std::uint8_t, 32> a{};
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    a[i] = static_cast<std::uint8_t>(31 * i + 7);
+  }
+  auto b = a;
+  const auto ta = taint_bytes(a);
+  auto tb = taint_bytes(b);
+  EXPECT_EQ(peek32(ctb::ct_eq_mask(ta.data(), tb.data(), 32)), ~0u);
+  tb[17] = TW32(tb[17].v ^ 0x40u, true);
+  EXPECT_EQ(peek32(ctb::ct_eq_mask(ta.data(), tb.data(), 32)), 0u);
+  EXPECT_EQ(violation_count(), 0u);
+}
+
+TEST_F(CtCheckTest, Pkcs1UnpadScanIsConstantTime) {
+  // One well-formed block and the three rejection classes: bad header,
+  // short PS, missing separator. Zero violations on all of them, native
+  // agreement on all of them.
+  auto block = [](std::initializer_list<int> prefix, std::size_t len) {
+    std::vector<std::uint8_t> em(len, 0xaa);
+    std::size_t i = 0;
+    for (const int b : prefix) em[i++] = static_cast<std::uint8_t>(b);
+    return em;
+  };
+  std::vector<std::vector<std::uint8_t>> cases;
+  {
+    std::vector<std::uint8_t> ok = block({0x00, 0x02}, 32);
+    ok[12] = 0x00;  // separator after a 10-byte PS
+    cases.push_back(ok);
+  }
+  cases.push_back(block({0x01, 0x02}, 32));  // first byte wrong
+  cases.push_back(block({0x00, 0x01}, 32));  // second byte wrong
+  {
+    std::vector<std::uint8_t> shortps = block({0x00, 0x02}, 32);
+    shortps[6] = 0x00;  // separator too early: PS only 4 bytes
+    cases.push_back(shortps);
+  }
+  cases.push_back(block({0x00, 0x02}, 32));  // no separator at all
+
+  for (const auto& em : cases) {
+    std::vector<std::uint32_t> native(em.begin(), em.end());
+    const auto want = ctb::pkcs1_unpad_scan(native.data(), native.size());
+
+    const auto tw = taint_bytes(em);
+    const auto got = ctb::pkcs1_unpad_scan(tw.data(), tw.size());
+    EXPECT_EQ(violation_count(), 0u);
+    EXPECT_EQ(peek32(got.ok_mask), want.ok_mask);
+    EXPECT_EQ(peek32(got.msg_start), want.msg_start);
+    EXPECT_TRUE(got.ok_mask.secret);
+  }
+}
+
+TEST_F(CtCheckTest, Pkcs1UnpadScanMatchesProductionUnpad) {
+  // The scan kernel IS production (rsaes_pkcs1_v15_unpad runs it); this
+  // faithfulness check pins the agreement between the kernel's mask
+  // outputs and the public API's accept/reject + message slicing across
+  // randomized blocks.
+  util::Rng rng(0xec5u);
+  for (int it = 0; it < 200; ++it) {
+    std::vector<std::uint8_t> em(11 + rng.next_u32() % 117);
+    for (auto& b : em) b = static_cast<std::uint8_t>(rng.next_u32());
+    if (it % 3 == 0) {  // force the well-formed shape sometimes
+      em[0] = 0x00;
+      em[1] = 0x02;
+      for (std::size_t i = 2; i < em.size(); ++i) {
+        if (em[i] == 0) em[i] = 0x5a;
+      }
+      const std::size_t sep = 10 + rng.next_u32() % (em.size() - 10);
+      em[sep] = 0x00;
+    }
+    std::vector<std::uint32_t> w(em.begin(), em.end());
+    const auto scan = ctb::pkcs1_unpad_scan(w.data(), w.size());
+    const auto out = rsa::rsaes_pkcs1_v15_unpad(em);
+    ASSERT_EQ(scan.ok_mask != 0, out.has_value());
+    if (out.has_value()) {
+      ASSERT_EQ(out->size(), em.size() - scan.msg_start);
+      EXPECT_TRUE(std::equal(
+          out->begin(), out->end(),
+          em.begin() + static_cast<std::ptrdiff_t>(scan.msg_start)));
+    }
+  }
+}
+
+TEST_F(CtCheckTest, LeakyPkcs1UnpadIsDetected) {
+  // Separator at index 12: the early-exit loop examines indices 2..12,
+  // branching on each — exactly 11 kBranch records, nothing else.
+  std::vector<std::uint8_t> em(32, 0xaa);
+  em[0] = 0x00;
+  em[1] = 0x02;
+  em[12] = 0x00;
+  const auto tw = taint_bytes(em);
+  const std::size_t sep = leaky_pkcs1_unpad_scan(tw.data(), tw.size());
+  EXPECT_EQ(sep, 12u);
+  EXPECT_EQ(violation_count(ViolationKind::kBranch), 11u);
+  EXPECT_EQ(violation_count(ViolationKind::kIndex), 0u);
+
+  // No separator: every byte from index 2 on is examined.
+  clear_violations();
+  std::vector<std::uint8_t> none(32, 0xbb);
+  const auto tw2 = taint_bytes(none);
+  EXPECT_EQ(leaky_pkcs1_unpad_scan(tw2.data(), tw2.size()), 0u);
+  EXPECT_EQ(violation_count(ViolationKind::kBranch), 30u);
+}
+
+TEST_F(CtCheckTest, LeakyCbcPadCheckIsDetected) {
+  // Valid pad of 5: one kIndex (the pad-length extraction) plus one
+  // kBranch per compared pad byte.
+  std::array<std::uint8_t, 16> t{};
+  for (std::size_t i = 0; i < 16; ++i) {
+    t[i] = (i >= 11) ? 5 : static_cast<std::uint8_t>(i + 1);
+  }
+  const auto tw = taint_bytes(t);
+  EXPECT_TRUE(leaky_cbc_pad_check(tw.data(), 16));
+  EXPECT_EQ(violation_count(ViolationKind::kIndex), 1u);
+  EXPECT_EQ(violation_count(ViolationKind::kBranch), 5u);
+
+  // Mismatch at the second examined byte: the early exit stops there —
+  // the violation COUNT itself is the timing signal the production
+  // kernel's single-accumulator shape removes.
+  clear_violations();
+  auto bad = t;
+  bad[14] = 0x7f;
+  const auto twb = taint_bytes(bad);
+  EXPECT_FALSE(leaky_cbc_pad_check(twb.data(), 16));
+  EXPECT_EQ(violation_count(ViolationKind::kIndex), 1u);
+  EXPECT_EQ(violation_count(ViolationKind::kBranch), 2u);
 }
 
 }  // namespace

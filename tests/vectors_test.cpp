@@ -1,0 +1,194 @@
+// Mass differential replay of tests/vectors/bigint_vectors.txt (generated
+// by tools/generate_bigint_vectors.py) through every Montgomery backend.
+//
+// Each line carries a Python-bigint reference result for inputs shaped to
+// break limbed arithmetic: operands straddling the 32/52/64-bit limb
+// boundaries, all-ones carry-chain maximizers, power-of-two neighbors
+// sitting next to the REDC R boundary, prime and CRT-shaped (p*q,
+// prime-adjacent) moduli. Every backend must agree with the reference
+// bit-exactly on every vector — scalar32, scalar64, the KNC-style
+// redundant-radix vector context, the 16-lane batch context, and both
+// instantiations (native, portable) of the radix-52 IFMA context.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bigint/bigint.hpp"
+#include "mont/batch.hpp"
+#include "mont/ifma_mont.hpp"
+#include "mont/modexp.hpp"
+#include "mont/mont32.hpp"
+#include "mont/mont64.hpp"
+#include "mont/vector_mont.hpp"
+
+#ifndef PHISSL_VECTORS_FILE
+#error "build must define PHISSL_VECTORS_FILE (tests/CMakeLists.txt does)"
+#endif
+
+namespace phissl::mont {
+namespace {
+
+using bigint::BigInt;
+
+struct Vec {
+  std::string op;  // "mul" | "sqr" | "exp"
+  BigInt a, b, r;  // sqr leaves b empty; exp's b is the exponent
+};
+
+/// All vectors for one modulus, in file order.
+struct Group {
+  BigInt m;
+  std::vector<Vec> vecs;
+};
+
+const std::vector<Group>& groups() {
+  static const std::vector<Group> gs = [] {
+    std::ifstream in(PHISSL_VECTORS_FILE);
+    EXPECT_TRUE(in.is_open()) << "missing " << PHISSL_VECTORS_FILE;
+    std::vector<Group> out;
+    std::map<std::string, std::size_t> index;
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.empty() || line[0] == '#') continue;
+      std::istringstream ss(line);
+      std::string op, mh, ah, xh, rh;
+      ss >> op >> mh >> ah >> xh;
+      if (op == "sqr") {
+        rh = xh;
+        xh.clear();
+      } else {
+        ss >> rh;
+      }
+      EXPECT_FALSE(ss.fail()) << "bad vector line: " << line;
+      auto [it, fresh] = index.try_emplace(mh, out.size());
+      if (fresh) out.push_back(Group{BigInt::from_hex(mh), {}});
+      out[it->second].vecs.push_back(
+          Vec{op, BigInt::from_hex(ah),
+              xh.empty() ? BigInt{} : BigInt::from_hex(xh),
+              BigInt::from_hex(rh)});
+    }
+    EXPECT_GT(out.size(), 100u) << "vector file implausibly small";
+    return out;
+  }();
+  return gs;
+}
+
+/// Replays every vector through one scalar-API context. Returns the
+/// number of vectors checked so tests can assert the replay really ran.
+template <typename Ctx, typename... CtxArgs>
+std::size_t replay_scalar(const char* backend, CtxArgs&&... args) {
+  std::size_t n = 0;
+  for (const auto& g : groups()) {
+    const Ctx ctx(g.m, std::forward<CtxArgs>(args)...);
+    for (const auto& v : g.vecs) {
+      BigInt got;
+      if (v.op == "mul") {
+        typename Ctx::Rep out(ctx.rep_size());
+        ctx.mul(ctx.to_mont(v.a), ctx.to_mont(v.b), out);
+        got = ctx.from_mont(out);
+      } else if (v.op == "sqr") {
+        typename Ctx::Rep out(ctx.rep_size());
+        ctx.sqr(ctx.to_mont(v.a), out);
+        got = ctx.from_mont(out);
+      } else {
+        got = fixed_window_exp(ctx, v.a, v.b);
+      }
+      if (got != v.r) {
+        // Abort the replay on the first divergence: one bad vector means
+        // the backend is wrong, and the remaining thousands of failures
+        // would only bury the interesting one.
+        ADD_FAILURE() << backend << " " << v.op << " m=" << g.m.to_hex()
+                      << " a=" << v.a.to_hex() << " b=" << v.b.to_hex()
+                      << " got=" << got.to_hex() << " want=" << v.r.to_hex();
+        return n;
+      }
+      ++n;
+    }
+  }
+  return n;
+}
+
+}  // namespace
+
+TEST(VectorsTest, Scalar32Agrees) {
+  EXPECT_GT(replay_scalar<MontCtx32>("scalar32"), 1000u);
+}
+
+TEST(VectorsTest, Scalar64Agrees) {
+  EXPECT_GT(replay_scalar<MontCtx64>("scalar64"), 1000u);
+}
+
+TEST(VectorsTest, KncVectorAgrees) {
+  EXPECT_GT(replay_scalar<VectorMontCtx>("knc_vec"), 1000u);
+}
+
+TEST(VectorsTest, Ifma52Agrees) {
+  // Auto backend: vpmadd52 when CPU + binary support it, else the same
+  // portable truncated-REDC — either way results must be bit-exact.
+  EXPECT_GT(replay_scalar<IfmaMontCtx>("ifma52", false), 1000u);
+}
+
+TEST(VectorsTest, Ifma52PortableAgrees) {
+  EXPECT_GT(replay_scalar<IfmaMontCtx>("ifma52-portable", true), 1000u);
+}
+
+// Sliding-window vs fixed-window differential on the exp vectors: two
+// independent schedules over the same kernel must match the reference.
+TEST(VectorsTest, SlidingWindowAgrees) {
+  std::size_t n = 0;
+  for (const auto& g : groups()) {
+    const MontCtx64 ctx(g.m);
+    for (const auto& v : g.vecs) {
+      if (v.op != "exp") continue;
+      EXPECT_EQ(sliding_window_exp(ctx, v.a, v.b), v.r)
+          << "m=" << g.m.to_hex() << " a=" << v.a.to_hex()
+          << " e=" << v.b.to_hex();
+      ++n;
+    }
+  }
+  EXPECT_GT(n, 100u);
+}
+
+// 16-lane batch context: mul and sqr vectors replay 16 at a time (the
+// tail of each modulus group pads by repetition). Each lane must match
+// its own reference result.
+TEST(VectorsTest, BatchAgrees) {
+  std::size_t n = 0;
+  for (const auto& g : groups()) {
+    const BatchVectorMontCtx ctx(g.m);
+    std::vector<const Vec*> work;
+    for (const auto& v : g.vecs) {
+      if (v.op == "mul" || v.op == "sqr") work.push_back(&v);
+    }
+    for (std::size_t base = 0; base < work.size();
+         base += BatchVectorMontCtx::kBatch) {
+      std::array<BigInt, BatchVectorMontCtx::kBatch> as, bs;
+      for (std::size_t l = 0; l < BatchVectorMontCtx::kBatch; ++l) {
+        const Vec& v = *work[std::min(base + l, work.size() - 1)];
+        as[l] = v.a;
+        bs[l] = v.op == "mul" ? v.b : v.a;
+      }
+      const auto am = ctx.to_mont(as);
+      const auto bm = ctx.to_mont(bs);
+      BatchVectorMontCtx::Rep prod(ctx.rep_size());
+      ctx.mul(am, bm, prod);
+      const auto got = ctx.from_mont(prod);
+      for (std::size_t l = 0; l < BatchVectorMontCtx::kBatch; ++l) {
+        const std::size_t i = std::min(base + l, work.size() - 1);
+        const Vec& v = *work[i];
+        ASSERT_EQ(got[l], v.r)
+            << "batch lane " << l << " " << v.op << " m=" << g.m.to_hex()
+            << " a=" << v.a.to_hex();
+        if (base + l < work.size()) ++n;
+      }
+    }
+  }
+  EXPECT_GT(n, 1000u);
+}
+
+}  // namespace phissl::mont

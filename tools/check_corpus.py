@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Verify the checked-in fuzz seed corpus matches fuzz_seed_gen's output.
+
+The corpus under tests/corpus/ is a pure function of the fixtures in
+src/fuzz/ (see seeds.cpp); this check regenerates it into a temp dir and
+diffs byte-for-byte, so corpus drift — a seed edited by hand, a fixture
+change without a regen — fails the suite instead of silently fuzzing
+stale inputs.
+
+Usage: check_corpus.py --seed-gen <path-to-fuzz_seed_gen> --corpus <dir>
+"""
+
+from __future__ import annotations
+
+import argparse
+import filecmp
+import pathlib
+import subprocess
+import sys
+import tempfile
+
+
+def tree_files(root: pathlib.Path) -> dict[str, pathlib.Path]:
+    return {
+        str(p.relative_to(root)): p
+        for p in sorted(root.rglob("*"))
+        if p.is_file()
+    }
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--seed-gen", required=True)
+    ap.add_argument("--corpus", required=True)
+    args = ap.parse_args()
+
+    corpus = pathlib.Path(args.corpus)
+    if not corpus.is_dir():
+        print(f"check_corpus: missing corpus dir {corpus}", file=sys.stderr)
+        return 1
+
+    with tempfile.TemporaryDirectory(prefix="phissl-corpus-") as tmp:
+        subprocess.run([args.seed_gen, tmp], check=True)
+        fresh = tree_files(pathlib.Path(tmp))
+        checked_in = tree_files(corpus)
+
+        bad = []
+        for rel in sorted(set(fresh) | set(checked_in)):
+            if rel not in fresh:
+                bad.append(f"extra file not produced by seed_gen: {rel}")
+            elif rel not in checked_in:
+                bad.append(f"missing from checked-in corpus: {rel}")
+            elif not filecmp.cmp(fresh[rel], checked_in[rel], shallow=False):
+                bad.append(f"content drift: {rel}")
+
+        if bad:
+            print("check_corpus: corpus out of sync with fuzz_seed_gen "
+                  "(rerun: fuzz_seed_gen tests/corpus):", file=sys.stderr)
+            for line in bad:
+                print(f"  {line}", file=sys.stderr)
+            return 1
+
+    print(f"check_corpus: {len(checked_in)} file(s) in sync")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

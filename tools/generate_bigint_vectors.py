@@ -1,0 +1,198 @@
+#!/usr/bin/env python3
+"""Generate differential test vectors for the bigint/Montgomery backends.
+
+Emits BCN-style modular-arithmetic vectors with Python-bigint reference
+results; tests/vectors_test.cpp replays the file through every Montgomery
+backend (scalar32, scalar64, knc_vec, batch, ifma52, ifma52-portable) and
+asserts bit-exact agreement. The value in the corpus is the input
+*shapes*, chosen where limbed implementations historically break:
+
+  - moduli and operands straddling the 32/52/64-bit limb boundaries
+    (one limb exactly full, one bit into the next limb, one bit short)
+  - carry-chain maximizers: all-ones words, 2^k - 1 and 2^k + 1 moduli,
+    operands of m-1 / m-2 that force the final conditional subtraction
+  - REDC R-boundary edges: powers of two and their neighbors reduced
+    mod m, so intermediate products land next to R = beta^d
+  - prime moduli just above/below power-of-two boundaries, and
+    CRT-shaped composites p*q with |p - q| small (prime-adjacent),
+    matching the RSA-CRT operand distribution
+
+The file is a pure function of SEED: regenerating must be byte-identical,
+so the checked-in copy under tests/vectors/ can be audited against this
+script. Stdlib only — no pip installs.
+
+Format (one vector per line, '#' comments, all hex lowercase, no 0x):
+
+  mul <m> <a> <b> <r>      r = a * b mod m
+  sqr <m> <a> <r>          r = a * a mod m
+  exp <m> <a> <e> <r>      r = a ^ e mod m   (e fits in 64 bits)
+
+Usage: generate_bigint_vectors.py [-o OUT]  (default: stdout)
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+
+SEED = 0x20260808
+
+# Bit sizes bracketing each backend's limb geometry: 32-bit limbs
+# (scalar32, batch lanes), 52-bit digits (ifma52), 64-bit limbs
+# (scalar64), 27-bit redundant digits (knc_vec: 54 = 2 digits, 81 = 3).
+BOUNDARY_BITS = [31, 32, 33, 51, 52, 53, 54, 63, 64, 65, 81, 96, 104]
+# Multi-limb sizes where carry chains span several words.
+WIDE_BITS = [128, 156, 208, 256, 384, 512]
+BIG_BITS = [1024]
+
+_SMALL_PRIMES = [2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47]
+
+
+def is_probable_prime(n: int, rng: random.Random) -> bool:
+    if n < 2:
+        return False
+    for p in _SMALL_PRIMES:
+        if n % p == 0:
+            return n == p
+    d, s = n - 1, 0
+    while d % 2 == 0:
+        d //= 2
+        s += 1
+    # Deterministic bases cover n < 3.3e24; seeded-random extras beyond.
+    bases = [2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37]
+    if n >= 1 << 82:
+        bases += [rng.randrange(2, n - 1) for _ in range(20)]
+    for a in bases:
+        a %= n
+        if a < 2:
+            continue
+        x = pow(a, d, n)
+        if x in (1, n - 1):
+            continue
+        for _ in range(s - 1):
+            x = x * x % n
+            if x == n - 1:
+                break
+        else:
+            return False
+    return True
+
+
+def next_prime(n: int, rng: random.Random) -> int:
+    n |= 1
+    while not is_probable_prime(n, rng):
+        n += 2
+    return n
+
+
+def moduli_for(bits: int, rng: random.Random) -> list[int]:
+    """Odd moduli > 1 concentrating the failure shapes at this size."""
+    lo, hi = 1 << (bits - 1), 1 << bits
+    out = []
+    # All-ones: every partial product's carry propagates the full width.
+    out.append(hi - 1)
+    # Power-of-two + 1: maximally sparse, REDC quotients hit the edge.
+    if bits >= 3:
+        out.append((lo | 1) if lo + 1 == hi - 1 else hi // 2 + 1)
+    out.append(hi - 3 if (hi - 3) % 2 == 1 else hi - 5)
+    # Prime just above the power of two (and its nearest odd neighbor).
+    out.append(next_prime(lo + 1, rng))
+    # Random odd moduli of exactly `bits` bits.
+    for _ in range(3):
+        out.append(rng.randrange(lo, hi) | lo | 1)
+    # CRT-shaped composite: p*q with p, q prime-adjacent halves.
+    if bits >= 16:
+        half = bits // 2
+        p = next_prime((1 << (half - 1)) + rng.randrange(1 << (half - 2)), rng)
+        q = next_prime(p + 2, rng)
+        out.append(p * q)
+    seen, uniq = set(), []
+    for m in out:
+        if m > 2 and m % 2 == 1 and m not in seen:
+            seen.add(m)
+            uniq.append(m)
+    return uniq
+
+
+def operands_for(m: int, bits: int, rng: random.Random) -> list[int]:
+    """Special values in [0, m): limb-boundary, carry and R-edge shapes."""
+    ops = {0, 1, 2, m - 1, m - 2, m >> 1}
+    # Powers of two (and +/-1 neighbors) at every limb boundary that fits:
+    # the shapes whose Montgomery images sit next to R = beta^d.
+    for k in (27, 31, 32, 33, 51, 52, 53, 63, 64, 65, bits - 1, bits):
+        if k > 0:
+            for v in ((1 << k) - 1, 1 << k, (1 << k) + 1):
+                ops.add(v % m)
+    # All-ones runs of whole 32-bit words: worst-case carry chains.
+    for words in (1, 2, bits // 32 or 1):
+        ops.add(((1 << (32 * words)) - 1) % m)
+    for _ in range(4):
+        ops.add(rng.randrange(m))
+    return sorted(ops)
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser()
+    ap.add_argument("-o", "--out", default="-")
+    args = ap.parse_args()
+    rng = random.Random(SEED)
+
+    lines = [
+        "# Differential bigint/Montgomery vectors.",
+        f"# Generated by tools/generate_bigint_vectors.py (seed {SEED:#x});",
+        "# regenerate with: python3 tools/generate_bigint_vectors.py "
+        "-o tests/vectors/bigint_vectors.txt",
+        "# Replayed by vectors_test across all Montgomery backends.",
+    ]
+    n_mul = n_sqr = n_exp = 0
+
+    def emit_pairs(m: int, bits: int, pair_budget: int, exp_every: int) -> None:
+        nonlocal n_mul, n_sqr, n_exp
+        mh = f"{m:x}"
+        ops = operands_for(m, bits, rng)
+        pairs = []
+        # Deterministic sweep of the special-value grid, then random fill.
+        for i, a in enumerate(ops):
+            pairs.append((a, ops[(i * 7 + 3) % len(ops)]))
+        while len(pairs) < pair_budget:
+            pairs.append((rng.randrange(m), rng.randrange(m)))
+        for i, (a, b) in enumerate(pairs[:pair_budget]):
+            lines.append(f"mul {mh} {a:x} {b:x} {a * b % m:x}")
+            lines.append(f"sqr {mh} {a:x} {a * a % m:x}")
+            n_mul += 1
+            n_sqr += 1
+            if exp_every and i % exp_every == 0:
+                # Exponents <= 64 bits: window schedules of every ladder
+                # get exercised without making the replay slow. e >= 1
+                # (the e = 0 convention is not part of the backend API).
+                e = rng.choice(
+                    [1, 2, 3, (1 << 16) + 1, (1 << 32) - 1, (1 << 52) + 1,
+                     (1 << 64) - 1, rng.randrange(1, 1 << 64)])
+                lines.append(f"exp {mh} {a:x} {e:x} {pow(a, e, m):x}")
+                n_exp += 1
+
+    for bits in BOUNDARY_BITS:
+        for m in moduli_for(bits, rng):
+            emit_pairs(m, bits, pair_budget=28, exp_every=10)
+    for bits in WIDE_BITS:
+        for m in moduli_for(bits, rng):
+            emit_pairs(m, bits, pair_budget=16, exp_every=8)
+    for bits in BIG_BITS:
+        for m in moduli_for(bits, rng)[:4]:
+            emit_pairs(m, bits, pair_budget=6, exp_every=6)
+
+    lines.append(f"# totals: {n_mul} mul, {n_sqr} sqr, {n_exp} exp")
+    text = "\n".join(lines) + "\n"
+    if args.out == "-":
+        sys.stdout.write(text)
+    else:
+        with open(args.out, "w", encoding="utf-8") as f:
+            f.write(text)
+        print(f"wrote {n_mul + n_sqr + n_exp} vectors to {args.out}",
+              file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

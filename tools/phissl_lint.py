@@ -13,12 +13,18 @@ Rules:
          explicit DeclassifyScope region are exempt.
   RNG001 raw libc rand()/srand(). Not cryptographic, not deterministic
          across platforms; use util::Rng.
+  SEC001 plain memset()/fill-with-zero used to clear buffers in
+         secret-bearing directories (src/rsa, src/ct, src/ssl). Dead-store
+         elimination is allowed to drop a memset whose buffer is about to
+         be freed, so the "cleared" key bytes stay in heap memory. Use
+         util::secure_wipe / util::secure_wipe_all (util/wipe.hpp), whose
+         volatile stores + compiler barrier survive optimization.
   BLD001 .cpp file present on disk but not registered in its directory's
          CMakeLists.txt — it silently doesn't build, which is how dead
          kernels and never-run tests happen.
 
 Suppressions: append `// lint:allow(<rule>)` to the offending line, where
-<rule> is memcmp, secret-index, or rand.
+<rule> is memcmp, secret-index, rand, or memset.
 
 Exit status: 0 clean, 1 findings, 2 usage error.
 """
@@ -34,6 +40,13 @@ from pathlib import Path
 # Directories whose code handles secret material: CT001 applies here.
 SECRET_DIRS = ("src/rsa", "src/mont", "src/ct", "src/ssl", "src/dh", "src/ec")
 
+# Directories where buffers routinely hold key material and clearing them
+# must survive dead-store elimination: SEC001 applies here. Narrower than
+# SECRET_DIRS on purpose — src/mont's workspaces hold Montgomery residues
+# whose zeroing is algorithmic (not scrubbing), and flagging those would
+# bury the real findings.
+WIPE_DIRS = ("src/rsa", "src/ct", "src/ssl")
+
 # Files allowed to call index_value() even under the ct-kernel marker:
 # the taint machinery itself and the deliberately-leaky fixtures.
 CT002_ALLOWED = ("src/ct/taint.hpp", "src/ct/leaky.hpp")
@@ -41,6 +54,10 @@ CT002_ALLOWED = ("src/ct/taint.hpp", "src/ct/leaky.hpp")
 CPP_SUFFIXES = {".cpp", ".hpp", ".h", ".cc"}
 
 MEMCMP_RE = re.compile(r"(?<![\w.:>])memcmp\s*\(")
+# Plain clearing a compiler may elide: memset(p, 0, n) and bzero.
+# Matching any memset (not just zeroing) keeps the rule simple; non-zero
+# memsets of secrets are at least as suspicious.
+MEMSET_RE = re.compile(r"(?<![\w.:>])(?:memset|(?<!_)bzero)\s*\(")
 RAND_RE = re.compile(r"(?<![\w.:>])s?rand\s*\(")
 INDEX_VALUE_RE = re.compile(r"(?<![\w.:>])index_value\s*\(")
 CT_KERNEL_MARKER = "phissl:ct-kernel"
@@ -81,6 +98,7 @@ def lint_cpp_file(root: Path, path: Path) -> list[Finding]:
     findings: list[Finding] = []
 
     in_secret_dir = rel.startswith(SECRET_DIRS)
+    in_wipe_dir = rel.startswith(WIPE_DIRS)
     is_ct_kernel = CT_KERNEL_MARKER in text and rel not in CT002_ALLOWED
     declassify_depth = 0
 
@@ -93,6 +111,14 @@ def lint_cpp_file(root: Path, path: Path) -> list[Finding]:
                     Finding(rel, i, "CT001",
                             "variable-time memcmp in secret-handling code; "
                             "use a branch-free compare"))
+
+        if in_wipe_dir and MEMSET_RE.search(code):
+            if not _allowed(raw, "memset"):
+                findings.append(
+                    Finding(rel, i, "SEC001",
+                            "plain memset/bzero in secret-bearing code can "
+                            "be elided by dead-store elimination; use "
+                            "util::secure_wipe (util/wipe.hpp)"))
 
         if RAND_RE.search(code) and not _allowed(raw, "rand"):
             findings.append(

@@ -101,6 +101,34 @@ class SecretIndexRule(LintFixture):
         self.assertNotIn("CT002", self.rules())
 
 
+class SecureWipeRule(LintFixture):
+    def test_memset_in_wipe_dir_fires(self):
+        self.write("src/rsa/key.cpp", "memset(d.data(), 0, d.size());\n")
+        self.assertIn("SEC001", self.rules())
+
+    def test_bzero_fires(self):
+        self.write("src/ssl/record.cpp", "bzero(key, sizeof key);\n")
+        self.assertIn("SEC001", self.rules())
+
+    def test_memset_outside_wipe_dirs_ignored(self):
+        # src/mont is a SECRET_DIR (CT001) but not a WIPE_DIR: workspace
+        # zeroing there is algorithmic, not scrubbing.
+        self.write("src/mont/ws.cpp", "memset(acc, 0, n);\n")
+        self.write("src/util/buf.cpp", "memset(p, 0, n);\n")
+        self.assertNotIn("SEC001", self.rules())
+
+    def test_suppressed(self):
+        self.write("src/rsa/key.cpp",
+                   "memset(pub, 0, n);  // lint:allow(memset)\n")
+        self.assertNotIn("SEC001", self.rules())
+
+    def test_comment_and_named_function_ignored(self):
+        self.write("src/rsa/key.cpp",
+                   "// memset(d, 0, n) would be elided here\n"
+                   "util::secure_memset_like(p, n);\n")
+        self.assertNotIn("SEC001", self.rules())
+
+
 class RandRule(LintFixture):
     def test_rand_fires(self):
         self.write("src/util/seed.cpp", "int x = rand();\n")
