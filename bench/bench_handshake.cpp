@@ -3,7 +3,8 @@
 // introduction motivates (handshake throughput limited by RSA private ops).
 //
 // Usage:
-//   ./bench_handshake [--smoke] [--json [path]] [--frontend threaded|event|both]
+//   ./bench_handshake [--smoke] [--json [path]]
+//                     [--frontend threaded|event|socket|both|all]
 //                     [--trace [path]] [--metrics [path]] [--workload [path]]
 //
 // The termination sweep (threads x resumption ratio x scalar/batched)
@@ -136,6 +137,60 @@ void event_cell(phissl::bench::JsonReporter& json,
                 {"resumptions_per_wakeup", r.resumptions_per_wakeup}});
 }
 
+// One socket-sweep cell: the same reactor, but over real loopback sockets
+// with the in-process epoll client fleet supplying the load. Occupancy
+// parity with the simulated event sweep is the acceptance bar — kernel
+// byte-shuffling must not drain the batches.
+void socket_cell(phissl::bench::JsonReporter& json,
+                 const phissl::rsa::Engine& engine, std::size_t conns,
+                 std::size_t workers, double ratio, std::size_t max_pending,
+                 phissl::rsa::Backend batch_backend) {
+  using namespace phissl;
+  ssl::DriverConfig cfg;
+  cfg.frontend = ssl::Frontend::kSocket;
+  cfg.num_handshakes = conns;
+  cfg.event_workers = workers;
+  cfg.max_open_connections = std::min<std::size_t>(conns, 16384);
+  cfg.socket_clients = std::min<std::size_t>(conns, 512);
+  if (ratio > 0.0) {
+    cfg.max_open_connections = std::max<std::size_t>(workers * 16, conns / 8);
+    cfg.socket_clients =
+        std::min(cfg.socket_clients, cfg.max_open_connections);
+  }
+  cfg.resumption_ratio = ratio;
+  cfg.admission.max_pending_ops = max_pending;
+  cfg.batch_backend = batch_backend;
+  const ssl::DriverReport r = ssl::run_handshakes(engine, cfg);
+
+  char name[96];
+  std::snprintf(name, sizeof(name), "socket_c%zu_w%zu%s%s", conns, workers,
+                max_pending != 0 ? "_overload" : "",
+                ratio > 0.0 ? "_resume" : "");
+  std::printf("%7zu %3zu %10.1f %9.0f %9.0f %6.2f %7zu %8zu %7zu/%zu\n",
+              conns, workers, r.handshakes_per_s, r.latency_us.median,
+              r.latency_us.p99, r.batch_lane_occupancy, r.shed, r.eagain,
+              r.completed, conns);
+  if (r.failed != 0) std::printf("  (FAILED %zu)\n", r.failed);
+  json.add_row("socket_sweep", name,
+               {{"connections", static_cast<double>(conns)},
+                {"workers", static_cast<double>(workers)},
+                {"resumption_ratio", ratio},
+                {"max_pending_ops", static_cast<double>(max_pending)},
+                {"hs_per_s", r.handshakes_per_s},
+                {"p50_us", r.latency_us.median},
+                {"p99_us", r.latency_us.p99},
+                {"completed", static_cast<double>(r.completed)},
+                {"failed", static_cast<double>(r.failed)},
+                {"shed", static_cast<double>(r.shed)},
+                {"resumed", static_cast<double>(r.resumed)},
+                {"batches", static_cast<double>(r.batches)},
+                {"lane_occupancy", r.batch_lane_occupancy},
+                {"resumptions_per_wakeup", r.resumptions_per_wakeup},
+                {"accepts", static_cast<double>(r.accepts)},
+                {"eagain", static_cast<double>(r.eagain)},
+                {"resets", static_cast<double>(r.resets)}});
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -144,6 +199,7 @@ int main(int argc, char** argv) {
   bool smoke = false;
   bool run_threaded = true;
   bool run_event = true;
+  bool run_socket = false;  // opt-in: needs a Linux host with loopback
   // --backend pins the termination sweep's Montgomery backend: both the
   // server engine's scalar kernel and the batched-decrypt contexts, so
   // scalar and batched rows stay an apples-to-apples A/B.
@@ -156,8 +212,15 @@ int main(int argc, char** argv) {
         run_event = false;
       } else if (std::strcmp(f, "event") == 0) {
         run_threaded = false;
+      } else if (std::strcmp(f, "socket") == 0) {
+        run_threaded = false;
+        run_event = false;
+        run_socket = true;
+      } else if (std::strcmp(f, "all") == 0) {
+        run_socket = true;
       } else if (std::strcmp(f, "both") != 0) {
-        std::fprintf(stderr, "unknown --frontend %s (threaded|event|both)\n",
+        std::fprintf(stderr,
+                     "unknown --frontend %s (threaded|event|socket|both|all)\n",
                      f);
         return 2;
       }
@@ -265,6 +328,34 @@ int main(int argc, char** argv) {
                /*ratio=*/0.5, 0.0, 0, backend);
     event_cell(json, sweep_engine, smoke ? 64 : 1024, smoke ? 2 : 4, 0.0,
                /*dhe_ratio=*/0.3, 0, backend);
+  }
+
+  // --- Socket sweep: the same reactor behind real epoll loopback sockets
+  // (Frontend::kSocket). The comparison row for each cell is the
+  // simulated event row at the same geometry: occupancy within a few
+  // percent means the kernel transport isn't draining the batches.
+  if (run_socket) {
+    std::printf("\n    socket-frontend sweep, RSA-%zu, backend %s "
+                "[hs/s | p50 us | p99 us | lane occ | shed | eagain]\n",
+                sweep_bits, rsa::to_string(backend));
+    std::printf("%7s %3s %10s %9s %9s %6s %7s %8s %9s\n", "conns", "wrk",
+                "hs/s", "p50_us", "p99_us", "occ", "shed", "eagain",
+                "completed");
+    const std::vector<std::size_t> socket_conns =
+        smoke ? std::vector<std::size_t>{64} : std::vector<std::size_t>{1024};
+    const std::vector<std::size_t> socket_workers =
+        smoke ? std::vector<std::size_t>{2} : std::vector<std::size_t>{2, 4};
+    for (const std::size_t conns : socket_conns) {
+      for (const std::size_t workers : socket_workers) {
+        socket_cell(json, sweep_engine, conns, workers, /*ratio=*/0.0,
+                    /*max_pending=*/0, backend);
+      }
+    }
+    // Overload + resumption rows, mirroring the event sweep's.
+    socket_cell(json, sweep_engine, smoke ? 64 : 1024, 2, 0.0,
+                /*max_pending=*/smoke ? 8 : 48, backend);
+    socket_cell(json, sweep_engine, smoke ? 64 : 1024, 2, /*ratio=*/0.5, 0,
+                backend);
   }
 
   if (!smoke && run_threaded) {

@@ -26,8 +26,9 @@
 //
 // The EWMA learns per-batch cost from completed ops without touching the
 // batch service: an op admitted at queue depth d that took t microseconds
-// end-to-end crossed ~ceil(d+1)/16 batches, so one batch cost
-// ~t*16/(d+1). Smoothing (alpha 1/8) absorbs the noise of partial
+// end-to-end crossed ceil((d+1)/16) batches, so one batch cost
+// ~t/ceil((d+1)/16) — the same pipeline model predict() applies in the
+// other direction. Smoothing (alpha 1/8) absorbs the noise of partial
 // batches and linger jitter.
 //
 // Everything is lock-free atomics: try_admit() sits on the per-connection
@@ -88,10 +89,15 @@ class AdmissionController {
   /// time. Releases the pending slot and feeds the EWMA predictor.
   void on_complete(std::size_t depth_at_admit, double op_latency_us) {
     pending_.fetch_sub(1, std::memory_order_acq_rel);
-    // One batch's worth of the measured latency: the op crossed
-    // ~(depth+1)/16 batches, so scale back to a single-batch estimate.
-    const double sample = op_latency_us * 16.0 /
-                          static_cast<double>(depth_at_admit + 1);
+    // One batch's worth of the measured latency: an op admitted at depth
+    // d drains behind ceil((d+1)/16) batch dispatches, so divide the
+    // end-to-end time by the batches it crossed. (An earlier version
+    // multiplied by 16/(d+1) instead, which at low depth fed a 16x
+    // inflated sample into the EWMA — light-load warmup then tripped
+    // max_predicted_wait sheds at depths the config permits.)
+    const double batches =
+        static_cast<double>((depth_at_admit + 1 + 15) / 16);
+    const double sample = op_latency_us / batches;
     double cur = ewma_batch_us_.load(std::memory_order_relaxed);
     double next;
     do {

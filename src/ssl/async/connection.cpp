@@ -8,7 +8,6 @@ namespace phissl::ssl::async {
 
 namespace {
 
-constexpr std::uint8_t kPing[] = {'p', 'i', 'n', 'g'};
 
 void append(std::vector<std::uint8_t>& out,
             const std::vector<std::uint8_t>& bytes) {
@@ -423,16 +422,14 @@ void ScriptedClient::process() {
           return fail();
         }
         // Established: prove the record layer with one echo round-trip.
-        append(out_, encode_app_data(session_->send(kPing, rng_)));
+        append(out_, encode_app_data(session_->send(ping_, rng_)));
         sent_ping_ = true;
         break;
       }
       case MsgType::kAppData: {
         if (!sent_ping_ || !session_.has_value()) return fail();
         const auto echoed = session_->receive(f->body);
-        if (!echoed.has_value() ||
-            !std::equal(echoed->begin(), echoed->end(), std::begin(kPing),
-                        std::end(kPing))) {
+        if (!echoed.has_value() || *echoed != ping_) {
           return fail();
         }
         append(out_, encode_close());

@@ -112,6 +112,10 @@ class ServerConnection {
   /// otherwise. Ownership transfers — each op is yielded exactly once.
   std::optional<PendingOp> take_pending_op();
 
+  /// True when a PendingOp is waiting to be taken (transports use this to
+  /// stop exchanging bytes without consuming the op themselves).
+  [[nodiscard]] bool has_pending_op() const { return pending_op_.has_value(); }
+
   /// Resolves the outstanding PendingOp: the decrypted premaster (or
   /// nullopt) for kPrivateOp, the signature block for kSign. Must only be
   /// called in the matching kAwait* state.
@@ -178,6 +182,17 @@ class ScriptedClient {
   /// Emits the ClientHello into the output buffer.
   void start();
 
+  /// Replaces the default 4-byte "ping" echo payload with `n` patterned
+  /// bytes (call before the handshake establishes). A large payload makes
+  /// the server's echo flight span many kernel-buffer writes — how the
+  /// socket-transport tests force the flight to split across EAGAIN.
+  void set_ping_size(std::size_t n) {
+    ping_.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      ping_[i] = static_cast<std::uint8_t>(i * 31 + 7);
+    }
+  }
+
   /// Feeds server bytes; advances the handshake, echoes one "ping"
   /// application record, verifies the echo, and closes.
   void on_server_bytes(std::span<const std::uint8_t> bytes);
@@ -216,6 +231,7 @@ class ScriptedClient {
   std::optional<ServerHello> held_hello_;  // awaiting its certificate/skx
   std::optional<Certificate> held_cert_;   // DHE: awaiting the skx
   std::optional<Session> session_;
+  std::vector<std::uint8_t> ping_{'p', 'i', 'n', 'g'};
   bool sent_kex_ = false;
   bool sent_ping_ = false;
   bool done_ = false;

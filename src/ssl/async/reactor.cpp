@@ -8,74 +8,76 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "obs/workload.hpp"
+#include "ssl/async/transport.hpp"
 #include "util/timing.hpp"
 
 namespace phissl::ssl::async {
 
 using Clock = std::chrono::steady_clock;
 
-/// One open connection: the server machine, its simulated peer, and the
-/// bookkeeping for the crypto op it may be parked on. Owned by exactly
-/// one worker at a time (see the header's concurrency invariant), so none
-/// of this needs a lock. Latency samples accumulate per slot and merge
-/// after the run — nothing shared on the measurement path.
+/// One open connection: the server machine and the bookkeeping for the
+/// crypto op it may be parked on (the peer lives in the transport's
+/// per-slot state). The connection fields are owned by exactly one worker
+/// at a time, so they need no lock; the scheduling flags at the bottom
+/// are what ENFORCE that ownership and are only touched under the reactor
+/// mutex. Latency samples accumulate per slot and merge after the run —
+/// nothing shared on the measurement path.
 struct Reactor::Slot {
   std::optional<ServerConnection> server;
-  std::optional<ScriptedClient> client;
   std::size_t conn_idx = 0;
-  std::size_t identity = 0;
-  bool offered_resume = false;
   Clock::time_point started{};
   // The op in flight, for admission feedback on resume.
   std::size_t depth_at_admit = 0;
   Clock::time_point op_submitted{};
+  bool op_in_flight = false;
+  // Peer reset / vanished. With an op in flight this parks the slot as a
+  // zombie: teardown waits for the completion so its result can be
+  // discarded safely instead of resuming a recycled connection.
+  bool peer_gone = false;
   std::vector<double> latencies_us;
+
+  // --- Scheduling flags, guarded by Reactor::mu_ ----------------------
+  // queued/running say the slot has an event in the ready queue / is
+  // being processed; the pending_* flags hold events that arrived while
+  // it was, replayed one at a time by release_event_slot().
+  bool queued = false;
+  bool running = false;
+  bool repump = false;         // coalesced I/O readiness
+  bool has_result = false;     // coalesced crypto completion
+  bool start_pending = false;  // recycle / accepted connection waiting
+  bool release_pending = false;  // return to the free table when quiet
+  std::size_t pending_conn = 0;
+  std::optional<std::vector<std::uint8_t>> pending_result;
 };
 
 struct Reactor::Event {
-  enum class Kind { kStart, kResume };
+  enum class Kind { kStart, kResume, kIo };
   Kind kind{};
   std::size_t slot = 0;
   std::size_t conn_idx = 0;  // kStart only
   std::optional<std::vector<std::uint8_t>> result;  // kResume only
 };
 
-namespace {
-
-// Deterministic per-connection coin flips (splitmix64 of the index), so a
-// run's resumption/DHE mix is reproducible regardless of scheduling.
-std::uint64_t mix(std::uint64_t x) {
-  x += 0x9e3779b97f4a7c15ULL;
-  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
-  return x ^ (x >> 31);
-}
-
-bool coin(std::uint64_t seed, std::size_t idx, std::uint32_t salt,
-          double ratio) {
-  if (ratio <= 0.0) return false;
-  const std::uint64_t h = mix(seed ^ mix(idx) ^ salt);
-  return static_cast<double>(h >> 11) * 0x1.0p-53 < ratio;
-}
-
-}  // namespace
-
 Reactor::Reactor(const rsa::Engine& server_engine, BatchDecryptService& svc,
                  SessionCache& cache, AdmissionController& admission,
-                 const dh::Dh* dhe_group, ReactorConfig cfg)
+                 const dh::Dh* dhe_group, Transport& transport,
+                 ReactorConfig cfg)
     : engine_(server_engine),
-      client_engine_(server_engine.pub(), server_engine.options()),
       svc_(svc),
       cache_(cache),
       admission_(admission),
       dhe_group_(dhe_group),
+      transport_(transport),
       cfg_(std::move(cfg)),
       open_gauge_(&obs::Registry::global().gauge(
           "phissl_reactor_open_connections",
           "connections currently open in the event frontend")),
       shed_counter_(&obs::Registry::global().counter(
           "phissl_reactor_shed_total",
-          "connections rejected by admission control")) {
+          "connections rejected by admission control")),
+      reset_counter_(&obs::Registry::global().counter(
+          "phissl_reactor_peer_resets_total",
+          "connections torn down by peer reset or premature EOF")) {
   if (cfg_.workers == 0) cfg_.workers = 1;
   if (cfg_.max_open_connections == 0) cfg_.max_open_connections = 1;
   if (cfg_.identity_pool == 0) cfg_.identity_pool = 1;
@@ -88,7 +90,7 @@ Reactor::Reactor(const rsa::Engine& server_engine, BatchDecryptService& svc,
   for (std::size_t i = 0; i < open; ++i) {
     slots_.push_back(std::make_unique<Slot>());
   }
-  identities_.resize(cfg_.identity_pool);
+  transport_.bind(*this);
 }
 
 Reactor::~Reactor() = default;
@@ -96,17 +98,28 @@ Reactor::~Reactor() = default;
 ReactorStats Reactor::run() {
   PHISSL_OBS_SPAN("ssl.reactor_run");
 
-  // Seed the queue with one start per slot; every further connection is
-  // started inline by the worker that frees the slot.
   {
     std::lock_guard<std::mutex> l(mu_);
-    for (std::size_t i = 0; i < slots_.size(); ++i) {
-      const std::size_t conn = next_conn_.fetch_add(1);
-      if (conn >= cfg_.total_connections) break;
-      ready_.push_back(Event{Event::Kind::kStart, i, conn, std::nullopt});
+    if (transport_.reactor_paced()) {
+      // Seed the queue with one start per slot; every further connection
+      // is started by the worker that frees the slot.
+      for (std::size_t i = 0; i < slots_.size(); ++i) {
+        const std::size_t conn = next_conn_.fetch_add(1);
+        if (conn >= cfg_.total_connections) break;
+        slots_[i]->queued = true;
+        ready_.push_back(Event{Event::Kind::kStart, i, conn, std::nullopt});
+      }
+    } else {
+      // Accept-paced: every slot starts free; the transport claims them
+      // as connections arrive.
+      free_slots_.reserve(slots_.size());
+      for (std::size_t i = slots_.size(); i-- > 0;) {
+        free_slots_.push_back(i);
+      }
     }
+    if (cfg_.total_connections == 0) done_ = true;
   }
-  if (cfg_.total_connections == 0) done_ = true;
+  transport_.start();
 
   std::vector<std::thread> workers;
   workers.reserve(cfg_.workers);
@@ -114,12 +127,14 @@ ReactorStats Reactor::run() {
     workers.emplace_back([this] { worker_loop(); });
   }
   for (auto& t : workers) t.join();
+  transport_.stop();
 
   ReactorStats stats;
   stats.completed = completed_.load();
   stats.failed = failed_.load();
   stats.shed = shed_.load();
   stats.resumed = resumed_.load();
+  stats.resets = resets_.load();
   stats.wakeups = wakeups_.load();
   stats.resumptions = events_.load();
   stats.resumptions_per_wakeup =
@@ -133,6 +148,47 @@ ReactorStats Reactor::run() {
   }
   stats.latency_us = util::summarize(std::move(lats));
   return stats;
+}
+
+std::optional<std::size_t> Reactor::claim_slot() {
+  std::lock_guard<std::mutex> l(mu_);
+  if (free_slots_.empty()) return std::nullopt;
+  const std::size_t idx = free_slots_.back();
+  free_slots_.pop_back();
+  return idx;
+}
+
+void Reactor::release_slot(std::size_t slot_idx) {
+  std::lock_guard<std::mutex> l(mu_);
+  free_slots_.push_back(slot_idx);
+}
+
+void Reactor::start_accepted(std::size_t slot_idx) {
+  const std::size_t conn = next_conn_.fetch_add(1);
+  std::lock_guard<std::mutex> l(mu_);
+  Slot& slot = *slots_[slot_idx];
+  if (slot.queued || slot.running) {
+    // A stale readiness event for the slot's previous occupant is still
+    // draining; the start replays after it (release_event_slot).
+    slot.pending_conn = conn;
+    slot.start_pending = true;
+    return;
+  }
+  slot.queued = true;
+  ready_.push_back(Event{Event::Kind::kStart, slot_idx, conn, std::nullopt});
+  cv_.notify_one();
+}
+
+void Reactor::notify_io(std::size_t slot_idx) {
+  std::lock_guard<std::mutex> l(mu_);
+  Slot& slot = *slots_[slot_idx];
+  if (slot.queued || slot.running) {
+    slot.repump = true;
+    return;
+  }
+  slot.queued = true;
+  ready_.push_back(Event{Event::Kind::kIo, slot_idx, 0, std::nullopt});
+  cv_.notify_one();
 }
 
 void Reactor::worker_loop() {
@@ -157,13 +213,20 @@ void Reactor::worker_loop() {
               std::size_t{1}, ready_.size() / cfg_.workers + 1));
       batch.reserve(take);
       for (std::size_t i = 0; i < take; ++i) {
-        batch.push_back(std::move(ready_.front()));
+        Event& ev = ready_.front();
+        // Ownership transfer: queued -> running while still under the
+        // lock, so any event source that fires from here on coalesces
+        // into the slot's pending flags.
+        Slot& slot = *slots_[ev.slot];
+        slot.queued = false;
+        slot.running = true;
+        batch.push_back(std::move(ev));
         ready_.pop_front();
       }
     }
-    // Resumptions-per-wakeup counts crypto resumes only (starts would
-    // dilute the metric it exists to expose: how many lanemates of one
-    // 16-wide batch each wakeup brings back).
+    // Resumptions-per-wakeup counts crypto resumes only (starts and I/O
+    // readiness would dilute the metric it exists to expose: how many
+    // lanemates of one 16-wide batch each wakeup brings back).
     std::size_t resumes = 0;
     for (const auto& ev : batch) {
       if (ev.kind == Event::Kind::kResume) ++resumes;
@@ -174,101 +237,154 @@ void Reactor::worker_loop() {
       wakeup_counter.inc();
       resume_counter.inc(resumes);
     }
-    for (auto& ev : batch) handle_event(std::move(ev));
+    for (auto& ev : batch) {
+      handle_event(ev);
+      release_event_slot(ev.slot);
+    }
   }
 }
 
-void Reactor::handle_event(Event ev) {
+void Reactor::handle_event(Event& ev) {
   Slot& slot = *slots_[ev.slot];
-  if (ev.kind == Event::Kind::kStart) {
-    start_connection(ev.slot, ev.conn_idx);
-    return;
+  switch (ev.kind) {
+    case Event::Kind::kStart:
+      start_connection(ev.slot, ev.conn_idx);
+      return;
+    case Event::Kind::kIo:
+      // Readiness can outlive its connection (the poller saw the event
+      // before the worker closed the fd) — then there is nothing to pump.
+      if (slot.server.has_value()) pump(ev.slot);
+      return;
+    case Event::Kind::kResume: {
+      // Close the admission loop first (the pending-op slot frees before
+      // the connection runs on, so a waiting arrival can admit), then
+      // re-arm the state machine with the batch result.
+      slot.op_in_flight = false;
+      const double latency_us =
+          std::chrono::duration<double, std::micro>(Clock::now() -
+                                                    slot.op_submitted)
+              .count();
+      admission_.on_complete(slot.depth_at_admit, latency_us);
+      if (slot.peer_gone) {
+        // The peer reset while the op was in flight; the result is
+        // discarded and the zombie slot can finally tear down.
+        finish_connection(ev.slot);
+        return;
+      }
+      slot.server->on_crypto_result(std::move(ev.result));
+      pump(ev.slot);
+      return;
+    }
   }
-  // Resume: close the admission loop first (the pending-op slot frees
-  // before the connection runs on, so a waiting arrival can admit), then
-  // re-arm the state machine with the batch result.
-  const double latency_us =
-      std::chrono::duration<double, std::micro>(Clock::now() -
-                                                slot.op_submitted)
-          .count();
-  admission_.on_complete(slot.depth_at_admit, latency_us);
-  slot.server->on_crypto_result(std::move(ev.result));
-  pump(ev.slot);
+}
+
+// The slot's owning worker is done with this event: replay whatever
+// arrived meanwhile (completion first — it unparks the machine — then
+// readiness, then a waiting start), or return the slot to the free table.
+void Reactor::release_event_slot(std::size_t slot_idx) {
+  bool freed = false;
+  {
+    std::lock_guard<std::mutex> l(mu_);
+    Slot& slot = *slots_[slot_idx];
+    slot.running = false;
+    if (slot.has_result) {
+      slot.has_result = false;
+      slot.queued = true;
+      ready_.push_back(Event{Event::Kind::kResume, slot_idx, 0,
+                             std::move(slot.pending_result)});
+      slot.pending_result.reset();
+      cv_.notify_one();
+    } else if (slot.repump) {
+      slot.repump = false;
+      slot.queued = true;
+      ready_.push_back(Event{Event::Kind::kIo, slot_idx, 0, std::nullopt});
+      cv_.notify_one();
+    } else if (slot.start_pending) {
+      slot.start_pending = false;
+      slot.queued = true;
+      ready_.push_back(Event{Event::Kind::kStart, slot_idx,
+                             slot.pending_conn, std::nullopt});
+      cv_.notify_one();
+    } else if (slot.release_pending) {
+      slot.release_pending = false;
+      free_slots_.push_back(slot_idx);
+      freed = true;
+    }
+  }
+  // Outside the lock: the transport may call straight back into
+  // claim_slot from its accept path.
+  if (freed) transport_.on_slot_freed(slot_idx);
 }
 
 void Reactor::start_connection(std::size_t slot_idx, std::size_t conn_idx) {
   Slot& slot = *slots_[slot_idx];
   slot.conn_idx = conn_idx;
-  slot.identity = conn_idx % cfg_.identity_pool;
   slot.started = Clock::now();
+  slot.peer_gone = false;
+  slot.op_in_flight = false;
 
-  const bool use_dhe = coin(cfg_.seed, conn_idx, 0xd4e5, cfg_.dhe_ratio);
-  std::optional<ResumableSession> resume;
-  if (!use_dhe && coin(cfg_.seed, conn_idx, 0x5e55, cfg_.resumption_ratio)) {
-    std::lock_guard<std::mutex> l(identities_mu_);
-    resume = identities_[slot.identity];  // may still be nullopt (cold)
-  }
-  slot.offered_resume = resume.has_value();
-
-  const std::uint64_t seed = mix(cfg_.seed) ^ mix(conn_idx + 1);
-  slot.server.emplace(engine_, seed, &cache_, &admission_,
-                      use_dhe ? dhe_group_ : nullptr);
-  slot.client.emplace(client_engine_, mix(seed), std::move(resume), use_dhe);
+  const std::uint64_t seed =
+      detail::mix(cfg_.seed) ^ detail::mix(conn_idx + 1);
+  // The group is always offered; whether a connection negotiates DHE is
+  // the client's choice (the transport draws it from cfg.dhe_ratio).
+  slot.server.emplace(engine_, seed, &cache_, &admission_, dhe_group_);
   open_gauge_->add(1);
-  slot.client->start();
+  transport_.open(slot_idx, conn_idx, seed);
   pump(slot_idx);
 }
 
 void Reactor::pump(std::size_t slot_idx) {
   Slot& slot = *slots_[slot_idx];
-  for (;;) {
-    bool progressed = false;
-    // Client -> server. take_output() drains fully: the simulated
-    // transport never backpressures (partial reads/writes are covered by
-    // the connection unit tests; the reactor measures scheduling).
-    if (auto bytes = slot.client->take_output(); !bytes.empty()) {
-      slot.server->on_input(bytes);
-      progressed = true;
+  const IoStatus st = transport_.exchange(slot_idx, *slot.server);
+  if (st == IoStatus::kPeerGone) {
+    if (!slot.peer_gone) {
+      slot.peer_gone = true;
+      resets_.fetch_add(1, std::memory_order_relaxed);
+      reset_counter_->inc();
     }
-    // Did the server park on a crypto step? Submit and yield the slot —
-    // the completion will bring it back through the ready queue.
+    // An op parked at (or created during) the doomed exchange is surplus:
+    // release its admission slot and discard — never submit crypto work
+    // for a vanished peer.
     if (auto op = slot.server->take_pending_op(); op.has_value()) {
-      submit(slot_idx, std::move(*op));
+      admission_.on_complete(op->depth_at_admit, 0.0);
+    }
+    if (slot.op_in_flight) {
+      // Zombie: an earlier op is still behind the batch service. The slot
+      // must not recycle until its completion lands (a new occupant would
+      // otherwise receive a stale result), so teardown waits in the
+      // kResume handler.
       return;
     }
-    // Server -> client.
-    if (auto bytes = slot.server->take_output(); !bytes.empty()) {
-      slot.client->on_server_bytes(bytes);
-      progressed = true;
-    }
-    const bool client_settled = slot.client->done() || slot.client->failed();
-    if (client_settled && slot.client->output_pending() == 0 &&
-        slot.server->output_pending() == 0) {
-      // Nothing further to deliver in either direction: the close (or
-      // alert) has fully round-tripped.
-      finish_connection(slot_idx);
-      return;
-    }
-    if (!progressed) {
-      // No bytes moved, no op pending, nobody settled: a protocol-level
-      // stall (state machine bug). Fail the connection rather than hang
-      // the reactor.
-      slot.client.reset();
-      failed_.fetch_add(1, std::memory_order_relaxed);
-      finish_connection(slot_idx);
-      return;
-    }
+    finish_connection(slot_idx);
+    return;
   }
+  // Did the server park on a crypto step? Submit and yield the slot —
+  // the completion will bring it back through the ready queue.
+  if (slot.server->has_pending_op()) {
+    auto op = slot.server->take_pending_op();
+    submit(slot_idx, std::move(*op));
+    return;
+  }
+  if (st == IoStatus::kSettled) {
+    // Nothing further to deliver in either direction: the close (or
+    // alert) has fully round-tripped.
+    finish_connection(slot_idx);
+    return;
+  }
+  // kOk: parked awaiting I/O readiness or (nothing — spurious wakeup).
 }
 
 void Reactor::submit(std::size_t slot_idx, PendingOp op) {
   Slot& slot = *slots_[slot_idx];
   slot.depth_at_admit = op.depth_at_admit;
   slot.op_submitted = Clock::now();
+  // Before the async call: the completion can run INLINE (malformed
+  // ciphertext short-circuits before the service), and the kResume
+  // handler keys off this flag.
+  slot.op_in_flight = true;
   // The completion callback runs on a batch-service dispatch thread; per
-  // the Completion contract it only enqueues the resume event. Note it
-  // can also run INLINE (malformed ciphertext short-circuits before the
-  // service) — safe here because enqueue_resume never re-enters the slot.
+  // the Completion contract it only enqueues the resume event. Safe here
+  // because enqueue_resume never re-enters the slot.
   auto done = [this, slot_idx](std::optional<std::vector<std::uint8_t>> r) {
     enqueue_resume(slot_idx, std::move(r));
   };
@@ -282,6 +398,15 @@ void Reactor::submit(std::size_t slot_idx, PendingOp op) {
 void Reactor::enqueue_resume(std::size_t slot_idx,
                              std::optional<std::vector<std::uint8_t>> result) {
   std::lock_guard<std::mutex> l(mu_);
+  Slot& slot = *slots_[slot_idx];
+  if (slot.queued || slot.running) {
+    // The owning worker is mid-event (inline completion, or readiness
+    // beat us here); it replays the resume when it releases the slot.
+    slot.pending_result = std::move(result);
+    slot.has_result = true;
+    return;
+  }
+  slot.queued = true;
   ready_.push_back(
       Event{Event::Kind::kResume, slot_idx, 0, std::move(result)});
   cv_.notify_one();
@@ -292,6 +417,7 @@ void Reactor::finish_connection(std::size_t slot_idx) {
   slot.latencies_us.push_back(std::chrono::duration<double, std::micro>(
                                   Clock::now() - slot.started)
                                   .count());
+  const ServerConnection& conn = *slot.server;
   // Shed and resumed connections never reach the batch service, so the
   // per-lane events SignService records can't cover them — the workload
   // trace gets them here, arrival-stamped at connection start.
@@ -310,45 +436,75 @@ void Reactor::finish_connection(std::size_t slot_idx) {
     wev.resumed = is_resumed;
     rec.record(wev);
   };
-  if (slot.client.has_value()) {
-    if (slot.client->done()) {
-      completed_.fetch_add(1, std::memory_order_relaxed);
-      if (slot.client->resumed()) {
-        resumed_.fetch_add(1, std::memory_order_relaxed);
-        record_outcome(/*is_shed=*/false, /*is_resumed=*/true);
-      } else if (slot.client->has_resumable()) {
-        // Bank the fresh session for this identity's next connection
-        // (DHE sessions carry no resumable handle).
-        std::lock_guard<std::mutex> l(identities_mu_);
-        identities_[slot.identity] = slot.client->resumable();
-      }
-    } else if (slot.server->was_shed()) {
-      shed_.fetch_add(1, std::memory_order_relaxed);
-      shed_counter_->inc();
-      record_outcome(/*is_shed=*/true, /*is_resumed=*/false);
-    } else {
-      failed_.fetch_add(1, std::memory_order_relaxed);
+  // Outcome is judged on the SERVER side (the socket transport has no
+  // view of the client state machine): a clean close with no failure and
+  // no shed is a completed termination.
+  if (conn.was_shed()) {
+    shed_.fetch_add(1, std::memory_order_relaxed);
+    shed_counter_->inc();
+    record_outcome(/*is_shed=*/true, /*is_resumed=*/false);
+  } else if (!slot.peer_gone && conn.state() == ConnState::kClosed &&
+             !conn.failed()) {
+    completed_.fetch_add(1, std::memory_order_relaxed);
+    if (conn.resumed()) {
+      resumed_.fetch_add(1, std::memory_order_relaxed);
+      record_outcome(/*is_shed=*/false, /*is_resumed=*/true);
     }
+  } else {
+    failed_.fetch_add(1, std::memory_order_relaxed);
   }
+  transport_.on_close(slot_idx, conn);
   slot.server.reset();
-  slot.client.reset();
   open_gauge_->sub(1);
 
   // Recycle the slot. The next connection goes through the ready queue
   // rather than starting inline: a shed storm would otherwise recurse
-  // finish -> start -> pump -> finish thousands of frames deep.
-  const std::size_t conn = next_conn_.fetch_add(1);
-  const bool more = conn < cfg_.total_connections;
+  // finish -> start -> pump -> finish thousands of frames deep. The
+  // pending flags (not a direct push) keep the replay ordered behind
+  // whatever else raced in — release_event_slot does the actual enqueue.
   const std::size_t finished = finished_.fetch_add(1) + 1;
   std::lock_guard<std::mutex> l(mu_);
-  if (more) {
-    ready_.push_back(Event{Event::Kind::kStart, slot_idx, conn, std::nullopt});
-    cv_.notify_one();
+  if (transport_.reactor_paced()) {
+    const std::size_t conn_next = next_conn_.fetch_add(1);
+    if (conn_next < cfg_.total_connections) {
+      slot.pending_conn = conn_next;
+      slot.start_pending = true;
+    }
+  } else {
+    slot.release_pending = true;
   }
-  if (finished == cfg_.total_connections) {
+  if (finished >= cfg_.total_connections) {
     done_ = true;
     cv_.notify_all();
   }
+}
+
+DriverReport fold_driver_report(const ReactorStats& stats,
+                                double wall_seconds,
+                                const SessionCache& cache,
+                                BatchDecryptService& svc) {
+  DriverReport report;
+  report.wall_seconds = wall_seconds;
+  report.completed = stats.completed;
+  report.failed = stats.failed;
+  report.resumed = stats.resumed;
+  report.shed = stats.shed;
+  report.resets = stats.resets;
+  report.resumptions_per_wakeup = stats.resumptions_per_wakeup;
+  report.handshakes_per_s =
+      report.wall_seconds > 0
+          ? static_cast<double>(report.completed) / report.wall_seconds
+          : 0.0;
+  report.latency_us = stats.latency_us;
+
+  const SessionCacheStats cs = cache.stats();
+  report.cache_hits = cs.hits;
+  report.cache_misses = cs.misses;
+  report.cache_evictions = cs.evictions;
+  const service::StatsSnapshot ss = svc.stats();
+  report.batches = ss.batches;
+  report.batch_lane_occupancy = ss.mean_lane_occupancy;
+  return report;
 }
 
 DriverReport run_event_handshakes(const rsa::Engine& server_engine,
@@ -381,48 +537,25 @@ DriverReport run_event_handshakes(const rsa::Engine& server_engine,
     dhe_group.emplace(dh::rfc2409_group2(), server_engine.options().kernel);
   }
 
+  const ReactorConfig rcfg{
+      .workers = cfg.event_workers,
+      .max_open_connections = cfg.max_open_connections,
+      .total_connections = cfg.num_handshakes,
+      .seed = cfg.seed,
+      .resumption_ratio = cfg.resumption_ratio,
+      .dhe_ratio = cfg.event_dhe_ratio,
+      .identity_pool = identity_pool_for(cfg.num_handshakes),
+  };
+  const rsa::Engine client_engine(server_engine.pub(),
+                                  server_engine.options());
+  SimulatedTransport transport(client_engine, rcfg);
   Reactor reactor(server_engine, svc, cache, admission,
-                  dhe_group.has_value() ? &*dhe_group : nullptr,
-                  ReactorConfig{
-                      .workers = cfg.event_workers,
-                      .max_open_connections = cfg.max_open_connections,
-                      .total_connections = cfg.num_handshakes,
-                      .seed = cfg.seed,
-                      .resumption_ratio = cfg.resumption_ratio,
-                      .dhe_ratio = cfg.event_dhe_ratio,
-                      // Scale the repeat-visitor pool with the run so each
-                      // identity reconnects several times — a fixed pool
-                      // larger than the run would mean no identity ever
-                      // returns and resumption_ratio silently does nothing.
-                      .identity_pool = std::max<std::size_t>(
-                          1, std::min<std::size_t>(256,
-                                                   cfg.num_handshakes / 8)),
-                  });
+                  dhe_group.has_value() ? &*dhe_group : nullptr, transport,
+                  rcfg);
 
   util::Stopwatch wall;
   const ReactorStats stats = reactor.run();
-
-  DriverReport report;
-  report.wall_seconds = wall.elapsed_s();
-  report.completed = stats.completed;
-  report.failed = stats.failed;
-  report.resumed = stats.resumed;
-  report.shed = stats.shed;
-  report.resumptions_per_wakeup = stats.resumptions_per_wakeup;
-  report.handshakes_per_s =
-      report.wall_seconds > 0
-          ? static_cast<double>(report.completed) / report.wall_seconds
-          : 0.0;
-  report.latency_us = stats.latency_us;
-
-  const SessionCacheStats cs = cache.stats();
-  report.cache_hits = cs.hits;
-  report.cache_misses = cs.misses;
-  report.cache_evictions = cs.evictions;
-  const service::StatsSnapshot ss = svc.stats();
-  report.batches = ss.batches;
-  report.batch_lane_occupancy = ss.mean_lane_occupancy;
-  return report;
+  return fold_driver_report(stats, wall.elapsed_s(), cache, svc);
 }
 
 }  // namespace phissl::ssl::async

@@ -17,22 +17,26 @@
 // (resumptions-per-wakeup is a direct measure of that amortization).
 //
 // Concurrency invariant: at most one thread touches a given slot at a
-// time, with no per-connection lock. It holds because a slot is always in
-// exactly one place — being pumped by one worker, parked awaiting one
-// completion (which enqueues one event), or idle in the ready queue — and
-// the queue mutex orders the handoffs.
+// time, with no per-connection lock. The queue mutex enforces it
+// explicitly: each slot carries queued/running flags, and any event
+// source (a crypto completion, socket readiness from the poller, a
+// recycle) that fires while the slot is queued or being processed folds
+// into per-slot pending flags instead of entering the queue a second
+// time — the owning worker replays them when it releases the slot. So a
+// readiness event racing a batch completion can never put two events for
+// one slot in flight.
 //
 // The reactor also OWNS admission (admission.hpp): connections consult
 // the shared AdmissionController at their PendingOp creation point, and
 // shed connections never reach the batch service.
 //
-// run() simulates the transport: each slot pairs the server connection
-// with a ScriptedClient and shuttles byte buffers between them — the
-// framing, chunked reads, and flush scheduling are all real; only the
-// kernel socket is replaced by a vector swap (ROADMAP: the sockets/io
-// layer). This is the event-frontend counterpart of run_handshakes().
+// Byte movement is delegated to a Transport (transport.hpp): the
+// simulated vector-swap transport (deterministic, reactor-paced) and the
+// epoll socket transport (real fds, accept-paced) are two implementations
+// of the same seam. This file knows nothing about sockets.
 #pragma once
 
+#include <algorithm>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
@@ -54,6 +58,8 @@
 
 namespace phissl::ssl::async {
 
+class Transport;
+
 /// Reactor geometry and workload shape.
 struct ReactorConfig {
   /// Event-loop worker threads (NOT one per connection — 2–4 suffice to
@@ -67,7 +73,8 @@ struct ReactorConfig {
   std::size_t total_connections = 1024;
   std::uint64_t seed = 1;
   /// Fraction of connections that offer resumption of a previous session
-  /// (per client identity; see identity_pool).
+  /// (per client identity; see identity_pool). Consumed by the simulated
+  /// transport / the socket client fleet, not the reactor itself.
   double resumption_ratio = 0.0;
   /// Fraction of connections negotiating DHE-RSA instead of RSA key
   /// transport (their private op is a signature, coalescing into the
@@ -85,6 +92,9 @@ struct ReactorStats {
   std::size_t failed = 0;
   std::size_t shed = 0;     ///< rejected by admission control
   std::size_t resumed = 0;  ///< of completed, abbreviated handshakes
+  /// Peer resets / premature EOFs (a subset of failed; zero on the
+  /// simulated transport unless the state machine stalls).
+  std::size_t resets = 0;
   std::uint64_t wakeups = 0;
   std::uint64_t resumptions = 0;  ///< events processed across all wakeups
   /// Mean events per worker wakeup — >1 means batch completions are
@@ -97,11 +107,13 @@ class Reactor {
  public:
   /// All dependencies are shared across every connection: the server
   /// engine (certificate + key), the batch service (the completion
-  /// bridge target), the session cache, admission control, and the
-  /// optional DHE group (required if cfg.dhe_ratio > 0).
+  /// bridge target), the session cache, admission control, the optional
+  /// DHE group (required if cfg.dhe_ratio > 0), and the transport that
+  /// moves bytes. The transport must outlive the reactor; bind() is
+  /// called here.
   Reactor(const rsa::Engine& server_engine, BatchDecryptService& svc,
           SessionCache& cache, AdmissionController& admission,
-          const dh::Dh* dhe_group, ReactorConfig cfg);
+          const dh::Dh* dhe_group, Transport& transport, ReactorConfig cfg);
   ~Reactor();
 
   Reactor(const Reactor&) = delete;
@@ -112,12 +124,32 @@ class Reactor {
   /// One-shot: a Reactor instance runs once.
   ReactorStats run();
 
+  /// Slots in the table (transports size their per-slot state to this).
+  [[nodiscard]] std::size_t slot_count() const { return slots_.size(); }
+
+  // --- Transport entry points (socket poller thread) -------------------
+  // An accept-paced transport claims a free slot, wires its fd, then
+  // hands the slot to the workers; readiness events arrive as notify_io.
+
+  /// Pops a quiescent free slot, or nullopt when the table is full (the
+  /// transport should pause accepting; on_slot_freed re-arms it).
+  std::optional<std::size_t> claim_slot();
+  /// Returns a claimed slot unused (accept raced to EAGAIN).
+  void release_slot(std::size_t slot_idx);
+  /// Hands a claimed slot (peer already wired) to the workers: draws the
+  /// next connection index and enqueues the start event.
+  void start_accepted(std::size_t slot_idx);
+  /// Readiness for an open slot's fd. Coalesces: safe to call while the
+  /// slot is queued, being pumped, or already closed (no-op then).
+  void notify_io(std::size_t slot_idx);
+
  private:
   struct Slot;
   struct Event;
 
   void worker_loop();
-  void handle_event(Event ev);
+  void handle_event(Event& ev);
+  void release_event_slot(std::size_t slot_idx);
   void start_connection(std::size_t slot_idx, std::size_t conn_idx);
   void pump(std::size_t slot_idx);
   void submit(std::size_t slot_idx, PendingOp op);
@@ -126,24 +158,20 @@ class Reactor {
   void finish_connection(std::size_t slot_idx);
 
   const rsa::Engine& engine_;
-  const rsa::Engine client_engine_;  // public half, shared by all clients
   BatchDecryptService& svc_;
   SessionCache& cache_;
   AdmissionController& admission_;
   const dh::Dh* dhe_group_;
+  Transport& transport_;
   ReactorConfig cfg_;
 
   std::vector<std::unique_ptr<Slot>> slots_;
 
-  // Client identities: identity i's latest resumable session, offered by
-  // the next connection drawn for that identity.
-  std::mutex identities_mu_;
-  std::vector<std::optional<ResumableSession>> identities_;
-
-  // Ready queue: completions and starts waiting for a worker.
+  // Ready queue: completions, starts, and readiness waiting for a worker.
   std::mutex mu_;
   std::condition_variable cv_;
   std::deque<Event> ready_;
+  std::vector<std::size_t> free_slots_;  // accept-paced transports only
   bool done_ = false;
 
   std::atomic<std::size_t> next_conn_{0};
@@ -152,6 +180,7 @@ class Reactor {
   std::atomic<std::size_t> failed_{0};
   std::atomic<std::size_t> shed_{0};
   std::atomic<std::size_t> resumed_{0};
+  std::atomic<std::size_t> resets_{0};
   std::atomic<std::uint64_t> wakeups_{0};
   std::atomic<std::uint64_t> events_{0};
 
@@ -159,14 +188,31 @@ class Reactor {
   // map probe on the accept path).
   obs::Gauge* open_gauge_;
   obs::Counter* shed_counter_;
+  obs::Counter* reset_counter_;
 };
 
 /// Event-frontend counterpart of run_handshakes(): builds the batch
 /// service, cache, admission controller, and (if event_dhe_ratio > 0)
 /// the DHE group from cfg, runs a Reactor over cfg.num_handshakes
-/// connections, and folds ReactorStats into the common DriverReport.
-/// Called through run_handshakes() when cfg.frontend == Frontend::kEvent.
+/// connections on the simulated transport, and folds ReactorStats into
+/// the common DriverReport. Called through run_handshakes() when
+/// cfg.frontend == Frontend::kEvent.
 DriverReport run_event_handshakes(const rsa::Engine& server_engine,
                                   const DriverConfig& cfg);
+
+/// Shared by the event and socket frontends: folds reactor outcome,
+/// cache, and batch-service counters into the common DriverReport shape.
+DriverReport fold_driver_report(const ReactorStats& stats,
+                                double wall_seconds,
+                                const SessionCache& cache,
+                                BatchDecryptService& svc);
+
+/// Shared by the event and socket frontends: the identity-pool size for a
+/// run of n connections — scaled so each identity reconnects several
+/// times (a fixed pool larger than the run would mean no identity ever
+/// returns and resumption_ratio silently does nothing).
+inline std::size_t identity_pool_for(std::size_t n) {
+  return std::max<std::size_t>(1, std::min<std::size_t>(256, n / 8));
+}
 
 }  // namespace phissl::ssl::async

@@ -1,0 +1,308 @@
+// Transport seam for the event-driven TLS terminator, and its two
+// implementations: the deterministic in-process byte-swap transport the
+// tests and the event bench use, and the real epoll socket transport.
+//
+// The Reactor (reactor.hpp) schedules ServerConnection state machines and
+// bridges their crypto waits to the batch service; everything about HOW
+// bytes reach a connection lives behind Transport. The reactor calls
+// exchange() whenever a slot becomes runnable (start, I/O readiness,
+// crypto resume) and the transport moves as many bytes as it can in both
+// directions through the connection's on_input/take_output interface,
+// reporting whether the connection settled, the peer vanished, or the
+// slot simply parked again (awaiting readiness or a crypto result).
+//
+// SimulatedTransport pairs each slot with a ScriptedClient and swaps byte
+// vectors — no kernel, fully deterministic, the reactor paces connection
+// starts itself. It is the PR 7 reactor loop factored behind the seam,
+// and stays the default for unit tests and the in-process event sweep.
+//
+// SocketTransport owns a loopback/any-interface listener and an epoll
+// poller thread. Readiness is level-triggered with EPOLLONESHOT interest
+// per slot: the poller delivers one readiness event and the fd goes
+// quiet until the worker that pumped the slot re-arms it at the end of
+// exchange() — so the poller can never spin on a readable fd that a busy
+// worker hasn't drained yet, and the single-owner slot invariant holds
+// even when readiness races a batch completion (the reactor coalesces
+// per-slot events; see reactor.hpp). EPOLLIN stays armed while a
+// connection is parked on a crypto op, which is how a peer RST during
+// kAwaitPrivateOp is noticed immediately rather than at the next write.
+//
+// The client fleet (run_load) is the other half of the loopback story: N
+// concurrent nonblocking ScriptedClients over real sockets, with Poisson
+// arrivals and the same resumption/DHE mix knobs as the simulated
+// transport. tools/phissl_loadgen wraps it as a standalone binary.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "rsa/engine.hpp"
+#include "ssl/async/connection.hpp"
+#include "ssl/async/reactor.hpp"
+#include "ssl/driver.hpp"
+#include "util/stats.hpp"
+
+namespace phissl::ssl::async {
+
+namespace detail {
+
+/// splitmix64: deterministic per-connection coin flips, so a run's
+/// resumption/DHE mix is reproducible regardless of scheduling. Shared by
+/// the reactor (per-connection seeds), the simulated transport, and the
+/// socket client fleet so all three draw the same mix for the same index.
+inline std::uint64_t mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+inline bool coin(std::uint64_t seed, std::size_t idx, std::uint32_t salt,
+                 double ratio) {
+  if (ratio <= 0.0) return false;
+  const std::uint64_t h = mix(seed ^ mix(idx) ^ salt);
+  return static_cast<double>(h >> 11) * 0x1.0p-53 < ratio;
+}
+
+}  // namespace detail
+
+/// What exchange() found when it stopped moving bytes.
+enum class IoStatus {
+  kOk,        ///< parked again: awaiting I/O readiness or a crypto result
+  kSettled,   ///< connection fully over: output flushed, state kClosed
+  kPeerGone,  ///< peer reset / vanished / protocol stall — tear down
+};
+
+/// The byte-moving half of the terminator. All methods except bind()/
+/// start()/stop() are called by reactor workers, at most one per slot at
+/// a time (the reactor's single-owner invariant covers the transport's
+/// per-slot state too).
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// One-time wiring; the reactor calls this from its constructor so the
+  /// transport can size its per-slot tables.
+  virtual void bind(Reactor& reactor) = 0;
+  /// Start/stop I/O threads (the socket poller; no-ops for the simulated
+  /// transport). Called by Reactor::run() around the worker pool.
+  virtual void start() {}
+  virtual void stop() {}
+
+  /// True when the reactor paces connection starts itself by drawing the
+  /// next connection index as slots free (simulated transport). A socket
+  /// transport paces via its accept loop instead.
+  [[nodiscard]] virtual bool reactor_paced() const = 0;
+
+  /// A connection just started in `slot` (index conn_idx, per-connection
+  /// seed `seed`): wire up the peer side. The simulated transport builds
+  /// its ScriptedClient here; the socket transport arms read interest.
+  virtual void open(std::size_t slot, std::size_t conn_idx,
+                    std::uint64_t seed) = 0;
+
+  /// Move bytes both directions until nothing further can move. Returns
+  /// early (kOk) when the connection parks on a PendingOp — the reactor
+  /// owns op submission. Must leave readiness armed so a later event
+  /// reaches the slot.
+  virtual IoStatus exchange(std::size_t slot, ServerConnection& conn) = 0;
+
+  /// The reactor is closing `slot` (conn carries the final state). The
+  /// simulated transport banks resumable sessions here; the socket
+  /// transport has usually already closed the fd.
+  virtual void on_close(std::size_t slot, const ServerConnection& conn) = 0;
+
+  /// A slot returned to the free table (socket transports re-arm their
+  /// paused accept loop). Called WITHOUT the reactor lock held.
+  virtual void on_slot_freed(std::size_t slot) { (void)slot; }
+};
+
+/// Deterministic in-process transport: each slot pairs the server with a
+/// ScriptedClient and byte vectors swap directly. Drives the resumption/
+/// DHE mix from the ReactorConfig ratios, banking resumable sessions per
+/// client identity exactly like the pre-seam reactor loop did.
+class SimulatedTransport final : public Transport {
+ public:
+  /// client_engine needs only the server's public key; cfg supplies seed,
+  /// ratios, and the identity pool.
+  SimulatedTransport(const rsa::Engine& client_engine, ReactorConfig cfg);
+
+  void bind(Reactor& reactor) override;
+  [[nodiscard]] bool reactor_paced() const override { return true; }
+  void open(std::size_t slot, std::size_t conn_idx,
+            std::uint64_t seed) override;
+  IoStatus exchange(std::size_t slot, ServerConnection& conn) override;
+  void on_close(std::size_t slot, const ServerConnection& conn) override;
+
+ private:
+  struct SimSlot {
+    std::optional<ScriptedClient> client;
+    std::size_t identity = 0;
+  };
+
+  const rsa::Engine& client_engine_;
+  ReactorConfig cfg_;
+  std::vector<SimSlot> slots_;
+
+  // Client identities: identity i's latest resumable session, offered by
+  // the next connection drawn for that identity. Workers touch different
+  // slots concurrently but share this pool, hence the mutex.
+  std::mutex identities_mu_;
+  std::vector<std::optional<ResumableSession>> identities_;
+};
+
+/// Socket-transport knobs beyond what ReactorConfig covers.
+struct SocketTransportConfig {
+  /// Listen port; 0 binds an ephemeral port (see port()).
+  std::uint16_t port = 0;
+  /// Bind address. Loopback by default — the load generator runs on the
+  /// same host in every current deployment of this repo.
+  std::string bind_addr = "127.0.0.1";
+  int backlog = 256;
+  /// Per-read buffer; flights larger than this arrive across multiple
+  /// recv() calls (partial-read handling is exercised either way).
+  std::size_t read_chunk = 16 * 1024;
+  /// Test knob: SO_SNDBUF for accepted sockets (0 = kernel default).
+  /// Shrinking it forces the server flight to split across EAGAIN.
+  int accepted_sndbuf = 0;
+};
+
+/// Transport-level counters (reactor-level outcomes live in ReactorStats).
+struct SocketTransportStats {
+  std::uint64_t accepts = 0;        ///< connections accepted
+  std::uint64_t eagain_reads = 0;   ///< recv() cycles ended by EAGAIN
+  std::uint64_t eagain_writes = 0;  ///< send() cycles ended by EAGAIN
+  std::uint64_t resets = 0;         ///< peer resets / premature EOFs
+};
+
+/// Real sockets under the reactor: nonblocking accept loop plus an epoll
+/// poller thread that turns readiness into reactor events. Linux-only;
+/// constructing it elsewhere throws.
+class SocketTransport final : public Transport {
+ public:
+  explicit SocketTransport(SocketTransportConfig cfg = {});
+  ~SocketTransport() override;
+
+  SocketTransport(const SocketTransport&) = delete;
+  SocketTransport& operator=(const SocketTransport&) = delete;
+
+  /// The bound listen port (useful with cfg.port == 0).
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+  [[nodiscard]] SocketTransportStats stats() const;
+
+  void bind(Reactor& reactor) override;
+  void start() override;
+  void stop() override;
+  [[nodiscard]] bool reactor_paced() const override { return false; }
+  void open(std::size_t slot, std::size_t conn_idx,
+            std::uint64_t seed) override;
+  IoStatus exchange(std::size_t slot, ServerConnection& conn) override;
+  void on_close(std::size_t slot, const ServerConnection& conn) override;
+  void on_slot_freed(std::size_t slot) override;
+
+ private:
+  /// Per-slot socket state. Owned by whichever thread owns the slot —
+  /// the poller hands it to the workers through Reactor::start_accepted.
+  struct FdSlot {
+    int fd = -1;
+    bool saw_eof = false;
+    // Unsent remainder of the last take_output() chunk; kSendingFlight
+    // holds in the connection until this drains (close-after-alert flushes
+    // it before the fd closes).
+    std::vector<std::uint8_t> stash;
+    std::size_t stash_off = 0;
+  };
+
+  void poll_loop();
+  void handle_accept_ready();
+  void arm(std::size_t slot, bool want_out);
+  void rearm_listen();
+  void close_fd(std::size_t slot);
+
+  SocketTransportConfig cfg_;
+  Reactor* reactor_ = nullptr;
+  int listen_fd_ = -1;
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;  // eventfd: stop() pokes the poller out of epoll_wait
+  std::uint16_t port_ = 0;
+  std::vector<FdSlot> fds_;
+  std::thread poller_;
+  std::atomic<bool> stopping_{false};
+
+  std::atomic<std::uint64_t> accepts_{0};
+  std::atomic<std::uint64_t> eagain_reads_{0};
+  std::atomic<std::uint64_t> eagain_writes_{0};
+  std::atomic<std::uint64_t> resets_{0};
+};
+
+/// One server stack on real sockets: batch service + cache + admission +
+/// SocketTransport + Reactor, assembled from a DriverConfig. Splitting
+/// construction from run() exposes port() so an external client fleet
+/// (or phissl_loadgen --serve) can aim at an ephemeral listener.
+class SocketFrontend {
+ public:
+  SocketFrontend(const rsa::Engine& server_engine, const DriverConfig& cfg,
+                 SocketTransportConfig transport_cfg = {});
+  ~SocketFrontend();
+
+  [[nodiscard]] std::uint16_t port() const;
+  /// Serves cfg.num_handshakes connections, blocking until done. The
+  /// report folds reactor outcomes, cache/batch counters, and the
+  /// transport's accepts/eagain totals.
+  DriverReport run();
+  [[nodiscard]] SocketTransportStats transport_stats() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Client-fleet knobs for run_load / phissl_loadgen. Mirrors the workload
+/// shape half of ReactorConfig (seed, ratios, identity pool) plus the
+/// client-side pacing knobs.
+struct LoadGenConfig {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  std::size_t total_connections = 0;
+  /// Client connections open concurrently. Kept well under typical
+  /// RLIMIT_NOFILE defaults; the server side bounds itself separately via
+  /// max_open_connections.
+  std::size_t concurrency = 256;
+  /// Poisson arrivals at this rate (connections/s); 0 opens as fast as
+  /// the concurrency window allows.
+  double arrival_rate_per_s = 0.0;
+  std::uint64_t seed = 1;
+  double resumption_ratio = 0.0;
+  double dhe_ratio = 0.0;
+  std::size_t identity_pool = 256;
+};
+
+/// Fleet outcome. `failed` includes connections the server shed (the
+/// client sees an alert either way); the server-side DriverReport is the
+/// authoritative shed/completed split.
+struct LoadGenStats {
+  std::size_t completed = 0;
+  std::size_t failed = 0;
+  util::Summary latency_us;  ///< connect-to-close, per connection
+};
+
+/// Runs cfg.total_connections ScriptedClients against host:port from one
+/// epoll loop (nonblocking connect, LT readiness). public_engine needs
+/// only the server's public key.
+LoadGenStats run_load(const rsa::Engine& public_engine,
+                      const LoadGenConfig& cfg);
+
+/// Socket-frontend counterpart of run_event_handshakes(): brings up a
+/// SocketFrontend on an ephemeral loopback port, drives it with an
+/// in-process run_load fleet (cfg.socket_clients wide), and folds both
+/// sides into the common DriverReport. Called through run_handshakes()
+/// when cfg.frontend == Frontend::kSocket.
+DriverReport run_socket_handshakes(const rsa::Engine& server_engine,
+                                   const DriverConfig& cfg);
+
+}  // namespace phissl::ssl::async

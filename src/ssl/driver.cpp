@@ -9,6 +9,7 @@
 #include "obs/trace.hpp"
 #include "obs/workload.hpp"
 #include "ssl/async/reactor.hpp"
+#include "ssl/async/transport.hpp"
 #include "ssl/batch_decrypt.hpp"
 #include "ssl/handshake.hpp"
 #include "ssl/record.hpp"
@@ -84,6 +85,9 @@ DriverReport run_handshakes(const rsa::Engine& server_engine,
                             const DriverConfig& cfg) {
   if (cfg.frontend == Frontend::kEvent) {
     return async::run_event_handshakes(server_engine, cfg);
+  }
+  if (cfg.frontend == Frontend::kSocket) {
+    return async::run_socket_handshakes(server_engine, cfg);
   }
   if (!server_engine.has_private()) {
     throw std::invalid_argument("run_handshakes: server engine needs a key");

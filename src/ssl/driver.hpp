@@ -27,6 +27,10 @@ enum class Frontend {
   /// instead of threads, and admission control sheds load before the
   /// private op. Always routes private ops through the batch service.
   kEvent,
+  /// The event reactor over real loopback sockets (ssl/async/transport):
+  /// epoll readiness feeds the same connection state machines, and an
+  /// in-process nonblocking client fleet supplies the load. Linux-only.
+  kSocket,
 };
 
 struct DriverConfig {
@@ -47,6 +51,13 @@ struct DriverConfig {
   double event_dhe_ratio = 0.0;
   /// Event frontend: admission-control bounds (default: admit all).
   async::AdmissionConfig admission;
+  /// Socket frontend: client connections the loopback fleet keeps open
+  /// concurrently (the client-side window; the server side is bounded by
+  /// max_open_connections independently).
+  std::size_t socket_clients = 256;
+  /// Socket frontend: Poisson client arrival rate (connections/s); 0
+  /// opens as fast as the concurrency window allows.
+  double socket_arrival_per_s = 0.0;
   std::uint64_t seed = 1;           ///< base RNG seed (per-thread derived)
   /// Fraction of handshakes that attempt session resumption (each worker
   /// reuses its most recent full session). 0.0 = all full handshakes.
@@ -95,6 +106,11 @@ struct DriverReport {
   /// Mean parked connections resumed per reactor wakeup (>1 means one
   /// batch completion is amortizing across its lanemates).
   double resumptions_per_wakeup = 0.0;
+
+  // Socket-frontend transport counters (zero elsewhere).
+  std::uint64_t accepts = 0;  ///< connections accepted by the listener
+  std::uint64_t eagain = 0;   ///< recv/send cycles ended by EAGAIN
+  std::uint64_t resets = 0;   ///< peer resets / premature EOFs observed
 };
 
 /// Runs cfg.num_handshakes full (or resumed) handshakes, each ending with

@@ -82,12 +82,31 @@ void SessionCache::put(const SessionId& id, const MasterSecret& master) {
     return;
   }
   if (s.map.size() >= per_shard_capacity_) {
-    // Evict the shard's least recently used entry: O(1) via the list
-    // tail, whose `key` points back at its own map slot.
+    // Prefer collecting a TTL-dead entry over evicting a live one. Expiry
+    // is lazy — only a get() on the exact id collects a corpse — so under
+    // churn dead entries would otherwise hold LRU capacity and push live
+    // resumable sessions out. Walk from the LRU end (the oldest inserts,
+    // so the likeliest corpses come first); bounded by shard size, and
+    // skipped entirely when TTL is off.
     Node* victim = s.tail;
+    bool victim_expired = false;
+    if (ttl_.count() > 0) {
+      const auto now = Clock::now();
+      for (Node* n = s.tail; n != nullptr; n = n->prev) {
+        if (now >= n->expires_at) {
+          victim = n;
+          victim_expired = true;
+          break;
+        }
+      }
+    }
     detach(s, victim);
     s.map.erase(*victim->key);
-    ++s.evictions;
+    if (victim_expired) {
+      ++s.expirations;
+    } else {
+      ++s.evictions;
+    }
   }
   const auto [it, inserted] = s.map.try_emplace(id);
   it->second.master = master;

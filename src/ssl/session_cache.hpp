@@ -42,7 +42,8 @@ struct SessionCacheConfig {
   std::size_t shards = 16;
   /// Entry lifetime; zero means entries never expire (eviction only by
   /// LRU capacity pressure). Expiry is lazy: a dead entry is collected by
-  /// the get() that finds it (or pushed out by LRU like any other entry).
+  /// the get() that finds it, or by a full put()'s eviction scan — which
+  /// prefers any TTL-dead entry over displacing a live one.
   std::chrono::milliseconds ttl{0};
 };
 
@@ -50,8 +51,9 @@ struct SessionCacheConfig {
 struct SessionCacheStats {
   std::uint64_t hits = 0;         ///< get() found a live entry
   std::uint64_t misses = 0;       ///< get() found nothing usable
-  std::uint64_t evictions = 0;    ///< LRU entries displaced by put()
-  std::uint64_t expirations = 0;  ///< TTL-dead entries collected by get()
+  std::uint64_t evictions = 0;    ///< LIVE LRU entries displaced by put()
+  std::uint64_t expirations = 0;  ///< TTL-dead entries collected (by get()
+                                  ///< or by put()'s eviction scan)
   std::uint64_t puts = 0;         ///< put() calls (inserts and updates)
 };
 
@@ -67,8 +69,10 @@ class SessionCache {
   SessionCache(const SessionCache&) = delete;
   SessionCache& operator=(const SessionCache&) = delete;
 
-  /// Stores (or refreshes) a session; evicts the shard's least recently
-  /// used entry when the shard is full. O(1).
+  /// Stores (or refreshes) a session. When the shard is full, collects a
+  /// TTL-dead entry if one exists (counted as an expiration), otherwise
+  /// evicts the least recently used live entry. O(1) with TTL off; with
+  /// TTL on the dead-entry scan is bounded by the shard size.
   void put(const SessionId& id, const MasterSecret& master);
 
   /// Looks up a session; nullopt if unknown, evicted, or expired. A hit

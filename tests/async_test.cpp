@@ -350,6 +350,57 @@ TEST_F(AsyncConnectionTest, AdmissionReleasesOnComplete) {
   EXPECT_EQ(admission.shed(), 1u);
 }
 
+TEST(AsyncAdmission, EwmaSampleAtDepthZeroIsTheRawLatency) {
+  // An op admitted at depth 0 crossed exactly one batch, so its full
+  // latency IS one batch's cost: a 1600us op must teach the predictor
+  // 1600us, and predict() (depth 0, one batch ahead) must echo it. The
+  // 16/(d+1) inflation bug fed 25600us into the EWMA from this same
+  // sample.
+  AdmissionController a(
+      AdmissionConfig{.linger_hint = std::chrono::microseconds(0)});
+  const auto d = a.try_admit();
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(*d, 0u);
+  a.on_complete(*d, 1600.0);
+  EXPECT_EQ(a.predict().count(), 1600);
+}
+
+TEST(AsyncAdmission, EwmaSampleAtDepthThirtyOneSpansTwoBatches) {
+  // Depth 31 = the 32nd op in the queue: two full 16-lane batches must
+  // drain before its result, so a 1600us end-to-end latency means one
+  // batch costs 800us.
+  AdmissionController a(
+      AdmissionConfig{.linger_hint = std::chrono::microseconds(0)});
+  const auto d = a.try_admit();  // balance the pending_ decrement below
+  ASSERT_TRUE(d.has_value());
+  a.on_complete(/*depth_at_admit=*/31, 1600.0);
+  EXPECT_EQ(a.predict().count(), 800);
+}
+
+TEST(AsyncAdmission, LightLoadWarmupDoesNotShedAtPermittedDepth) {
+  // Regression for the 16x inflation: a sequence of light-load (depth-0)
+  // completions at 500us each must leave the predictor at ~500us/batch,
+  // so a burst up to depth 32 predicts at most 3 batches * 500us + 500us
+  // linger = 2000us — far under the 5000us budget. The inflated EWMA
+  // (8000us) shed the very first op of the burst.
+  AdmissionController a(AdmissionConfig{
+      .max_predicted_wait = std::chrono::microseconds(5000),
+      .linger_hint = std::chrono::microseconds(500)});
+  for (int i = 0; i < 8; ++i) {
+    const auto d = a.try_admit();
+    ASSERT_TRUE(d.has_value()) << "warmup op " << i << " shed";
+    a.on_complete(*d, 500.0);
+  }
+  std::vector<std::size_t> held;
+  for (int i = 0; i < 33; ++i) {
+    const auto d = a.try_admit();
+    ASSERT_TRUE(d.has_value()) << "burst op " << i << " shed";
+    held.push_back(*d);
+  }
+  EXPECT_EQ(a.shed(), 0u);
+  for (const std::size_t d : held) a.on_complete(d, 500.0);
+}
+
 TEST_F(AsyncConnectionTest, PredictedWaitBoundSheds) {
   AdmissionController admission(
       AdmissionConfig{.max_predicted_wait = std::chrono::microseconds(400),

@@ -468,6 +468,31 @@ TEST(SessionCacheTest, TtlExpiresEntriesLazily) {
   EXPECT_TRUE(cache.get(id).has_value());
 }
 
+TEST(SessionCacheTest, FullPutEvictsExpiredEntriesBeforeLiveOnes) {
+  // Fill one shard, let half the entries TTL-lapse, then keep inserting:
+  // every insert into the full shard must collect a TTL-dead entry (an
+  // expiration) instead of displacing a live session (an eviction). A
+  // capacity-displacement policy that ignores TTL would evict live
+  // sessions while dead ones rot mid-list.
+  SessionCache cache(SessionCacheConfig{
+      .capacity = 8, .shards = 1, .ttl = std::chrono::milliseconds(200)});
+  MasterSecret m{};
+  SessionId ids[12] = {};
+  for (int i = 0; i < 12; ++i) ids[i][0] = static_cast<std::uint8_t>(i + 1);
+  for (int i = 0; i < 4; ++i) cache.put(ids[i], m);  // these will expire
+  std::this_thread::sleep_for(std::chrono::milliseconds(250));
+  for (int i = 4; i < 8; ++i) cache.put(ids[i], m);  // shard full: 4 dead + 4 live
+  for (int i = 8; i < 12; ++i) cache.put(ids[i], m);  // 4 inserts into a full shard
+  const SessionCacheStats st = cache.stats();
+  EXPECT_EQ(st.expirations, 4u);  // the dead entries were the victims...
+  EXPECT_EQ(st.evictions, 0u);    // ...and no live session was displaced
+  // Every live session is still resumable.
+  for (int i = 4; i < 12; ++i) {
+    EXPECT_TRUE(cache.get(ids[i]).has_value()) << "id " << i;
+  }
+  EXPECT_EQ(cache.size(), 8u);
+}
+
 TEST(AlertNames, AllDistinct) {
   EXPECT_STREQ(to_string(Alert::kHandshakeFailure), "handshake_failure");
   EXPECT_STREQ(to_string(Alert::kDecryptError), "decrypt_error");
